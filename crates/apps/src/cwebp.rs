@@ -1,0 +1,255 @@
+//! CWebP 0.3.1 — JPEG import path of the WebP encoder.
+//!
+//! Table 1's CWebP row: 7 target sites, 1 exposed and 6 unsatisfiable.
+//! The exposed site `jpegdec.c@248` sizes the imported RGB buffer
+//! `width * height * 3 + width` straight from the SOF dimensions with no
+//! validation, *before* any dimension-dependent loop runs — so the full
+//! seed-path constraint is satisfiable for it, the second of the paper's
+//! two such sites (§5.4), and DIODE needs no branch enforcement at all
+//! (Table 2: 0 enforced, 155/200 target-only success).
+//!
+//! The six unsatisfiable sites size marker-walk metadata from single
+//! bytes or bounded sums, so their target expressions provably cannot
+//! overflow 32 bits.
+
+use diode_format::{FormatDesc, SeedBuilder};
+use diode_lang::parse;
+
+use crate::{App, ExpectedSite};
+
+/// Seed JPEG geometry.
+pub const SEED_WIDTH: u16 = 80;
+/// Seed JPEG height.
+pub const SEED_HEIGHT: u16 = 60;
+
+const PROGRAM: &str = r#"
+fn be16at(p) {
+    return zext32(in[p]) << 8 | zext32(in[p + 1]);
+}
+
+fn main() {
+    if in[0] != 0xFFu8 || in[1] != 0xD8u8 {
+        error("not a JPEG file");
+    }
+
+    // ---- APP0 -----------------------------------------------------------
+    if in[2] != 0xFFu8 || in[3] != 0xE0u8 {
+        error("missing APP0");
+    }
+    app0_len = be16at(4);
+    if app0_len != 16 {
+        error("unexpected APP0 length");
+    }
+    // Marker bookkeeping (unsat site 1): one byte worth of marker slots.
+    marker_count = in[18];
+    markers = alloc("jpegdec.c@120", zext32(marker_count) * 16 + 8);
+    if markers == 0 { error("oom"); }
+    // ICC profile chunks (unsat site 2): sequence number is one byte.
+    icc_seq = in[19];
+    icc = alloc("jpegdec.c@133", zext32(icc_seq) * 255 + 4);
+    if icc == 0 { error("oom"); }
+
+    // ---- DQT --------------------------------------------------------------
+    dqt = 20;
+    if in[dqt] != 0xFFu8 || in[dqt + 1] != 0xDBu8 {
+        error("missing DQT");
+    }
+    prec_id = in[dqt + 4];
+    quant = alloc("jpegdec.c@180", 64 * (zext32(prec_id >> 4u8) + 1) + 2);
+    if quant == 0 { error("oom"); }
+
+    // ---- DHT --------------------------------------------------------------
+    dht = 89;
+    if in[dht] != 0xFFu8 || in[dht + 1] != 0xC4u8 {
+        error("missing DHT");
+    }
+    total = 0;
+    c = 0;
+    while c < 16 {
+        total = total + zext32(in[dht + 5 + c]);
+        c = c + 1;
+    }
+    huff = alloc("jpegdec.c@201", total + 17);
+    if huff == 0 { error("oom"); }
+
+    // ---- SOF0: dimensions used with no checks ------------------------------
+    sof = 122;
+    if in[sof] != 0xFFu8 || in[sof + 1] != 0xC0u8 {
+        error("missing SOF0");
+    }
+    height = be16at(sof + 5);
+    width = be16at(sof + 7);
+    ncomp = in[sof + 9];
+
+    // The exposed site: imported RGB buffer, allocated before any
+    // width/height-dependent branch executes (full-path satisfiable).
+    rgb = alloc("jpegdec.c@248", width * height * 3 + width);
+
+    // Encoder configuration (unsat sites 5 and 6).
+    quality = in[sof + 10];
+    config = alloc("webpenc.c@310", zext32(quality) + 160);
+    if config == 0 { error("oom"); }
+    pad = in[sof + 11];
+    padding = alloc("picture.c@95", zext32(pad) * 4 + 12);
+    if padding == 0 { error("oom"); }
+
+    // Import pass probes the RGB buffer across its full logical extent.
+    true_rgb = zext64(width) * zext64(height) * 3u64 + zext64(width);
+    p = 0u64;
+    while p < 64u64 {
+        rgb[true_rgb * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+
+    // Downscale pass (width-dependent loop, after the site).
+    acc = 0;
+    x = 0;
+    while x < width && x < 4096 {
+        acc = acc + 3;
+        x = x + 1;
+    }
+
+    free(rgb);
+}
+"#;
+
+/// Builds a valid seed JPEG for the import path.
+#[must_use]
+pub fn seed() -> (Vec<u8>, FormatDesc) {
+    let mut b = SeedBuilder::new();
+    b.name("jpeg");
+    b.raw(&[0xFF, 0xD8]); // SOI
+    b.raw(&[0xFF, 0xE0]); // APP0 @2
+    b.be16("/app0/length", 16);
+    b.raw(b"JFIF\0");
+    b.raw(&[1, 2, 0]);
+    b.be16("/app0/xdensity", 72);
+    b.be16("/app0/ydensity", 72);
+    b.u8("/app0/marker_count", 2);
+    b.u8("/app0/icc_seq", 1);
+    // DQT @20.
+    b.raw(&[0xFF, 0xDB]);
+    b.be16("/dqt/length", 67);
+    b.u8("/dqt/prec_id", 0);
+    let table: Vec<u8> = (0..64).map(|i| (17 + i) as u8).collect();
+    b.named_bytes("/dqt/table", &table);
+    // DHT @89.
+    b.raw(&[0xFF, 0xC4]);
+    b.be16("/dht/length", 31);
+    b.u8("/dht/class_id", 0);
+    let counts: Vec<u8> = vec![0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0];
+    b.named_bytes("/dht/counts", &counts);
+    let symbols: Vec<u8> = (0..12).collect();
+    b.named_bytes("/dht/symbols", &symbols);
+    // SOF0 @122.
+    b.raw(&[0xFF, 0xC0]);
+    b.be16("/sof/length", 13);
+    b.u8("/sof/precision", 8);
+    b.be16("/sof/height", SEED_HEIGHT);
+    b.be16("/sof/width", SEED_WIDTH);
+    b.u8("/sof/ncomp", 3);
+    b.u8("/sof/quality", 75);
+    b.u8("/sof/pad", 1);
+    b.raw(&[0xFF, 0xD9]); // EOI
+    b.finish()
+}
+
+/// The CWebP 0.3.1 benchmark application.
+///
+/// # Panics
+///
+/// Panics only if the embedded program fails to parse.
+#[must_use]
+pub fn app() -> App {
+    let program = parse(PROGRAM).expect("cwebp program parses");
+    let (seed, format) = seed();
+    App {
+        name: "CWebP 0.3.1",
+        program,
+        seed,
+        format,
+        expected: vec![
+            ExpectedSite::exposed(
+                "jpegdec.c@248",
+                None,
+                "SIGSEGV/InvalidWrite",
+                (0, 651),
+                (155, 200),
+                None,
+            ),
+            ExpectedSite::unsat("jpegdec.c@120"),
+            ExpectedSite::unsat("jpegdec.c@133"),
+            ExpectedSite::unsat("jpegdec.c@180"),
+            ExpectedSite::unsat("jpegdec.c@201"),
+            ExpectedSite::unsat("webpenc.c@310"),
+            ExpectedSite::unsat("picture.c@95"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_interp::{run, Concrete, MachineConfig, Outcome, Taint};
+
+    #[test]
+    fn seed_is_processed_cleanly() {
+        let app = app();
+        let r = run(&app.program, &app.seed, Concrete, &MachineConfig::default());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.mem_errors.is_empty(), "{:?}", r.mem_errors);
+        assert_eq!(r.allocs.len(), 7);
+        let rgb = r.allocs.iter().find(|a| &*a.site == "jpegdec.c@248").unwrap();
+        assert_eq!(
+            rgb.size.value(),
+            u128::from(SEED_WIDTH) * u128::from(SEED_HEIGHT) * 3 + u128::from(SEED_WIDTH)
+        );
+    }
+
+    #[test]
+    fn exposed_site_depends_only_on_sof_dimensions() {
+        let app = app();
+        let r = run(&app.program, &app.seed, Taint, &MachineConfig::default());
+        let rgb = r.allocs.iter().find(|a| &*a.site == "jpegdec.c@248").unwrap();
+        let h = app.format.field("/sof/height").unwrap().offset;
+        let w = app.format.field("/sof/width").unwrap().offset;
+        assert_eq!(rgb.size_tag.labels(), &[h, h + 1, w, w + 1]);
+    }
+
+    #[test]
+    fn no_relevant_branch_precedes_the_exposed_site() {
+        // The defining property of this §5.4 site: along the seed path, no
+        // conditional branch before the allocation is influenced by the
+        // SOF width/height bytes.
+        let app = app();
+        let r = run(
+            &app.program,
+            &app.seed,
+            diode_interp::Symbolic::all_bytes(),
+            &MachineConfig::default(),
+        );
+        let rgb = r.allocs.iter().find(|a| &*a.site == "jpegdec.c@248").unwrap();
+        let h = app.format.field("/sof/height").unwrap().offset;
+        let relevant = [h, h + 1, h + 2, h + 3];
+        for obs in &r.branches[..rgb.branches_before] {
+            if let Some(c) = &obs.constraint {
+                assert!(
+                    !c.intersects_bytes(&relevant),
+                    "relevant branch before the site: {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_dimensions_trigger() {
+        let app = app();
+        let h = app.format.field("/sof/height").unwrap().offset;
+        let patches: Vec<(u32, u8)> = (0..4).map(|i| (h + i, 0xf0)).collect();
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        let rgb = r.allocs.iter().find(|a| &*a.site == "jpegdec.c@248").unwrap();
+        assert!(rgb.size_ovf);
+        assert!(r.outcome.is_segfault() || !r.mem_errors.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! ImageMagick 6.5.2 — XWD (X Window Dump) loader + display pipeline.
+//!
+//! Table 1's ImageMagick row: 9 target sites — 3 exposed (all with 0
+//! enforced branches and near-total success rates, Table 2), 5 with
+//! unsatisfiable target constraints, and 1 guarded by a dimension check.
+//!
+//! * `xwindow.c@5619` (CVE-2009-1882): the XImage pixel store
+//!   `width * height * 4`, unchecked.
+//! * `cache.c@803`: the pixel cache `bytes_per_line * height + 64`,
+//!   unchecked — `bytes_per_line` is its own header field.
+//! * `display.c@4393`: the display window
+//!   `(width + 2*border) * (height + 2*border)`, unchecked.
+//! * `resize.c@2614`: the resize filter buffer `width * 16 + 32`, sized
+//!   *after* the loader's `width > 10_000_000` plausibility check — the
+//!   row counted under "Sanity Checks Prevent Overflow".
+
+use diode_format::{FormatDesc, SeedBuilder};
+use diode_lang::parse;
+
+use crate::{App, ExpectedSite};
+
+/// Seed image geometry.
+pub const SEED_WIDTH: u32 = 100;
+/// Seed image height.
+pub const SEED_HEIGHT: u32 = 80;
+
+const PROGRAM: &str = r#"
+fn be32at(p) {
+    return zext32(in[p]) << 24 | zext32(in[p + 1]) << 16
+         | zext32(in[p + 2]) << 8 | zext32(in[p + 3]);
+}
+
+fn main() {
+    header_size = be32at(0);
+    if header_size < 56 {
+        error("ReadXWDImage: header too small");
+    }
+    file_version = be32at(4);
+    if file_version != 7 {
+        error("ReadXWDImage: XWD file format version mismatch");
+    }
+    pixmap_format = be32at(8);
+    if pixmap_format > 2 {
+        error("ReadXWDImage: unsupported pixmap format");
+    }
+
+    width = be32at(16);
+    height = be32at(20);
+    bytes_per_line = be32at(40);
+    border = be32at(52);
+
+    // ---- metadata allocations from byte-width fields (unsat sites) --------
+    name_len = in[48];
+    cmap_name = alloc("xwd.c@210", zext32(name_len) + 8);
+    if cmap_name == 0 { error("oom"); }
+    comment_len = in[49];
+    comment = alloc("xwd.c@224", zext32(comment_len) * 2 + 4);
+    if comment == 0 { error("oom"); }
+    channel_count = in[50];
+    channel_tab = alloc("xwd.c@241", zext32(channel_count) * 48 + 16);
+    if channel_tab == 0 { error("oom"); }
+    map_groups = in[51];
+    groups = alloc("xwd.c@259", zext32(map_groups) * 8 + 24);
+    if groups == 0 { error("oom"); }
+    vclass = in[56];
+    visual = alloc("xwd.c@277", zext32(vclass) * 4 + 40);
+    if visual == 0 { error("oom"); }
+
+    // Scanline/metadata skims (bounded): relevant blocking checks on the
+    // paths to the exposed sites. They never reject an input, but they
+    // make the full-seed-path constraints unsatisfiable (§5.4).
+    s1 = 0;
+    while s1 < width && s1 < 4096 { s1 = s1 + 1; }
+    s2 = 0;
+    while s2 < height && s2 < 4096 { s2 = s2 + 1; }
+    s3 = 0;
+    while s3 < bytes_per_line && s3 < 4096 { s3 = s3 + 1; }
+    s4 = 0;
+    while s4 < border && s4 < 4096 { s4 = s4 + 1; }
+
+    // ---- exposed sites: no dimension validation anywhere before ------------
+    ximage = alloc("xwindow.c@5619", width * height * 4);
+    cache = alloc("cache.c@803", bytes_per_line * height + 64);
+    win = alloc("display.c@4393", (width + 2 * border) * (height + 2 * border));
+
+    // Rendering probes across each buffer's full logical extent (the
+    // loader renders before the display path validates dimensions).
+    true_ximage = zext64(width) * zext64(height) * 4u64;
+    p = 0u64;
+    while p < 64u64 {
+        ximage[true_ximage * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+    true_cache = zext64(bytes_per_line) * zext64(height) + 64u64;
+    p = 0u64;
+    while p < 64u64 {
+        cache[true_cache * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+    true_win = (zext64(width) + 2u64 * zext64(border))
+             * (zext64(height) + 2u64 * zext64(border));
+    p = 0u64;
+    while p < 64u64 {
+        win[true_win * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+
+    // ---- the one guarded site -----------------------------------------------
+    if width > 10000000 {
+        error("ReadXWDImage: unreasonable image dimensions");
+    }
+    resize = alloc("resize.c@2614", width * 16 + 32);
+    if resize == 0 { error("oom"); }
+    true_resize = zext64(width) * 16u64 + 32u64;
+    p = 0u64;
+    while p < 64u64 {
+        resize[true_resize * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+
+    free(resize);
+    free(win);
+    free(cache);
+    free(ximage);
+}
+"#;
+
+/// Builds a valid seed XWD header (+ tiny payload) and its field map.
+#[must_use]
+pub fn seed() -> (Vec<u8>, FormatDesc) {
+    let mut b = SeedBuilder::new();
+    b.name("xwd");
+    b.be32("/hdr/header_size", 100);
+    b.be32("/hdr/file_version", 7);
+    b.be32("/hdr/pixmap_format", 2);
+    b.be32("/hdr/pixmap_depth", 24);
+    b.be32("/hdr/pixmap_width", SEED_WIDTH);
+    b.be32("/hdr/pixmap_height", SEED_HEIGHT);
+    b.be32("/hdr/xoffset", 0);
+    b.be32("/hdr/byte_order", 0);
+    b.be32("/hdr/bitmap_unit", 32);
+    b.be32("/hdr/bitmap_bit_order", 0);
+    b.be32("/hdr/bytes_per_line", SEED_WIDTH * 4);
+    b.be32("/hdr/colormap_entries", 0);
+    b.u8("/hdr/name_len", 12);
+    b.u8("/hdr/comment_len", 3);
+    b.u8("/hdr/channel_count", 3);
+    b.u8("/hdr/map_groups", 1);
+    b.be32("/hdr/border", 2);
+    b.u8("/hdr/visual_class", 4);
+    b.raw(&[0u8; 3]); // padding
+    let payload: Vec<u8> = (0..240).map(|i| (i * 11 % 251) as u8).collect();
+    b.named_bytes("/pixels/data", &payload);
+    b.finish()
+}
+
+/// The ImageMagick 6.5.2 benchmark application.
+///
+/// # Panics
+///
+/// Panics only if the embedded program fails to parse.
+#[must_use]
+pub fn app() -> App {
+    let program = parse(PROGRAM).expect("imagemagick program parses");
+    let (seed, format) = seed();
+    App {
+        name: "ImageMagick 6.5.2",
+        program,
+        seed,
+        format,
+        expected: vec![
+            ExpectedSite::exposed(
+                "xwindow.c@5619",
+                Some("CVE-2009-1882"),
+                "SIGSEGV/InvalidWrite",
+                (0, 2521),
+                (200, 200),
+                None,
+            ),
+            ExpectedSite::exposed(
+                "cache.c@803",
+                None,
+                "SIGSEGV/InvalidWrite",
+                (0, 306),
+                (199, 200),
+                None,
+            ),
+            ExpectedSite::exposed(
+                "display.c@4393",
+                None,
+                "SIGSEGV/InvalidWrite",
+                (0, 154),
+                (200, 200),
+                None,
+            ),
+            ExpectedSite::prevented("resize.c@2614"),
+            ExpectedSite::unsat("xwd.c@210"),
+            ExpectedSite::unsat("xwd.c@224"),
+            ExpectedSite::unsat("xwd.c@241"),
+            ExpectedSite::unsat("xwd.c@259"),
+            ExpectedSite::unsat("xwd.c@277"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_interp::{run, Concrete, MachineConfig, Outcome, Taint};
+
+    fn patch_be32(app: &App, path: &str, v: u32) -> Vec<(u32, u8)> {
+        let off = app.format.field(path).unwrap().offset;
+        v.to_be_bytes()
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (off + i as u32, b))
+            .collect()
+    }
+
+    #[test]
+    fn seed_is_processed_cleanly() {
+        let app = app();
+        let r = run(&app.program, &app.seed, Concrete, &MachineConfig::default());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.mem_errors.is_empty(), "{:?}", r.mem_errors);
+        assert_eq!(r.allocs.len(), 9);
+    }
+
+    #[test]
+    fn cve_2009_1882_dimensions_trigger() {
+        let app = app();
+        let mut patches = patch_be32(&app, "/hdr/pixmap_width", 0x0002_0000);
+        patches.extend(patch_be32(&app, "/hdr/pixmap_height", 0x0002_0000));
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        let x = r.allocs.iter().find(|a| &*a.site == "xwindow.c@5619").unwrap();
+        assert!(x.size_ovf);
+        assert!(r.outcome.is_segfault() || !r.mem_errors.is_empty());
+    }
+
+    #[test]
+    fn cache_overflows_via_bytes_per_line() {
+        let app = app();
+        let mut patches = patch_be32(&app, "/hdr/bytes_per_line", 0x4000_0000);
+        patches.extend(patch_be32(&app, "/hdr/pixmap_height", 8));
+        // Keep width small so the other sites stay quiet.
+        patches.extend(patch_be32(&app, "/hdr/pixmap_width", 4));
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        let x = r.allocs.iter().find(|a| &*a.site == "xwindow.c@5619").unwrap();
+        assert!(!x.size_ovf, "w*h*4 = 128 must not overflow");
+        let c = r.allocs.iter().find(|a| &*a.site == "cache.c@803").unwrap();
+        assert!(c.size_ovf, "2^30 * 8 overflows");
+        assert!(r.outcome.is_segfault() || !r.mem_errors.is_empty());
+    }
+
+    #[test]
+    fn guarded_resize_site_is_protected_by_the_dimension_check() {
+        let app = app();
+        // width = 2^28 would overflow width*16, but the check rejects it
+        // before the resize allocation.
+        let patches = patch_be32(&app, "/hdr/pixmap_width", 1 << 28);
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        // The run must have been rejected (or crashed at the earlier
+        // exposed probes) without ever executing the resize site.
+        assert!(
+            r.allocs.iter().all(|a| &*a.site != "resize.c@2614"),
+            "resize site must not execute with width 2^28"
+        );
+    }
+
+    #[test]
+    fn relevant_bytes_differ_across_exposed_sites() {
+        let app = app();
+        let r = run(&app.program, &app.seed, Taint, &MachineConfig::default());
+        let by_site = |s: &str| {
+            r.allocs
+                .iter()
+                .find(|a| &*a.site == s)
+                .unwrap()
+                .size_tag
+                .labels()
+                .to_vec()
+        };
+        assert_eq!(by_site("xwindow.c@5619"), vec![16, 17, 18, 19, 20, 21, 22, 23]);
+        assert_eq!(by_site("cache.c@803"), vec![20, 21, 22, 23, 40, 41, 42, 43]);
+        assert_eq!(
+            by_site("display.c@4393"),
+            vec![16, 17, 18, 19, 20, 21, 22, 23, 52, 53, 54, 55]
+        );
+        assert_eq!(by_site("resize.c@2614"), vec![16, 17, 18, 19]);
+    }
+}

@@ -1,0 +1,375 @@
+//! SwfPlay 0.5.5 (swfdec) — SWF container with an embedded JPEG stream.
+//!
+//! Table 1's SwfPlay row: 8 target sites, 3 exposed with **no relevant
+//! sanity checks** (the paper's "0 enforced, 200/200" rows) and 5 with
+//! unsatisfiable target constraints (all sized from single bytes or
+//! bounded sums).
+//!
+//! The three exposed sites are sized from the JPEG SOF width/height
+//! fields, which swfdec uses without any validation:
+//!
+//! * `jpeg.c@192` — DCT coefficient store `mcu_x * mcu_y * 384`; its path
+//!   to the site contains *no relevant conditional branches*, which is why
+//!   this is one of the paper's two sites where the full seed-path
+//!   constraint is satisfiable (§5.4). A failed allocation aborts at the
+//!   start of the decode loop (the SIGABRT row of Table 2).
+//! * `jpeg_rgb_decoder.c@253` — RGBA output `width * height * 4`.
+//! * `jpeg_rgb_decoder.c@257` — row-staging buffer
+//!   `height * (width * 3 + 8)`.
+//!
+//! Between `jpeg.c@192` and the RGB sites the decoder sizes its MCU row
+//! index (a width-dependent loop), so the *full-path* constraint for the
+//! RGB sites is blocked — only goal-directed enforcement's freedom to let
+//! irrelevant-to-triggering branches flip keeps them reachable.
+
+use diode_format::{FormatDesc, SeedBuilder};
+use diode_lang::parse;
+
+use crate::{App, ExpectedSite};
+
+/// Seed JPEG geometry.
+pub const SEED_WIDTH: u16 = 96;
+/// Seed JPEG height.
+pub const SEED_HEIGHT: u16 = 64;
+
+const PROGRAM: &str = r#"
+fn be16at(p) {
+    return zext32(in[p]) << 8 | zext32(in[p + 1]);
+}
+
+fn main() {
+    // SWF container: "FWS" + version + file length + DefineBitsJPEG2 tag.
+    if in[0] != 0x46u8 || in[1] != 0x57u8 || in[2] != 0x53u8 {
+        error("not an SWF file");
+    }
+    version = in[3];
+    if version > 10u8 {
+        error("unsupported SWF version");
+    }
+    tag = in[8];
+    if tag != 21u8 {
+        error("expected DefineBitsJPEG2 tag");
+    }
+    // JPEG stream starts at offset 13.
+    if in[13] != 0xFFu8 || in[14] != 0xD8u8 {
+        error("missing JPEG SOI");
+    }
+
+    // ---- APP0 ---------------------------------------------------------------
+    if in[15] != 0xFFu8 || in[16] != 0xE0u8 {
+        error("missing APP0");
+    }
+    app0_len = be16at(17);
+    if app0_len != 16 {
+        error("unexpected APP0 length");
+    }
+    thumb_w = in[31];
+    thumb_h = in[32];
+    thumb = alloc("jpeg_marker.c@117", zext32(thumb_w) * zext32(thumb_h) * 3 + 4);
+    if thumb == 0 { error("oom"); }
+
+    // ---- DQT ----------------------------------------------------------------
+    dqt = 33;
+    if in[dqt] != 0xFFu8 || in[dqt + 1] != 0xDBu8 {
+        error("missing DQT");
+    }
+    prec_id = in[dqt + 4];
+    quant = alloc("jpeg_quant.c@88", 64 * (zext32(prec_id >> 4u8) + 1) + 4);
+    if quant == 0 { error("oom"); }
+    q = 0;
+    while q < 64 {
+        quant[zext64(q)] = in[dqt + 5 + q];
+        q = q + 1;
+    }
+
+    // ---- DHT ----------------------------------------------------------------
+    dht = 102;
+    if in[dht] != 0xFFu8 || in[dht + 1] != 0xC4u8 {
+        error("missing DHT");
+    }
+    total = 0;
+    c = 0;
+    while c < 16 {
+        total = total + zext32(in[dht + 5 + c]);
+        c = c + 1;
+    }
+    huff = alloc("jpeg_huffman.c@140", total + 17);
+    if huff == 0 { error("oom"); }
+
+    // ---- SOF0: frame header (no validation of dimensions!) -------------------
+    sof = 135;
+    if in[sof] != 0xFFu8 || in[sof + 1] != 0xC0u8 {
+        error("missing SOF0");
+    }
+    height = be16at(sof + 5);
+    width = be16at(sof + 7);
+    ncomp = in[sof + 9];
+    comps = alloc("jpeg.c@305", zext32(ncomp) * 12 + 4);
+    if comps == 0 { error("oom"); }
+
+    // DCT coefficient store: mcu_x * mcu_y * 384 — the §5.4 site whose
+    // path contains no relevant conditional branches.
+    mcu_x = (width + 7) >> 3;
+    mcu_y = (height + 7) >> 3;
+    coef = alloc("jpeg.c@192", mcu_x * mcu_y * 384);
+
+    // MCU row index sizing: a width-dependent loop between jpeg.c@192 and
+    // the RGB sites (blocks their full-path constraint).
+    row_index_bytes = 0;
+    x = 0;
+    while x < mcu_x && x < 4096 {
+        row_index_bytes = row_index_bytes + 48;
+        x = x + 1;
+    }
+
+    // ---- RGB decoder output buffers (exposed, unchecked) ---------------------
+    image = alloc("jpeg_rgb_decoder.c@253", width * height * 4);
+    tmp = alloc("jpeg_rgb_decoder.c@257", height * (width * 3 + 8));
+
+    // ---- SOS + entropy data ---------------------------------------------------
+    sos = 148;
+    if in[sos] != 0xFFu8 || in[sos + 1] != 0xDAu8 {
+        error("missing SOS");
+    }
+    ns = in[sos + 4];
+    scan = alloc("jpeg_scan.c@77", zext32(ns) * 2 + 6);
+    if scan == 0 { error("oom"); }
+
+    // swfdec aborts when the coefficient store could not be allocated.
+    if coef == 0 {
+        abort("swfdec: memory exhausted");
+    }
+
+    // Bounded entropy decode into the coefficient store.
+    data = 158;
+    m = 0;
+    src = data;
+    while m < mcu_x * mcu_y && src + 2 < inlen {
+        coef[zext64(m) * 384u64] = in[src];
+        m = m + 1;
+        src = src + 1;
+    }
+
+    // Colour conversion probes across each buffer's full logical extent.
+    true_img = zext64(width) * zext64(height) * 4u64;
+    p = 0u64;
+    while p < 64u64 {
+        image[true_img * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+    true_tmp = zext64(height) * (zext64(width) * 3u64 + 8u64);
+    p = 0u64;
+    while p < 64u64 {
+        tmp[true_tmp * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+    true_coef = zext64(mcu_x) * zext64(mcu_y) * 384u64;
+    p = 0u64;
+    while p < 64u64 {
+        coef[true_coef * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+}
+"#;
+
+/// Builds a valid SWF-wrapped JPEG seed and its field map.
+#[must_use]
+pub fn seed() -> (Vec<u8>, FormatDesc) {
+    let mut b = SeedBuilder::new();
+    b.name("swf-jpeg");
+    b.raw(b"FWS");
+    b.u8("/swf/version", 5);
+    b.le32("/swf/file_length", 0); // patched below via named field order
+    b.u8("/swf/tag", 21);
+    b.le32("/swf/tag_length", 180);
+    // JPEG stream @13.
+    b.raw(&[0xFF, 0xD8]); // SOI
+    b.raw(&[0xFF, 0xE0]); // APP0 @15
+    b.be16("/app0/length", 16);
+    b.raw(b"JFIF\0");
+    b.raw(&[1, 2]); // version
+    b.u8("/app0/units", 0);
+    b.be16("/app0/xdensity", 72);
+    b.be16("/app0/ydensity", 72);
+    b.u8("/app0/thumb_w", 4);
+    b.u8("/app0/thumb_h", 3);
+    // DQT @33.
+    b.raw(&[0xFF, 0xDB]);
+    b.be16("/dqt/length", 67);
+    b.u8("/dqt/prec_id", 0);
+    let table: Vec<u8> = (0..64).map(|i| (16 + i) as u8).collect();
+    b.named_bytes("/dqt/table", &table);
+    // DHT @102.
+    b.raw(&[0xFF, 0xC4]);
+    b.be16("/dht/length", 31);
+    b.u8("/dht/class_id", 0);
+    let counts: Vec<u8> = vec![0, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0];
+    b.named_bytes("/dht/counts", &counts);
+    let symbols: Vec<u8> = (0..12).collect();
+    b.named_bytes("/dht/symbols", &symbols);
+    // SOF0 @135.
+    b.raw(&[0xFF, 0xC0]);
+    b.be16("/sof/length", 11);
+    b.u8("/sof/precision", 8);
+    b.be16("/sof/height", SEED_HEIGHT);
+    b.be16("/sof/width", SEED_WIDTH);
+    b.u8("/sof/ncomp", 1);
+    b.raw(&[1, 0x11, 0]); // component spec
+    // SOS @148.
+    b.raw(&[0xFF, 0xDA]);
+    b.be16("/sos/length", 8);
+    b.u8("/sos/ns", 1);
+    b.raw(&[1, 0x00]); // component selector
+    b.raw(&[0, 63, 0]); // spectral selection
+    // Entropy data @158 (raw stand-in) + EOI.
+    let data: Vec<u8> = (0..192).map(|i| (i * 13 % 251) as u8).collect();
+    b.named_bytes("/scan/data", &data);
+    b.raw(&[0xFF, 0xD9]);
+    b.finish()
+}
+
+/// The SwfPlay 0.5.5 benchmark application.
+///
+/// # Panics
+///
+/// Panics only if the embedded program fails to parse.
+#[must_use]
+pub fn app() -> App {
+    let program = parse(PROGRAM).expect("swfplay program parses");
+    let (seed, format) = seed();
+    App {
+        name: "SwfPlay 0.5.5",
+        program,
+        seed,
+        format,
+        expected: vec![
+            ExpectedSite::exposed(
+                "jpeg_rgb_decoder.c@253",
+                None,
+                "SIGSEGV/InvalidWrite",
+                (0, 1736),
+                (200, 200),
+                None,
+            ),
+            ExpectedSite::exposed(
+                "jpeg_rgb_decoder.c@257",
+                None,
+                "SIGSEGV/InvalidWrite",
+                (0, 1736),
+                (200, 200),
+                None,
+            ),
+            ExpectedSite::exposed(
+                "jpeg.c@192",
+                None,
+                "SIGABRT/InvalidWrite",
+                (0, 1012),
+                (200, 200),
+                None,
+            ),
+            ExpectedSite::unsat("jpeg_marker.c@117"),
+            ExpectedSite::unsat("jpeg_quant.c@88"),
+            ExpectedSite::unsat("jpeg_huffman.c@140"),
+            ExpectedSite::unsat("jpeg.c@305"),
+            ExpectedSite::unsat("jpeg_scan.c@77"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_interp::{run, Concrete, MachineConfig, Outcome, Taint};
+
+    #[test]
+    fn seed_is_processed_cleanly() {
+        let app = app();
+        let r = run(&app.program, &app.seed, Concrete, &MachineConfig::default());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.mem_errors.is_empty(), "{:?}", r.mem_errors);
+        assert_eq!(r.allocs.len(), 8);
+        let img = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "jpeg_rgb_decoder.c@253")
+            .unwrap();
+        assert_eq!(
+            img.size.value(),
+            u128::from(SEED_WIDTH) * u128::from(SEED_HEIGHT) * 4
+        );
+    }
+
+    #[test]
+    fn sof_dimensions_are_the_relevant_bytes() {
+        let app = app();
+        let r = run(&app.program, &app.seed, Taint, &MachineConfig::default());
+        let img = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "jpeg_rgb_decoder.c@253")
+            .unwrap();
+        let h_off = app.format.field("/sof/height").unwrap().offset;
+        let w_off = app.format.field("/sof/width").unwrap().offset;
+        assert_eq!(img.size_tag.labels(), &[h_off, h_off + 1, w_off, w_off + 1]);
+    }
+
+    #[test]
+    fn max_dimensions_overflow_and_crash() {
+        let app = app();
+        let h_off = app.format.field("/sof/height").unwrap().offset;
+        let patches: Vec<(u32, u8)> = (0..4).map(|i| (h_off + i, 0xff)).collect();
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        // 0xFFFF * 0xFFFF * 4 overflows.
+        let img = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "jpeg_rgb_decoder.c@253")
+            .expect("site executes before any crash");
+        assert!(img.size_ovf);
+        let coef = r.allocs.iter().find(|a| &*a.site == "jpeg.c@192").unwrap();
+        assert!(coef.size_ovf);
+        assert!(
+            r.outcome.is_segfault()
+                || matches!(r.outcome, Outcome::Aborted(_))
+                || !r.mem_errors.is_empty(),
+            "outcome {:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn all_five_unsat_sites_are_byte_bounded() {
+        // The five unsat sites depend only on single bytes / bounded sums;
+        // crank every relevant byte to 0xFF and verify no overflow flag.
+        let app = app();
+        let mut input = app.seed.clone();
+        for path in [
+            "/app0/thumb_w",
+            "/app0/thumb_h",
+            "/dqt/prec_id",
+            "/sof/ncomp",
+            "/sos/ns",
+        ] {
+            let f = app.format.field(path).unwrap();
+            input[f.offset as usize] = 0xff;
+        }
+        let counts = app.format.field("/dht/counts").unwrap();
+        for i in 0..counts.len {
+            input[(counts.offset + i) as usize] = 0xff;
+        }
+        let input = app.format.reconstruct(&input, []);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        for site in [
+            "jpeg_marker.c@117",
+            "jpeg_quant.c@88",
+            "jpeg_huffman.c@140",
+            "jpeg.c@305",
+            "jpeg_scan.c@77",
+        ] {
+            if let Some(a) = r.allocs.iter().find(|a| &*a.site == site) {
+                assert!(!a.size_ovf, "site {site} unexpectedly overflowed");
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! VLC 0.8.6h — RIFF/WAV demux + audio decode pipeline.
+//!
+//! All four input-influenced allocation sites are exposed (Table 1's VLC
+//! row), with the check structure the paper reports:
+//!
+//! * `wav.c@147` — **CVE-2008-2430**: the extensible-format header is
+//!   allocated as `fmt_len + 2` with *no* size check; the target
+//!   constraint `overflow(x + 2)` has exactly two solutions (§5.5). The
+//!   program then copies the 18-byte header into the (wrapped,
+//!   undersized) block and reads fields back through it — the paper's
+//!   non-crashing `InvalidRead/Write` row.
+//! * `messages.c@355` — the logging path sizes a message buffer from
+//!   sample rate × channel count behind two *ineffective* sanity checks
+//!   (§5.2 notes VLC's overflow checks "do not, in fact" protect it).
+//! * `block.c@54` — block wrapper allocation `data_len + 64`, unchecked.
+//! * `dec.c@277` — decoder output buffer
+//!   `samples * channels * (bps/8) + 32` where `samples = data_len /
+//!   block_align`, behind five decoder-configuration checks.
+
+use diode_format::{FormatDesc, SeedBuilder};
+use diode_lang::parse;
+
+use crate::{App, ExpectedSite};
+
+const PROGRAM: &str = r#"
+fn le16at(p) {
+    return zext32(in[p]) | zext32(in[p + 1]) << 8;
+}
+
+fn le32at(p) {
+    return zext32(in[p]) | zext32(in[p + 1]) << 8
+         | zext32(in[p + 2]) << 16 | zext32(in[p + 3]) << 24;
+}
+
+fn main() {
+    // RIFF/WAVE container magic.
+    if in[0] != 0x52u8 || in[1] != 0x49u8 || in[2] != 0x46u8 || in[3] != 0x46u8 {
+        error("not a RIFF file");
+    }
+    if in[8] != 0x57u8 || in[9] != 0x41u8 || in[10] != 0x56u8 || in[11] != 0x45u8 {
+        error("not a WAVE file");
+    }
+    if in[12] != 0x66u8 || in[13] != 0x6Du8 || in[14] != 0x74u8 || in[15] != 0x20u8 {
+        error("missing fmt chunk");
+    }
+
+    // ---- CVE-2008-2430 (wav.c@147): no check on the fmt chunk size ------
+    i_size = le32at(16);
+    // The demuxer skims the declared chunk (bounded peek): a relevant
+    // blocking check on the path to the site — never enforced by DIODE,
+    // but it makes the full-seed-path constraint unsatisfiable (§5.4).
+    skim = 0;
+    while skim < i_size && skim < 40 {
+        skim = skim + 1;
+    }
+    p_wf = alloc("wav.c@147", i_size + 2);
+
+    // Copy the 18-byte WAVEFORMATEX into the (possibly undersized) block.
+    k = 0;
+    while k < 18 {
+        p_wf[zext64(k)] = in[20 + k];
+        k = k + 1;
+    }
+
+    // Read the format fields back through the allocated header.
+    b0 = p_wf[2u64];
+    b1 = p_wf[3u64];
+    channels = zext32(b0) | zext32(b1) << 8;
+    b0 = p_wf[4u64];
+    b1 = p_wf[5u64];
+    b2 = p_wf[6u64];
+    b3 = p_wf[7u64];
+    rate = zext32(b0) | zext32(b1) << 8 | zext32(b2) << 16 | zext32(b3) << 24;
+    blockalign = le16at(32);
+    bps = le16at(34);
+
+    // ---- messages.c@355: log-buffer with two ineffective checks ----------
+    if rate > 0x3fffffff {
+        error("msg_Dbg: implausible sample rate");
+    }
+    if channels > 0x3fff {
+        error("msg_Dbg: implausible channel count");
+    }
+    // Per-channel layout formatting (bounded): blocks the full-path
+    // constraint for this site without gating the overflow.
+    lay = 0;
+    while lay < channels && lay < 4096 {
+        lay = lay + 1;
+    }
+    msg_buf = alloc("messages.c@355", (rate * channels >> 3) + 64);
+    true_msg = zext64(rate) * zext64(channels) / 8u64 + 64u64;
+    p = 0u64;
+    while p < 64u64 {
+        px = msg_buf[true_msg * p / 64u64];
+        p = p + 1u64;
+    }
+
+    // ---- data chunk -------------------------------------------------------
+    if in[38] != 0x64u8 || in[39] != 0x61u8 || in[40] != 0x74u8 || in[41] != 0x61u8 {
+        error("missing data chunk");
+    }
+    data_len = le32at(42);
+    // Peek at the declared sample payload (bounded).
+    peek = 0;
+    while peek < data_len && peek < 4096 {
+        peek = peek + 1;
+    }
+
+    // block.c@54: block wrapper, no checks (block_New returns NULL on
+    // failure and the demuxer just drops the block).
+    blk = alloc("block.c@54", data_len + 64);
+    if blk != 0 {
+        k = 0;
+        while k < 64 {
+            blk[zext64(k)] = 0u8;
+            k = k + 1;
+        }
+    }
+
+    // ---- dec.c@277: decoder output buffer behind five checks -------------
+    if channels == 0 {
+        error("dec: no channels");
+    }
+    if channels > 512 {
+        error("dec: too many channels");
+    }
+    if bps != 8 && bps != 16 && bps != 24 && bps != 32 {
+        error("dec: bad bits per sample");
+    }
+    if blockalign == 0 {
+        error("dec: bad block align");
+    }
+    if rate == 0 {
+        error("dec: bad sample rate");
+    }
+    samples = data_len / blockalign;
+    out = alloc("dec.c@277", samples * channels * (bps >> 3) + 32);
+    true_out = zext64(samples) * zext64(channels) * zext64(bps >> 3) + 32u64;
+    p = 0u64;
+    while p < 64u64 {
+        out[true_out * p / 64u64] = 0u8;
+        p = p + 1u64;
+    }
+
+    free(out);
+    if blk != 0 {
+        free(blk);
+    }
+    free(msg_buf);
+    free(p_wf);
+}
+"#;
+
+/// Builds a valid 44.1 kHz stereo 16-bit PCM seed WAV and its field map.
+#[must_use]
+pub fn seed() -> (Vec<u8>, FormatDesc) {
+    let mut b = SeedBuilder::new();
+    b.name("riff-wav");
+    b.raw(b"RIFF");
+    b.le32("/riff/size", 38 + 256);
+    b.raw(b"WAVE");
+    b.raw(b"fmt ");
+    b.le32("/fmt/size", 18);
+    b.le16("/fmt/format_tag", 1);
+    b.le16("/fmt/channels", 2);
+    b.le32("/fmt/sample_rate", 44_100);
+    b.le32("/fmt/byte_rate", 44_100 * 4);
+    b.le16("/fmt/block_align", 4);
+    b.le16("/fmt/bits_per_sample", 16);
+    b.le16("/fmt/cb_size", 0);
+    b.raw(b"data");
+    b.le32("/data/size", 256);
+    let payload: Vec<u8> = (0..256).map(|i| (i * 7 % 251) as u8).collect();
+    b.named_bytes("/data/samples", &payload);
+    b.finish()
+}
+
+/// The VLC 0.8.6h benchmark application.
+///
+/// # Panics
+///
+/// Panics only if the embedded program fails to parse.
+#[must_use]
+pub fn app() -> App {
+    let program = parse(PROGRAM).expect("vlc program parses");
+    let (seed, format) = seed();
+    App {
+        name: "VLC 0.8.6h",
+        program,
+        seed,
+        format,
+        expected: vec![
+            ExpectedSite::exposed(
+                "messages.c@355",
+                None,
+                "SIGSEGV/InvalidRead",
+                (2, 117),
+                (32, 200),
+                Some((108, 200)),
+            ),
+            ExpectedSite::exposed(
+                "wav.c@147",
+                Some("CVE-2008-2430"),
+                "InvalidRead/Write",
+                (0, 62),
+                (2, 2),
+                None,
+            ),
+            ExpectedSite::exposed(
+                "dec.c@277",
+                None,
+                "SIGSEGV/InvalidRead",
+                (5, 291),
+                (57, 200),
+                Some((97, 200)),
+            ),
+            ExpectedSite::exposed("block.c@54", None, "InvalidRead", (0, 151), (200, 200), None),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_interp::{run, Concrete, MachineConfig, Outcome, Taint};
+
+    #[test]
+    fn seed_is_processed_cleanly() {
+        let app = app();
+        let r = run(&app.program, &app.seed, Concrete, &MachineConfig::default());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.mem_errors.is_empty(), "{:?}", r.mem_errors);
+        assert_eq!(r.allocs.len(), 4);
+        let wf = r.allocs.iter().find(|a| &*a.site == "wav.c@147").unwrap();
+        assert_eq!(wf.size.value(), 20); // 18 + 2
+    }
+
+    #[test]
+    fn cve_2008_2430_both_solutions_trigger_invalid_accesses() {
+        let app = app();
+        for x in [0xFFFF_FFFEu32, 0xFFFF_FFFF] {
+            let patches = x
+                .to_le_bytes()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (16 + i as u32, v));
+            let input = app.format.reconstruct(&app.seed, patches);
+            let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+            let wf = r.allocs.iter().find(|a| &*a.site == "wav.c@147").unwrap();
+            assert!(wf.size_ovf, "x + 2 must overflow for {x:#x}");
+            assert!(
+                wf.size.value() <= 1,
+                "wrapped size, got {}",
+                wf.size.value()
+            );
+            // Memcheck-style invalid writes (header copy) and reads (field
+            // reads) without a crash — the paper's InvalidRead/Write row.
+            assert!(!r.mem_errors.is_empty());
+        }
+        // Neighbouring value does NOT overflow.
+        let patches = 0xFFFF_FFFDu32
+            .to_le_bytes()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (16 + i as u32, v));
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        let wf = r.allocs.iter().find(|a| &*a.site == "wav.c@147").unwrap();
+        assert!(!wf.size_ovf);
+    }
+
+    #[test]
+    fn taint_tracks_fields_through_the_heap() {
+        // rate/channels flow through the p_wf block: the taint labels of
+        // the messages.c@355 size must still be the original input bytes.
+        let app = app();
+        let r = run(&app.program, &app.seed, Taint, &MachineConfig::default());
+        let msg = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "messages.c@355")
+            .unwrap();
+        // channels at offsets 22-23, rate at 24-27.
+        assert_eq!(msg.size_tag.labels(), &[22, 23, 24, 25, 26, 27]);
+        let dec = r.allocs.iter().find(|a| &*a.site == "dec.c@277").unwrap();
+        // channels 22..24, block_align 32..34, bps 34..36, data_len 42..46.
+        assert_eq!(
+            dec.size_tag.labels(),
+            &[22, 23, 32, 33, 34, 35, 42, 43, 44, 45]
+        );
+    }
+
+    #[test]
+    fn block_overflow_is_detected_without_crash() {
+        let app = app();
+        let patches = 0xFFFF_FFF0u32
+            .to_le_bytes()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (42 + i as u32, v));
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        let blk = r.allocs.iter().find(|a| &*a.site == "block.c@54").unwrap();
+        assert!(blk.size_ovf);
+        assert!(r.mem_errors.iter().any(|e| &*e.site == "block.c@54"));
+    }
+
+    #[test]
+    fn messages_overflow_crashes_when_checks_are_evaded() {
+        // rate = 0x3000_0000 (passes rate check), channels = 0x2000
+        // (passes channel check): product 0x6000_0000_0000 overflows.
+        let app = app();
+        let mut patches: Vec<(u32, u8)> = Vec::new();
+        patches.extend(
+            0x3000_0000u32
+                .to_le_bytes()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (24 + i as u32, v)),
+        );
+        patches.extend(
+            0x2000u16
+                .to_le_bytes()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (22 + i as u32, v)),
+        );
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        let msg = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "messages.c@355")
+            .unwrap();
+        assert!(msg.size_ovf);
+        assert!(r.outcome.is_segfault() || !r.mem_errors.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benchmark for the §5.4 full-path experiment and the
+//! interval-presolve ablation on whole-suite classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diode_core::{
+    analyze_program, extract, full_path_constraint_satisfiable, identify_target_sites,
+    DiodeConfig,
+};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    let app = diode_apps::dillo::app();
+    let config = DiodeConfig::default();
+    let targets = identify_target_sites(&app.program, &app.seed, &config.machine);
+    let fig2 = targets.iter().find(|t| &*t.site == "png.c@203").unwrap();
+    let extraction = extract(&app.program, &app.seed, fig2, &config.machine).unwrap();
+    group.bench_function("full_path_unsat_png.c@203", |b| {
+        b.iter(|| {
+            assert_eq!(
+                full_path_constraint_satisfiable(&extraction, &config.solver),
+                Some(false)
+            )
+        })
+    });
+
+    let vlc = diode_apps::vlc::app();
+    for presolve in [true, false] {
+        let mut cfg = DiodeConfig::default();
+        cfg.solver.interval_presolve = presolve;
+        group.bench_function(format!("classify_vlc_presolve_{presolve}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    analyze_program(&vlc.program, &vlc.seed, &vlc.format, &cfg).counts(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark for the fuzzing baselines (throughput of a fixed
+//! 50-trial campaign against the Figure 2 site).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diode_core::{identify_target_sites, DiodeConfig};
+use diode_fuzz::{RandomFuzzer, TaintFuzzer};
+
+fn bench_fuzz(c: &mut Criterion) {
+    let app = diode_apps::dillo::app();
+    let config = DiodeConfig::default();
+    let targets = identify_target_sites(&app.program, &app.seed, &config.machine);
+    let fig2 = targets.iter().find(|t| &*t.site == "png.c@203").unwrap();
+
+    let mut group = c.benchmark_group("fuzz_50_trials");
+    group.sample_size(10);
+    group.bench_function("random", |b| {
+        let fz = RandomFuzzer {
+            trials: 50,
+            ..RandomFuzzer::default()
+        };
+        b.iter(|| {
+            std::hint::black_box(fz.run(
+                &app.program,
+                &app.seed,
+                &app.format,
+                fig2.label,
+                &config.machine,
+            ))
+        })
+    });
+    group.bench_function("taint_directed", |b| {
+        let fz = TaintFuzzer {
+            trials: 50,
+            ..TaintFuzzer::default()
+        };
+        b.iter(|| {
+            std::hint::black_box(fz.run(
+                &app.program,
+                &app.seed,
+                &app.format,
+                fig2.label,
+                &fig2.relevant_bytes,
+                &config.machine,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuzz);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmarks for the interpreter substrate: concrete execution
+//! vs taint tracing vs symbolic recording on the benchmark seeds —
+//! the staging overheads of §1.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diode_interp::{run, Concrete, MachineConfig, Symbolic, Taint};
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_seed_run");
+    group.sample_size(30);
+    for app in diode_apps::all_apps() {
+        let cfg = MachineConfig::default();
+        group.bench_function(format!("{}_concrete", app.name), |b| {
+            b.iter(|| std::hint::black_box(run(&app.program, &app.seed, Concrete, &cfg).steps))
+        });
+        group.bench_function(format!("{}_taint", app.name), |b| {
+            b.iter(|| std::hint::black_box(run(&app.program, &app.seed, Taint, &cfg).steps))
+        });
+        group.bench_function(format!("{}_symbolic", app.name), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    run(&app.program, &app.seed, Symbolic::all_bytes(), &cfg).steps,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the solver substrate: bit-blasting + CDCL on
+//! the kinds of constraints DIODE generates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diode_lang::{BinOp, Bv, CastKind};
+use diode_solver::{enumerate, solve, solve_with, SolverConfig};
+use diode_symbolic::{overflow_condition, SymExpr};
+
+fn byte32(off: u32) -> SymExpr {
+    SymExpr::input_byte(off).cast(CastKind::Zext, 32)
+}
+
+fn c32(v: u32) -> SymExpr {
+    SymExpr::constant(Bv::u32(v))
+}
+
+fn field32(base: u32) -> SymExpr {
+    byte32(base)
+        .bin(BinOp::Shl, c32(24))
+        .bin(BinOp::Or, byte32(base + 1).bin(BinOp::Shl, c32(16)))
+        .bin(BinOp::Or, byte32(base + 2).bin(BinOp::Shl, c32(8)))
+        .bin(BinOp::Or, byte32(base + 3))
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(20);
+
+    let beta_mul = overflow_condition(&field32(0).bin(BinOp::Mul, field32(4)));
+    group.bench_function("sat_overflow_mul32", |b| {
+        b.iter(|| std::hint::black_box(solve(&beta_mul).model().is_some()))
+    });
+
+    let beta_add = overflow_condition(&field32(0).bin(BinOp::Add, c32(2)));
+    group.bench_function("enumerate_x_plus_2", |b| {
+        b.iter(|| {
+            let e = enumerate(&beta_add, 10, &SolverConfig::default());
+            assert_eq!(e.models.len(), 2);
+        })
+    });
+
+    // Division-heavy constraint (the dec.c@277 shape).
+    let samples = field32(0).bin(BinOp::UDiv, byte32(8).bin(BinOp::Or, c32(1)));
+    let beta_div = overflow_condition(&samples.bin(BinOp::Mul, field32(4)));
+    group.bench_function("sat_overflow_with_division", |b| {
+        b.iter(|| std::hint::black_box(solve(&beta_div).model().is_some()))
+    });
+
+    // Unsat proof: bounded arithmetic, with and without interval presolve.
+    let bounded = byte32(0).bin(BinOp::Mul, c32(100)).bin(BinOp::Add, c32(7));
+    let atom = diode_symbolic::SymBool::Ovf(
+        diode_symbolic::OvfKind::Mul,
+        field32(0),
+        field32(4),
+    )
+    .and(&diode_symbolic::SymBool::cmp(
+        diode_lang::CmpOp::Ult,
+        field32(0),
+        c32(1000),
+    ))
+    .and(&diode_symbolic::SymBool::cmp(
+        diode_lang::CmpOp::Ult,
+        field32(4),
+        c32(1000),
+    ));
+    let _ = bounded;
+    group.bench_function("unsat_guarded_mul", |b| {
+        b.iter(|| assert!(solve(&atom).is_unsat()))
+    });
+    let no_presolve = SolverConfig {
+        interval_presolve: false,
+        ..SolverConfig::default()
+    };
+    group.bench_function("unsat_guarded_mul_no_interval", |b| {
+        b.iter(|| assert!(solve_with(&atom, &no_presolve, None).0.is_unsat()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

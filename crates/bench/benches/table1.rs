@@ -1,0 +1,25 @@
+//! Criterion benchmark regenerating Table 1: full DIODE classification of
+//! every target site, per application and for the whole benchmark suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diode_core::{analyze_program, DiodeConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let apps = diode_apps::all_apps();
+    let config = DiodeConfig::default();
+    let mut group = c.benchmark_group("table1_classification");
+    group.sample_size(10);
+    for app in &apps {
+        group.bench_function(app.name, |b| {
+            b.iter(|| {
+                let analysis =
+                    analyze_program(&app.program, &app.seed, &app.format, &config);
+                std::hint::black_box(analysis.counts())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

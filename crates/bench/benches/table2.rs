@@ -1,0 +1,49 @@
+//! Criterion benchmark for the Table 2 per-site experiments: discovery of
+//! the Figure 2 overflow (goal-directed enforcement end to end) and one
+//! success-rate sampling batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diode_core::{
+    analyze_site, identify_target_sites, success_rate, DiodeConfig, SiteOutcome,
+};
+
+fn bench_discovery(c: &mut Criterion) {
+    let app = diode_apps::dillo::app();
+    let config = DiodeConfig::default();
+    let targets = identify_target_sites(&app.program, &app.seed, &config.machine);
+    let fig2 = targets
+        .iter()
+        .find(|t| &*t.site == "png.c@203")
+        .expect("figure 2 site");
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("discover_png.c@203_with_enforcement", |b| {
+        b.iter(|| {
+            let report = analyze_site(&app.program, &app.seed, &app.format, fig2, &config);
+            assert!(matches!(report.outcome, SiteOutcome::Exposed(_)));
+            std::hint::black_box(report.discovery_time)
+        })
+    });
+
+    let report = analyze_site(&app.program, &app.seed, &app.format, fig2, &config);
+    let extraction = report.extraction.as_ref().unwrap();
+    group.bench_function("success_rate_10_samples", |b| {
+        b.iter(|| {
+            std::hint::black_box(success_rate(
+                &app.program,
+                &app.seed,
+                &app.format,
+                report.label,
+                &extraction.beta,
+                10,
+                7,
+                &config,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Table 1 (target-site classification).
+//!
+//! Usage: `cargo run --release -p diode-bench --bin table1`
+
+use diode_bench::{render_table1, table1_matches_paper, table1_rows};
+use diode_core::DiodeConfig;
+
+fn main() {
+    let apps = diode_apps::all_apps();
+    let config = DiodeConfig::default();
+    let rows = table1_rows(&apps, &config);
+    println!("Table 1: Target Site Classification (measured vs paper)\n");
+    println!("{}", render_table1(&rows));
+    if table1_matches_paper(&rows) {
+        println!("RESULT: every per-application classification count matches the paper.");
+    } else {
+        println!("RESULT: MISMATCH against the paper's Table 1.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates the paper's Table 2 (per-overflow evaluation summary),
+//! including the 200-input success-rate experiments of §5.5/§5.6.
+//!
+//! Usage: `cargo run --release -p diode-bench --bin table2 [-- --samples N]`
+//! (default 200 samples per rate column, as in the paper).
+
+use diode_bench::{render_table2, table2_rows, table2_shape_matches_paper};
+use diode_core::DiodeConfig;
+
+fn main() {
+    let samples = std::env::args()
+        .skip_while(|a| a != "--samples")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let apps = diode_apps::all_apps();
+    let config = DiodeConfig::default();
+    let rows = table2_rows(&apps, &config, samples, 0xD10DE);
+    println!("Table 2: Evaluation Summary ({samples} samples per rate column)\n");
+    println!("{}", render_table2(&rows));
+    let problems = table2_shape_matches_paper(&rows, &apps);
+    if problems.is_empty() {
+        println!("RESULT: all shape invariants hold (14 exposed rows; 0-enforcement sites; enforcement bands; exhaustive CVE-2008-2430 enumeration).");
+    } else {
+        println!("RESULT: shape mismatches:");
+        for p in &problems {
+            println!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+}

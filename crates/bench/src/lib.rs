@@ -1,0 +1,484 @@
+//! # diode-bench — the evaluation harness
+//!
+//! Regenerates every data artefact of the paper's §5 evaluation:
+//!
+//! * **Table 1** (target-site classification): [`table1_rows`] +
+//!   [`render_table1`], driven by `cargo run -p diode-bench --bin table1`;
+//! * **Table 2** (per-overflow summary incl. the 200-input success-rate
+//!   experiments): [`table2_rows`] + [`render_table2`], driven by
+//!   `--bin table2`;
+//! * the **§5.4 blocking-check experiment** (full seed-path constraint
+//!   satisfiability) and the interval-presolve ablation: [`ablation_rows`],
+//!   driven by `--bin ablation`;
+//! * the **fuzzing comparison** of §6's discussion: [`fuzz_rows`], driven
+//!   by `--bin fuzz_compare`.
+//!
+//! Criterion micro/macro benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use diode_apps::{App, SiteClass};
+use diode_core::{
+    analyze_program, full_path_constraint_satisfiable, success_rate, DiodeConfig,
+    ProgramAnalysis, SiteOutcome, SuccessRate,
+};
+use diode_fuzz::{FuzzOutcome, RandomFuzzer, TaintFuzzer};
+
+/// Renders an aligned plain-text table.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate().take(n) {
+            out.push_str(&format!("{:<w$}", c, w = widths[i] + 2));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.1}s", d.as_secs_f64())
+    } else {
+        format!("{}ms", d.as_millis())
+    }
+}
+
+/// One Table 1 row: measured vs paper classification counts.
+#[derive(Debug)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Measured (total, exposed, unsat, prevented).
+    pub measured: (usize, usize, usize, usize),
+    /// Paper's (total, exposed, unsat, prevented).
+    pub paper: (usize, usize, usize, usize),
+    /// Whole-app analysis time.
+    pub analysis_time: Duration,
+    /// The raw analysis, for further experiments.
+    pub analysis: ProgramAnalysis,
+}
+
+/// Runs the Table 1 experiment over the given apps.
+#[must_use]
+pub fn table1_rows(apps: &[App], config: &DiodeConfig) -> Vec<Table1Row> {
+    apps.iter()
+        .map(|app| {
+            let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+            Table1Row {
+                app: app.name,
+                measured: analysis.counts(),
+                paper: app.expected_counts(),
+                analysis_time: analysis.analysis_time,
+                analysis,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 with measured-vs-paper columns.
+#[must_use]
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let headers = [
+        "Application",
+        "Total Sites",
+        "Exposes Overflow",
+        "Constraint Unsat",
+        "Checks Prevent",
+        "(paper T/E/U/P)",
+        "Time",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.measured.0.to_string(),
+                r.measured.1.to_string(),
+                r.measured.2.to_string(),
+                r.measured.3.to_string(),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.paper.0, r.paper.1, r.paper.2, r.paper.3
+                ),
+                fmt_dur(r.analysis_time),
+            ]
+        })
+        .collect();
+    let mut out = render_table(&headers, &body);
+    let t: (usize, usize, usize, usize) = rows.iter().fold((0, 0, 0, 0), |acc, r| {
+        (
+            acc.0 + r.measured.0,
+            acc.1 + r.measured.1,
+            acc.2 + r.measured.2,
+            acc.3 + r.measured.3,
+        )
+    });
+    out.push_str(&format!(
+        "\nTotals: {} sites, {} exposed, {} unsat, {} prevented (paper: 40/14/17/9)\n",
+        t.0, t.1, t.2, t.3
+    ));
+    out
+}
+
+/// One Table 2 row (an exposed site), measured and paper-reported.
+#[derive(Debug)]
+pub struct Table2Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Site (`file@line`).
+    pub site: String,
+    /// CVE number or "New".
+    pub cve: String,
+    /// Measured error type.
+    pub error_type: String,
+    /// Paper's error type.
+    pub paper_error: String,
+    /// App analysis time (shared across the app's rows).
+    pub analysis_time: Duration,
+    /// Per-site discovery time.
+    pub discovery_time: Duration,
+    /// Measured enforced / total relevant.
+    pub enforced: (usize, usize),
+    /// Paper's enforced / total relevant.
+    pub paper_enforced: (u32, u32),
+    /// Measured target-only success rate.
+    pub target_rate: SuccessRate,
+    /// Paper's target-only success rate.
+    pub paper_target_rate: (u32, u32),
+    /// Measured target+enforced success rate (None when not applicable).
+    pub enforced_rate: Option<SuccessRate>,
+    /// Paper's target+enforced rate (None = "N/A").
+    pub paper_enforced_rate: Option<(u32, u32)>,
+}
+
+/// Runs the full Table 2 experiment: per-site discovery plus the
+/// success-rate sampling of §5.5/§5.6 with `samples` inputs per column.
+#[must_use]
+pub fn table2_rows(apps: &[App], config: &DiodeConfig, samples: u32, rng_seed: u64) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for app in apps {
+        let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+        for report in &analysis.sites {
+            let SiteOutcome::Exposed(bug) = &report.outcome else {
+                continue;
+            };
+            let extraction = report.extraction.as_ref().expect("exposed site extraction");
+            let target_rate = success_rate(
+                &app.program,
+                &app.seed,
+                &app.format,
+                report.label,
+                &extraction.beta,
+                samples,
+                rng_seed,
+                config,
+            );
+            // §5.6: run the enforced experiment only when enforcement was
+            // needed (the paper marks the rest N/A).
+            let enforced_rate = (bug.enforced > 0).then(|| {
+                success_rate(
+                    &app.program,
+                    &app.seed,
+                    &app.format,
+                    report.label,
+                    &bug.constraint,
+                    samples,
+                    rng_seed.wrapping_add(1),
+                    config,
+                )
+            });
+            let expected = app.expected_for(&report.site);
+            rows.push(Table2Row {
+                app: app.name,
+                site: report.site.clone(),
+                cve: expected
+                    .and_then(|e| e.cve)
+                    .unwrap_or("New")
+                    .to_string(),
+                error_type: bug.error_type.clone(),
+                paper_error: expected
+                    .and_then(|e| e.paper_error)
+                    .unwrap_or("-")
+                    .to_string(),
+                analysis_time: analysis.analysis_time,
+                discovery_time: report.discovery_time,
+                enforced: (bug.enforced, report.total_relevant),
+                paper_enforced: expected.and_then(|e| e.paper_enforced).unwrap_or((0, 0)),
+                target_rate,
+                paper_target_rate: expected
+                    .and_then(|e| e.paper_target_rate)
+                    .unwrap_or((0, 0)),
+                enforced_rate,
+                paper_enforced_rate: expected.and_then(|e| e.paper_enforced_rate),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Table 2 with measured-vs-paper columns.
+#[must_use]
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let headers = [
+        "Application",
+        "Target",
+        "CVE Number",
+        "Error Type (paper)",
+        "Time (A) B",
+        "Enforced (paper)",
+        "Target Rate (paper)",
+        "+Enforced (paper)",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.site.clone(),
+                r.cve.clone(),
+                format!("{} ({})", r.error_type, r.paper_error),
+                format!("({}) {}", fmt_dur(r.analysis_time), fmt_dur(r.discovery_time)),
+                format!(
+                    "{}/{} ({}/{})",
+                    r.enforced.0, r.enforced.1, r.paper_enforced.0, r.paper_enforced.1
+                ),
+                format!(
+                    "{} ({}/{})",
+                    r.target_rate, r.paper_target_rate.0, r.paper_target_rate.1
+                ),
+                match (&r.enforced_rate, &r.paper_enforced_rate) {
+                    (Some(m), Some((h, n))) => format!("{m} ({h}/{n})"),
+                    (Some(m), None) => format!("{m} (N/A)"),
+                    (None, _) => "N/A".to_string(),
+                },
+            ]
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+/// One row of the §5.4 blocking-check ablation.
+#[derive(Debug)]
+pub struct AblationRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Exposed site.
+    pub site: String,
+    /// Is β ∧ (full relevant seed path) satisfiable?
+    pub full_path_sat: Option<bool>,
+    /// The paper reports satisfiable for exactly two sites: SwfPlay
+    /// `jpeg.c@192` and CWebP `jpegdec.c@248`.
+    pub paper_sat: bool,
+}
+
+/// Runs the §5.4 experiment over every exposed site.
+#[must_use]
+pub fn ablation_rows(apps: &[App], config: &DiodeConfig) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for app in apps {
+        let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+        for report in &analysis.sites {
+            if !matches!(report.outcome, SiteOutcome::Exposed(_)) {
+                continue;
+            }
+            let extraction = report.extraction.as_ref().expect("extraction");
+            let full_path_sat = full_path_constraint_satisfiable(extraction, &config.solver);
+            let paper_sat =
+                matches!(report.site.as_str(), "jpeg.c@192" | "jpegdec.c@248");
+            rows.push(AblationRow {
+                app: app.name,
+                site: report.site.clone(),
+                full_path_sat,
+                paper_sat,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the §5.4 ablation table.
+#[must_use]
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let headers = ["Application", "Target", "Full-path β satisfiable", "Paper"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.site.clone(),
+                match r.full_path_sat {
+                    Some(true) => "sat".into(),
+                    Some(false) => "unsat".into(),
+                    None => "unknown".into(),
+                },
+                if r.paper_sat { "sat".into() } else { "unsat".into() },
+            ]
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+/// One row of the fuzzing comparison (§6 discussion).
+#[derive(Debug)]
+pub struct FuzzRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Exposed site.
+    pub site: String,
+    /// Did DIODE expose it (and with how many enforcements)?
+    pub diode: Option<usize>,
+    /// Random fuzzing hits.
+    pub random: FuzzOutcome,
+    /// Taint-directed fuzzing hits.
+    pub taint: FuzzOutcome,
+}
+
+/// Runs the fuzzing comparison over every exposed site.
+#[must_use]
+pub fn fuzz_rows(apps: &[App], config: &DiodeConfig, trials: u32) -> Vec<FuzzRow> {
+    let mut rows = Vec::new();
+    for app in apps {
+        let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+        for report in &analysis.sites {
+            let diode = match &report.outcome {
+                SiteOutcome::Exposed(bug) => Some(bug.enforced),
+                _ => continue,
+            };
+            let random = RandomFuzzer {
+                trials,
+                ..RandomFuzzer::default()
+            }
+            .run(
+                &app.program,
+                &app.seed,
+                &app.format,
+                report.label,
+                &config.machine,
+            );
+            let taint = TaintFuzzer {
+                trials,
+                ..TaintFuzzer::default()
+            }
+            .run(
+                &app.program,
+                &app.seed,
+                &app.format,
+                report.label,
+                &report.relevant_bytes,
+                &config.machine,
+            );
+            rows.push(FuzzRow {
+                app: app.name,
+                site: report.site.clone(),
+                diode,
+                random,
+                taint,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the fuzzing-comparison table.
+#[must_use]
+pub fn render_fuzz(rows: &[FuzzRow]) -> String {
+    let headers = [
+        "Application",
+        "Target",
+        "DIODE (enforced)",
+        "Random fuzz",
+        "Taint fuzz",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                r.site.clone(),
+                match r.diode {
+                    Some(k) => format!("found ({k})"),
+                    None => "not found".into(),
+                },
+                r.random.to_string(),
+                r.taint.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+/// Verifies that measured Table 1 counts match the paper exactly; used by
+/// integration tests and the table1 binary's exit code.
+#[must_use]
+pub fn table1_matches_paper(rows: &[Table1Row]) -> bool {
+    rows.iter().all(|r| r.measured == r.paper)
+}
+
+/// Checks the headline Table 2 invariants that must reproduce: sites with
+/// paper-enforced 0 need no enforcement; the rest need 1..=8; the CVE row
+/// is exhaustively enumerable.
+#[must_use]
+pub fn table2_shape_matches_paper(rows: &[Table2Row], apps: &[App]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let expected_exposed: usize = apps
+        .iter()
+        .map(|a| {
+            a.expected
+                .iter()
+                .filter(|e| e.class == SiteClass::Exposed)
+                .count()
+        })
+        .sum();
+    if rows.len() != expected_exposed {
+        problems.push(format!(
+            "expected {expected_exposed} exposed rows, got {}",
+            rows.len()
+        ));
+    }
+    for r in rows {
+        let (paper_enf, _) = r.paper_enforced;
+        if paper_enf == 0 && r.enforced.0 != 0 {
+            problems.push(format!(
+                "{}: paper needs 0 enforcements, measured {}",
+                r.site, r.enforced.0
+            ));
+        }
+        if paper_enf > 0 && !(1..=8).contains(&r.enforced.0) {
+            problems.push(format!(
+                "{}: paper needs {} enforcements, measured {} (outside 1..=8)",
+                r.site, paper_enf, r.enforced.0
+            ));
+        }
+        if r.site == "wav.c@147" && !(r.target_rate.exhaustive && r.target_rate.samples == 2) {
+            problems.push(format!(
+                "wav.c@147: expected exhaustive 2-solution enumeration, got {}",
+                r.target_rate
+            ));
+        }
+    }
+    problems
+}

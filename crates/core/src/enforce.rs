@@ -1,0 +1,302 @@
+//! Goal-directed conditional branch enforcement (Figure 7, §3.3).
+//!
+//! Given a target site, the algorithm:
+//!
+//! 1. solves the target constraint β alone; if the generated input
+//!    triggers the overflow, done (this is how 9 of the paper's 14
+//!    overflows are found — "without enforcing any conditional branches");
+//! 2. otherwise repeatedly finds the **first** (in program execution
+//!    order) relevant compressed seed-path condition the previous
+//!    candidate violates — the *first flipped branch* — conjoins it onto
+//!    the constraint, re-solves, and re-tests;
+//! 3. stops when an input triggers (site *exposed*), the constraint
+//!    becomes unsatisfiable, or the candidate satisfies all of φ without
+//!    triggering (sanity checks *prevent* the overflow).
+
+use std::time::{Duration, Instant};
+
+use diode_format::FormatDesc;
+use diode_interp::MachineConfig;
+use diode_lang::{Label, Program};
+use diode_solver::{solve_with, SolveResult, SolverConfig};
+use diode_symbolic::SymBool;
+
+use crate::pipeline::{extract, generate_input, test_candidate, Extraction, TargetSite};
+
+/// Why the enforcement loop concluded that no overflow-triggering input
+/// exists (within budget).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreventedReason {
+    /// φ' ∧ β became unsatisfiable after enforcing some branches.
+    ConstraintUnsat {
+        /// Branches enforced before unsatisfiability.
+        enforced: usize,
+    },
+    /// The candidate satisfied every relevant compressed condition yet did
+    /// not trigger the overflow (Figure 7 line 11).
+    SatisfiesPhi {
+        /// Branches enforced before the loop exited.
+        enforced: usize,
+    },
+    /// Budget (enforcement count or solver) exhausted.
+    Budget,
+}
+
+/// Outcome of analysing one target site.
+#[derive(Debug, Clone)]
+pub enum SiteOutcome {
+    /// An overflow-triggering input was generated.
+    Exposed(Bug),
+    /// β itself is unsatisfiable — no input can overflow the observed
+    /// target expression.
+    TargetUnsat,
+    /// Sanity checks prevent the overflow.
+    Prevented(PreventedReason),
+    /// The solver gave up (should not happen on the benchmarks).
+    Unknown,
+}
+
+impl SiteOutcome {
+    /// The generated bug, if the site was exposed.
+    #[must_use]
+    pub fn bug(&self) -> Option<&Bug> {
+        match self {
+            SiteOutcome::Exposed(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// A generated overflow-triggering input and its metadata (one Table 2
+/// row).
+#[derive(Debug, Clone)]
+pub struct Bug {
+    /// The triggering input file.
+    pub input: Vec<u8>,
+    /// Number of conditional branches enforced before triggering.
+    pub enforced: usize,
+    /// Labels of the enforced branches, in enforcement order.
+    pub enforced_labels: Vec<Label>,
+    /// Error classification observed on the triggering run.
+    pub error_type: String,
+    /// The final solved constraint (φ' ∧ β) — the query behind Table 2's
+    /// "Target + Enforced Success Rate" experiment (§5.6).
+    pub constraint: SymBool,
+}
+
+/// A full per-site analysis report.
+#[derive(Debug)]
+pub struct SiteReport {
+    /// Site name.
+    pub site: String,
+    /// Site label.
+    pub label: Label,
+    /// Relevant input bytes (stage 1).
+    pub relevant_bytes: Vec<u32>,
+    /// Outcome (exposed / unsat / prevented).
+    pub outcome: SiteOutcome,
+    /// Total dynamic occurrences of relevant branches on the seed path
+    /// (Table 2's denominator).
+    pub total_relevant: usize,
+    /// Number of distinct relevant compressed conditions in φ.
+    pub phi_len: usize,
+    /// Wall-clock discovery time for this site (extraction excluded).
+    pub discovery_time: Duration,
+    /// The extraction (target expression, β, φ), for further experiments.
+    pub extraction: Option<Extraction>,
+}
+
+/// Tunables for the site analysis.
+#[derive(Debug, Clone)]
+pub struct DiodeConfig {
+    /// Interpreter limits.
+    pub machine: MachineConfig,
+    /// Solver limits.
+    pub solver: SolverConfig,
+    /// Safety bound on enforcement iterations (the paper's sites need at
+    /// most 5; the bound only guards against pathological programs).
+    pub max_enforcements: usize,
+}
+
+impl Default for DiodeConfig {
+    fn default() -> Self {
+        DiodeConfig {
+            machine: MachineConfig::default(),
+            solver: SolverConfig::default(),
+            max_enforcements: 32,
+        }
+    }
+}
+
+/// Runs the complete DIODE analysis for one target site (Figure 7).
+#[must_use]
+pub fn analyze_site(
+    program: &Program,
+    seed: &[u8],
+    format: &FormatDesc,
+    site: &TargetSite,
+    config: &DiodeConfig,
+) -> SiteReport {
+    let Some(extraction) = extract(program, seed, site, &config.machine) else {
+        return SiteReport {
+            site: site.site.to_string(),
+            label: site.label,
+            relevant_bytes: site.relevant_bytes.clone(),
+            outcome: SiteOutcome::Unknown,
+            total_relevant: 0,
+            phi_len: 0,
+            discovery_time: Duration::ZERO,
+            extraction: None,
+        };
+    };
+    let start = Instant::now();
+    let outcome = enforce(program, seed, format, site.label, &extraction, config);
+    SiteReport {
+        site: site.site.to_string(),
+        label: site.label,
+        relevant_bytes: site.relevant_bytes.clone(),
+        outcome,
+        total_relevant: extraction.total_relevant,
+        phi_len: extraction.phi.len(),
+        discovery_time: start.elapsed(),
+        extraction: Some(extraction),
+    }
+}
+
+/// The Figure 7 loop, operating on an existing extraction.
+#[must_use]
+pub fn enforce(
+    program: &Program,
+    seed: &[u8],
+    format: &FormatDesc,
+    label: Label,
+    extraction: &Extraction,
+    config: &DiodeConfig,
+) -> SiteOutcome {
+    // Line 2–3: solve β alone.
+    let (first, _) = solve_with(&extraction.beta, &config.solver, None);
+    let model = match first {
+        SolveResult::Unsat => return SiteOutcome::TargetUnsat,
+        SolveResult::Unknown => return SiteOutcome::Unknown,
+        SolveResult::Sat(m) => m,
+    };
+    let mut current_input = generate_input(format, seed, &model);
+
+    // Line 4–5: does the initial input already trigger?
+    let res = test_candidate(program, &current_input, label, &config.machine);
+    if res.triggered {
+        return SiteOutcome::Exposed(Bug {
+            input: current_input,
+            enforced: 0,
+            enforced_labels: Vec::new(),
+            error_type: res.error_type.unwrap_or_default(),
+            constraint: extraction.beta.clone(),
+        });
+    }
+
+    // Lines 9–16: goal-directed enforcement, with one refinement over the
+    // literal Figure 7 pseudo-code. For a conditional branch that executes
+    // many times (a blocking loop à la png_memset), the compressed
+    // condition pins the loop's trip count; enforcing it would make the
+    // constraint unsatisfiable even though the overflow is reachable — the
+    // paper's §2 narrative shows DIODE enforcing the *sanity checks*
+    // instead. We therefore try the violated conditions in execution
+    // order and permanently skip any whose enforcement is unsatisfiable
+    // (sound: φ' only grows, so unsatisfiability is monotone). A skipped
+    // blocking check is exactly the freedom §1.1 describes: the input may
+    // traverse blocking checks along a different path.
+    let mut phi_prime = SymBool::Const(true);
+    let mut enforced_labels: Vec<Label> = Vec::new();
+    let mut skipped: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    loop {
+        if enforced_labels.len() >= config.max_enforcements {
+            return SiteOutcome::Prevented(PreventedReason::Budget);
+        }
+        // Line 11–12: the first conditions in φ the previous input
+        // violates, in program execution order.
+        let input = current_input.clone();
+        let lookup = move |o: u32| input.get(o as usize).copied().unwrap_or(0);
+        let mut violated: Vec<usize> = extraction
+            .phi
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| !skipped.contains(i) && !c.constraint.eval(&lookup))
+            .map(|(i, _)| i)
+            .collect();
+        // Prefer enforcing check-like branches (a single dynamic
+        // occurrence) over loop-exit branches (many occurrences, whose
+        // compressed condition pins a trip count): the paper's enforced
+        // branches are all sanity checks (§5.3), while loop conditions are
+        // the blocking checks an input must remain free to flip (§1.1).
+        violated.sort_by_key(|&i| (extraction.phi[i].occurrences > 1, i));
+        if violated.is_empty() {
+            return SiteOutcome::Prevented(PreventedReason::SatisfiesPhi {
+                enforced: enforced_labels.len(),
+            });
+        }
+        // Line 13: enforce the first violated condition whose conjunction
+        // with φ' ∧ β stays satisfiable.
+        let mut advanced = false;
+        for idx in violated {
+            let cond = &extraction.phi[idx];
+            let query = phi_prime.and(&cond.constraint).and(&extraction.beta);
+            match solve_with(&query, &config.solver, None).0 {
+                SolveResult::Unsat => {
+                    skipped.insert(idx);
+                }
+                SolveResult::Unknown => return SiteOutcome::Unknown,
+                SolveResult::Sat(model) => {
+                    phi_prime = phi_prime.and(&cond.constraint);
+                    enforced_labels.push(cond.label);
+                    current_input = generate_input(format, seed, &model);
+                    advanced = true;
+                    // Line 14–15: test the new input.
+                    let res =
+                        test_candidate(program, &current_input, label, &config.machine);
+                    if res.triggered {
+                        return SiteOutcome::Exposed(Bug {
+                            input: current_input,
+                            enforced: enforced_labels.len(),
+                            enforced_labels,
+                            error_type: res.error_type.unwrap_or_default(),
+                            constraint: query,
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        if !advanced {
+            // Every remaining flipped condition is unsatisfiable with β.
+            return SiteOutcome::Prevented(PreventedReason::ConstraintUnsat {
+                enforced: enforced_labels.len(),
+            });
+        }
+    }
+}
+
+/// §5.4's blocking-check experiment: is β conjoined with *every* relevant
+/// compressed seed-path condition (the "same path through the relevant
+/// branches" constraint) still satisfiable? For the paper's benchmarks
+/// this holds for only 2 of the 14 exposed sites.
+#[must_use]
+pub fn full_path_constraint_satisfiable(
+    extraction: &Extraction,
+    solver: &SolverConfig,
+) -> Option<bool> {
+    let mut query = extraction.beta.clone();
+    for c in &extraction.phi {
+        query = query.and(&c.constraint);
+    }
+    match solve_with(&query, solver, None).0 {
+        SolveResult::Sat(_) => Some(true),
+        SolveResult::Unsat => Some(false),
+        SolveResult::Unknown => None,
+    }
+}
+
+#[allow(unused)]
+fn _assert_api_types_are_send() {
+    fn check<T: Send>() {}
+    check::<DiodeConfig>();
+}

@@ -1,0 +1,115 @@
+//! Human-readable bug reports — the pipeline's final box in Figure 1.
+
+use std::fmt;
+use std::time::Duration;
+
+use diode_format::FormatDesc;
+
+use crate::enforce::{Bug, SiteReport, SiteOutcome};
+
+/// A rendered bug report for one exposed target site, combining the
+/// analysis metadata with Hachoir-style field names.
+#[derive(Debug)]
+pub struct BugReport<'a> {
+    site: &'a SiteReport,
+    bug: &'a Bug,
+    format: &'a FormatDesc,
+    analysis_time: Duration,
+}
+
+impl<'a> BugReport<'a> {
+    /// Builds a report for an exposed site; `None` if the site was not
+    /// exposed.
+    #[must_use]
+    pub fn for_site(
+        site: &'a SiteReport,
+        format: &'a FormatDesc,
+        analysis_time: Duration,
+    ) -> Option<Self> {
+        match &site.outcome {
+            SiteOutcome::Exposed(bug) => Some(BugReport {
+                site,
+                bug,
+                format,
+                analysis_time,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The triggering input bytes.
+    #[must_use]
+    pub fn input(&self) -> &[u8] {
+        &self.bug.input
+    }
+
+    /// The relevant fields and the values the triggering input gives them.
+    #[must_use]
+    pub fn field_values(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for path in self.format.describe_bytes(&self.site.relevant_bytes) {
+            if let Some(v) = self.format.field_value(&self.bug.input, &path) {
+                out.push((path, v));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for BugReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== DIODE bug report: {} ===", self.site.site)?;
+        writeln!(f, "error type        : {}", self.bug.error_type)?;
+        writeln!(
+            f,
+            "enforced branches : {} of {} relevant on the path",
+            self.bug.enforced, self.site.total_relevant
+        )?;
+        writeln!(
+            f,
+            "analysis/discovery: {:?} / {:?}",
+            self.analysis_time, self.site.discovery_time
+        )?;
+        writeln!(f, "relevant fields   :")?;
+        for (path, value) in self.field_values() {
+            writeln!(f, "  {path:<28} = {value} ({value:#x})")?;
+        }
+        if let Some(extraction) = &self.site.extraction {
+            writeln!(f, "target expression : {}", extraction.target_expr)?;
+        }
+        write!(f, "input ({} bytes)   : ", self.bug.input.len())?;
+        for (i, b) in self.bug.input.iter().enumerate() {
+            if i == 48 {
+                write!(f, "…")?;
+                break;
+            }
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_program, DiodeConfig};
+
+    #[test]
+    fn report_renders_fields_and_metadata() {
+        let app = diode_apps::dillo::app();
+        let analysis =
+            analyze_program(&app.program, &app.seed, &app.format, &DiodeConfig::default());
+        let site = analysis.site("png.c@203").unwrap();
+        let report =
+            BugReport::for_site(site, &app.format, analysis.analysis_time).expect("exposed");
+        let text = report.to_string();
+        assert!(text.contains("png.c@203"), "{text}");
+        assert!(text.contains("/ihdr/width"), "{text}");
+        assert!(text.contains("target expression"), "{text}");
+        let fields = report.field_values();
+        assert!(fields.iter().any(|(p, _)| p == "/ihdr/height"));
+        // Non-exposed sites have no report.
+        let unsat = analysis.site("png.c@421").unwrap();
+        assert!(BugReport::for_site(unsat, &app.format, analysis.analysis_time).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Trace comparison (§4.5): finding the first flipped branch by re-running
+//! the program.
+//!
+//! The paper's implementation "records the path taken at all conditional
+//! branches that the seed input executes" and compares the candidate's
+//! trace against the seed's to find the first divergence. The enforcement
+//! loop in [`crate::enforce`] uses the equivalent symbolic-evaluation
+//! formulation (Figure 7's "first condition in φ that the previous input I
+//! does not satisfy"); this module provides the literal trace-diff
+//! primitive for diagnostics, walkthrough tooling, and cross-checking the
+//! two formulations.
+
+use diode_interp::{run, BranchObs, Concrete, MachineConfig};
+use diode_lang::{Label, Program};
+
+/// One divergence between two branch traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Both traces reach the same position but take different directions.
+    Flipped {
+        /// Position in the seed trace (index into its observations).
+        position: usize,
+        /// The branch label.
+        label: Label,
+        /// Direction the seed took.
+        seed_taken: bool,
+    },
+    /// The candidate's trace ends early (it was rejected / crashed before
+    /// reaching this seed observation).
+    CandidateEnded {
+        /// Position in the seed trace where the candidate's trace ends.
+        position: usize,
+        /// The next branch label the seed executed.
+        label: Label,
+    },
+    /// The traces execute different branch *labels* at this position (the
+    /// paths structurally separated earlier, e.g. inside a taken branch).
+    DifferentBranch {
+        /// Position in both traces.
+        position: usize,
+        /// Label in the seed trace.
+        seed_label: Label,
+        /// Label in the candidate trace.
+        candidate_label: Label,
+    },
+}
+
+impl Divergence {
+    /// Position of the divergence in the seed trace.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        match self {
+            Divergence::Flipped { position, .. }
+            | Divergence::CandidateEnded { position, .. }
+            | Divergence::DifferentBranch { position, .. } => *position,
+        }
+    }
+}
+
+/// Compares two branch observation sequences (seed first) and returns the
+/// first divergence, if any.
+#[must_use]
+pub fn first_divergence<C1, C2>(
+    seed: &[BranchObs<C1>],
+    candidate: &[BranchObs<C2>],
+) -> Option<Divergence> {
+    for (i, s) in seed.iter().enumerate() {
+        let Some(c) = candidate.get(i) else {
+            return Some(Divergence::CandidateEnded {
+                position: i,
+                label: s.label,
+            });
+        };
+        if s.label != c.label {
+            return Some(Divergence::DifferentBranch {
+                position: i,
+                seed_label: s.label,
+                candidate_label: c.label,
+            });
+        }
+        if s.taken != c.taken {
+            return Some(Divergence::Flipped {
+                position: i,
+                label: s.label,
+                seed_taken: s.taken,
+            });
+        }
+    }
+    None
+}
+
+/// Runs the program on both inputs and reports the first divergence
+/// between the recorded branch traces (§4.5's instrumented comparison).
+#[must_use]
+pub fn diff_paths(
+    program: &Program,
+    seed: &[u8],
+    candidate: &[u8],
+    machine: &MachineConfig,
+) -> Option<Divergence> {
+    let mut cfg = machine.clone();
+    cfg.record_branches = true;
+    let seed_run = run(program, seed, Concrete, &cfg);
+    let cand_run = run(program, candidate, Concrete, &cfg);
+    first_divergence(&seed_run.branches, &cand_run.branches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_lang::parse;
+
+    const PROGRAM: &str = r#"
+        fn main() {
+            n = zext32(in[0]);
+            if n > 100 { error("too big"); }
+            i = 0;
+            while i < n { i = i + 1; }
+            if n == 7 { warn("lucky"); }
+        }
+    "#;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::default()
+    }
+
+    #[test]
+    fn identical_inputs_have_no_divergence() {
+        let p = parse(PROGRAM).unwrap();
+        assert_eq!(diff_paths(&p, &[5], &[5], &cfg()), None);
+    }
+
+    #[test]
+    fn sanity_check_flip_is_detected_first() {
+        let p = parse(PROGRAM).unwrap();
+        // Candidate 200 fails the n > 100 check: the very first branch
+        // flips (position 0) and the candidate's trace ends there.
+        match diff_paths(&p, &[5], &[200], &cfg()) {
+            Some(Divergence::Flipped {
+                position: 0,
+                seed_taken: false,
+                ..
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_trip_count_divergence_is_located_at_the_exit() {
+        let p = parse(PROGRAM).unwrap();
+        // Seed loops 5 times, candidate 8: both take the same direction for
+        // the first 5 tests; the divergence is the seed's exit observation.
+        match diff_paths(&p, &[5], &[8], &cfg()) {
+            Some(Divergence::Flipped {
+                position,
+                seed_taken: false,
+                ..
+            }) => assert_eq!(position, 1 + 5), // the if, 5 taken tests, then exit
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidate_ending_early_is_reported() {
+        let src = r#"
+            fn main() {
+                if in[0] == 0u8 { error("zero"); }
+                if in[1] > 10u8 { warn("big"); }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        match diff_paths(&p, &[1, 0], &[0, 0], &cfg()) {
+            // The first branch itself flips (seed false, candidate true).
+            Some(Divergence::Flipped { position: 0, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Same direction at branch 0, then the candidate errors out…
+        // that cannot happen here since branch 0 decides the error; use a
+        // crc-style gate instead:
+        let src2 = r#"
+            fn main() {
+                x = in[0];
+                if x > 100u8 { skip; } else { skip; }
+                if in[1] == 9u8 { error("gate"); }
+                if in[2] > 10u8 { warn("big"); }
+            }
+        "#;
+        let p2 = parse(src2).unwrap();
+        match diff_paths(&p2, &[1, 0, 20], &[1, 9, 20], &cfg()) {
+            Some(Divergence::Flipped { position: 1, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_diff_agrees_with_symbolic_first_flip_on_dillo() {
+        // Cross-check the two formulations on a real benchmark: a
+        // candidate with an oversized height flips the height sanity check
+        // both ways of looking at it.
+        let app = diode_apps_shim();
+        let (program, seed, format) = app;
+        let patches = 2_000_000u32
+            .to_be_bytes()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (20 + i as u32, v));
+        let candidate = format.reconstruct(&seed, patches);
+        let div = diff_paths(&program, &seed, &candidate, &cfg()).expect("diverges");
+        // The divergence must be a flip at a sanity check the seed passed,
+        // before any loop runs differ (the height check precedes the
+        // memset loop).
+        match div {
+            Divergence::Flipped { seed_taken, .. } => assert!(!seed_taken),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // Small indirection to keep this crate's dev-dependencies: the Dillo
+    // app lives in diode-apps, which depends on this crate's siblings.
+    fn diode_apps_shim() -> (Program, Vec<u8>, diode_format::FormatDesc) {
+        let app = diode_apps::dillo::app();
+        (app.program, app.seed, app.format)
+    }
+}

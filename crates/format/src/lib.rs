@@ -1,0 +1,460 @@
+//! # diode-format — input formats: field maps, seed builders, reconstruction
+//!
+//! The paper uses Hachoir [3] to map byte ranges to input fields (e.g.
+//! bytes 16–19 of a PNG are `/header/width`) and Peach [4] to *reconstruct*
+//! generated input files so that checksums and structure remain valid
+//! (§4.4). This crate is that layer:
+//!
+//! * [`FormatDesc`] — a field map: named byte ranges plus checksum fixups;
+//! * [`SeedBuilder`] — writes a seed file while registering its fields;
+//! * [`FormatDesc::reconstruct`] — patches solver-chosen byte values into
+//!   a seed file and repairs every registered checksum, so generated
+//!   inputs fail only the *semantic* checks DIODE is reasoning about,
+//!   never the structural ones.
+//!
+//! ```
+//! use diode_format::SeedBuilder;
+//!
+//! let mut b = SeedBuilder::new();
+//! b.raw(b"MINI");                       // magic, no field
+//! b.be16("/header/width", 64);
+//! b.be16("/header/height", 48);
+//! let crc_at = b.reserve_crc32(0, 8);   // checksum over the first 8 bytes
+//! let (bytes, desc) = b.finish();
+//!
+//! // A generated input patches width = 0xFFFF and repairs the checksum:
+//! let out = desc.reconstruct(&bytes, [(4u32, 0xffu8), (5, 0xff)]);
+//! assert_eq!(&out[4..6], &[0xff, 0xff]);
+//! assert_eq!(
+//!     u32::from_be_bytes(out[crc_at as usize..][..4].try_into().unwrap()),
+//!     diode_lang::checksum::crc32(&out[0..8]),
+//! );
+//! assert_eq!(desc.field_at(4).unwrap().path, "/header/width");
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use diode_lang::checksum::crc32;
+
+/// A named byte range within an input file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Hachoir-style path, e.g. `/header/width`.
+    pub path: String,
+    /// Byte offset of the field.
+    pub offset: u32,
+    /// Length in bytes.
+    pub len: u32,
+    /// Endianness used when rendering the field's value.
+    pub endian: Endian,
+}
+
+/// Byte order of a multi-byte field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endian {
+    /// Most significant byte first (PNG, SWF/JPEG markers).
+    Big,
+    /// Least significant byte first (RIFF/WAV, XWD-as-little).
+    Little,
+}
+
+/// A structural value that must be recomputed after patching (Peach's
+/// checksum-repair step).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fixup {
+    /// Store the CRC-32 of `[start, start+len)` as big-endian u32 at `dest`.
+    Crc32 {
+        /// Start of the checksummed region.
+        start: u32,
+        /// Length of the checksummed region.
+        len: u32,
+        /// Where the big-endian checksum lives.
+        dest: u32,
+    },
+}
+
+/// A format description: the field map and checksum fixups of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FormatDesc {
+    name: String,
+    fields: Vec<Field>,
+    fixups: Vec<Fixup>,
+}
+
+impl FormatDesc {
+    /// Creates an empty description with a format name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        FormatDesc {
+            name: name.into(),
+            fields: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// The format name (e.g. `"mini-png"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All fields, in offset order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// All fixups.
+    #[must_use]
+    pub fn fixups(&self) -> &[Fixup] {
+        &self.fixups
+    }
+
+    /// Registers a field.
+    pub fn add_field(&mut self, path: impl Into<String>, offset: u32, len: u32, endian: Endian) {
+        self.fields.push(Field {
+            path: path.into(),
+            offset,
+            len,
+            endian,
+        });
+        self.fields.sort_by_key(|f| f.offset);
+    }
+
+    /// Registers a fixup.
+    pub fn add_fixup(&mut self, fixup: Fixup) {
+        self.fixups.push(fixup);
+    }
+
+    /// The field covering a byte offset, if any.
+    #[must_use]
+    pub fn field_at(&self, offset: u32) -> Option<&Field> {
+        self.fields
+            .iter()
+            .find(|f| offset >= f.offset && offset < f.offset + f.len)
+    }
+
+    /// Looks up a field by path.
+    #[must_use]
+    pub fn field(&self, path: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.path == path)
+    }
+
+    /// Reads a field's value from an input buffer (up to 8 bytes).
+    #[must_use]
+    pub fn field_value(&self, input: &[u8], path: &str) -> Option<u64> {
+        let f = self.field(path)?;
+        let bytes = input.get(f.offset as usize..(f.offset + f.len) as usize)?;
+        if bytes.len() > 8 {
+            return None;
+        }
+        let mut v = 0u64;
+        match f.endian {
+            Endian::Big => {
+                for &b in bytes {
+                    v = v << 8 | u64::from(b);
+                }
+            }
+            Endian::Little => {
+                for &b in bytes.iter().rev() {
+                    v = v << 8 | u64::from(b);
+                }
+            }
+        }
+        Some(v)
+    }
+
+    /// Maps byte offsets to the field paths they belong to, deduplicated
+    /// and in input order — this is how DIODE reports *relevant input
+    /// fields* (e.g. `/header/width`) instead of raw offsets.
+    #[must_use]
+    pub fn describe_bytes(&self, offsets: &[u32]) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for &o in offsets {
+            let label = match self.field_at(o) {
+                Some(f) => f.path.clone(),
+                None => format!("byte[{o}]"),
+            };
+            if !out.contains(&label) {
+                out.push(label);
+            }
+        }
+        out
+    }
+
+    /// Peach-style reconstruction: copies the seed, applies the byte
+    /// patches, then repairs every checksum (in registration order).
+    /// Patches that land on checksum bytes are overwritten by the repair,
+    /// exactly as with Peach.
+    #[must_use]
+    pub fn reconstruct<I>(&self, seed: &[u8], patches: I) -> Vec<u8>
+    where
+        I: IntoIterator<Item = (u32, u8)>,
+    {
+        let mut out = seed.to_vec();
+        for (off, v) in patches {
+            if let Some(slot) = out.get_mut(off as usize) {
+                *slot = v;
+            }
+        }
+        for fixup in &self.fixups {
+            match *fixup {
+                Fixup::Crc32 { start, len, dest } => {
+                    let (s, e) = (start as usize, (start + len) as usize);
+                    if e <= out.len() && (dest as usize + 4) <= out.len() {
+                        let crc = crc32(&out[s..e]);
+                        out[dest as usize..dest as usize + 4]
+                            .copy_from_slice(&crc.to_be_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for FormatDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "format {} ({} fields)", self.name, self.fields.len())?;
+        for field in &self.fields {
+            writeln!(
+                f,
+                "  {:<32} @{:<6} len {} {:?}",
+                field.path, field.offset, field.len, field.endian
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a seed file and its [`FormatDesc`] together.
+#[derive(Debug, Default)]
+pub struct SeedBuilder {
+    bytes: Vec<u8>,
+    desc: FormatDesc,
+}
+
+impl SeedBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        SeedBuilder {
+            bytes: Vec::new(),
+            desc: FormatDesc::new("unnamed"),
+        }
+    }
+
+    /// Names the format.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.desc.name = name.into();
+        self
+    }
+
+    /// Current length of the file being built (the next write offset).
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        u32::try_from(self.bytes.len()).expect("seed too large")
+    }
+
+    /// True if nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends unnamed raw bytes (magic numbers, padding, payloads).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends a named single byte.
+    pub fn u8(&mut self, path: &str, v: u8) -> &mut Self {
+        self.desc.add_field(path, self.len(), 1, Endian::Big);
+        self.bytes.push(v);
+        self
+    }
+
+    /// Appends a named big-endian u16.
+    pub fn be16(&mut self, path: &str, v: u16) -> &mut Self {
+        self.desc.add_field(path, self.len(), 2, Endian::Big);
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a named big-endian u32.
+    pub fn be32(&mut self, path: &str, v: u32) -> &mut Self {
+        self.desc.add_field(path, self.len(), 4, Endian::Big);
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a named little-endian u16.
+    pub fn le16(&mut self, path: &str, v: u16) -> &mut Self {
+        self.desc.add_field(path, self.len(), 2, Endian::Little);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a named little-endian u32.
+    pub fn le32(&mut self, path: &str, v: u32) -> &mut Self {
+        self.desc.add_field(path, self.len(), 4, Endian::Little);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a named byte region (e.g. a payload).
+    pub fn named_bytes(&mut self, path: &str, bytes: &[u8]) -> &mut Self {
+        self.desc
+            .add_field(path, self.len(), bytes.len() as u32, Endian::Big);
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends space for a CRC-32 over `[start, start+len)`, registers the
+    /// fixup, and writes the correct checksum immediately. Returns the
+    /// checksum's offset.
+    pub fn reserve_crc32(&mut self, start: u32, len: u32) -> u32 {
+        let dest = self.len();
+        let crc = crc32(&self.bytes[start as usize..(start + len) as usize]);
+        self.bytes.extend_from_slice(&crc.to_be_bytes());
+        self.desc.add_fixup(Fixup::Crc32 { start, len, dest });
+        dest
+    }
+
+    /// Finishes, returning the seed bytes and the format description.
+    #[must_use]
+    pub fn finish(self) -> (Vec<u8>, FormatDesc) {
+        (self.bytes, self.desc)
+    }
+}
+
+/// Writes one PNG-style chunk (length, 4-byte type, payload, CRC-32 over
+/// type+payload) and registers per-chunk fields under `prefix`.
+///
+/// The payload fields must be registered by the `payload` closure, which
+/// receives the builder positioned at the payload start.
+pub fn png_chunk(
+    b: &mut SeedBuilder,
+    prefix: &str,
+    chunk_type: &[u8; 4],
+    payload: impl FnOnce(&mut SeedBuilder),
+) {
+    let len_path = format!("{prefix}/length");
+    let start_of_len = b.len();
+    // Placeholder length, fixed after the payload is written.
+    b.desc.add_field(len_path, start_of_len, 4, Endian::Big);
+    b.bytes.extend_from_slice(&[0, 0, 0, 0]);
+    let type_at = b.len();
+    b.raw(chunk_type);
+    let payload_start = b.len();
+    payload(b);
+    let payload_len = b.len() - payload_start;
+    b.bytes[start_of_len as usize..start_of_len as usize + 4]
+        .copy_from_slice(&payload_len.to_be_bytes());
+    b.reserve_crc32(type_at, 4 + payload_len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<u8>, FormatDesc) {
+        let mut b = SeedBuilder::new();
+        b.name("sample");
+        b.raw(b"MAGC");
+        b.be32("/hdr/width", 280);
+        b.be32("/hdr/height", 180);
+        b.u8("/hdr/depth", 8);
+        b.le16("/hdr/flags", 0x0102);
+        b.reserve_crc32(4, 11);
+        b.finish()
+    }
+
+    #[test]
+    fn fields_and_values() {
+        let (bytes, desc) = sample();
+        assert_eq!(desc.field_value(&bytes, "/hdr/width"), Some(280));
+        assert_eq!(desc.field_value(&bytes, "/hdr/height"), Some(180));
+        assert_eq!(desc.field_value(&bytes, "/hdr/depth"), Some(8));
+        assert_eq!(desc.field_value(&bytes, "/hdr/flags"), Some(0x0102));
+        assert_eq!(desc.field_value(&bytes, "/nope"), None);
+        assert_eq!(desc.field_at(5).unwrap().path, "/hdr/width");
+        assert_eq!(desc.field_at(12).unwrap().path, "/hdr/depth");
+        assert!(desc.field_at(0).is_none()); // magic is unnamed
+    }
+
+    #[test]
+    fn describe_bytes_dedups_and_names() {
+        let (_, desc) = sample();
+        let names = desc.describe_bytes(&[4, 5, 6, 7, 12, 0]);
+        assert_eq!(
+            names,
+            vec!["/hdr/width".to_string(), "/hdr/depth".into(), "byte[0]".into()]
+        );
+    }
+
+    #[test]
+    fn reconstruct_repairs_checksum() {
+        let (bytes, desc) = sample();
+        assert_eq!(desc.fixups().len(), 1);
+        let out = desc.reconstruct(&bytes, [(4u32, 0xAAu8), (7, 0xBB)]);
+        assert_eq!(out[4], 0xAA);
+        assert_eq!(out[7], 0xBB);
+        let stored = u32::from_be_bytes(out[15..19].try_into().unwrap());
+        assert_eq!(stored, crc32(&out[4..15]));
+        // Seed's own checksum was already valid.
+        let stored_seed = u32::from_be_bytes(bytes[15..19].try_into().unwrap());
+        assert_eq!(stored_seed, crc32(&bytes[4..15]));
+    }
+
+    #[test]
+    fn patches_on_checksum_bytes_are_overwritten() {
+        let (bytes, desc) = sample();
+        let out = desc.reconstruct(&bytes, [(15u32, 0x00u8), (16, 0x00)]);
+        let stored = u32::from_be_bytes(out[15..19].try_into().unwrap());
+        assert_eq!(stored, crc32(&out[4..15]));
+    }
+
+    #[test]
+    fn out_of_range_patches_ignored() {
+        let (bytes, desc) = sample();
+        let out = desc.reconstruct(&bytes, [(9999u32, 1u8)]);
+        assert_eq!(out.len(), bytes.len());
+    }
+
+    #[test]
+    fn png_chunk_layout() {
+        let mut b = SeedBuilder::new();
+        b.raw(&[0x89, b'P', b'N', b'G', 0x0d, 0x0a, 0x1a, 0x0a]);
+        png_chunk(&mut b, "/ihdr", b"IHDR", |b| {
+            b.be32("/ihdr/width", 64);
+            b.be32("/ihdr/height", 48);
+            b.u8("/ihdr/bit_depth", 8);
+            b.u8("/ihdr/color_type", 0);
+        });
+        let (bytes, desc) = b.finish();
+        // length field holds 10 (4+4+1+1).
+        assert_eq!(desc.field_value(&bytes, "/ihdr/length"), Some(10));
+        assert_eq!(&bytes[12..16], b"IHDR");
+        assert_eq!(desc.field_value(&bytes, "/ihdr/width"), Some(64));
+        // CRC over type+payload is valid.
+        let crc_off = bytes.len() - 4;
+        let stored = u32::from_be_bytes(bytes[crc_off..].try_into().unwrap());
+        assert_eq!(stored, crc32(&bytes[12..crc_off]));
+        // And reconstruction keeps it valid after a width patch.
+        let out = desc.reconstruct(&bytes, [(16u32, 0xffu8)]);
+        let stored = u32::from_be_bytes(out[crc_off..].try_into().unwrap());
+        assert_eq!(stored, crc32(&out[12..crc_off]));
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        let (_, desc) = sample();
+        let text = desc.to_string();
+        assert!(text.contains("/hdr/width"));
+        assert!(text.contains("format sample"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests: reconstruction always repairs checksums, regardless of
+//! which bytes the patches touch.
+
+use diode_format::{png_chunk, SeedBuilder};
+use diode_lang::checksum::crc32;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn reconstruct_always_repairs_crc(
+        patches in proptest::collection::vec((0u32..64, any::<u8>()), 0..16)
+    ) {
+        let mut b = SeedBuilder::new();
+        b.raw(b"HDR!");
+        b.be32("/a", 111);
+        b.be32("/b", 222);
+        b.be16("/c", 333);
+        let crc_at = b.reserve_crc32(4, 10) as usize;
+        b.raw(&[0xEE; 10]);
+        let (seed, desc) = b.finish();
+
+        let out = desc.reconstruct(&seed, patches);
+        prop_assert_eq!(out.len(), seed.len());
+        let stored = u32::from_be_bytes(out[crc_at..crc_at + 4].try_into().unwrap());
+        prop_assert_eq!(stored, crc32(&out[4..14]));
+    }
+
+    #[test]
+    fn png_chunks_stay_valid_under_patching(
+        w: u32, h: u32, depth: u8,
+    ) {
+        let mut b = SeedBuilder::new();
+        b.raw(&[0x89, b'P', b'N', b'G', 0x0d, 0x0a, 0x1a, 0x0a]);
+        png_chunk(&mut b, "/ihdr", b"IHDR", |b| {
+            b.be32("/ihdr/width", 1);
+            b.be32("/ihdr/height", 1);
+            b.u8("/ihdr/bit_depth", 8);
+        });
+        let (seed, desc) = b.finish();
+        let mut patches: Vec<(u32, u8)> = Vec::new();
+        let wf = desc.field("/ihdr/width").unwrap().offset;
+        let hf = desc.field("/ihdr/height").unwrap().offset;
+        let df = desc.field("/ihdr/bit_depth").unwrap().offset;
+        patches.extend(w.to_be_bytes().iter().enumerate().map(|(i, &v)| (wf + i as u32, v)));
+        patches.extend(h.to_be_bytes().iter().enumerate().map(|(i, &v)| (hf + i as u32, v)));
+        patches.push((df, depth));
+        let out = desc.reconstruct(&seed, patches);
+        // Field values took the patch…
+        prop_assert_eq!(desc.field_value(&out, "/ihdr/width"), Some(u64::from(w)));
+        prop_assert_eq!(desc.field_value(&out, "/ihdr/height"), Some(u64::from(h)));
+        // …and the chunk CRC over type+payload is still correct.
+        let crc_off = out.len() - 4;
+        let stored = u32::from_be_bytes(out[crc_off..].try_into().unwrap());
+        prop_assert_eq!(stored, crc32(&out[12..crc_off]));
+    }
+}

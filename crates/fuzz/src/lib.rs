@@ -1,0 +1,286 @@
+//! # diode-fuzz — fuzzing baselines
+//!
+//! The comparison points of the paper's related-work discussion (§6):
+//!
+//! * [`RandomFuzzer`] — blind mutation of the whole input (the classic
+//!   Miller-style fuzzer). Because most mutated inputs fail the input
+//!   sanity checks, it "has been relatively ineffective at generating
+//!   inputs that trigger errors … deep inside applications".
+//! * [`TaintFuzzer`] — BuzzFuzz/TaintScope-style *directed* fuzzing: taint
+//!   analysis first finds the input bytes that influence the target
+//!   allocation site, then only those bytes are fuzzed (here with
+//!   boundary-heavy value sampling), and checksums are repaired the way
+//!   TaintScope repairs them. "While successful at reducing the size of
+//!   the mutation space, … these directed techniques are ineffective at
+//!   finding the carefully crafted inputs required to navigate the sanity
+//!   checks".
+//!
+//! Both report how many of `trials` mutated inputs trigger an overflow at
+//! a chosen target site, so they slot into the same success-rate harness
+//! as DIODE (`diode-bench`'s `fuzz_compare`).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use diode_core::test_candidate;
+use diode_format::FormatDesc;
+use diode_interp::MachineConfig;
+use diode_lang::{Label, Program};
+
+/// Outcome of a fuzzing campaign against one target site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzOutcome {
+    /// Inputs that triggered an overflow at the target site.
+    pub hits: u32,
+    /// Inputs executed.
+    pub trials: u32,
+    /// Inputs that were rejected before reaching the target site.
+    pub rejected_early: u32,
+}
+
+impl std::fmt::Display for FuzzOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.hits, self.trials)
+    }
+}
+
+/// Blind random fuzzing: flips random bytes anywhere in the seed.
+#[derive(Debug, Clone)]
+pub struct RandomFuzzer {
+    /// Number of inputs to generate.
+    pub trials: u32,
+    /// Bytes mutated per input.
+    pub mutations_per_input: u32,
+    /// RNG seed (campaigns are deterministic per seed).
+    pub rng_seed: u64,
+    /// Repair checksums after mutation (a checksum-aware variant; plain
+    /// random fuzzers leave checksums broken and die in the parser).
+    pub fix_checksums: bool,
+}
+
+impl Default for RandomFuzzer {
+    fn default() -> Self {
+        RandomFuzzer {
+            trials: 200,
+            mutations_per_input: 8,
+            rng_seed: 0xD10D_E,
+            fix_checksums: false,
+        }
+    }
+}
+
+impl RandomFuzzer {
+    /// Runs the campaign against `site_label`.
+    #[must_use]
+    pub fn run(
+        &self,
+        program: &Program,
+        seed: &[u8],
+        format: &FormatDesc,
+        site_label: Label,
+        machine: &MachineConfig,
+    ) -> FuzzOutcome {
+        let mut rng = StdRng::seed_from_u64(self.rng_seed);
+        let mut hits = 0;
+        let mut rejected_early = 0;
+        for _ in 0..self.trials {
+            let mut input = seed.to_vec();
+            for _ in 0..self.mutations_per_input {
+                if input.is_empty() {
+                    break;
+                }
+                let idx = rng.gen_range(0..input.len());
+                input[idx] = rng.gen();
+            }
+            let input = if self.fix_checksums {
+                format.reconstruct(&input, [])
+            } else {
+                input
+            };
+            let res = test_candidate(program, &input, site_label, machine);
+            if res.triggered {
+                hits += 1;
+            }
+            if !res.site_executed {
+                rejected_early += 1;
+            }
+        }
+        FuzzOutcome {
+            hits,
+            trials: self.trials,
+            rejected_early,
+        }
+    }
+}
+
+/// Taint-directed fuzzing (BuzzFuzz/TaintScope): mutates only the relevant
+/// bytes of the target site, with boundary-heavy values, and repairs
+/// checksums.
+#[derive(Debug, Clone)]
+pub struct TaintFuzzer {
+    /// Number of inputs to generate.
+    pub trials: u32,
+    /// RNG seed.
+    pub rng_seed: u64,
+}
+
+impl Default for TaintFuzzer {
+    fn default() -> Self {
+        TaintFuzzer {
+            trials: 200,
+            rng_seed: 0xBEEF,
+        }
+    }
+}
+
+impl TaintFuzzer {
+    /// Runs the campaign: mutates the given relevant bytes only.
+    #[must_use]
+    pub fn run(
+        &self,
+        program: &Program,
+        seed: &[u8],
+        format: &FormatDesc,
+        site_label: Label,
+        relevant_bytes: &[u32],
+        machine: &MachineConfig,
+    ) -> FuzzOutcome {
+        let mut rng = StdRng::seed_from_u64(self.rng_seed);
+        let mut hits = 0;
+        let mut rejected_early = 0;
+        // Boundary-heavy byte palette, as directed fuzzers use.
+        const PALETTE: [u8; 8] = [0x00, 0x01, 0x7f, 0x80, 0xfe, 0xff, 0x40, 0xc0];
+        for _ in 0..self.trials {
+            let patches: Vec<(u32, u8)> = relevant_bytes
+                .iter()
+                .map(|&off| {
+                    let v = if rng.gen_bool(0.75) {
+                        PALETTE[rng.gen_range(0..PALETTE.len())]
+                    } else {
+                        rng.gen()
+                    };
+                    (off, v)
+                })
+                .collect();
+            let input = format.reconstruct(seed, patches);
+            let res = test_candidate(program, &input, site_label, machine);
+            if res.triggered {
+                hits += 1;
+            }
+            if !res.site_executed {
+                rejected_early += 1;
+            }
+        }
+        FuzzOutcome {
+            hits,
+            trials: self.trials,
+            rejected_early,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_core::identify_target_sites;
+
+    /// A site guarded the way the paper's benchmarks are: random mutation
+    /// almost never finds the carefully crafted values.
+    const GUARDED: &str = r#"
+        fn main() {
+            w = zext32(in[0]) << 8 | zext32(in[1]);
+            h = zext32(in[2]) << 8 | zext32(in[3]);
+            if w > 60000 { error("w"); }
+            if h > 60000 { error("h"); }
+            if w * h > 100000000 { error("too big"); }    // overflowable check
+            buf = alloc("deep@7", w * h * 4);
+            t = zext64(w) * zext64(h) * 4u64;
+            p = 0u64;
+            while p < 16u64 { buf[t * p / 16u64] = 0u8; p = p + 1u64; }
+        }
+    "#;
+
+    #[test]
+    fn random_fuzzer_rarely_reaches_deep_sites() {
+        let program = diode_lang::parse(GUARDED).unwrap();
+        let seed = vec![0x00, 0x40, 0x00, 0x30]; // 64 × 48
+        let format = FormatDesc::new("demo");
+        let machine = MachineConfig::default();
+        let sites = identify_target_sites(&program, &seed, &machine);
+        let fz = RandomFuzzer {
+            trials: 60,
+            ..RandomFuzzer::default()
+        };
+        let out = fz.run(&program, &seed, &format, sites[0].label, &machine);
+        assert_eq!(out.trials, 60);
+        // Triggering requires w,h ≤ 60000 with w*h*4 ≥ 2^32 AND the w*h
+        // check to wrap into [0, 1e8] — essentially never at random.
+        assert_eq!(out.hits, 0, "random fuzzing should not find this");
+    }
+
+    #[test]
+    fn taint_fuzzer_mutates_only_relevant_bytes_but_still_fails_checks() {
+        let program = diode_lang::parse(GUARDED).unwrap();
+        let seed = vec![0x00, 0x40, 0x00, 0x30];
+        let format = FormatDesc::new("demo");
+        let machine = MachineConfig::default();
+        let sites = identify_target_sites(&program, &seed, &machine);
+        assert_eq!(sites[0].relevant_bytes, vec![0, 1, 2, 3]);
+        let fz = TaintFuzzer {
+            trials: 60,
+            ..TaintFuzzer::default()
+        };
+        let out = fz.run(
+            &program,
+            &seed,
+            &format,
+            sites[0].label,
+            &sites[0].relevant_bytes,
+            &machine,
+        );
+        // Boundary values blow past the sanity checks: most inputs are
+        // rejected before the site.
+        assert!(out.rejected_early > out.trials / 2, "{out:?}");
+        assert!(
+            out.hits <= out.trials / 10,
+            "taint fuzzing should rarely navigate the checks: {out:?}"
+        );
+    }
+
+    #[test]
+    fn fuzzers_do_find_totally_unchecked_sites() {
+        // Sanity check for the baselines themselves: with no checks at
+        // all, boundary-driven taint fuzzing finds the overflow easily.
+        let src = r#"
+            fn main() {
+                n = zext32(in[0]) << 24 | zext32(in[1]) << 16
+                  | zext32(in[2]) << 8 | zext32(in[3]);
+                buf = alloc("shallow@3", n * 8 + 2);
+                t = zext64(n) * 8u64 + 2u64;
+                p = 0u64;
+                while p < 16u64 { buf[t * p / 16u64] = 0u8; p = p + 1u64; }
+            }
+        "#;
+        let program = diode_lang::parse(src).unwrap();
+        let seed = vec![0, 0, 0, 16];
+        let format = FormatDesc::new("demo");
+        let machine = MachineConfig::default();
+        let sites = identify_target_sites(&program, &seed, &machine);
+        let fz = TaintFuzzer {
+            trials: 100,
+            ..TaintFuzzer::default()
+        };
+        let out = fz.run(
+            &program,
+            &seed,
+            &format,
+            sites[0].label,
+            &sites[0].relevant_bytes,
+            &machine,
+        );
+        // n ≥ 2^29 overflows n*8: the boundary-heavy palette hits it often.
+        assert!(out.hits > 0, "{out:?}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Memcheck-style simulated heap.
+//!
+//! The paper detects triggered overflows indirectly, through their effect
+//! on the computation: "invalid reads and writes" reported by Valgrind's
+//! memcheck, or outright crashes (§4.6, Table 2's *Error Type* column).
+//! This module reproduces that behaviour:
+//!
+//! * every allocation is an isolated block with an exact byte size;
+//! * reads/writes past the block (but within a red zone) are recorded as
+//!   [`MemErrorKind::InvalidRead`]/[`MemErrorKind::InvalidWrite`] and the
+//!   program continues — like memcheck;
+//! * accesses far outside any block (beyond the red zone), and any access
+//!   through null, escalate to a segmentation fault;
+//! * use-after-free and double-free are recorded;
+//! * allocation sizes ≥ the allocator limit fail (null return or abort,
+//!   depending on the site's wrapper, matching `malloc` vs `g_malloc`).
+//!
+//! Block payloads are stored densely for ordinary sizes and sparsely for
+//! huge allocations, so simulating a 2 GB allocation costs no host memory.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use diode_lang::{Bv, Label};
+
+use crate::value::BlockId;
+
+/// Kinds of memory errors detected by the heap monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemErrorKind {
+    /// Read past the end of a live block (within the red zone).
+    InvalidRead,
+    /// Write past the end of a live block (within the red zone).
+    InvalidWrite,
+    /// Read through a pointer to a freed block.
+    UseAfterFreeRead,
+    /// Write through a pointer to a freed block.
+    UseAfterFreeWrite,
+    /// Second `free` of the same block.
+    DoubleFree,
+}
+
+/// A recorded memory error (one memcheck report line).
+#[derive(Debug, Clone)]
+pub struct MemError {
+    /// What happened.
+    pub kind: MemErrorKind,
+    /// The allocation site of the affected block.
+    pub site: Arc<str>,
+    /// Offset of the access relative to the block base.
+    pub offset: u64,
+    /// Size of the affected block at allocation time.
+    pub block_size: u32,
+    /// Label of the statement performing the access.
+    pub at: Label,
+}
+
+/// Reason the heap monitor escalated to a fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Access through the null pointer.
+    NullDeref {
+        /// Label of the faulting statement.
+        at: Label,
+    },
+    /// Access far beyond a block's red zone.
+    WildAccess {
+        /// Label of the faulting statement.
+        at: Label,
+        /// Offset of the attempted access.
+        offset: u64,
+        /// Size of the block being overrun.
+        block_size: u32,
+    },
+}
+
+/// One byte cell: value, sticky overflow flag, shadow tag.
+#[derive(Debug, Clone)]
+pub struct Cell<T> {
+    /// Stored byte (8-bit).
+    pub value: Bv,
+    /// Sticky overflow flag of the stored value.
+    pub ovf: bool,
+    /// Shadow tag of the stored value.
+    pub tag: T,
+}
+
+impl<T: Default> Default for Cell<T> {
+    fn default() -> Self {
+        Cell {
+            value: Bv::byte(0),
+            ovf: false,
+            tag: T::default(),
+        }
+    }
+}
+
+enum Payload<T> {
+    Dense(Vec<Cell<T>>),
+    Sparse(HashMap<u64, Cell<T>>),
+}
+
+struct Block<T> {
+    site: Arc<str>,
+    size: u32,
+    freed: bool,
+    payload: Payload<T>,
+}
+
+/// Outcome of a heap access: either a value (reads) / unit (writes), plus
+/// any recorded error; or a fault that must halt the program.
+pub type AccessResult<V> = Result<V, Fault>;
+
+/// The simulated heap.
+pub struct Heap<T> {
+    blocks: Vec<Block<T>>,
+    errors: Vec<MemError>,
+    /// Single-allocation limit: requests of at least this many bytes fail.
+    alloc_limit: u64,
+    /// Accesses past `size + redzone` fault instead of being recorded.
+    redzone: u64,
+    /// Block payloads at most this large are stored densely.
+    dense_limit: u32,
+}
+
+impl<T: Default + Clone> Heap<T> {
+    /// Creates an empty heap.
+    ///
+    /// `alloc_limit` is the allocator's single-request capacity in bytes
+    /// (the paper's x86-32 processes realistically refuse ~2 GB requests);
+    /// `redzone` is how far past a block an access may land and still be
+    /// recorded (rather than faulting).
+    #[must_use]
+    pub fn new(alloc_limit: u64, redzone: u64) -> Self {
+        Heap {
+            blocks: Vec::new(),
+            errors: Vec::new(),
+            alloc_limit,
+            redzone,
+            dense_limit: 1 << 20,
+        }
+    }
+
+    /// Attempts to allocate `size` bytes for `site`. Returns `None` when
+    /// the allocator refuses the request.
+    pub fn alloc(&mut self, site: Arc<str>, size: u32) -> Option<BlockId> {
+        if u64::from(size) >= self.alloc_limit {
+            return None;
+        }
+        let payload = if size <= self.dense_limit {
+            Payload::Dense(vec![Cell::default(); size as usize])
+        } else {
+            Payload::Sparse(HashMap::new())
+        };
+        self.blocks.push(Block {
+            site,
+            size,
+            freed: false,
+            payload,
+        });
+        Some(BlockId(u32::try_from(self.blocks.len()).expect("too many blocks")))
+    }
+
+    /// Frees a block, recording a double-free if needed.
+    ///
+    /// Returns a fault for `free(null)`-through-wild pointers (null frees
+    /// are tolerated, like `free(NULL)` in C).
+    pub fn free(&mut self, ptr: BlockId, at: Label) {
+        if ptr.is_null() {
+            return;
+        }
+        let block = &mut self.blocks[(ptr.0 - 1) as usize];
+        if block.freed {
+            self.errors.push(MemError {
+                kind: MemErrorKind::DoubleFree,
+                site: block.site.clone(),
+                offset: 0,
+                block_size: block.size,
+                at,
+            });
+        } else {
+            block.freed = true;
+        }
+    }
+
+    /// Loads one byte. Out-of-bounds reads within the red zone are
+    /// recorded and return a zero cell; farther reads fault.
+    pub fn load(&mut self, ptr: BlockId, offset: u64, at: Label) -> AccessResult<Cell<T>> {
+        if ptr.is_null() {
+            return Err(Fault::NullDeref { at });
+        }
+        let block = &mut self.blocks[(ptr.0 - 1) as usize];
+        if block.freed {
+            self.errors.push(MemError {
+                kind: MemErrorKind::UseAfterFreeRead,
+                site: block.site.clone(),
+                offset,
+                block_size: block.size,
+                at,
+            });
+            return Ok(Cell::default());
+        }
+        if offset >= u64::from(block.size) {
+            if offset >= u64::from(block.size) + self.redzone {
+                return Err(Fault::WildAccess {
+                    at,
+                    offset,
+                    block_size: block.size,
+                });
+            }
+            self.errors.push(MemError {
+                kind: MemErrorKind::InvalidRead,
+                site: block.site.clone(),
+                offset,
+                block_size: block.size,
+                at,
+            });
+            return Ok(Cell::default());
+        }
+        Ok(match &block.payload {
+            Payload::Dense(cells) => cells[offset as usize].clone(),
+            Payload::Sparse(cells) => cells.get(&offset).cloned().unwrap_or_default(),
+        })
+    }
+
+    /// Stores one byte. Out-of-bounds writes within the red zone are
+    /// recorded and dropped; farther writes fault.
+    pub fn store(&mut self, ptr: BlockId, offset: u64, cell: Cell<T>, at: Label) -> AccessResult<()> {
+        if ptr.is_null() {
+            return Err(Fault::NullDeref { at });
+        }
+        let block = &mut self.blocks[(ptr.0 - 1) as usize];
+        if block.freed {
+            self.errors.push(MemError {
+                kind: MemErrorKind::UseAfterFreeWrite,
+                site: block.site.clone(),
+                offset,
+                block_size: block.size,
+                at,
+            });
+            return Ok(());
+        }
+        if offset >= u64::from(block.size) {
+            if offset >= u64::from(block.size) + self.redzone {
+                return Err(Fault::WildAccess {
+                    at,
+                    offset,
+                    block_size: block.size,
+                });
+            }
+            self.errors.push(MemError {
+                kind: MemErrorKind::InvalidWrite,
+                site: block.site.clone(),
+                offset,
+                block_size: block.size,
+                at,
+            });
+            return Ok(());
+        }
+        match &mut block.payload {
+            Payload::Dense(cells) => cells[offset as usize] = cell,
+            Payload::Sparse(cells) => {
+                cells.insert(offset, cell);
+            }
+        }
+        Ok(())
+    }
+
+    /// All recorded (non-fatal) memory errors, in occurrence order.
+    #[must_use]
+    pub fn errors(&self) -> &[MemError] {
+        &self.errors
+    }
+
+    /// Consumes the heap, returning the recorded errors.
+    #[must_use]
+    pub fn into_errors(self) -> Vec<MemError> {
+        self.errors
+    }
+
+    /// Number of live (never freed) blocks — useful for leak assertions in
+    /// tests.
+    #[must_use]
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| !b.freed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap<()> {
+        Heap::new(1 << 31, 4096)
+    }
+
+    fn cell(v: u8) -> Cell<()> {
+        Cell {
+            value: Bv::byte(v),
+            ovf: false,
+            tag: (),
+        }
+    }
+
+    #[test]
+    fn roundtrip_within_bounds() {
+        let mut h = heap();
+        let b = h.alloc("t@1".into(), 8).unwrap();
+        h.store(b, 3, cell(0xaa), Label(0)).unwrap();
+        let c = h.load(b, 3, Label(1)).unwrap();
+        assert_eq!(c.value, Bv::byte(0xaa));
+        assert!(h.errors().is_empty());
+    }
+
+    #[test]
+    fn oob_write_is_recorded_not_fatal() {
+        let mut h = heap();
+        let b = h.alloc("t@1".into(), 8).unwrap();
+        h.store(b, 8, cell(1), Label(0)).unwrap();
+        h.store(b, 100, cell(1), Label(0)).unwrap();
+        assert_eq!(h.errors().len(), 2);
+        assert!(h
+            .errors()
+            .iter()
+            .all(|e| e.kind == MemErrorKind::InvalidWrite));
+    }
+
+    #[test]
+    fn wild_write_faults() {
+        let mut h = heap();
+        let b = h.alloc("t@1".into(), 8).unwrap();
+        let fault = h.store(b, 8 + 4096, cell(1), Label(7)).unwrap_err();
+        assert!(matches!(fault, Fault::WildAccess { at: Label(7), .. }));
+    }
+
+    #[test]
+    fn null_deref_faults() {
+        let mut h = heap();
+        assert!(matches!(
+            h.load(BlockId::NULL, 0, Label(2)),
+            Err(Fault::NullDeref { at: Label(2) })
+        ));
+    }
+
+    #[test]
+    fn oversized_allocation_fails() {
+        let mut h = heap();
+        assert!(h.alloc("t@1".into(), u32::MAX).is_none());
+        assert!(h.alloc("t@1".into(), 1 << 30).is_some());
+    }
+
+    #[test]
+    fn huge_allocations_are_sparse_and_cheap() {
+        let mut h = heap();
+        let b = h.alloc("t@1".into(), (1 << 30) - 1).unwrap();
+        h.store(b, (1 << 29) + 17, cell(0x5a), Label(0)).unwrap();
+        assert_eq!(
+            h.load(b, (1 << 29) + 17, Label(0)).unwrap().value,
+            Bv::byte(0x5a)
+        );
+        // Unwritten sparse cells read as zero.
+        assert_eq!(h.load(b, 12345, Label(0)).unwrap().value, Bv::byte(0));
+    }
+
+    #[test]
+    fn use_after_free_and_double_free() {
+        let mut h = heap();
+        let b = h.alloc("t@1".into(), 4).unwrap();
+        h.free(b, Label(0));
+        h.free(b, Label(1));
+        h.store(b, 0, cell(1), Label(2)).unwrap();
+        let _ = h.load(b, 0, Label(3)).unwrap();
+        let kinds: Vec<_> = h.errors().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                MemErrorKind::DoubleFree,
+                MemErrorKind::UseAfterFreeWrite,
+                MemErrorKind::UseAfterFreeRead
+            ]
+        );
+        assert_eq!(h.live_blocks(), 0);
+    }
+
+    #[test]
+    fn free_null_is_tolerated() {
+        let mut h = heap();
+        h.free(BlockId::NULL, Label(0));
+        assert!(h.errors().is_empty());
+    }
+}

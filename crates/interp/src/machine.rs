@@ -1,0 +1,989 @@
+//! The interpreter: concrete + shadow execution of core-language programs.
+//!
+//! Implements the operational semantics of the paper's Figures 4–6. A
+//! program state is ⟨ℓ, ρ, m, φ⟩: the current statement, an environment
+//! mapping variables to (value, shadow) pairs, a memory mapping
+//! (base, offset) to (value, shadow) pairs, and the recorded branch
+//! condition sequence φ. The interpreter executes the whole transition
+//! relation, producing a [`Run`] that contains everything DIODE's pipeline
+//! consumes: the allocation records (target sites with their size values
+//! and symbolic target expressions), the branch observation sequence φ,
+//! memcheck-style memory errors, and the final outcome.
+
+use std::collections::HashMap;
+
+use diode_lang::checksum::crc32;
+use diode_lang::{Aexp, Bexp, Block, Bv, CastKind, Label, Program, Stmt, Symbol, UnOp};
+use diode_symbolic::eval_bin;
+
+use crate::heap::{Cell, Fault, Heap, MemError};
+use crate::shadow::Shadow;
+use crate::value::{BlockId, Raw, Value};
+
+/// Interpreter limits and switches.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Maximum number of executed statements (including loop-condition
+    /// evaluations). Overflow-triggering inputs routinely send programs
+    /// into giant loops; fuel bounds every run.
+    pub fuel: u64,
+    /// Record the branch observation sequence φ. Disable for plain
+    /// did-it-crash candidate runs to save memory.
+    pub record_branches: bool,
+    /// Allocator single-request limit in bytes (requests ≥ limit fail).
+    pub alloc_limit: u64,
+    /// Red zone: out-of-bounds accesses within this many bytes past a
+    /// block are recorded; farther accesses segfault.
+    pub redzone: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            fuel: 5_000_000,
+            record_branches: true,
+            alloc_limit: 1 << 31,
+            redzone: 4096,
+            max_call_depth: 128,
+        }
+    }
+}
+
+/// One observed conditional branch (an element ⟨ℓ, B⟩ of φ, §3.2).
+#[derive(Debug, Clone)]
+pub struct BranchObs<C> {
+    /// Label of the `if`/`while` statement.
+    pub label: Label,
+    /// Direction taken (condition outcome).
+    pub taken: bool,
+    /// Shadow condition tag, already *oriented*: it asserts "the condition
+    /// evaluates exactly as observed" (for the symbolic policy this is the
+    /// branch constraint of §1.1).
+    pub constraint: C,
+}
+
+/// One dynamic execution of an allocation site.
+#[derive(Debug, Clone)]
+pub struct AllocRecord<T> {
+    /// Label of the `alloc` statement (the target label ℓ).
+    pub label: Label,
+    /// Site name (`file@line`).
+    pub site: std::sync::Arc<str>,
+    /// Concrete size argument (the target value).
+    pub size: Bv,
+    /// True if the computation of the size overflowed (sticky flag): the
+    /// ground truth for "the input triggers an overflow at ℓ".
+    pub size_ovf: bool,
+    /// Shadow tag of the size: taint labels (stage 1, the relevant input
+    /// bytes) or the symbolic target expression (stage 2).
+    pub size_tag: T,
+    /// True if the allocator refused the request.
+    pub failed: bool,
+    /// Number of branch observations recorded before this allocation
+    /// executed — φ restricted to the path *to* this site.
+    pub branches_before: usize,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// `main` finished normally.
+    Completed,
+    /// The program rejected its input via `error(msg)` (e.g. `png_error`).
+    InputRejected(String),
+    /// The program aborted (`abort(msg)` or failed `alloc_abort`) — the
+    /// paper's SIGABRT rows.
+    Aborted(String),
+    /// A memory fault (null dereference / wild access) — SIGSEGV.
+    Segfault(Fault),
+    /// The fuel limit was exhausted.
+    OutOfFuel,
+    /// The program itself is ill-formed (width mismatch, unbound variable,
+    /// type confusion). Benchmark programs must never reach this.
+    RuntimeError(String),
+}
+
+impl Outcome {
+    /// True for SIGSEGV.
+    #[must_use]
+    pub fn is_segfault(&self) -> bool {
+        matches!(self, Outcome::Segfault(_))
+    }
+}
+
+/// Everything observed during one execution.
+#[derive(Debug)]
+pub struct Run<T, C> {
+    /// Final outcome.
+    pub outcome: Outcome,
+    /// Memcheck-style errors, in occurrence order.
+    pub mem_errors: Vec<MemError>,
+    /// Dynamic allocation records, in occurrence order.
+    pub allocs: Vec<AllocRecord<T>>,
+    /// The branch observation sequence φ (empty if recording disabled).
+    pub branches: Vec<BranchObs<C>>,
+    /// Messages from `warn(..)` statements.
+    pub warnings: Vec<String>,
+    /// Statements executed.
+    pub steps: u64,
+}
+
+impl<T, C> Run<T, C> {
+    /// Allocation records for a specific site label.
+    pub fn allocs_at(&self, label: Label) -> impl Iterator<Item = &AllocRecord<T>> {
+        self.allocs.iter().filter(move |a| a.label == label)
+    }
+
+    /// True if the run triggered an overflow at the given site: the site
+    /// executed with an overflowed size computation (§4.6's verification).
+    #[must_use]
+    pub fn overflowed_at(&self, label: Label) -> bool {
+        self.allocs_at(label).any(|a| a.size_ovf)
+    }
+}
+
+/// Executes `program` on `input` under the given shadow policy.
+///
+/// This is the single entry point used by all of DIODE's stages; the choice
+/// of `shadow` selects taint tracing, symbolic recording, or plain
+/// execution.
+pub fn run<S: Shadow>(
+    program: &Program,
+    input: &[u8],
+    shadow: S,
+    config: &MachineConfig,
+) -> Run<S::Tag, S::CondTag> {
+    let mut m = Machine {
+        program,
+        input,
+        shadow,
+        config,
+        heap: Heap::new(config.alloc_limit, config.redzone),
+        frames: vec![HashMap::new()],
+        branches: Vec::new(),
+        allocs: Vec::new(),
+        warnings: Vec::new(),
+        steps: 0,
+    };
+    let entry = program.proc(program.entry());
+    let outcome = if entry.params.is_empty() {
+        match m.exec_block(&entry.body) {
+            Ok(_) => Outcome::Completed,
+            Err(halt) => halt.into_outcome(),
+        }
+    } else {
+        Outcome::RuntimeError("main must not take parameters".into())
+    };
+    Run {
+        outcome,
+        mem_errors: m.heap.into_errors(),
+        allocs: m.allocs,
+        branches: m.branches,
+        warnings: m.warnings,
+        steps: m.steps,
+    }
+}
+
+enum Halt {
+    Rejected(String),
+    Aborted(String),
+    Fault(Fault),
+    Fuel,
+    Runtime(String),
+}
+
+impl Halt {
+    fn into_outcome(self) -> Outcome {
+        match self {
+            Halt::Rejected(m) => Outcome::InputRejected(m),
+            Halt::Aborted(m) => Outcome::Aborted(m),
+            Halt::Fault(f) => Outcome::Segfault(f),
+            Halt::Fuel => Outcome::OutOfFuel,
+            Halt::Runtime(m) => Outcome::RuntimeError(m),
+        }
+    }
+}
+
+enum Flow<T> {
+    Normal,
+    Return(Option<Value<T>>),
+}
+
+struct Machine<'a, S: Shadow> {
+    program: &'a Program,
+    input: &'a [u8],
+    shadow: S,
+    config: &'a MachineConfig,
+    heap: Heap<S::Tag>,
+    frames: Vec<HashMap<Symbol, Value<S::Tag>>>,
+    branches: Vec<BranchObs<S::CondTag>>,
+    allocs: Vec<AllocRecord<S::Tag>>,
+    warnings: Vec<String>,
+    steps: u64,
+}
+
+impl<'a, S: Shadow> Machine<'a, S> {
+    fn frame(&mut self) -> &mut HashMap<Symbol, Value<S::Tag>> {
+        self.frames.last_mut().expect("frame stack never empty")
+    }
+
+    fn tick(&mut self) -> Result<(), Halt> {
+        self.steps += 1;
+        if self.steps > self.config.fuel {
+            Err(Halt::Fuel)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn var_name(&self, sym: Symbol) -> &str {
+        self.program.interner().name(sym)
+    }
+
+    fn exec_block(&mut self, block: &Block) -> Result<Flow<S::Tag>, Halt> {
+        for stmt in block.stmts() {
+            if let Flow::Return(v) = self.exec_stmt(stmt)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow<S::Tag>, Halt> {
+        self.tick()?;
+        match stmt {
+            Stmt::Skip(_) => Ok(Flow::Normal),
+            Stmt::Assign(_, dst, e) => {
+                let v = self.eval(e)?;
+                self.frame().insert(*dst, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Call {
+                dst, proc, args, ..
+            } => {
+                if self.frames.len() >= self.config.max_call_depth {
+                    return Err(Halt::Runtime("call depth limit exceeded".into()));
+                }
+                let callee = self.program.proc(*proc);
+                if callee.params.len() != args.len() {
+                    return Err(Halt::Runtime(format!(
+                        "procedure `{}` expects {} arguments, got {}",
+                        callee.name,
+                        callee.params.len(),
+                        args.len()
+                    )));
+                }
+                let mut new_frame = HashMap::new();
+                for (param, arg) in callee.params.iter().zip(args) {
+                    let v = self.eval(arg)?;
+                    new_frame.insert(*param, v);
+                }
+                self.frames.push(new_frame);
+                let flow = self.exec_block(&callee.body);
+                self.frames.pop();
+                match flow? {
+                    Flow::Return(Some(v)) => {
+                        if let Some(dst) = dst {
+                            self.frame().insert(*dst, v);
+                        }
+                        Ok(Flow::Normal)
+                    }
+                    Flow::Return(None) | Flow::Normal => {
+                        if dst.is_some() {
+                            return Err(Halt::Runtime(format!(
+                                "procedure `{}` returned no value",
+                                callee.name
+                            )));
+                        }
+                        Ok(Flow::Normal)
+                    }
+                }
+            }
+            Stmt::Alloc {
+                label,
+                site,
+                dst,
+                size,
+                abort_on_fail,
+            } => {
+                let sv = self.eval(size)?;
+                let Some(bv) = sv.as_int() else {
+                    return Err(Halt::Runtime("allocation size must be an integer".into()));
+                };
+                if bv.width() != 32 {
+                    return Err(Halt::Runtime(format!(
+                        "allocation size must be 32 bits wide, got {} bits at {site}",
+                        bv.width()
+                    )));
+                }
+                let size32 = bv.value() as u32;
+                let block = self.heap.alloc(site.clone(), size32);
+                self.allocs.push(AllocRecord {
+                    label: *label,
+                    site: site.clone(),
+                    size: bv,
+                    size_ovf: sv.ovf,
+                    size_tag: sv.tag.clone(),
+                    failed: block.is_none(),
+                    branches_before: self.branches.len(),
+                });
+                match block {
+                    Some(b) => {
+                        self.frame().insert(*dst, Value::ptr(b));
+                        Ok(Flow::Normal)
+                    }
+                    None if *abort_on_fail => Err(Halt::Aborted(format!(
+                        "allocation of {size32} bytes failed at {site}"
+                    ))),
+                    None => {
+                        self.frame().insert(*dst, Value::ptr(BlockId::NULL));
+                        Ok(Flow::Normal)
+                    }
+                }
+            }
+            Stmt::Free(label, ptr) => {
+                let v = self.lookup(*ptr)?;
+                let Some(b) = v.as_ptr() else {
+                    return Err(Halt::Runtime(format!(
+                        "free of non-pointer `{}`",
+                        self.var_name(*ptr)
+                    )));
+                };
+                self.heap.free(b, *label);
+                Ok(Flow::Normal)
+            }
+            Stmt::Load {
+                label,
+                dst,
+                base,
+                offset,
+            } => {
+                let ptr = self.lookup(*base)?;
+                let Some(b) = ptr.as_ptr() else {
+                    return Err(Halt::Runtime(format!(
+                        "load through non-pointer `{}`",
+                        self.var_name(*base)
+                    )));
+                };
+                let off = self.eval(offset)?;
+                let Some(off) = off.as_int() else {
+                    return Err(Halt::Runtime("load offset must be an integer".into()));
+                };
+                let cell = self
+                    .heap
+                    .load(b, off.value() as u64, *label)
+                    .map_err(Halt::Fault)?;
+                self.frame().insert(
+                    *dst,
+                    Value {
+                        raw: Raw::Int(cell.value),
+                        ovf: cell.ovf,
+                        tag: cell.tag,
+                    },
+                );
+                Ok(Flow::Normal)
+            }
+            Stmt::Store {
+                label,
+                base,
+                offset,
+                value,
+            } => {
+                let ptr = self.lookup(*base)?;
+                let Some(b) = ptr.as_ptr() else {
+                    return Err(Halt::Runtime(format!(
+                        "store through non-pointer `{}`",
+                        self.var_name(*base)
+                    )));
+                };
+                let off = self.eval(offset)?;
+                let Some(off) = off.as_int() else {
+                    return Err(Halt::Runtime("store offset must be an integer".into()));
+                };
+                let v = self.eval(value)?;
+                let Some(bv) = v.as_int() else {
+                    return Err(Halt::Runtime("stored value must be an integer".into()));
+                };
+                if bv.width() != 8 {
+                    return Err(Halt::Runtime(format!(
+                        "memory cells are bytes; stored value is {} bits wide",
+                        bv.width()
+                    )));
+                }
+                self.heap
+                    .store(
+                        b,
+                        off.value() as u64,
+                        Cell {
+                            value: bv,
+                            ovf: v.ovf,
+                            tag: v.tag,
+                        },
+                        *label,
+                    )
+                    .map_err(Halt::Fault)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                label,
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let (taken, constraint) = self.eval_cond(cond)?;
+                if self.config.record_branches {
+                    self.branches.push(BranchObs {
+                        label: *label,
+                        taken,
+                        constraint,
+                    });
+                }
+                if taken {
+                    self.exec_block(then_blk)
+                } else {
+                    self.exec_block(else_blk)
+                }
+            }
+            Stmt::While { label, cond, body } => {
+                loop {
+                    self.tick()?;
+                    let (taken, constraint) = self.eval_cond(cond)?;
+                    if self.config.record_branches {
+                        self.branches.push(BranchObs {
+                            label: *label,
+                            taken,
+                            constraint,
+                        });
+                    }
+                    if !taken {
+                        break;
+                    }
+                    if let Flow::Return(v) = self.exec_block(body)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Error(_, msg) => Err(Halt::Rejected(msg.clone())),
+            Stmt::Warn(_, msg) => {
+                self.warnings.push(msg.clone());
+                Ok(Flow::Normal)
+            }
+            Stmt::Abort(_, msg) => Err(Halt::Aborted(msg.clone())),
+            Stmt::Return(_, None) => Ok(Flow::Return(None)),
+            Stmt::Return(_, Some(e)) => {
+                let v = self.eval(e)?;
+                Ok(Flow::Return(Some(v)))
+            }
+        }
+    }
+
+    fn lookup(&mut self, sym: Symbol) -> Result<Value<S::Tag>, Halt> {
+        match self.frames.last().expect("frame").get(&sym) {
+            Some(v) => Ok(v.clone()),
+            None => Err(Halt::Runtime(format!(
+                "use of unbound variable `{}`",
+                self.var_name(sym)
+            ))),
+        }
+    }
+
+    fn eval(&mut self, e: &Aexp) -> Result<Value<S::Tag>, Halt> {
+        match e {
+            Aexp::Const(bv) => Ok(Value::int(*bv)),
+            Aexp::Var(sym) => self.lookup(*sym),
+            Aexp::InLen => Ok(Value::int(Bv::u32(
+                u32::try_from(self.input.len()).unwrap_or(u32::MAX),
+            ))),
+            Aexp::InByte(idx) => {
+                let iv = self.eval(idx)?;
+                let Some(off) = iv.as_int() else {
+                    return Err(Halt::Runtime("input index must be an integer".into()));
+                };
+                let off64 = off.value() as u64;
+                // Reads past the end of the input behave like reads past
+                // EOF: they produce zero, untainted bytes.
+                if off64 >= self.input.len() as u64 {
+                    return Ok(Value::int(Bv::byte(0)));
+                }
+                let offset = off64 as u32;
+                let byte = self.input[offset as usize];
+                let tag = self.shadow.input_byte(offset);
+                Ok(Value {
+                    raw: Raw::Int(Bv::byte(byte)),
+                    ovf: false,
+                    tag,
+                })
+            }
+            Aexp::Un(op, a) => {
+                let av = self.eval(a)?;
+                let Some(abv) = av.as_int() else {
+                    return Err(Halt::Runtime("unary operand must be an integer".into()));
+                };
+                let (result, ovf) = match op {
+                    UnOp::Neg => abv.neg(),
+                    UnOp::Not => (abv.not(), false),
+                };
+                let tag = self.shadow.un(*op, (&av.tag, abv));
+                Ok(Value {
+                    raw: Raw::Int(result),
+                    ovf: av.ovf | ovf,
+                    tag,
+                })
+            }
+            Aexp::Bin(op, a, b) => {
+                let av = self.eval(a)?;
+                let bv = self.eval(b)?;
+                let (Some(abv), Some(bbv)) = (av.as_int(), bv.as_int()) else {
+                    return Err(Halt::Runtime(format!(
+                        "binary operands of {op:?} must be integers"
+                    )));
+                };
+                if abv.width() != bbv.width() {
+                    return Err(Halt::Runtime(format!(
+                        "width mismatch in {op:?}: {} vs {} bits",
+                        abv.width(),
+                        bbv.width()
+                    )));
+                }
+                let (result, ovf) = eval_bin(*op, abv, bbv);
+                let tag = self.shadow.bin(*op, (&av.tag, abv), (&bv.tag, bbv));
+                Ok(Value {
+                    raw: Raw::Int(result),
+                    ovf: av.ovf | bv.ovf | ovf,
+                    tag,
+                })
+            }
+            Aexp::Cast(kind, width, a) => {
+                let av = self.eval(a)?;
+                let Some(abv) = av.as_int() else {
+                    return Err(Halt::Runtime("cast operand must be an integer".into()));
+                };
+                let (result, ovf) = match kind {
+                    CastKind::Zext if *width > abv.width() => (abv.zext(*width), false),
+                    CastKind::Sext if *width > abv.width() => (abv.sext(*width), false),
+                    CastKind::Trunc if *width < abv.width() => abv.trunc(*width),
+                    _ => {
+                        return Err(Halt::Runtime(format!(
+                            "invalid cast {kind:?} from {} to {} bits",
+                            abv.width(),
+                            width
+                        )))
+                    }
+                };
+                let tag = self.shadow.cast(*kind, *width, (&av.tag, abv));
+                Ok(Value {
+                    raw: Raw::Int(result),
+                    ovf: av.ovf | ovf,
+                    tag,
+                })
+            }
+        }
+    }
+
+    /// Evaluates a boolean condition with short-circuit semantics,
+    /// returning the outcome and the accumulated, oriented condition tag
+    /// (the conjunction of every evaluated atom forced to its observed
+    /// truth value — i.e. "the condition evaluates the same way").
+    fn eval_cond(&mut self, b: &Bexp) -> Result<(bool, S::CondTag), Halt> {
+        match b {
+            Bexp::Const(v) => {
+                let t = self.shadow.cond_true();
+                Ok((*v, t))
+            }
+            Bexp::Cmp(op, lhs, rhs) => {
+                let av = self.eval(lhs)?;
+                let bv = self.eval(rhs)?;
+                match (&av.raw, &bv.raw) {
+                    (Raw::Int(a), Raw::Int(b)) => {
+                        if a.width() != b.width() {
+                            return Err(Halt::Runtime(format!(
+                                "comparison width mismatch: {} vs {} bits",
+                                a.width(),
+                                b.width()
+                            )));
+                        }
+                        let outcome = op.eval(*a, *b);
+                        let tag = self.shadow.cmp(*op, (&av.tag, *a), (&bv.tag, *b), outcome);
+                        Ok((outcome, tag))
+                    }
+                    // Pointer comparisons: equality/inequality only, with
+                    // integer zero standing in for null.
+                    (Raw::Ptr(p), Raw::Ptr(q)) => {
+                        let eq = p == q;
+                        let outcome = match op {
+                            diode_lang::CmpOp::Eq => eq,
+                            diode_lang::CmpOp::Ne => !eq,
+                            _ => {
+                                return Err(Halt::Runtime(
+                                    "pointers support only ==/!= comparisons".into(),
+                                ))
+                            }
+                        };
+                        Ok((outcome, self.shadow.cond_true()))
+                    }
+                    (Raw::Ptr(p), Raw::Int(z)) | (Raw::Int(z), Raw::Ptr(p)) => {
+                        if !z.is_zero() {
+                            return Err(Halt::Runtime(
+                                "pointers may only be compared with 0 (null)".into(),
+                            ));
+                        }
+                        let eq = p.is_null();
+                        let outcome = match op {
+                            diode_lang::CmpOp::Eq => eq,
+                            diode_lang::CmpOp::Ne => !eq,
+                            _ => {
+                                return Err(Halt::Runtime(
+                                    "pointers support only ==/!= comparisons".into(),
+                                ))
+                            }
+                        };
+                        Ok((outcome, self.shadow.cond_true()))
+                    }
+                }
+            }
+            Bexp::Not(inner) => {
+                let (v, tag) = self.eval_cond(inner)?;
+                Ok((!v, tag))
+            }
+            Bexp::And(lhs, rhs) => {
+                let (va, ta) = self.eval_cond(lhs)?;
+                if !va {
+                    return Ok((false, ta));
+                }
+                let (vb, tb) = self.eval_cond(rhs)?;
+                Ok((vb, self.shadow.cond_and(ta, tb)))
+            }
+            Bexp::Or(lhs, rhs) => {
+                let (va, ta) = self.eval_cond(lhs)?;
+                if va {
+                    return Ok((true, ta));
+                }
+                let (vb, tb) = self.eval_cond(rhs)?;
+                Ok((vb, self.shadow.cond_and(ta, tb)))
+            }
+            Bexp::Crc32Ok { start, len, stored } => {
+                let s = self.eval_u64(start)?;
+                let l = self.eval_u64(len)?;
+                let c = self.eval_u64(stored)?;
+                let outcome = self.crc_matches(s, l, c);
+                Ok((outcome, self.shadow.cond_true()))
+            }
+        }
+    }
+
+    fn eval_u64(&mut self, e: &Aexp) -> Result<u64, Halt> {
+        let v = self.eval(e)?;
+        v.as_int()
+            .map(|bv| bv.value() as u64)
+            .ok_or_else(|| Halt::Runtime("expected an integer".into()))
+    }
+
+    fn crc_matches(&self, start: u64, len: u64, stored_off: u64) -> bool {
+        let end = start.saturating_add(len);
+        let input_len = self.input.len() as u64;
+        if end > input_len || stored_off.saturating_add(4) > input_len {
+            return false;
+        }
+        let data = &self.input[start as usize..end as usize];
+        let stored = u32::from_be_bytes(
+            self.input[stored_off as usize..stored_off as usize + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        crc32(data) == stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::{Concrete, Symbolic, Taint};
+    use diode_lang::parse;
+
+    fn run_concrete(src: &str, input: &[u8]) -> Run<(), ()> {
+        run(&parse(src).unwrap(), input, Concrete, &MachineConfig::default())
+    }
+
+    #[test]
+    fn arithmetic_and_variables() {
+        let r = run_concrete("fn main() { x = 2 + 3 * 4; if x != 14 { abort(\"bad\"); } }", &[]);
+        assert_eq!(r.outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn input_reads_and_eof_zeroes() {
+        let r = run_concrete(
+            r#"fn main() {
+                a = in[0]; b = in[99];
+                if a != 7u8 { abort("a"); }
+                if b != 0u8 { abort("b"); }
+                if inlen != 2 { abort("len"); }
+            }"#,
+            &[7, 8],
+        );
+        assert_eq!(r.outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn procedures_and_returns() {
+        let r = run_concrete(
+            r#"
+            fn add3(a, b, c) { return a + b + c; }
+            fn main() { s = add3(1, 2, 3); if s != 6 { abort("bad"); } }
+            "#,
+            &[],
+        );
+        assert_eq!(r.outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn while_loop_and_memory() {
+        let r = run_concrete(
+            r#"fn main() {
+                buf = alloc("t@1", 10);
+                i = 0;
+                while i < 10 { buf[i] = trunc8(i); i = i + 1; }
+                x = buf[7];
+                if x != 7u8 { abort("bad"); }
+                free(buf);
+            }"#,
+            &[],
+        );
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.mem_errors.is_empty());
+        assert_eq!(r.allocs.len(), 1);
+        assert_eq!(r.allocs[0].size, Bv::u32(10));
+        assert!(!r.allocs[0].size_ovf);
+    }
+
+    #[test]
+    fn oob_write_recorded_then_wild_write_faults() {
+        let r = run_concrete(
+            r#"fn main() {
+                buf = alloc("t@1", 4);
+                buf[4] = 1u8;        // red zone: recorded
+                buf[100000] = 1u8;   // wild: segfault
+            }"#,
+            &[],
+        );
+        assert!(r.outcome.is_segfault());
+        assert_eq!(r.mem_errors.len(), 1);
+    }
+
+    #[test]
+    fn error_and_abort_outcomes() {
+        let r = run_concrete("fn main() { error(\"bad field\"); }", &[]);
+        assert_eq!(r.outcome, Outcome::InputRejected("bad field".into()));
+        let r = run_concrete("fn main() { warn(\"hmm\"); abort(\"boom\"); }", &[]);
+        assert_eq!(r.outcome, Outcome::Aborted("boom".into()));
+        assert_eq!(r.warnings, vec!["hmm".to_string()]);
+    }
+
+    #[test]
+    fn alloc_failure_null_vs_abort() {
+        let r = run_concrete(
+            r#"fn main() {
+                p = alloc("t@1", 0xFFFFFFFF);
+                if p == 0 { error("oom"); }
+            }"#,
+            &[],
+        );
+        assert_eq!(r.outcome, Outcome::InputRejected("oom".into()));
+        assert!(r.allocs[0].failed);
+        let r = run_concrete("fn main() { p = alloc_abort(\"t@1\", 0xFFFFFFFF); }", &[]);
+        assert!(matches!(r.outcome, Outcome::Aborted(_)));
+    }
+
+    #[test]
+    fn null_deref_segfaults() {
+        let r = run_concrete(
+            r#"fn main() {
+                p = alloc("t@1", 0xFFFFFFFF);
+                p[0] = 1u8;
+            }"#,
+            &[],
+        );
+        assert!(r.outcome.is_segfault());
+    }
+
+    #[test]
+    fn fuel_bounds_infinite_loops() {
+        let mut cfg = MachineConfig::default();
+        cfg.fuel = 1000;
+        let r = run(
+            &parse("fn main() { while true { skip; } }").unwrap(),
+            &[],
+            Concrete,
+            &cfg,
+        );
+        assert_eq!(r.outcome, Outcome::OutOfFuel);
+    }
+
+    #[test]
+    fn sticky_overflow_reaches_alloc_record() {
+        // 16-bit field read as two bytes, multiplied to overflow at 32 bits.
+        let src = r#"fn main() {
+            w = zext32(in[0]) << 8 | zext32(in[1]);
+            h = zext32(in[2]) << 8 | zext32(in[3]);
+            size = (w * h) * 70000;
+            buf = alloc("t@1", size);
+        }"#;
+        let small = run_concrete(src, &[0, 2, 0, 2]); // 2*2*70000 fits
+        assert!(!small.allocs[0].size_ovf);
+        let big = run_concrete(src, &[0xff, 0xff, 0xff, 0xff]);
+        assert!(big.allocs[0].size_ovf);
+        assert!(big.overflowed_at(big.allocs[0].label));
+    }
+
+    #[test]
+    fn overflow_flag_propagates_through_memory() {
+        let src = r#"fn main() {
+            x = zext32(in[0]) * 0x40000000;   // overflows for in[0] >= 4
+            buf = alloc("stash@1", 4);
+            buf[0] = trunc8(x);
+            y = buf[0];
+            out = alloc("t@2", zext32(y) + 1);
+        }"#;
+        let r = run_concrete(src, &[200]);
+        assert_eq!(r.allocs.len(), 2);
+        assert!(r.allocs[1].size_ovf, "overflow flag must flow through the heap");
+    }
+
+    #[test]
+    fn taint_identifies_relevant_bytes() {
+        let src = r#"fn main() {
+            w = zext32(in[4]) << 8 | zext32(in[5]);
+            pad = in[9];
+            buf = alloc("t@1", w * 4);
+        }"#;
+        let r = run(
+            &parse(src).unwrap(),
+            &[0; 16],
+            Taint,
+            &MachineConfig::default(),
+        );
+        assert_eq!(r.allocs[0].size_tag.labels(), &[4, 5]);
+    }
+
+    #[test]
+    fn symbolic_records_target_expression() {
+        let src = r#"fn main() {
+            w = zext32(in[0]) << 8 | zext32(in[1]);
+            buf = alloc("t@1", w * 8);
+        }"#;
+        let r = run(
+            &parse(src).unwrap(),
+            &[0x01, 0x10],
+            Symbolic::all_bytes(),
+            &MachineConfig::default(),
+        );
+        let expr = r.allocs[0].size_tag.as_ref().expect("symbolic size");
+        // Expression evaluates correctly on arbitrary inputs.
+        assert_eq!(expr.eval(&|o| [0x01, 0x10][o as usize]).value(), 0x110 * 8);
+        assert_eq!(expr.eval(&|o| [0xff, 0xff][o as usize]).value(), 0xffff * 8);
+        assert_eq!(expr.input_bytes(), &[0, 1]);
+    }
+
+    #[test]
+    fn branch_observations_record_phi() {
+        let src = r#"fn main() {
+            w = zext32(in[0]);
+            if w > 100 { error("too big"); }
+            i = 0;
+            while i < 3 { i = i + 1; }
+            buf = alloc("t@1", w);
+        }"#;
+        let r = run(
+            &parse(src).unwrap(),
+            &[50],
+            Symbolic::all_bytes(),
+            &MachineConfig::default(),
+        );
+        assert_eq!(r.outcome, Outcome::Completed);
+        // 1 if + 4 while evaluations (3 taken + 1 exit).
+        assert_eq!(r.branches.len(), 5);
+        let sanity = &r.branches[0];
+        assert!(!sanity.taken);
+        let c = sanity.constraint.as_ref().expect("tainted condition");
+        // Oriented: holds for inputs that take the same direction.
+        assert!(c.eval(&|_| 50));
+        assert!(!c.eval(&|_| 200));
+        // Loop branches are untainted.
+        assert!(r.branches[1].constraint.is_none());
+        // The alloc saw all 5 branch observations before it.
+        assert_eq!(r.allocs[0].branches_before, 5);
+    }
+
+    #[test]
+    fn short_circuit_condition_constraints() {
+        let src = r#"fn main() {
+            a = zext32(in[0]);
+            b = zext32(in[1]);
+            if a > 10 && b > 20 { x = 1; } else { x = 2; }
+        }"#;
+        // a = 5: second conjunct not evaluated; constraint must only
+        // mention byte 0.
+        let r = run(
+            &parse(src).unwrap(),
+            &[5, 0],
+            Symbolic::all_bytes(),
+            &MachineConfig::default(),
+        );
+        let c = r.branches[0].constraint.as_ref().unwrap();
+        assert_eq!(c.input_bytes(), vec![0]);
+        // a = 15, b = 25: both atoms evaluated and oriented true.
+        let r = run(
+            &parse(src).unwrap(),
+            &[15, 25],
+            Symbolic::all_bytes(),
+            &MachineConfig::default(),
+        );
+        let c = r.branches[0].constraint.as_ref().unwrap();
+        assert_eq!(c.input_bytes(), vec![0, 1]);
+        assert!(c.eval(&|o| [15, 25][o as usize]));
+        assert!(!c.eval(&|o| [15, 5][o as usize]));
+    }
+
+    #[test]
+    fn crc_intrinsic_checks_input_checksum() {
+        let mut input = vec![b'a', b'b', b'c', b'd'];
+        let crc = diode_lang::checksum::crc32(&input);
+        input.extend_from_slice(&crc.to_be_bytes());
+        let src = r#"fn main() {
+            if !crc32_ok(0, 4, 4) { error("bad crc"); }
+        }"#;
+        let r = run_concrete(src, &input);
+        assert_eq!(r.outcome, Outcome::Completed);
+        let mut corrupted = input.clone();
+        corrupted[1] ^= 1;
+        let r = run_concrete(src, &corrupted);
+        assert_eq!(r.outcome, Outcome::InputRejected("bad crc".into()));
+    }
+
+    #[test]
+    fn runtime_errors_are_reported_not_panicking() {
+        let r = run_concrete("fn main() { x = y + 1; }", &[]);
+        assert!(matches!(r.outcome, Outcome::RuntimeError(m) if m.contains("unbound")));
+        let r = run_concrete("fn main() { x = 1u8 + 1u16; }", &[]);
+        assert!(matches!(r.outcome, Outcome::RuntimeError(m) if m.contains("width mismatch")));
+        let r = run_concrete("fn main() { x = 1; x[0] = 1u8; }", &[]);
+        assert!(matches!(r.outcome, Outcome::RuntimeError(_)));
+    }
+
+    #[test]
+    fn branch_recording_can_be_disabled() {
+        let mut cfg = MachineConfig::default();
+        cfg.record_branches = false;
+        let r = run(
+            &parse("fn main() { i = 0; while i < 10 { i = i + 1; } }").unwrap(),
+            &[],
+            Concrete,
+            &cfg,
+        );
+        assert!(r.branches.is_empty());
+        assert_eq!(r.outcome, Outcome::Completed);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the interpreter: the three shadow policies agree
+//! with each other and with the recorded symbolic artefacts.
+//!
+//! These validate the Figure 4–6 semantics pairing: for every run, the
+//! concrete half and the symbolic half of each value must describe the
+//! same computation.
+
+use diode_interp::{run, Concrete, MachineConfig, Symbolic, Taint};
+use diode_lang::parse;
+use proptest::prelude::*;
+
+/// A parametric parser: reads fields, checks one of them, computes a
+/// derived size, allocates and touches the buffer.
+const PROGRAM: &str = r#"
+    fn main() {
+        a = zext32(in[0]) << 8 | zext32(in[1]);
+        b = zext32(in[2]);
+        c = zext32(in[3]) | zext32(in[4]) << 8;
+        if a > 60000 { error("a out of range"); }
+        size = (a * b + 7 >> 3) * c + 16;
+        buf = alloc("prop@7", size);
+        if buf == 0 { error("oom"); }
+        i = 0;
+        while i < size && i < 64 {
+            buf[zext64(i)] = trunc8(i & 0xff);
+            i = i + 1;
+        }
+        x = buf[0u64];
+        free(buf);
+    }
+"#;
+
+fn reference_size(input: &[u8; 5]) -> (u32, bool) {
+    let a = u32::from(input[0]) << 8 | u32::from(input[1]);
+    let b = u32::from(input[2]);
+    let c = u32::from(input[3]) | u32::from(input[4]) << 8;
+    let (ab, o1) = a.overflowing_mul(b);
+    let (ab7, o2) = ab.overflowing_add(7);
+    let rb = ab7 >> 3;
+    let (rc, o3) = rb.overflowing_mul(c);
+    let (s, o4) = rc.overflowing_add(16);
+    (s, o1 | o2 | o3 | o4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn shadows_agree_on_outcome_and_sizes(input: [u8; 5]) {
+        let program = parse(PROGRAM).unwrap();
+        let cfg = MachineConfig::default();
+        let concrete = run(&program, &input, Concrete, &cfg);
+        let taint = run(&program, &input, Taint, &cfg);
+        let symbolic = run(&program, &input, Symbolic::all_bytes(), &cfg);
+
+        prop_assert_eq!(&concrete.outcome, &taint.outcome);
+        prop_assert_eq!(&concrete.outcome, &symbolic.outcome);
+        prop_assert_eq!(concrete.allocs.len(), symbolic.allocs.len());
+        prop_assert_eq!(concrete.steps, symbolic.steps);
+
+        for (c, s) in concrete.allocs.iter().zip(&symbolic.allocs) {
+            prop_assert_eq!(c.size, s.size);
+            prop_assert_eq!(c.size_ovf, s.size_ovf);
+        }
+    }
+
+    #[test]
+    fn sticky_overflow_matches_reference(input: [u8; 5]) {
+        let program = parse(PROGRAM).unwrap();
+        let cfg = MachineConfig::default();
+        let r = run(&program, &input, Concrete, &cfg);
+        if let Some(a) = r.allocs.first() {
+            let (size, ovf) = reference_size(&input);
+            prop_assert_eq!(a.size.value() as u32, size);
+            prop_assert_eq!(a.size_ovf, ovf);
+        }
+    }
+
+    #[test]
+    fn recorded_expression_replays_any_input(seed: [u8; 5], other: [u8; 5]) {
+        // Record on `seed`, then evaluate the recorded expression under
+        // `other`: it must predict the size the program would compute on
+        // `other` *when following the same path* — and for this
+        // straight-line size computation the path never changes.
+        let program = parse(PROGRAM).unwrap();
+        let cfg = MachineConfig::default();
+        let rec = run(&program, &seed, Symbolic::all_bytes(), &cfg);
+        prop_assume!(!rec.allocs.is_empty());
+        let expr = rec.allocs[0].size_tag.as_ref().expect("symbolic size");
+        let predicted = expr.eval(&|o| other[o as usize % 5]);
+        let (expected, expected_ovf) = reference_size(&other);
+        prop_assert_eq!(predicted.value() as u32, expected);
+        prop_assert_eq!(expr.eval_overflow(&|o| other[o as usize % 5]).1, expected_ovf);
+    }
+
+    #[test]
+    fn taint_labels_are_a_superset_of_symbolic_bytes(input: [u8; 5]) {
+        let program = parse(PROGRAM).unwrap();
+        let cfg = MachineConfig::default();
+        let taint = run(&program, &input, Taint, &cfg);
+        let symbolic = run(&program, &input, Symbolic::all_bytes(), &cfg);
+        for (t, s) in taint.allocs.iter().zip(&symbolic.allocs) {
+            if let Some(expr) = &s.size_tag {
+                // Symbolic simplification may drop dependence; taint never
+                // invents it the other way.
+                for b in expr.input_bytes() {
+                    prop_assert!(t.size_tag.labels().contains(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_constraints_hold_on_their_own_run(input: [u8; 5]) {
+        let program = parse(PROGRAM).unwrap();
+        let cfg = MachineConfig::default();
+        let r = run(&program, &input, Symbolic::all_bytes(), &cfg);
+        // Every recorded oriented branch constraint must be satisfied by
+        // the very input that produced it.
+        for obs in &r.branches {
+            if let Some(c) = &obs.constraint {
+                prop_assert!(
+                    c.eval(&|o| input[o as usize % 5]),
+                    "constraint {} not satisfied by its own run",
+                    c
+                );
+            }
+        }
+    }
+}

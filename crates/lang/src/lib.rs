@@ -1,0 +1,49 @@
+//! # diode-lang — the core imperative language of the DIODE paper
+//!
+//! This crate implements the core language of §3.1 (Figure 3) of
+//! *"Targeted Automatic Integer Overflow Discovery Using Goal-Directed
+//! Conditional Branch Enforcement"* (ASPLOS 2015): width-typed bitvector
+//! values ([`Bv`]), arithmetic and boolean expressions ([`Aexp`], [`Bexp`]),
+//! and labelled statements ([`Stmt`]) with dynamic memory allocation at
+//! *named target sites*.
+//!
+//! Programs are usually written in the textual concrete syntax and parsed
+//! with [`parse`]; see the [`parse`](mod@parse) module for the grammar. The
+//! [`pretty`] module renders programs back to source.
+//!
+//! The interpreter that gives this language its concrete *and symbolic*
+//! small-step semantics (Figures 4–6) lives in the `diode-interp` crate.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = diode_lang::parse(r#"
+//!     fn main() {
+//!         // read a 16-bit big-endian length field from the input
+//!         n = zext32(in[0]) << 8 | zext32(in[1]);
+//!         buf = alloc("demo.c@4", n * 4);   // target site
+//!         i = 0;
+//!         while i < n { buf[i] = 0u8; i = i + 1; }
+//!     }
+//! "#)?;
+//! assert_eq!(program.alloc_sites().len(), 1);
+//! assert_eq!(&*program.alloc_sites()[0].1, "demo.c@4");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod bv;
+pub mod checksum;
+pub mod parse;
+pub mod pretty;
+
+pub use ast::{
+    Aexp, Bexp, BinOp, Block, CastKind, CmpOp, Interner, Label, NoMainError, Proc, ProcId,
+    Program, Stmt, Symbol, UnOp,
+};
+pub use bv::{Bv, MAX_WIDTH};
+pub use parse::{parse, ParseError};

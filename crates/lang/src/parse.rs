@@ -1,0 +1,1223 @@
+//! Text front-end for the core language.
+//!
+//! Benchmark applications (crate `diode-apps`) are written as readable
+//! sources in this concrete syntax, closely mirroring the C excerpts of the
+//! paper's Figure 2. The grammar is a direct rendering of Figure 3 plus the
+//! extensions documented in [`crate::ast`]:
+//!
+//! ```text
+//! fn png_get_uint_31(off) {
+//!     v = zext32(in[off]) << 24u32 | zext32(in[off + 1u32]) << 16u32
+//!       | zext32(in[off + 2u32]) << 8u32 | zext32(in[off + 3u32]);
+//!     if v > 0x7fffffffu32 { error("PNG unsigned integer out of range"); }
+//!     return v;
+//! }
+//! ```
+//!
+//! Notable syntax:
+//! * integer literals default to 32 bits; a `u<N>` suffix selects any width
+//!   in 1..=64 (`255u8`, `1u1`, `0xffffu16`),
+//! * `in[e]` reads one input byte, `inlen` is the input length,
+//! * `zextN(e)`, `sextN(e)`, `truncN(e)` convert widths; `ashr(a, b)` is
+//!   the arithmetic shift; `slt/sle/sgt/sge(a, b)` are signed comparisons,
+//! * `x = alloc("site", e);` allocates at a named target site
+//!   (`alloc_abort` aborts instead of returning null on failure),
+//! * `crc32_ok(start, len, stored)` is the checksum-verification condition.
+
+use std::fmt;
+
+use crate::ast::{
+    Aexp, Bexp, BinOp, Block, CastKind, CmpOp, Interner, Label, Proc, ProcId, Program, Stmt, UnOp,
+};
+use crate::bv::Bv;
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete program from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem, an unknown
+/// procedure reference, or a missing `main`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let prog = diode_lang::parse(
+///     "fn main() { x = 1u32 + 2u32; buf = alloc(\"demo@1\", x); }",
+/// )?;
+/// assert_eq!(prog.alloc_sites().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser::new(&tokens);
+    parser.program()
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u128, Option<u8>),
+    Str(String),
+    KwFn,
+    KwSkip,
+    KwFree,
+    KwError,
+    KwWarn,
+    KwAbort,
+    KwReturn,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwTrue,
+    KwFalse,
+    KwIn,
+    KwInLen,
+    KwAlloc,
+    KwAllocAbort,
+    KwCrc32Ok,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+    macro_rules! adv {
+        ($n:expr) => {{
+            let n = $n;
+            i += n;
+            col += n as u32;
+        }};
+    }
+    while i < bytes.len() {
+        let (l, c) = (line, col);
+        let ch = bytes[i];
+        match ch {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => adv!(1),
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None | Some(b'\n') => {
+                            return Err(ParseError {
+                                line: l,
+                                col: c,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'"') => break,
+                        Some(b'\\') => {
+                            let esc = bytes.get(j + 1).copied().unwrap_or(b'?');
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'0' => '\0',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(ParseError {
+                                        line: l,
+                                        col: c,
+                                        msg: format!("unknown escape \\{}", other as char),
+                                    })
+                                }
+                            });
+                            j += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                let n = j + 1 - i;
+                adv!(n);
+                push!(Tok::Str(s), l, c);
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (value, digits_end) = if bytes[i] == b'0'
+                    && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X'))
+                {
+                    let mut j = i + 2;
+                    while j < bytes.len() && (bytes[j].is_ascii_hexdigit() || bytes[j] == b'_') {
+                        j += 1;
+                    }
+                    let text: String = src[start + 2..j].chars().filter(|&ch| ch != '_').collect();
+                    let v = u128::from_str_radix(&text, 16).map_err(|_| ParseError {
+                        line: l,
+                        col: c,
+                        msg: format!("invalid hex literal `{}`", &src[start..j]),
+                    })?;
+                    (v, j)
+                } else {
+                    let mut j = i;
+                    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                        j += 1;
+                    }
+                    let text: String = src[start..j].chars().filter(|&ch| ch != '_').collect();
+                    let v = text.parse::<u128>().map_err(|_| ParseError {
+                        line: l,
+                        col: c,
+                        msg: format!("invalid integer literal `{}`", &src[start..j]),
+                    })?;
+                    (v, j)
+                };
+                // Optional width suffix: u<digits>.
+                let mut j = digits_end;
+                let mut width = None;
+                if bytes.get(j) == Some(&b'u') {
+                    let mut k = j + 1;
+                    while k < bytes.len() && bytes[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    if k > j + 1 {
+                        let w: u32 = src[j + 1..k].parse().unwrap_or(0);
+                        if !(1..=64).contains(&w) {
+                            return Err(ParseError {
+                                line: l,
+                                col: c,
+                                msg: format!("width suffix u{w} out of range 1..=64"),
+                            });
+                        }
+                        width = Some(w as u8);
+                        j = k;
+                    }
+                }
+                let n = j - i;
+                adv!(n);
+                push!(Tok::Num(value, width), l, c);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                let tok = match word {
+                    "fn" => Tok::KwFn,
+                    "skip" => Tok::KwSkip,
+                    "free" => Tok::KwFree,
+                    "error" => Tok::KwError,
+                    "warn" => Tok::KwWarn,
+                    "abort" => Tok::KwAbort,
+                    "return" => Tok::KwReturn,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "true" => Tok::KwTrue,
+                    "false" => Tok::KwFalse,
+                    "in" => Tok::KwIn,
+                    "inlen" => Tok::KwInLen,
+                    "alloc" => Tok::KwAlloc,
+                    "alloc_abort" => Tok::KwAllocAbort,
+                    "crc32_ok" => Tok::KwCrc32Ok,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                let n = j - i;
+                adv!(n);
+                push!(tok, l, c);
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, n) = match two {
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::NotEq, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => match ch {
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'[' => (Tok::LBracket, 1),
+                        b']' => (Tok::RBracket, 1),
+                        b',' => (Tok::Comma, 1),
+                        b';' => (Tok::Semi, 1),
+                        b'=' => (Tok::Assign, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'/' => (Tok::Slash, 1),
+                        b'%' => (Tok::Percent, 1),
+                        b'&' => (Tok::Amp, 1),
+                        b'|' => (Tok::Pipe, 1),
+                        b'^' => (Tok::Caret, 1),
+                        b'~' => (Tok::Tilde, 1),
+                        b'!' => (Tok::Bang, 1),
+                        other => {
+                            return Err(ParseError {
+                                line: l,
+                                col: c,
+                                msg: format!("unexpected character `{}`", other as char),
+                            })
+                        }
+                    },
+                };
+                adv!(n);
+                push!(tok, l, c);
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'t> {
+    toks: &'t [Spanned],
+    pos: usize,
+    interner: Interner,
+    next_label: u32,
+    proc_names: Vec<String>,
+}
+
+impl<'t> Parser<'t> {
+    fn new(toks: &'t [Spanned]) -> Self {
+        // Pre-scan for procedure names so forward calls resolve.
+        let mut proc_names = Vec::new();
+        for w in toks.windows(2) {
+            if w[0].tok == Tok::KwFn {
+                if let Tok::Ident(name) = &w[1].tok {
+                    proc_names.push(name.clone());
+                }
+            }
+        }
+        Parser {
+            toks,
+            pos: 0,
+            interner: Interner::new(),
+            next_label: 0,
+            proc_names,
+        }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let s = &self.toks[self.pos];
+        (s.line, s.col)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        })
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut procs = Vec::new();
+        while *self.peek() != Tok::Eof {
+            procs.push(self.proc()?);
+        }
+        let n_labels = self.next_label;
+        Program::from_parts(procs, std::mem::take(&mut self.interner), n_labels)
+            .map_err(|e| ParseError {
+                line: 1,
+                col: 1,
+                msg: e.to_string(),
+            })
+    }
+
+    fn proc(&mut self) -> Result<Proc, ParseError> {
+        self.expect(&Tok::KwFn, "`fn`")?;
+        let name = self.ident("procedure name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let p = self.ident("parameter name")?;
+                params.push(self.interner.intern(&p));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(Proc { name, params, body })
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // consume `}`
+        Ok(Block(stmts))
+    }
+
+    fn proc_id(&self, name: &str) -> Option<ProcId> {
+        self.proc_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ProcId(i as u32))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::KwSkip => {
+                self.bump();
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Skip(self.fresh_label()))
+            }
+            Tok::KwFree => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let name = self.ident("pointer variable")?;
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Free(self.fresh_label(), self.interner.intern(&name)))
+            }
+            Tok::KwError | Tok::KwWarn | Tok::KwAbort => {
+                let kind = self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let msg = match self.bump() {
+                    Tok::Str(s) => s,
+                    other => return self.err(format!("expected string, found {other:?}")),
+                };
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::Semi, "`;`")?;
+                let label = self.fresh_label();
+                Ok(match kind {
+                    Tok::KwError => Stmt::Error(label, msg),
+                    Tok::KwWarn => Stmt::Warn(label, msg),
+                    _ => Stmt::Abort(label, msg),
+                })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.aexp()?)
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Return(self.fresh_label(), value))
+            }
+            Tok::KwIf => {
+                self.bump();
+                let label = self.fresh_label();
+                let cond = self.bexp()?;
+                let then_blk = self.block()?;
+                let else_blk = if *self.peek() == Tok::KwElse {
+                    self.bump();
+                    if *self.peek() == Tok::KwIf {
+                        Block(vec![self.stmt()?])
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Block::new()
+                };
+                Ok(Stmt::If {
+                    label,
+                    cond,
+                    then_blk,
+                    else_blk,
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                let label = self.fresh_label();
+                let cond = self.bexp()?;
+                let body = self.block()?;
+                Ok(Stmt::While { label, cond, body })
+            }
+            Tok::Ident(name) => {
+                // Call without destination: `f(args);`
+                if *self.peek2() == Tok::LParen {
+                    if let Some(proc) = self.proc_id(&name) {
+                        self.bump();
+                        let args = self.call_args()?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        return Ok(Stmt::Call {
+                            label: self.fresh_label(),
+                            dst: None,
+                            proc,
+                            args,
+                        });
+                    }
+                    return self.err(format!("unknown procedure `{name}`"));
+                }
+                // Store: `p[e] = e;`
+                if *self.peek2() == Tok::LBracket {
+                    self.bump();
+                    self.bump();
+                    let offset = self.aexp()?;
+                    self.expect(&Tok::RBracket, "`]`")?;
+                    self.expect(&Tok::Assign, "`=`")?;
+                    let value = self.aexp()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    return Ok(Stmt::Store {
+                        label: self.fresh_label(),
+                        base: self.interner.intern(&name),
+                        offset,
+                        value,
+                    });
+                }
+                // Assignment family: `x = …;`
+                self.bump();
+                self.expect(&Tok::Assign, "`=`")?;
+                let dst = self.interner.intern(&name);
+                match self.peek().clone() {
+                    Tok::KwAlloc | Tok::KwAllocAbort => {
+                        let abort_on_fail = *self.peek() == Tok::KwAllocAbort;
+                        self.bump();
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let site = match self.bump() {
+                            Tok::Str(s) => s,
+                            other => {
+                                return self
+                                    .err(format!("expected site name string, found {other:?}"))
+                            }
+                        };
+                        self.expect(&Tok::Comma, "`,`")?;
+                        let size = self.aexp()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        Ok(Stmt::Alloc {
+                            label: self.fresh_label(),
+                            site: site.into(),
+                            dst,
+                            size,
+                            abort_on_fail,
+                        })
+                    }
+                    Tok::Ident(rhs_name) if *self.peek2() == Tok::LParen => {
+                        if let Some(proc) = self.proc_id(&rhs_name) {
+                            self.bump();
+                            let args = self.call_args()?;
+                            self.expect(&Tok::Semi, "`;`")?;
+                            Ok(Stmt::Call {
+                                label: self.fresh_label(),
+                                dst: Some(dst),
+                                proc,
+                                args,
+                            })
+                        } else {
+                            // Builtin expression such as zext32(...).
+                            let rhs = self.aexp()?;
+                            self.expect(&Tok::Semi, "`;`")?;
+                            Ok(Stmt::Assign(self.fresh_label(), dst, rhs))
+                        }
+                    }
+                    Tok::Ident(base_name) if *self.peek2() == Tok::LBracket => {
+                        self.bump();
+                        self.bump();
+                        let offset = self.aexp()?;
+                        self.expect(&Tok::RBracket, "`]`")?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        Ok(Stmt::Load {
+                            label: self.fresh_label(),
+                            dst,
+                            base: self.interner.intern(&base_name),
+                            offset,
+                        })
+                    }
+                    _ => {
+                        let rhs = self.aexp()?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        Ok(Stmt::Assign(self.fresh_label(), dst, rhs))
+                    }
+                }
+            }
+            other => self.err(format!("expected statement, found {other:?}")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Aexp>, ParseError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.aexp()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    // ----- boolean expressions ---------------------------------------------
+
+    fn bexp(&mut self) -> Result<Bexp, ParseError> {
+        let mut lhs = self.band()?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            let rhs = self.band()?;
+            lhs = Bexp::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn band(&mut self) -> Result<Bexp, ParseError> {
+        let mut lhs = self.bunary()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            let rhs = self.bunary()?;
+            lhs = Bexp::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bunary(&mut self) -> Result<Bexp, ParseError> {
+        if *self.peek() == Tok::Bang {
+            self.bump();
+            return Ok(Bexp::Not(Box::new(self.bunary()?)));
+        }
+        self.batom()
+    }
+
+    fn batom(&mut self) -> Result<Bexp, ParseError> {
+        match self.peek().clone() {
+            Tok::KwTrue => {
+                self.bump();
+                Ok(Bexp::Const(true))
+            }
+            Tok::KwFalse => {
+                self.bump();
+                Ok(Bexp::Const(false))
+            }
+            Tok::KwCrc32Ok => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let start = self.aexp()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let len = self.aexp()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let stored = self.aexp()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Bexp::Crc32Ok {
+                    start: Box::new(start),
+                    len: Box::new(len),
+                    stored: Box::new(stored),
+                })
+            }
+            Tok::Ident(name)
+                if *self.peek2() == Tok::LParen
+                    && matches!(name.as_str(), "slt" | "sle" | "sgt" | "sge") =>
+            {
+                self.bump();
+                self.expect(&Tok::LParen, "`(`")?;
+                let a = self.aexp()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let b = self.aexp()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                let op = match name.as_str() {
+                    "slt" => CmpOp::Slt,
+                    "sle" => CmpOp::Sle,
+                    "sgt" => CmpOp::Sgt,
+                    _ => CmpOp::Sge,
+                };
+                Ok(Bexp::cmp(op, a, b))
+            }
+            Tok::LParen => {
+                // Could be a parenthesised Bexp or the left operand of a
+                // comparison. Try the boolean reading first; backtrack.
+                let snapshot = (self.pos, self.next_label);
+                self.bump();
+                if let Ok(inner) = self.bexp() {
+                    if *self.peek() == Tok::RParen {
+                        self.bump();
+                        // Must not be followed by a comparison operator: then
+                        // it was really an arithmetic grouping.
+                        if self.cmp_op().is_none() {
+                            return Ok(inner);
+                        }
+                    }
+                }
+                self.pos = snapshot.0;
+                self.next_label = snapshot.1;
+                self.cmp_atom()
+            }
+            _ => self.cmp_atom(),
+        }
+    }
+
+    fn cmp_op(&self) -> Option<CmpOp> {
+        match self.peek() {
+            Tok::EqEq => Some(CmpOp::Eq),
+            Tok::NotEq => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Ult),
+            Tok::Le => Some(CmpOp::Ule),
+            Tok::Gt => Some(CmpOp::Ugt),
+            Tok::Ge => Some(CmpOp::Uge),
+            _ => None,
+        }
+    }
+
+    fn cmp_atom(&mut self) -> Result<Bexp, ParseError> {
+        let lhs = self.aexp()?;
+        let Some(op) = self.cmp_op() else {
+            return self.err(format!(
+                "expected comparison operator, found {:?}",
+                self.peek()
+            ));
+        };
+        self.bump();
+        let rhs = self.aexp()?;
+        Ok(Bexp::cmp(op, lhs, rhs))
+    }
+
+    // ----- arithmetic expressions (C-like precedence) ----------------------
+
+    fn aexp(&mut self) -> Result<Aexp, ParseError> {
+        self.bitor()
+    }
+
+    fn bitor(&mut self) -> Result<Aexp, ParseError> {
+        let mut lhs = self.bitxor()?;
+        while *self.peek() == Tok::Pipe {
+            self.bump();
+            lhs = Aexp::bin(BinOp::Or, lhs, self.bitxor()?);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor(&mut self) -> Result<Aexp, ParseError> {
+        let mut lhs = self.bitand()?;
+        while *self.peek() == Tok::Caret {
+            self.bump();
+            lhs = Aexp::bin(BinOp::Xor, lhs, self.bitand()?);
+        }
+        Ok(lhs)
+    }
+
+    fn bitand(&mut self) -> Result<Aexp, ParseError> {
+        let mut lhs = self.shift()?;
+        while *self.peek() == Tok::Amp {
+            self.bump();
+            lhs = Aexp::bin(BinOp::And, lhs, self.shift()?);
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Aexp, ParseError> {
+        let mut lhs = self.addsub()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::LShr,
+                _ => break,
+            };
+            self.bump();
+            lhs = Aexp::bin(op, lhs, self.addsub()?);
+        }
+        Ok(lhs)
+    }
+
+    fn addsub(&mut self) -> Result<Aexp, ParseError> {
+        let mut lhs = self.muldiv()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            lhs = Aexp::bin(op, lhs, self.muldiv()?);
+        }
+        Ok(lhs)
+    }
+
+    fn muldiv(&mut self) -> Result<Aexp, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::UDiv,
+                Tok::Percent => BinOp::URem,
+                _ => break,
+            };
+            self.bump();
+            lhs = Aexp::bin(op, lhs, self.unary()?);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Aexp, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Aexp::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Aexp::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Aexp, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(value, width) => {
+                self.bump();
+                let w = width.unwrap_or(32);
+                if value > Bv::mask(w) {
+                    return self.err(format!("literal {value} does not fit in u{w}"));
+                }
+                Ok(Aexp::Const(Bv::new(w, value)))
+            }
+            Tok::KwInLen => {
+                self.bump();
+                Ok(Aexp::InLen)
+            }
+            Tok::KwIn => {
+                self.bump();
+                self.expect(&Tok::LBracket, "`[`")?;
+                let idx = self.aexp()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                Ok(Aexp::InByte(Box::new(idx)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.aexp()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Tok::Ident(name) => {
+                if *self.peek2() == Tok::LParen {
+                    if let Some((kind, width)) = parse_cast_name(&name) {
+                        self.bump();
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let inner = self.aexp()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        return Ok(Aexp::Cast(kind, width, Box::new(inner)));
+                    }
+                    if name == "ashr" {
+                        self.bump();
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let a = self.aexp()?;
+                        self.expect(&Tok::Comma, "`,`")?;
+                        let b = self.aexp()?;
+                        self.expect(&Tok::RParen, "`)`")?;
+                        return Ok(Aexp::bin(BinOp::AShr, a, b));
+                    }
+                    return self.err(format!("unknown builtin `{name}` in expression"));
+                }
+                self.bump();
+                Ok(Aexp::Var(self.interner.intern(&name)))
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+fn parse_cast_name(name: &str) -> Option<(CastKind, u8)> {
+    let (kind, rest) = if let Some(rest) = name.strip_prefix("zext") {
+        (CastKind::Zext, rest)
+    } else if let Some(rest) = name.strip_prefix("sext") {
+        (CastKind::Sext, rest)
+    } else if let Some(rest) = name.strip_prefix("trunc") {
+        (CastKind::Trunc, rest)
+    } else {
+        return None;
+    };
+    let width: u8 = rest.parse().ok()?;
+    (1..=64).contains(&width).then_some((kind, width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_main(body: &str) -> Program {
+        parse(&format!("fn main() {{ {body} }}")).expect("parse failed")
+    }
+
+    fn main_stmts(p: &Program) -> &[Stmt] {
+        p.proc(p.entry()).body.stmts()
+    }
+
+    #[test]
+    fn parses_literals_with_widths() {
+        let p = parse_main("x = 255u8; y = 0xffffu16; z = 7; w = 1_000_000;");
+        let s = main_stmts(&p);
+        match &s[0] {
+            Stmt::Assign(_, _, Aexp::Const(bv)) => assert_eq!(*bv, Bv::new(8, 255)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s[1] {
+            Stmt::Assign(_, _, Aexp::Const(bv)) => assert_eq!(*bv, Bv::new(16, 0xffff)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s[2] {
+            Stmt::Assign(_, _, Aexp::Const(bv)) => assert_eq!(*bv, Bv::u32(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s[3] {
+            Stmt::Assign(_, _, Aexp::Const(bv)) => assert_eq!(*bv, Bv::u32(1_000_000)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_literal_too_wide_for_suffix() {
+        let err = parse("fn main() { x = 256u8; }").unwrap_err();
+        assert!(err.msg.contains("does not fit"), "{}", err.msg);
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let p = parse_main("x = 1 + 2 * 3;");
+        match &main_stmts(&p)[0] {
+            Stmt::Assign(_, _, Aexp::Bin(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Aexp::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_shift_before_and() {
+        let p = parse_main("x = a << 8 & b;");
+        match &main_stmts(&p)[0] {
+            Stmt::Assign(_, _, Aexp::Bin(BinOp::And, lhs, _)) => {
+                assert!(matches!(**lhs, Aexp::Bin(BinOp::Shl, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_input_and_casts() {
+        let p = parse_main("x = zext32(in[4]) << 24; y = trunc8(x); z = sext16(y);");
+        let s = main_stmts(&p);
+        match &s[0] {
+            Stmt::Assign(_, _, Aexp::Bin(BinOp::Shl, lhs, _)) => match &**lhs {
+                Aexp::Cast(CastKind::Zext, 32, inner) => {
+                    assert!(matches!(**inner, Aexp::InByte(_)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            &s[1],
+            Stmt::Assign(_, _, Aexp::Cast(CastKind::Trunc, 8, _))
+        ));
+        assert!(matches!(
+            &s[2],
+            Stmt::Assign(_, _, Aexp::Cast(CastKind::Sext, 16, _))
+        ));
+    }
+
+    #[test]
+    fn parses_alloc_and_memory_ops() {
+        let p = parse_main(
+            "buf = alloc(\"png.c@203\", 16); buf[0] = 5u8; x = buf[0]; free(buf); \
+             big = alloc_abort(\"jpeg.c@192\", 32);",
+        );
+        let s = main_stmts(&p);
+        assert!(matches!(
+            &s[0],
+            Stmt::Alloc {
+                abort_on_fail: false,
+                ..
+            }
+        ));
+        assert!(matches!(&s[1], Stmt::Store { .. }));
+        assert!(matches!(&s[2], Stmt::Load { .. }));
+        assert!(matches!(&s[3], Stmt::Free(_, _)));
+        assert!(matches!(
+            &s[4],
+            Stmt::Alloc {
+                abort_on_fail: true,
+                ..
+            }
+        ));
+        let sites = p.alloc_sites();
+        assert_eq!(&*sites[0].1, "png.c@203");
+        assert_eq!(&*sites[1].1, "jpeg.c@192");
+    }
+
+    #[test]
+    fn parses_control_flow_and_calls() {
+        let src = r#"
+            fn helper(a, b) { return a + b; }
+            fn main() {
+                x = helper(1, 2);
+                if x > 2 { warn("big"); } else if x == 1 { skip; } else { error("small"); }
+                while x != 0 { x = x - 1; }
+                helper(3, 4);
+                abort("done");
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let s = main_stmts(&p);
+        assert!(matches!(&s[0], Stmt::Call { dst: Some(_), .. }));
+        assert!(matches!(&s[1], Stmt::If { .. }));
+        assert!(matches!(&s[2], Stmt::While { .. }));
+        assert!(matches!(&s[3], Stmt::Call { dst: None, .. }));
+        assert!(matches!(&s[4], Stmt::Abort(_, _)));
+    }
+
+    #[test]
+    fn forward_calls_resolve() {
+        let src = "fn main() { y = later(1); } fn later(v) { return v; }";
+        let p = parse(src).unwrap();
+        match &main_stmts(&p)[0] {
+            Stmt::Call { proc, .. } => assert_eq!(p.proc(*proc).name, "later"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let p = parse_main("if (a < b || c == d) && !(e >= f) { skip; }");
+        match &main_stmts(&p)[0] {
+            Stmt::If { cond, .. } => match cond {
+                Bexp::And(lhs, rhs) => {
+                    assert!(matches!(**lhs, Bexp::Or(_, _)));
+                    assert!(matches!(**rhs, Bexp::Not(_)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesised_arith_on_cmp_lhs() {
+        let p = parse_main("if (a + b) * 2 > c { skip; }");
+        match &main_stmts(&p)[0] {
+            Stmt::If { cond, .. } => {
+                assert!(matches!(cond, Bexp::Cmp(CmpOp::Ugt, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signed_compare_builtins() {
+        let p = parse_main("if slt(a, b) || sge(c, d) { skip; }");
+        match &main_stmts(&p)[0] {
+            Stmt::If { cond, .. } => match cond {
+                Bexp::Or(lhs, rhs) => {
+                    assert!(matches!(**lhs, Bexp::Cmp(CmpOp::Slt, _, _)));
+                    assert!(matches!(**rhs, Bexp::Cmp(CmpOp::Sge, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_ok_condition() {
+        let p = parse_main("if !crc32_ok(8, 13, 25) { error(\"bad crc\"); }");
+        match &main_stmts(&p)[0] {
+            Stmt::If { cond, .. } => {
+                assert!(matches!(cond, Bexp::Not(inner) if matches!(**inner, Bexp::Crc32Ok { .. })));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_dense() {
+        let src = "fn main() { x = 1; if x > 0 { y = 2; } while x != 0 { x = x - 1; } }";
+        let p = parse(src).unwrap();
+        let mut labels = Vec::new();
+        fn walk(b: &Block, out: &mut Vec<u32>) {
+            for s in b.stmts() {
+                out.push(s.label().0);
+                match s {
+                    Stmt::If {
+                        then_blk, else_blk, ..
+                    } => {
+                        walk(then_blk, out);
+                        walk(else_blk, out);
+                    }
+                    Stmt::While { body, .. } => walk(body, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(&p.proc(p.entry()).body, &mut labels);
+        labels.sort_unstable();
+        let n = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "duplicate labels");
+        assert!(labels.iter().all(|&l| l < p.n_labels()));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("fn main() {\n  x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("expected expression"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse("fn main() {\n// leading comment\nx = 1; // trailing\n}").unwrap();
+        assert_eq!(main_stmts(&p).len(), 1);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = parse("fn main() { error(\"oops); }").unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+    }
+
+    #[test]
+    fn unknown_procedure_is_an_error() {
+        let err = parse("fn main() { nosuch(1); }").unwrap_err();
+        assert!(err.msg.contains("unknown procedure"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: Bv arithmetic agrees with reference u128 arithmetic,
+//! and overflow flags agree with ideal-result bounds.
+
+use diode_lang::Bv;
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(1u8), Just(8), Just(16), Just(31), Just(32), Just(33), Just(64)]
+}
+
+proptest! {
+    #[test]
+    fn add_matches_reference(w in arb_width(), a: u128, b: u128) {
+        let (x, y) = (Bv::new(w, a), Bv::new(w, b));
+        let (sum, ovf) = x.add(y);
+        let ideal = x.value() + y.value();
+        prop_assert_eq!(sum.value(), ideal & Bv::mask(w));
+        prop_assert_eq!(ovf, ideal > Bv::mask(w));
+    }
+
+    #[test]
+    fn sub_matches_reference(w in arb_width(), a: u128, b: u128) {
+        let (x, y) = (Bv::new(w, a), Bv::new(w, b));
+        let (diff, borrow) = x.sub(y);
+        prop_assert_eq!(borrow, x.value() < y.value());
+        let (s2, _) = diff.add(y);
+        prop_assert_eq!(s2.value(), x.value(), "a - b + b == a");
+    }
+
+    #[test]
+    fn mul_matches_reference(w in arb_width(), a: u128, b: u128) {
+        let (x, y) = (Bv::new(w, a), Bv::new(w, b));
+        let (prod, ovf) = x.mul(y);
+        let ideal = x.value() * y.value();
+        prop_assert_eq!(prod.value(), ideal & Bv::mask(w));
+        prop_assert_eq!(ovf, ideal > Bv::mask(w));
+    }
+
+    #[test]
+    fn div_rem_reconstruct(w in arb_width(), a: u128, b: u128) {
+        let (x, y) = (Bv::new(w, a), Bv::new(w, b));
+        prop_assume!(!y.is_zero());
+        let q = x.udiv(y);
+        let r = x.urem(y);
+        prop_assert!(r.value() < y.value());
+        prop_assert_eq!(q.value() * y.value() + r.value(), x.value());
+    }
+
+    #[test]
+    fn shifts_match_reference(w in arb_width(), a: u128, k in 0u128..80) {
+        let x = Bv::new(w, a);
+        let kk = Bv::new(w, k & Bv::mask(w));
+        let (shl, ovf) = x.shl(kk);
+        if kk.value() >= u128::from(w) {
+            prop_assert_eq!(shl.value(), 0);
+            prop_assert_eq!(ovf, !x.is_zero());
+        } else {
+            let ideal = x.value() << kk.value();
+            prop_assert_eq!(shl.value(), ideal & Bv::mask(w));
+            prop_assert_eq!(ovf, ideal > Bv::mask(w));
+            prop_assert_eq!(x.lshr(kk).value(), x.value() >> kk.value());
+        }
+    }
+
+    #[test]
+    fn signed_interpretation_roundtrips(w in arb_width(), a: u128) {
+        let x = Bv::new(w, a);
+        let s = x.as_signed();
+        prop_assert_eq!(Bv::new(w, s as u128).value(), x.value());
+        if w > 1 {
+            prop_assert!(s < (1i128 << (w - 1)));
+            prop_assert!(s >= -(1i128 << (w - 1)));
+        }
+    }
+
+    #[test]
+    fn zext_trunc_roundtrip(a: u32) {
+        let x = Bv::new(32, u128::from(a));
+        let wide = x.zext(64);
+        let (back, lost) = wide.trunc(32);
+        prop_assert_eq!(back, x);
+        prop_assert!(!lost);
+    }
+
+    #[test]
+    fn comparisons_are_total_orders(w in arb_width(), a: u128, b: u128) {
+        let (x, y) = (Bv::new(w, a), Bv::new(w, b));
+        prop_assert_eq!(x.ult(y), x.value() < y.value());
+        prop_assert_eq!(x.ule(y), x.value() <= y.value());
+        prop_assert_eq!(x.slt(y), x.as_signed() < y.as_signed());
+        prop_assert_eq!(x.sle(y), x.as_signed() <= y.as_signed());
+    }
+}

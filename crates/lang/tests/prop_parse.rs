@@ -1,0 +1,43 @@
+//! Property test: the pretty-printer and parser are mutually consistent —
+//! parse(pretty(p)) pretty-prints identically (printing is a canonical
+//! form).
+
+use diode_lang::{parse, pretty};
+use proptest::prelude::*;
+
+/// Generates random (valid) statement sequences textually.
+fn arb_stmt() -> impl Strategy<Value = String> {
+    let var = prop_oneof![Just("x"), Just("y"), Just("z"), Just("acc")];
+    let num = 0u32..10000;
+    let expr = (var.clone(), num.clone(), 0usize..6).prop_map(|(v, n, op)| match op {
+        0 => format!("{v} + {n}"),
+        1 => format!("{v} * {n}"),
+        2 => format!("({v} - {n}) ^ {n}"),
+        3 => format!("zext64({v})"),
+        4 => format!("in[{n}]"),
+        _ => format!("{v} >> 3 | {n}"),
+    });
+    prop_oneof![
+        (var.clone(), expr.clone()).prop_map(|(v, e)| format!("{v} = {e};")),
+        (var.clone(), num.clone()).prop_map(|(v, n)| format!("if {v} > {n} {{ warn(\"w\"); }}")),
+        (var.clone(), num.clone())
+            .prop_map(|(v, n)| format!("while {v} < {n} {{ {v} = {v} + 1; }}")),
+        Just("skip;".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn pretty_parse_is_canonical(stmts in proptest::collection::vec(arb_stmt(), 1..12)) {
+        let src = format!(
+            "fn main() {{ x = 1; y = 2; z = 3; acc = 0; {} }}",
+            stmts.join(" ")
+        );
+        let p1 = parse(&src).expect("generated program parses");
+        let printed1 = pretty::program(&p1);
+        let p2 = parse(&printed1).expect("pretty output reparses");
+        let printed2 = pretty::program(&p2);
+        prop_assert_eq!(printed1, printed2);
+    }
+}

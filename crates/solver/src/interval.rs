@@ -1,0 +1,484 @@
+//! Unsigned-interval pre-analysis.
+//!
+//! A cheap three-valued evaluation of conditions over unsigned value
+//! ranges. It decides many target constraints without touching the SAT
+//! core — e.g. `overflow(width16 * 4)` at width 32 is refuted immediately
+//! because the product is bounded by `0xFFFF * 4`. Used as an optional
+//! pre-solve step (and benchmarked as an ablation: see
+//! `diode-bench`).
+
+use std::collections::HashMap;
+
+use diode_lang::{BinOp, Bv, CastKind, CmpOp, UnOp};
+use diode_symbolic::{OvfKind, Sym, SymBool, SymExpr};
+
+/// An inclusive unsigned interval `[lo, hi]` of a `width`-bit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// Lower bound (inclusive).
+    pub lo: u128,
+    /// Upper bound (inclusive).
+    pub hi: u128,
+    /// Bit width of the value.
+    pub width: u8,
+}
+
+impl Range {
+    fn full(width: u8) -> Range {
+        Range {
+            lo: 0,
+            hi: Bv::mask(width),
+            width,
+        }
+    }
+
+    fn exact(bv: Bv) -> Range {
+        Range {
+            lo: bv.value(),
+            hi: bv.value(),
+            width: bv.width(),
+        }
+    }
+
+    fn new(lo: u128, hi: u128, width: u8) -> Range {
+        debug_assert!(lo <= hi && hi <= Bv::mask(width));
+        Range { lo, hi, width }
+    }
+
+    /// True if the interval contains exactly one value.
+    #[must_use]
+    pub fn is_singleton(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// Computes the unsigned range of an expression (conservative).
+#[must_use]
+pub fn expr_range(e: &SymExpr) -> Range {
+    let mut cache = HashMap::new();
+    range_rec(e, &mut cache)
+}
+
+fn range_rec(e: &SymExpr, cache: &mut HashMap<usize, Range>) -> Range {
+    let key = e.sym() as *const Sym as usize;
+    if let Some(r) = cache.get(&key) {
+        return *r;
+    }
+    let w = e.width();
+    let mask = Bv::mask(w);
+    let r = match e.sym() {
+        Sym::Const(bv) => Range::exact(*bv),
+        Sym::InputByte(_) => Range::new(0, 0xff, 8),
+        Sym::Un(op, a) => {
+            let ra = range_rec(a, cache);
+            match op {
+                // ~[lo,hi] = [~hi, ~lo] under the width mask.
+                UnOp::Not => Range::new(mask - ra.hi, mask - ra.lo, w),
+                UnOp::Neg => {
+                    if ra.lo == 0 && ra.hi == 0 {
+                        Range::exact(Bv::zero(w))
+                    } else if ra.lo > 0 {
+                        // -[lo,hi] = [2^w - hi, 2^w - lo]
+                        Range::new(mask + 1 - ra.hi, mask + 1 - ra.lo, w)
+                    } else {
+                        Range::full(w)
+                    }
+                }
+            }
+        }
+        Sym::Bin(op, a, b) => {
+            let ra = range_rec(a, cache);
+            let rb = range_rec(b, cache);
+            match op {
+                BinOp::Add => match (ra.lo.checked_add(rb.lo), ra.hi.checked_add(rb.hi)) {
+                    (Some(lo), Some(hi)) if hi <= mask => Range::new(lo, hi, w),
+                    _ => Range::full(w),
+                },
+                BinOp::Mul => match (ra.lo.checked_mul(rb.lo), ra.hi.checked_mul(rb.hi)) {
+                    (Some(lo), Some(hi)) if hi <= mask => Range::new(lo, hi, w),
+                    _ => Range::full(w),
+                },
+                BinOp::Sub => {
+                    if ra.lo >= rb.hi {
+                        Range::new(ra.lo - rb.hi, ra.hi - rb.lo, w)
+                    } else {
+                        Range::full(w)
+                    }
+                }
+                BinOp::UDiv => {
+                    if rb.lo > 0 {
+                        Range::new(ra.lo / rb.hi, ra.hi / rb.lo, w)
+                    } else {
+                        // Zero divisor possible: result may be all-ones.
+                        Range::full(w)
+                    }
+                }
+                BinOp::URem => {
+                    if rb.lo > 0 {
+                        Range::new(0, ra.hi.min(rb.hi - 1), w)
+                    } else {
+                        Range::new(0, ra.hi.max(rb.hi), w)
+                    }
+                }
+                BinOp::And => Range::new(0, ra.hi.min(rb.hi), w),
+                BinOp::Or | BinOp::Xor => {
+                    let top = ra.hi.max(rb.hi);
+                    let bits = 128 - top.leading_zeros();
+                    let hi = if bits >= 128 {
+                        mask
+                    } else {
+                        ((1u128 << bits) - 1).min(mask)
+                    };
+                    let lo = if *op == BinOp::Or {
+                        ra.lo.max(rb.lo)
+                    } else {
+                        0
+                    };
+                    Range::new(lo.min(hi), hi, w)
+                }
+                BinOp::Shl => match rb.is_singleton() {
+                    true if rb.lo < u128::from(w) => {
+                        let k = rb.lo as u32;
+                        match ra.hi.checked_shl(k) {
+                            Some(hi) if hi <= mask => Range::new(ra.lo << k, hi, w),
+                            _ => Range::full(w),
+                        }
+                    }
+                    _ => Range::full(w),
+                },
+                BinOp::LShr => Range::new(0, ra.hi, w),
+                BinOp::AShr => Range::full(w),
+            }
+        }
+        Sym::Cast(kind, cw, a) => {
+            let ra = range_rec(a, cache);
+            match kind {
+                CastKind::Zext => Range::new(ra.lo, ra.hi, *cw),
+                CastKind::Sext => {
+                    // Only safe when the sign bit is provably clear.
+                    if ra.hi < 1u128 << (a.width() - 1) {
+                        Range::new(ra.lo, ra.hi, *cw)
+                    } else {
+                        Range::full(*cw)
+                    }
+                }
+                CastKind::Trunc => {
+                    if ra.hi <= Bv::mask(*cw) {
+                        Range::new(ra.lo, ra.hi, *cw)
+                    } else {
+                        Range::full(*cw)
+                    }
+                }
+            }
+        }
+    };
+    cache.insert(key, r);
+    r
+}
+
+/// Three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Definitely true for every input.
+    True,
+    /// Definitely false for every input.
+    False,
+    /// Not decided by interval reasoning.
+    Unknown,
+}
+
+/// Evaluates a condition over intervals.
+///
+/// Iterative over the connective spine: compressed loop conditions can be
+/// conjunction chains thousands of links long.
+#[must_use]
+pub fn cond_range(c: &SymBool) -> Tri {
+    let mut cache = HashMap::new();
+    enum Task<'a> {
+        Visit(&'a SymBool),
+        Not,
+        And,
+        Or,
+    }
+    let mut tasks = vec![Task::Visit(c)];
+    let mut values: Vec<Tri> = Vec::new();
+    while let Some(task) = tasks.pop() {
+        match task {
+            Task::Visit(node) => match node {
+                SymBool::Not(inner) => {
+                    tasks.push(Task::Not);
+                    tasks.push(Task::Visit(inner));
+                }
+                SymBool::And(a, b) => {
+                    tasks.push(Task::And);
+                    tasks.push(Task::Visit(a));
+                    tasks.push(Task::Visit(b));
+                }
+                SymBool::Or(a, b) => {
+                    tasks.push(Task::Or);
+                    tasks.push(Task::Visit(a));
+                    tasks.push(Task::Visit(b));
+                }
+                leaf => values.push(cond_leaf(leaf, &mut cache)),
+            },
+            Task::Not => {
+                let v = values.pop().expect("operand");
+                values.push(match v {
+                    Tri::True => Tri::False,
+                    Tri::False => Tri::True,
+                    Tri::Unknown => Tri::Unknown,
+                });
+            }
+            Task::And => {
+                let (a, b) = (values.pop().expect("lhs"), values.pop().expect("rhs"));
+                values.push(match (a, b) {
+                    (Tri::False, _) | (_, Tri::False) => Tri::False,
+                    (Tri::True, Tri::True) => Tri::True,
+                    _ => Tri::Unknown,
+                });
+            }
+            Task::Or => {
+                let (a, b) = (values.pop().expect("lhs"), values.pop().expect("rhs"));
+                values.push(match (a, b) {
+                    (Tri::True, _) | (_, Tri::True) => Tri::True,
+                    (Tri::False, Tri::False) => Tri::False,
+                    _ => Tri::Unknown,
+                });
+            }
+        }
+    }
+    values.pop().expect("result")
+}
+
+/// Decides a leaf condition (comparison / overflow atom / constant).
+fn cond_leaf(c: &SymBool, cache: &mut HashMap<usize, Range>) -> Tri {
+    match c {
+        SymBool::Const(true) => Tri::True,
+        SymBool::Const(false) => Tri::False,
+        SymBool::Not(_) | SymBool::And(_, _) | SymBool::Or(_, _) => {
+            unreachable!("connectives handled iteratively")
+        }
+        SymBool::Cmp(op, a, b) => {
+            let ra = range_rec(a, cache);
+            let rb = range_rec(b, cache);
+            match op {
+                CmpOp::Ult => cmp_tri(ra, rb, false),
+                CmpOp::Ule => cmp_tri(ra, rb, true),
+                CmpOp::Ugt => cmp_tri(rb, ra, false),
+                CmpOp::Uge => cmp_tri(rb, ra, true),
+                CmpOp::Eq => {
+                    if ra.is_singleton() && rb.is_singleton() && ra.lo == rb.lo {
+                        Tri::True
+                    } else if ra.hi < rb.lo || rb.hi < ra.lo {
+                        Tri::False
+                    } else {
+                        Tri::Unknown
+                    }
+                }
+                CmpOp::Ne => {
+                    if ra.hi < rb.lo || rb.hi < ra.lo {
+                        Tri::True
+                    } else if ra.is_singleton() && rb.is_singleton() && ra.lo == rb.lo {
+                        Tri::False
+                    } else {
+                        Tri::Unknown
+                    }
+                }
+                // Signed comparisons: decided only when both sides are
+                // provably in the non-negative half.
+                CmpOp::Slt | CmpOp::Sle | CmpOp::Sgt | CmpOp::Sge => {
+                    let half = 1u128 << (ra.width - 1);
+                    if ra.hi < half && rb.hi < half {
+                        match op {
+                            CmpOp::Slt => cmp_tri(ra, rb, false),
+                            CmpOp::Sle => cmp_tri(ra, rb, true),
+                            CmpOp::Sgt => cmp_tri(rb, ra, false),
+                            _ => cmp_tri(rb, ra, true),
+                        }
+                    } else {
+                        Tri::Unknown
+                    }
+                }
+            }
+        }
+        SymBool::Ovf(kind, a, b) => {
+            let ra = range_rec(a, cache);
+            let w = ra.width;
+            let mask = Bv::mask(w);
+            match kind {
+                OvfKind::Add => {
+                    let rb = range_rec(b, cache);
+                    match (ra.lo.checked_add(rb.lo), ra.hi.checked_add(rb.hi)) {
+                        (Some(lo), _) if lo > mask => Tri::True,
+                        (_, Some(hi)) if hi <= mask => Tri::False,
+                        _ => Tri::Unknown,
+                    }
+                }
+                OvfKind::Mul => {
+                    let rb = range_rec(b, cache);
+                    match (ra.lo.checked_mul(rb.lo), ra.hi.checked_mul(rb.hi)) {
+                        (Some(lo), _) if lo > mask => Tri::True,
+                        (_, Some(hi)) if hi <= mask => Tri::False,
+                        _ => Tri::Unknown,
+                    }
+                }
+                OvfKind::Sub => {
+                    let rb = range_rec(b, cache);
+                    if ra.hi < rb.lo {
+                        Tri::True
+                    } else if ra.lo >= rb.hi {
+                        Tri::False
+                    } else {
+                        Tri::Unknown
+                    }
+                }
+                OvfKind::Shl => {
+                    let rb = range_rec(b, cache);
+                    if rb.is_singleton() && rb.lo < u128::from(w) {
+                        match ra.hi.checked_shl(rb.lo as u32) {
+                            Some(hi) if hi <= mask => Tri::False,
+                            _ => {
+                                if ra.lo.checked_shl(rb.lo as u32).is_none_or(|lo| lo > mask) {
+                                    Tri::True
+                                } else {
+                                    Tri::Unknown
+                                }
+                            }
+                        }
+                    } else if ra.is_singleton() && ra.lo == 0 {
+                        Tri::False
+                    } else {
+                        Tri::Unknown
+                    }
+                }
+                OvfKind::Neg => {
+                    if ra.lo > 0 {
+                        Tri::True
+                    } else if ra.hi == 0 {
+                        Tri::False
+                    } else {
+                        Tri::Unknown
+                    }
+                }
+                OvfKind::Trunc(tw) => {
+                    if ra.lo > Bv::mask(*tw) {
+                        Tri::True
+                    } else if ra.hi <= Bv::mask(*tw) {
+                        Tri::False
+                    } else {
+                        Tri::Unknown
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn cmp_tri(a: Range, b: Range, or_equal: bool) -> Tri {
+    // a < b (or a <= b).
+    if or_equal {
+        if a.hi <= b.lo {
+            Tri::True
+        } else if a.lo > b.hi {
+            Tri::False
+        } else {
+            Tri::Unknown
+        }
+    } else if a.hi < b.lo {
+        Tri::True
+    } else if a.lo >= b.hi {
+        Tri::False
+    } else {
+        Tri::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_symbolic::overflow_condition;
+
+    fn byte32(off: u32) -> SymExpr {
+        SymExpr::input_byte(off).cast(CastKind::Zext, 32)
+    }
+
+    fn c32(v: u32) -> SymExpr {
+        SymExpr::constant(Bv::u32(v))
+    }
+
+    #[test]
+    fn byte_range() {
+        let r = expr_range(&byte32(0));
+        assert_eq!((r.lo, r.hi, r.width), (0, 255, 32));
+    }
+
+    #[test]
+    fn arithmetic_ranges() {
+        let e = byte32(0).bin(BinOp::Mul, c32(4)).bin(BinOp::Add, c32(10));
+        let r = expr_range(&e);
+        assert_eq!((r.lo, r.hi), (10, 255 * 4 + 10));
+        let shifted = byte32(0).bin(BinOp::Shl, c32(8));
+        assert_eq!(expr_range(&shifted).hi, 0xff00);
+    }
+
+    #[test]
+    fn overflowable_mul_is_full_range() {
+        let e = byte32(0)
+            .bin(BinOp::Shl, c32(24))
+            .bin(BinOp::Mul, byte32(1));
+        assert_eq!(expr_range(&e), Range::full(32));
+    }
+
+    #[test]
+    fn refutes_bounded_overflow() {
+        // byte * 4 can never overflow 32 bits; the Ovf atom must be False.
+        let atom = SymBool::Ovf(OvfKind::Mul, byte32(0), c32(4));
+        assert_eq!(cond_range(&atom), Tri::False);
+    }
+
+    #[test]
+    fn confirms_certain_overflow() {
+        let atom = SymBool::Ovf(
+            OvfKind::Add,
+            c32(0xffff_ffff),
+            byte32(0).bin(BinOp::Add, c32(1)),
+        );
+        assert_eq!(cond_range(&atom), Tri::True);
+    }
+
+    #[test]
+    fn undecided_overflow_is_unknown() {
+        let w = byte32(0).bin(BinOp::Shl, c32(24));
+        let atom = SymBool::Ovf(OvfKind::Mul, w.clone(), w);
+        assert_eq!(cond_range(&atom), Tri::Unknown);
+    }
+
+    #[test]
+    fn comparisons_decide_disjoint_ranges() {
+        let small = byte32(0); // ≤ 255
+        let cond = SymBool::cmp(CmpOp::Ult, small.clone(), c32(1000));
+        assert_eq!(cond_range(&cond), Tri::True);
+        let cond = SymBool::cmp(CmpOp::Ugt, small, c32(1000));
+        assert_eq!(cond_range(&cond), Tri::False);
+    }
+
+    #[test]
+    fn interval_refutes_unsat_target_constraint() {
+        // §4.3-style safe site: pure byte arithmetic that cannot overflow.
+        let e = byte32(0).bin(BinOp::Mul, c32(3)).bin(BinOp::Add, c32(64));
+        assert_eq!(overflow_condition(&e), SymBool::Const(false));
+        // Even when the static discharge in overflow_condition is bypassed,
+        // intervals decide the raw atoms.
+        let atom = SymBool::Ovf(OvfKind::Add, byte32(0).bin(BinOp::Mul, c32(3)), c32(64));
+        assert_eq!(cond_range(&atom), Tri::False);
+    }
+
+    #[test]
+    fn three_valued_connectives() {
+        let t = SymBool::Const(true);
+        let unknown = SymBool::cmp(CmpOp::Eq, byte32(0), c32(7));
+        assert_eq!(cond_range(&t.and(&unknown)), Tri::Unknown);
+        assert_eq!(cond_range(&t.or(&unknown)), Tri::True);
+        assert_eq!(cond_range(&unknown.negate()), Tri::Unknown);
+    }
+}

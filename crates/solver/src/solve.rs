@@ -1,0 +1,411 @@
+//! High-level constraint-solving API.
+//!
+//! This is the interface DIODE's pipeline calls where the paper calls Z3
+//! (§4.3): solve a [`SymBool`] constraint over input bytes and get back a
+//! [`Model`] (an assignment to the constrained bytes), report `Unsat`, or
+//! give up on a budget.
+//!
+//! Two extra entry points support the paper's evaluation protocol:
+//!
+//! * [`sample`] draws *n* diversified models by re-solving with randomised
+//!   decision polarities and activity jitter — this regenerates the
+//!   "200 inputs that satisfy the target constraint" experiments of
+//!   §5.5/§5.6 (Table 2's success-rate columns);
+//! * [`enumerate`] lists models up to a limit with blocking clauses —
+//!   which, for CVE-2008-2430's `x + 2` target expression, proves there
+//!   are exactly two overflowing inputs (§5.5).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use diode_symbolic::SymBool;
+
+use crate::blast::Blaster;
+use crate::interval::{cond_range, Tri};
+use crate::sat::{Lit, Sat, SatConfig, SatOutcome};
+
+/// Configuration for the high-level solver.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Conflict budget per SAT call.
+    pub max_conflicts: u64,
+    /// Run the unsigned-interval pre-analysis before bit-blasting
+    /// (ablation switch; see `diode-bench`).
+    pub interval_presolve: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_conflicts: 2_000_000,
+            interval_presolve: true,
+        }
+    }
+}
+
+/// An assignment to the input bytes that occur in the solved constraint.
+/// Bytes outside the map are unconstrained (keep the seed's value).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Model {
+    bytes: BTreeMap<u32, u8>,
+}
+
+impl Model {
+    /// Creates a model from explicit byte assignments (mainly for tests).
+    #[must_use]
+    pub fn from_bytes<I: IntoIterator<Item = (u32, u8)>>(bytes: I) -> Self {
+        Model {
+            bytes: bytes.into_iter().collect(),
+        }
+    }
+
+    /// The value assigned to the byte at `offset`, if constrained.
+    #[must_use]
+    pub fn byte(&self, offset: u32) -> Option<u8> {
+        self.bytes.get(&offset).copied()
+    }
+
+    /// All constrained byte offsets and values.
+    #[must_use]
+    pub fn bytes(&self) -> &BTreeMap<u32, u8> {
+        &self.bytes
+    }
+
+    /// Overlays this model on a base input: returns a lookup function
+    /// suitable for [`SymBool::eval`].
+    pub fn lookup_over<'a>(&'a self, base: &'a [u8]) -> impl Fn(u32) -> u8 + 'a {
+        move |off| {
+            self.byte(off)
+                .unwrap_or_else(|| base.get(off as usize).copied().unwrap_or(0))
+        }
+    }
+
+    /// Patches the model's bytes into a mutable buffer (offsets past the
+    /// end are ignored).
+    pub fn patch(&self, buffer: &mut [u8]) {
+        for (&off, &v) in &self.bytes {
+            if let Some(slot) = buffer.get_mut(off as usize) {
+                *slot = v;
+            }
+        }
+    }
+}
+
+/// Result of a solve call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Budget exhausted.
+    Unknown,
+}
+
+impl SolveResult {
+    /// The model, if satisfiable.
+    #[must_use]
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True if proven unsatisfiable.
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+}
+
+/// Statistics from a solve call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Conflicts in the SAT search.
+    pub conflicts: u64,
+    /// Decisions in the SAT search.
+    pub decisions: u64,
+    /// CNF variables created.
+    pub vars: usize,
+    /// True if the interval pre-analysis decided the query by itself.
+    pub decided_by_interval: bool,
+}
+
+/// Solves a constraint with the default configuration.
+#[must_use]
+pub fn solve(cond: &SymBool) -> SolveResult {
+    solve_with(cond, &SolverConfig::default(), None).0
+}
+
+/// Solves a constraint, optionally seeding decision polarities for model
+/// diversity, and returns statistics.
+#[must_use]
+pub fn solve_with(
+    cond: &SymBool,
+    config: &SolverConfig,
+    diversity_seed: Option<u64>,
+) -> (SolveResult, SolveStats) {
+    let mut stats = SolveStats::default();
+    if config.interval_presolve {
+        match cond_range(cond) {
+            Tri::False => {
+                stats.decided_by_interval = true;
+                return (SolveResult::Unsat, stats);
+            }
+            // Tri::True still needs a model, so fall through to SAT.
+            _ => {}
+        }
+    }
+    let mut sat = Sat::new(SatConfig {
+        max_conflicts: config.max_conflicts,
+        ..SatConfig::default()
+    });
+    let mut blaster = Blaster::new(&mut sat);
+    blaster.assert_cond(cond);
+    let byte_offsets: Vec<u32> = blaster.byte_bits().keys().copied().collect();
+    if let Some(seed) = diversity_seed {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all_vars: Vec<_> = blaster
+            .byte_bits()
+            .values()
+            .flatten()
+            .map(|l| l.var())
+            .collect();
+        for v in all_vars {
+            let polarity: bool = rng.gen();
+            let bump: f64 = rng.gen::<f64>() * 0.5;
+            blaster.sat_mut().set_polarity(v, polarity);
+            blaster.sat_mut().bump_activity_seed(v, bump);
+        }
+    }
+    let outcome = blaster.sat_mut().solve();
+    stats.conflicts = blaster.sat_ref().conflicts();
+    stats.decisions = blaster.sat_ref().decisions();
+    stats.vars = blaster.sat_ref().n_vars();
+    let result = match outcome {
+        SatOutcome::Sat => {
+            let bytes = byte_offsets
+                .into_iter()
+                .map(|o| (o, blaster.model_byte(o).expect("encoded byte")))
+                .collect();
+            SolveResult::Sat(Model { bytes })
+        }
+        SatOutcome::Unsat => SolveResult::Unsat,
+        SatOutcome::Unknown => SolveResult::Unknown,
+    };
+    (result, stats)
+}
+
+/// Draws up to `n` models of `cond`, each from an independently seeded
+/// search. Models may repeat when the solution space is small — exactly
+/// like the paper's sampled 200 solver outputs (§5.5 notes the `x + 2`
+/// constraint "has only two solutions").
+#[must_use]
+pub fn sample(cond: &SymBool, n: usize, seed: u64, config: &SolverConfig) -> Vec<Model> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s: u64 = rng.gen();
+        if let (SolveResult::Sat(m), _) = solve_with(cond, config, Some(s)) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Result of bounded model enumeration.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// Distinct models found (over the constrained bytes).
+    pub models: Vec<Model>,
+    /// True if the enumeration is exhaustive (fewer than the limit).
+    pub complete: bool,
+}
+
+/// Enumerates distinct models of `cond` up to `limit`, blocking each found
+/// assignment of the constrained input bytes.
+#[must_use]
+pub fn enumerate(cond: &SymBool, limit: usize, config: &SolverConfig) -> Enumeration {
+    if config.interval_presolve && cond_range(cond) == Tri::False {
+        return Enumeration {
+            models: Vec::new(),
+            complete: true,
+        };
+    }
+    let mut sat = Sat::new(SatConfig {
+        max_conflicts: config.max_conflicts,
+        ..SatConfig::default()
+    });
+    let mut blaster = Blaster::new(&mut sat);
+    blaster.assert_cond(cond);
+    let byte_offsets: Vec<u32> = blaster.byte_bits().keys().copied().collect();
+    let byte_lits: Vec<(u32, Vec<Lit>)> = blaster
+        .byte_bits()
+        .iter()
+        .map(|(&o, bits)| (o, bits.clone()))
+        .collect();
+    let mut models = Vec::new();
+    loop {
+        if models.len() >= limit {
+            return Enumeration {
+                models,
+                complete: false,
+            };
+        }
+        match blaster.sat_mut().solve() {
+            SatOutcome::Sat => {}
+            SatOutcome::Unsat => {
+                return Enumeration {
+                    models,
+                    complete: true,
+                }
+            }
+            SatOutcome::Unknown => {
+                return Enumeration {
+                    models,
+                    complete: false,
+                }
+            }
+        }
+        let bytes: BTreeMap<u32, u8> = byte_offsets
+            .iter()
+            .map(|&o| (o, blaster.model_byte(o).expect("encoded byte")))
+            .collect();
+        // Blocking clause: at least one constrained byte differs.
+        let mut blocking = Vec::new();
+        for (off, bits) in &byte_lits {
+            let v = bytes[off];
+            for (i, &l) in bits.iter().enumerate() {
+                blocking.push(if v >> i & 1 == 1 { !l } else { l });
+            }
+        }
+        models.push(Model { bytes });
+        let sat_ref = blaster.sat_mut();
+        sat_ref.backtrack_to_root();
+        if !sat_ref.add_clause(&blocking) {
+            return Enumeration {
+                models,
+                complete: true,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_lang::{BinOp, Bv, CastKind, CmpOp};
+    use diode_symbolic::{overflow_condition, SymExpr};
+
+    fn byte32(off: u32) -> SymExpr {
+        SymExpr::input_byte(off).cast(CastKind::Zext, 32)
+    }
+
+    fn c32(v: u32) -> SymExpr {
+        SymExpr::constant(Bv::u32(v))
+    }
+
+    fn field32(base: u32) -> SymExpr {
+        let b0 = byte32(base).bin(BinOp::Shl, c32(24));
+        let b1 = byte32(base + 1).bin(BinOp::Shl, c32(16));
+        let b2 = byte32(base + 2).bin(BinOp::Shl, c32(8));
+        b0.bin(BinOp::Or, b1)
+            .bin(BinOp::Or, b2)
+            .bin(BinOp::Or, byte32(base + 3))
+    }
+
+    #[test]
+    fn solve_returns_verified_model() {
+        let beta = overflow_condition(&field32(0).bin(BinOp::Mul, field32(4)));
+        let m = solve(&beta).model().cloned().expect("sat");
+        assert!(beta.eval(&m.lookup_over(&[])));
+    }
+
+    #[test]
+    fn interval_presolve_short_circuits_unsat() {
+        let cond = SymBool::cmp(CmpOp::Ugt, byte32(0), c32(1000));
+        let (res, stats) = solve_with(&cond, &SolverConfig::default(), None);
+        assert!(res.is_unsat());
+        assert!(stats.decided_by_interval);
+        // Without presolve the SAT core still proves it.
+        let cfg = SolverConfig {
+            interval_presolve: false,
+            ..SolverConfig::default()
+        };
+        let (res, stats) = solve_with(&cond, &cfg, None);
+        assert!(res.is_unsat());
+        assert!(!stats.decided_by_interval);
+    }
+
+    #[test]
+    fn sampling_produces_diverse_valid_models() {
+        let beta = overflow_condition(&field32(0).bin(BinOp::Mul, field32(4)));
+        let models = sample(&beta, 20, 42, &SolverConfig::default());
+        assert_eq!(models.len(), 20);
+        let mut distinct = std::collections::HashSet::new();
+        for m in &models {
+            assert!(beta.eval(&m.lookup_over(&[])), "invalid sample");
+            distinct.insert(format!("{:?}", m.bytes()));
+        }
+        assert!(
+            distinct.len() >= 5,
+            "expected diverse samples, got {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn enumerate_finds_exactly_two_cve_2008_2430_solutions() {
+        // x + 2 over a 32-bit field overflows for exactly two values.
+        let beta = overflow_condition(&field32(0).bin(BinOp::Add, c32(2)));
+        let e = enumerate(&beta, 10, &SolverConfig::default());
+        assert!(e.complete);
+        assert_eq!(e.models.len(), 2);
+        let mut xs: Vec<u32> = e
+            .models
+            .iter()
+            .map(|m| {
+                u32::from_be_bytes([
+                    m.byte(0).unwrap(),
+                    m.byte(1).unwrap(),
+                    m.byte(2).unwrap(),
+                    m.byte(3).unwrap(),
+                ])
+            })
+            .collect();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![0xffff_fffe, 0xffff_ffff]);
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let cond = SymBool::cmp(CmpOp::Ugt, byte32(0), c32(100));
+        let e = enumerate(&cond, 5, &SolverConfig::default());
+        assert!(!e.complete);
+        assert_eq!(e.models.len(), 5);
+    }
+
+    #[test]
+    fn enumerate_unsat_is_empty_and_complete() {
+        let cond = SymBool::Const(false);
+        let e = enumerate(&cond, 5, &SolverConfig::default());
+        assert!(e.complete);
+        assert!(e.models.is_empty());
+    }
+
+    #[test]
+    fn model_patch_and_lookup() {
+        let m = Model::from_bytes([(1, 0xaa), (3, 0xbb)]);
+        let mut buf = vec![0u8; 4];
+        m.patch(&mut buf);
+        assert_eq!(buf, vec![0, 0xaa, 0, 0xbb]);
+        let base = [1u8, 2, 3, 4];
+        let look = m.lookup_over(&base);
+        assert_eq!(look(0), 1);
+        assert_eq!(look(1), 0xaa);
+        assert_eq!(look(9), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # diode-symbolic — symbolic expressions over input bytes
+//!
+//! The recording substrate of the DIODE reproduction (paper §4.2): shared,
+//! immutable symbolic expression DAGs ([`SymExpr`]) and boolean conditions
+//! ([`SymBool`]) over individual input bytes, with the paper's run-time
+//! simplifications applied at construction, plus the `overflow(B)`
+//! transformation ([`overflow_condition`]) that derives the target
+//! constraint β from a target expression (§3.3/§4.3).
+//!
+//! The `diode-interp` crate builds these expressions while executing a
+//! program on its seed input; `diode-core` turns them into constraints for
+//! the `diode-solver` bitvector solver.
+//!
+//! ## Example: a target constraint with exactly two solutions
+//!
+//! The paper's CVE-2008-2430 site has target expression `x + 2` over a
+//! 32-bit input field — only `0xFFFFFFFE` and `0xFFFFFFFF` overflow:
+//!
+//! ```
+//! use diode_lang::{BinOp, Bv, CastKind};
+//! use diode_symbolic::{overflow_condition, SymExpr};
+//!
+//! let byte = |o| SymExpr::input_byte(o).cast(CastKind::Zext, 32);
+//! let sh = |n| SymExpr::constant(Bv::u32(n));
+//! let x = byte(0).bin(BinOp::Shl, sh(24))
+//!     .bin(BinOp::Or, byte(1).bin(BinOp::Shl, sh(16)))
+//!     .bin(BinOp::Or, byte(2).bin(BinOp::Shl, sh(8)))
+//!     .bin(BinOp::Or, byte(3));
+//! let beta = overflow_condition(&x.bin(BinOp::Add, SymExpr::constant(Bv::u32(2))));
+//! assert!(beta.eval(&|_| 0xff));        // x = 0xFFFFFFFF overflows
+//! assert!(!beta.eval(&|_| 0x00));       // x = 0 does not
+//! ```
+
+#![warn(missing_docs)]
+
+mod cond;
+mod expr;
+
+pub use cond::{concrete_bin, overflow_condition, OvfKind, SymBool};
+pub use expr::{eval_bin, Sym, SymExpr};

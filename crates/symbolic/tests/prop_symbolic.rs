@@ -1,0 +1,135 @@
+//! Property tests for the symbolic layer:
+//!
+//! * construction-time simplification preserves evaluation (values always;
+//!   and for the rewrites we rely on, the overflow verdict of β as well);
+//! * `overflow_condition` agrees with `eval_overflow` — β(input) holds iff
+//!   evaluating the expression on that input overflows.
+
+use diode_lang::{BinOp, Bv, CastKind};
+use diode_symbolic::{overflow_condition, SymExpr};
+use proptest::prelude::*;
+
+/// A recipe for building a random 32-bit expression over 4 input bytes.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Byte(u32),
+    Const(u32),
+    Bin(BinOp, Box<Recipe>, Box<Recipe>),
+    TruncZext(Box<Recipe>),
+}
+
+fn build(r: &Recipe) -> SymExpr {
+    match r {
+        Recipe::Byte(o) => SymExpr::input_byte(*o).cast(CastKind::Zext, 32),
+        Recipe::Const(v) => SymExpr::constant(Bv::u32(*v)),
+        Recipe::Bin(op, a, b) => build(a).bin(*op, build(b)),
+        Recipe::TruncZext(a) => build(a)
+            .cast(CastKind::Trunc, 16)
+            .cast(CastKind::Zext, 32),
+    }
+}
+
+/// Reference evaluation performed directly on the recipe (no
+/// simplification), tracking sticky overflow.
+fn eval_ref(r: &Recipe, input: &[u8; 4]) -> (u32, bool) {
+    match r {
+        Recipe::Byte(o) => (u32::from(input[*o as usize % 4]), false),
+        Recipe::Const(v) => (*v, false),
+        Recipe::Bin(op, a, b) => {
+            let (av, ao) = eval_ref(a, input);
+            let (bv, bo) = eval_ref(b, input);
+            let (x, y) = (Bv::u32(av), Bv::u32(bv));
+            let (v, o) = diode_symbolic::eval_bin(*op, x, y);
+            (v.value() as u32, ao | bo | o)
+        }
+        Recipe::TruncZext(a) => {
+            let (av, ao) = eval_ref(a, input);
+            (av & 0xffff, ao | (av > 0xffff))
+        }
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::UDiv),
+        Just(BinOp::URem),
+    ]
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        (0u32..4).prop_map(Recipe::Byte),
+        (0u32..0x200).prop_map(Recipe::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (arb_op(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Recipe::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Recipe::TruncZext(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplified_expression_preserves_value(r in arb_recipe(), input: [u8; 4]) {
+        let expr = build(&r);
+        let (ref_v, _) = eval_ref(&r, &input);
+        let got = expr.eval(&|o| input[o as usize % 4]);
+        prop_assert_eq!(got.value() as u32, ref_v);
+    }
+
+    #[test]
+    fn beta_agrees_with_eval_overflow(r in arb_recipe(), input: [u8; 4]) {
+        let expr = build(&r);
+        let beta = overflow_condition(&expr);
+        let lookup = |o: u32| input[o as usize % 4];
+        let (_, ovf) = expr.eval_overflow(&lookup);
+        prop_assert_eq!(
+            beta.eval(&lookup), ovf,
+            "β and eval_overflow must agree on {}", expr
+        );
+    }
+
+    #[test]
+    fn input_bytes_are_exactly_the_leaves(r in arb_recipe()) {
+        let expr = build(&r);
+        fn leaves(r: &Recipe, out: &mut Vec<u32>) {
+            match r {
+                Recipe::Byte(o) => out.push(*o % 4),
+                Recipe::Const(_) => {}
+                Recipe::Bin(_, a, b) => {
+                    leaves(a, out);
+                    leaves(b, out);
+                }
+                Recipe::TruncZext(a) => leaves(a, out),
+            }
+        }
+        let mut expected = Vec::new();
+        leaves(&r, &mut expected);
+        expected.sort_unstable();
+        expected.dedup();
+        // Simplification may *remove* dependence (x*0, x^x, …) but can
+        // never invent new input bytes.
+        for b in expr.input_bytes() {
+            prop_assert!(expected.contains(b));
+        }
+    }
+
+    #[test]
+    fn negate_is_involutive_and_complements(r in arb_recipe(), input: [u8; 4]) {
+        let expr = build(&r);
+        let beta = overflow_condition(&expr);
+        let lookup = |o: u32| input[o as usize % 4];
+        prop_assert_eq!(beta.negate().eval(&lookup), !beta.eval(&lookup));
+        prop_assert_eq!(beta.negate().negate().eval(&lookup), beta.eval(&lookup));
+    }
+}

@@ -1,0 +1,71 @@
+//! CVE-2008-2430 (VLC 0.8.6h `wav.c@147`): the paper's `x + 2` target
+//! expression with exactly two overflowing inputs (§5.5).
+//!
+//! DIODE's solver *enumerates* the solution space and proves there are
+//! only two triggering values; both produce the paper's non-crashing
+//! InvalidRead/Write memcheck reports.
+//!
+//! Run with: `cargo run --release --example vlc_cve_2008_2430`
+
+use diode::apps::vlc;
+use diode::core::{extract, identify_target_sites, test_candidate, DiodeConfig};
+use diode::solver::{enumerate, SolverConfig};
+
+fn main() {
+    let app = vlc::app();
+    let config = DiodeConfig::default();
+
+    let sites = identify_target_sites(&app.program, &app.seed, &config.machine);
+    let cve = sites.iter().find(|s| &*s.site == "wav.c@147").expect("site");
+    println!("target site wav.c@147: p_wf = malloc(fmt_size + 2)   [CVE-2008-2430]");
+    println!(
+        "relevant input field: {}\n",
+        app.format.describe_bytes(&cve.relevant_bytes).join(", ")
+    );
+
+    let extraction = extract(&app.program, &app.seed, cve, &config.machine).unwrap();
+    println!("target expression: {}", extraction.target_expr);
+    println!("target constraint: {}\n", extraction.beta);
+
+    // Exhaustive enumeration: the constraint has exactly two models.
+    let e = enumerate(&extraction.beta, 16, &SolverConfig::default());
+    assert!(e.complete, "enumeration must be exhaustive");
+    println!(
+        "solver enumeration: {} solution(s), exhaustive = {}",
+        e.models.len(),
+        e.complete
+    );
+    let mut values: Vec<u32> = e
+        .models
+        .iter()
+        .map(|m| {
+            u32::from_le_bytes([
+                m.byte(16).unwrap(),
+                m.byte(17).unwrap(),
+                m.byte(18).unwrap(),
+                m.byte(19).unwrap(),
+            ])
+        })
+        .collect();
+    values.sort_unstable();
+    println!("fmt_size values: {values:#x?} (paper: the only two solutions)\n");
+    assert_eq!(values, vec![0xffff_fffe, 0xffff_ffff]);
+
+    // Both inputs trigger the overflow with memcheck-style reports.
+    for m in &e.models {
+        let input = app
+            .format
+            .reconstruct(&app.seed, m.bytes().iter().map(|(&o, &v)| (o, v)));
+        let res = test_candidate(&app.program, &input, cve.label, &config.machine);
+        println!(
+            "candidate fmt_size={:#x}: triggered={} error={:?} outcome={:?}",
+            u32::from_le_bytes([input[16], input[17], input[18], input[19]]),
+            res.triggered,
+            res.error_type,
+            res.outcome
+        );
+        assert!(res.triggered);
+        assert_eq!(res.error_type.as_deref(), Some("InvalidRead/Write"));
+    }
+    println!("\nboth solutions trigger InvalidRead/Write without crashing — Table 2's CVE row (2/2).");
+}

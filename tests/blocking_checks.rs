@@ -1,0 +1,37 @@
+//! §5.4's blocking-check experiment: the constraint "overflow the target
+//! AND follow the seed path through every relevant conditional branch" is
+//! satisfiable for exactly two of the fourteen exposed sites — SwfPlay's
+//! jpeg.c@192 and CWebP's jpegdec.c@248.
+
+use diode::apps::all_apps;
+use diode::core::{
+    analyze_program, full_path_constraint_satisfiable, DiodeConfig, SiteOutcome,
+};
+
+#[test]
+fn full_path_constraint_satisfiable_for_exactly_the_papers_two_sites() {
+    let apps = all_apps();
+    let config = DiodeConfig::default();
+    let mut sat_sites = Vec::new();
+    let mut total_exposed = 0;
+    for app in &apps {
+        let analysis = analyze_program(&app.program, &app.seed, &app.format, &config);
+        for report in &analysis.sites {
+            if !matches!(report.outcome, SiteOutcome::Exposed(_)) {
+                continue;
+            }
+            total_exposed += 1;
+            let extraction = report.extraction.as_ref().unwrap();
+            if full_path_constraint_satisfiable(extraction, &config.solver) == Some(true) {
+                sat_sites.push(report.site.clone());
+            }
+        }
+    }
+    assert_eq!(total_exposed, 14);
+    sat_sites.sort();
+    assert_eq!(
+        sat_sites,
+        vec!["jpeg.c@192".to_string(), "jpegdec.c@248".to_string()],
+        "paper §5.4: exactly these two sites"
+    );
+}

@@ -1,0 +1,59 @@
+//! Reproducibility guarantees: the whole pipeline is deterministic for a
+//! fixed configuration — two analyses of the same app agree on every
+//! classification, enforcement count, and triggering input — and the
+//! success-rate experiments are deterministic per RNG seed.
+
+use diode::apps::all_apps;
+use diode::core::{analyze_program, success_rate, DiodeConfig, SiteOutcome};
+
+fn outcome_fingerprint(o: &SiteOutcome) -> String {
+    match o {
+        SiteOutcome::Exposed(b) => format!("exposed:{}:{:02x?}", b.enforced, b.input),
+        SiteOutcome::TargetUnsat => "unsat".into(),
+        SiteOutcome::Prevented(r) => format!("prevented:{r:?}"),
+        SiteOutcome::Unknown => "unknown".into(),
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let config = DiodeConfig::default();
+    for app in all_apps() {
+        let a = analyze_program(&app.program, &app.seed, &app.format, &config);
+        let b = analyze_program(&app.program, &app.seed, &app.format, &config);
+        assert_eq!(a.sites.len(), b.sites.len());
+        for (x, y) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(x.site, y.site);
+            assert_eq!(
+                outcome_fingerprint(&x.outcome),
+                outcome_fingerprint(&y.outcome),
+                "{}: {} diverged between runs",
+                app.name,
+                x.site
+            );
+            assert_eq!(x.total_relevant, y.total_relevant);
+            assert_eq!(x.phi_len, y.phi_len);
+        }
+    }
+}
+
+#[test]
+fn success_rates_are_deterministic_per_seed() {
+    let app = diode::apps::vlc::app();
+    let config = DiodeConfig::default();
+    let analysis = analyze_program(&app.program, &app.seed, &app.format, &config);
+    let report = analysis.site("block.c@54").unwrap();
+    let beta = &report.extraction.as_ref().unwrap().beta;
+    let r1 = success_rate(
+        &app.program, &app.seed, &app.format, report.label, beta, 10, 1234, &config,
+    );
+    let r2 = success_rate(
+        &app.program, &app.seed, &app.format, report.label, beta, 10, 1234, &config,
+    );
+    assert_eq!(r1, r2);
+    // A different seed may differ (diverse sampling), but stays valid.
+    let r3 = success_rate(
+        &app.program, &app.seed, &app.format, report.label, beta, 10, 4321, &config,
+    );
+    assert_eq!(r3.samples, 10);
+}

@@ -1,0 +1,90 @@
+//! The §2 walkthrough as an executable test: DIODE's generated Dillo
+//! input satisfies checks 1–4, evades check 5 through that check's own
+//! overflow, and overflows rowbytes × height at png.c@203 — and the
+//! paper's reported final solution is accepted by our model too.
+
+use diode::apps::dillo;
+use diode::core::{analyze_site, identify_target_sites, DiodeConfig, SiteOutcome};
+use diode::interp::{run, Concrete, MachineConfig};
+
+fn checks_hold(width: u32, height: u32, bit_depth: u8) -> bool {
+    let uint31 = width < 1 << 31 && height < 1 << 31;
+    let user_limit = width <= 1_000_000 && height <= 1_000_000;
+    let depth_ok = [1u8, 2, 4, 8, 16].contains(&bit_depth);
+    let wrapped = width.wrapping_mul(height) as i32;
+    let dillo_check = wrapped.unsigned_abs() <= 36_000_000;
+    uint31 && user_limit && depth_ok && dillo_check
+}
+
+fn target_overflows(width: u32, height: u32, bit_depth: u8) -> bool {
+    let rowbytes = (u64::from(width) * u64::from(bit_depth) * 4) >> 3;
+    rowbytes * u64::from(height) > u64::from(u32::MAX)
+}
+
+#[test]
+fn diode_generates_a_section2_style_input() {
+    let app = dillo::app();
+    let config = DiodeConfig::default();
+    let sites = identify_target_sites(&app.program, &app.seed, &config.machine);
+    let fig2 = sites.iter().find(|s| &*s.site == "png.c@203").unwrap();
+    let report = analyze_site(&app.program, &app.seed, &app.format, fig2, &config);
+    let SiteOutcome::Exposed(bug) = &report.outcome else {
+        panic!("figure 2 site must be exposed: {:?}", report.outcome);
+    };
+    let width = u32::from_be_bytes(bug.input[16..20].try_into().unwrap());
+    let height = u32::from_be_bytes(bug.input[20..24].try_into().unwrap());
+    let bit_depth = bug.input[24];
+    assert!(
+        checks_hold(width, height, bit_depth),
+        "generated input must satisfy/evade all five checks: w={width} h={height} bd={bit_depth}"
+    );
+    assert!(target_overflows(width, height, bit_depth));
+    // The paper's narrative: a modest number of enforced sanity checks.
+    assert!((2..=6).contains(&bug.enforced), "enforced = {}", bug.enforced);
+}
+
+#[test]
+fn papers_final_solution_triggers_in_our_model() {
+    // §2: width 689853, height 915210, bit_depth 4.
+    let (w, h, bd) = (689_853u32, 915_210u32, 4u8);
+    assert!(checks_hold(w, h, bd));
+    assert!(target_overflows(w, h, bd));
+    let app = dillo::app();
+    let mut patches: Vec<(u32, u8)> = Vec::new();
+    patches.extend(w.to_be_bytes().iter().enumerate().map(|(i, &v)| (16 + i as u32, v)));
+    patches.extend(h.to_be_bytes().iter().enumerate().map(|(i, &v)| (20 + i as u32, v)));
+    patches.push((24, bd));
+    let input = app.format.reconstruct(&app.seed, patches);
+    let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+    assert!(r.overflowed_at(
+        r.allocs.iter().find(|a| &*a.site == "png.c@203").unwrap().label
+    ));
+    assert!(r.outcome.is_segfault() || !r.mem_errors.is_empty());
+}
+
+#[test]
+fn papers_intermediate_candidates_are_rejected_like_in_section2() {
+    // §2's enforcement trail: each intermediate candidate fails the next
+    // sanity check.
+    let app = dillo::app();
+    let cases: [(u32, u32, u8, &str); 2] = [
+        // After enforcing uint31(h): h fits 31 bits but exceeds 1M.
+        (1_632_109_428 % (1 << 31), 872_360_950 % (1 << 31), 4, "invalid IHDR"),
+        // After enforcing h ≤ 1M: width still exceeds 1M.
+        (1_081_489_513 % (1 << 31), 732_927, 4, "invalid IHDR"),
+    ];
+    for (w, h, bd, expected) in cases {
+        let mut patches: Vec<(u32, u8)> = Vec::new();
+        patches.extend(w.to_be_bytes().iter().enumerate().map(|(i, &v)| (16 + i as u32, v)));
+        patches.extend(h.to_be_bytes().iter().enumerate().map(|(i, &v)| (20 + i as u32, v)));
+        patches.push((24, bd));
+        let input = app.format.reconstruct(&app.seed, patches);
+        let r = run(&app.program, &input, Concrete, &MachineConfig::default());
+        match &r.outcome {
+            diode::interp::Outcome::InputRejected(msg) => {
+                assert!(msg.contains(expected), "expected {expected:?}, got {msg:?}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Memcheck-fidelity scenarios (§4.6): the simulated heap must report the
+//! same classes of errors Valgrind's memcheck reports in Table 2 — invalid
+//! reads/writes near a block, segfaults on wild/null accesses, aborts —
+//! and stay silent on correct executions.
+
+use diode::interp::{run, Concrete, MachineConfig, MemErrorKind, Outcome};
+use diode::lang::parse;
+
+fn exec(src: &str, input: &[u8]) -> diode::interp::Run<(), ()> {
+    run(&parse(src).unwrap(), input, Concrete, &MachineConfig::default())
+}
+
+#[test]
+fn clean_program_reports_nothing() {
+    let r = exec(
+        r#"fn main() {
+            b = alloc("ok@1", 32);
+            i = 0;
+            while i < 32 { b[zext64(i)] = trunc8(i); i = i + 1; }
+            x = b[31u64];
+            free(b);
+        }"#,
+        &[],
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert!(r.mem_errors.is_empty());
+}
+
+#[test]
+fn one_past_the_end_is_an_invalid_write_not_a_crash() {
+    let r = exec(
+        r#"fn main() {
+            b = alloc("off-by-one@1", 8);
+            i = 0;
+            while i <= 8 { b[zext64(i)] = 0u8; i = i + 1; }
+        }"#,
+        &[],
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.mem_errors.len(), 1);
+    assert_eq!(r.mem_errors[0].kind, MemErrorKind::InvalidWrite);
+    assert_eq!(r.mem_errors[0].offset, 8);
+    assert_eq!(r.mem_errors[0].block_size, 8);
+}
+
+#[test]
+fn reads_in_the_red_zone_report_and_return_zero() {
+    let r = exec(
+        r#"fn main() {
+            b = alloc("rz@1", 4);
+            x = b[100u64];
+            if x != 0u8 { abort("red zone must read as zero"); }
+        }"#,
+        &[],
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.mem_errors[0].kind, MemErrorKind::InvalidRead);
+}
+
+#[test]
+fn wild_accesses_and_null_derefs_segfault() {
+    let r = exec(
+        r#"fn main() { b = alloc("w@1", 4); x = b[1000000u64]; }"#,
+        &[],
+    );
+    assert!(r.outcome.is_segfault());
+    let r = exec(
+        r#"fn main() { b = alloc("n@1", 0xFFFFFFFF); x = b[0u64]; }"#,
+        &[],
+    );
+    assert!(r.outcome.is_segfault(), "null deref after failed alloc");
+}
+
+#[test]
+fn use_after_free_and_double_free_are_reported() {
+    let r = exec(
+        r#"fn main() {
+            b = alloc("uaf@1", 4);
+            free(b);
+            b[0] = 1u8;
+            x = b[0];
+            free(b);
+        }"#,
+        &[],
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    let kinds: Vec<_> = r.mem_errors.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            MemErrorKind::UseAfterFreeWrite,
+            MemErrorKind::UseAfterFreeRead,
+            MemErrorKind::DoubleFree
+        ]
+    );
+}
+
+#[test]
+fn error_sites_name_the_allocation_site() {
+    let r = exec(
+        r#"fn main() {
+            b = alloc("named.c@99", 2);
+            b[5u64] = 1u8;
+        }"#,
+        &[],
+    );
+    assert_eq!(&*r.mem_errors[0].site, "named.c@99");
+}
+
+#[test]
+fn table2_invalid_readwrite_pattern_reproduces() {
+    // The CVE-2008-2430 access pattern: a wrapped tiny allocation written
+    // and read past its end, within the red zone — errors, no crash.
+    let r = exec(
+        r#"fn main() {
+            n = zext32(in[0]) << 24 | zext32(in[1]) << 16
+              | zext32(in[2]) << 8 | zext32(in[3]);
+            b = alloc("cve@4", n + 2);
+            k = 0;
+            while k < 18 { b[zext64(k)] = 0u8; k = k + 1; }
+            x = b[4u64];
+        }"#,
+        &[0xff, 0xff, 0xff, 0xff], // n + 2 wraps to 1
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert!(r.allocs[0].size_ovf);
+    assert_eq!(r.allocs[0].size.value(), 1);
+    let has_write = r
+        .mem_errors
+        .iter()
+        .any(|e| e.kind == MemErrorKind::InvalidWrite);
+    let has_read = r
+        .mem_errors
+        .iter()
+        .any(|e| e.kind == MemErrorKind::InvalidRead);
+    assert!(has_write && has_read);
+}
+
+#[test]
+fn abort_paths_match_sigabrt_rows() {
+    let r = exec(
+        r#"fn main() {
+            n = zext32(in[0]) << 24;
+            b = alloc_abort("glib@2", n * 16);
+        }"#,
+        &[0x38], // 0x38000000 * 16 wraps to 0x80000000 → allocation fails → abort
+    );
+    assert!(matches!(r.outcome, Outcome::Aborted(_)), "{:?}", r.outcome);
+    assert!(r.allocs[0].failed);
+    assert!(r.allocs[0].size_ovf);
+}

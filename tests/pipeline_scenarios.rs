@@ -1,0 +1,160 @@
+//! Cross-crate end-to-end scenarios beyond the paper's benchmarks:
+//! exercising enforcement mechanics (skip-and-backtrack, budget limits,
+//! SatisfiesPhi termination) and the three-way classification on
+//! synthetic programs.
+
+use diode::core::{
+    analyze_program, DiodeConfig, PreventedReason, SiteOutcome,
+};
+use diode::format::FormatDesc;
+
+fn analyze(src: &str, seed: &[u8]) -> diode::core::ProgramAnalysis {
+    let program = diode::lang::parse(src).unwrap();
+    analyze_program(&program, seed, &FormatDesc::new("t"), &DiodeConfig::default())
+}
+
+#[test]
+fn three_way_classification_on_one_program() {
+    let analysis = analyze(
+        r#"
+        fn main() {
+            n = zext32(in[0]) << 8 | zext32(in[1]);
+            small = in[2];
+            // Unsat: a byte times a small constant cannot overflow.
+            a = alloc("unsat@5", zext32(small) * 3 + 9);
+            if a == 0 { error("oom"); }
+            // Prevented: a correct guard (unguarded, 0xFFFF * 70000
+            // would overflow; guarded, 1000 * 70000 cannot).
+            if n > 1000 { error("too big"); }
+            b = alloc("prevented@8", n * 70000 + 1);
+            if b == 0 { error("oom"); }
+            // Exposed: guard present but range still overflowable.
+            c = alloc("exposed@10", n * n * 70000);
+            t = zext64(n) * zext64(n) * 70000u64;
+            p = 0u64;
+            while p < 16u64 { c[t * p / 16u64] = 0u8; p = p + 1u64; }
+        }
+        "#,
+        &[0x00, 0x10, 0x05],
+    );
+    assert_eq!(analysis.counts(), (3, 1, 1, 1));
+    assert!(matches!(
+        analysis.site("unsat@5").unwrap().outcome,
+        SiteOutcome::TargetUnsat
+    ));
+    assert!(matches!(
+        analysis.site("prevented@8").unwrap().outcome,
+        SiteOutcome::Prevented(_)
+    ));
+    let exposed = analysis.site("exposed@10").unwrap();
+    let SiteOutcome::Exposed(bug) = &exposed.outcome else {
+        panic!("{:?}", exposed.outcome)
+    };
+    let n = u32::from(bug.input[0]) << 8 | u32::from(bug.input[1]);
+    assert!(n <= 1000, "the guard was navigated, not bypassed");
+    assert!(u64::from(n) * u64::from(n) * 70_000 > u64::from(u32::MAX));
+}
+
+#[test]
+fn blocking_loop_is_skipped_not_enforced() {
+    // A loop whose trip count depends on the relevant field sits between
+    // the sanity check and the site: the compressed loop condition pins
+    // the field (making enforcement unsatisfiable), so DIODE must skip it
+    // and enforce only the check.
+    let analysis = analyze(
+        r#"
+        fn main() {
+            n = zext32(in[0]) << 8 | zext32(in[1]);
+            if n > 60000 { error("range"); }
+            i = 0;
+            while i < n { i = i + 1; }          // blocking loop
+            buf = alloc("blocked@6", n * 80000);
+            t = zext64(n) * 80000u64;
+            p = 0u64;
+            while p < 16u64 { buf[t * p / 16u64] = 0u8; p = p + 1u64; }
+        }
+        "#,
+        &[0x00, 0x10],
+    );
+    let report = analysis.site("blocked@6").unwrap();
+    let SiteOutcome::Exposed(bug) = &report.outcome else {
+        panic!("must still be exposed: {:?}", report.outcome)
+    };
+    assert!(bug.enforced <= 1, "only the sanity check may be enforced");
+}
+
+#[test]
+fn fully_guarded_site_is_prevented_with_unsat_evidence() {
+    let analysis = analyze(
+        r#"
+        fn main() {
+            w = zext32(in[0]) << 8 | zext32(in[1]);
+            h = zext32(in[2]) << 8 | zext32(in[3]);
+            if w > 1000 { error("w"); }
+            if h > 1000 { error("h"); }
+            buf = alloc("guarded@6", w * h * 4 + 64);
+            if buf == 0 { error("oom"); }
+        }
+        "#,
+        &[0x00, 0x20, 0x00, 0x20],
+    );
+    match &analysis.site("guarded@6").unwrap().outcome {
+        SiteOutcome::Prevented(PreventedReason::ConstraintUnsat { enforced }) => {
+            assert!(*enforced <= 2, "at most both checks get enforced");
+        }
+        other => panic!("expected unsat-prevented, got {other:?}"),
+    }
+}
+
+#[test]
+fn satisfies_phi_termination_when_no_error_manifests() {
+    // β is satisfiable and no check blocks it, but the program never
+    // touches the buffer, so no error can be observed: the loop must
+    // terminate via the satisfies-φ exit rather than spin.
+    let analysis = analyze(
+        r#"
+        fn main() {
+            n = zext32(in[0]) << 8 | zext32(in[1]);
+            buf = alloc("silent@3", n * 80000);
+            x = 1;
+        }
+        "#,
+        &[0x00, 0x10],
+    );
+    match &analysis.site("silent@3").unwrap().outcome {
+        SiteOutcome::Prevented(PreventedReason::SatisfiesPhi { enforced }) => {
+            assert_eq!(*enforced, 0);
+        }
+        other => panic!("expected SatisfiesPhi, got {other:?}"),
+    }
+}
+
+#[test]
+fn multiple_sites_share_relevant_bytes_independently() {
+    // Two sites over the same field with different guards must classify
+    // independently.
+    let analysis = analyze(
+        r#"
+        fn main() {
+            n = zext32(in[0]) << 8 | zext32(in[1]);
+            a = alloc("first@3", n * 70000);
+            t = zext64(n) * 70000u64;
+            p = 0u64;
+            while p < 8u64 { a[t * p / 8u64] = 0u8; p = p + 1u64; }
+            if n > 500 { error("late check"); }
+            b = alloc("second@8", n * 70000 + 1);
+            if b == 0 { error("oom"); }
+        }
+        "#,
+        &[0x00, 0x10],
+    );
+    assert!(matches!(
+        analysis.site("first@3").unwrap().outcome,
+        SiteOutcome::Exposed(_)
+    ));
+    // 500 * 70000 + 1 < 2^32: the late check prevents the second site.
+    assert!(matches!(
+        analysis.site("second@8").unwrap().outcome,
+        SiteOutcome::Prevented(_)
+    ));
+}

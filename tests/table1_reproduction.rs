@@ -1,0 +1,44 @@
+//! The headline reproduction test: DIODE's classification of all 40
+//! target sites across the five benchmark applications matches the
+//! paper's Table 1 exactly — per-application counts *and* per-site
+//! classes.
+
+use diode::apps::{all_apps, SiteClass};
+use diode::core::{analyze_program, DiodeConfig, SiteOutcome};
+
+#[test]
+fn table_1_reproduces_exactly() {
+    let apps = all_apps();
+    let config = DiodeConfig::default();
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for app in &apps {
+        let analysis = analyze_program(&app.program, &app.seed, &app.format, &config);
+        assert_eq!(
+            analysis.counts(),
+            app.expected_counts(),
+            "{}: classification counts diverge from Table 1",
+            app.name
+        );
+        // Per-site classes, not just counts.
+        for report in &analysis.sites {
+            let expected = app
+                .expected_for(&report.site)
+                .unwrap_or_else(|| panic!("{}: unexpected site {}", app.name, report.site));
+            let got = match report.outcome {
+                SiteOutcome::Exposed(_) => SiteClass::Exposed,
+                SiteOutcome::TargetUnsat => SiteClass::Unsat,
+                SiteOutcome::Prevented(_) => SiteClass::Prevented,
+                SiteOutcome::Unknown => panic!("{}: unknown outcome", report.site),
+            };
+            assert_eq!(
+                got, expected.class,
+                "{}: site {} classified {} (paper: {})",
+                app.name, report.site, got, expected.class
+            );
+        }
+        let c = analysis.counts();
+        totals = (totals.0 + c.0, totals.1 + c.1, totals.2 + c.2, totals.3 + c.3);
+    }
+    // Paper: 40 sites, 14 exposed, 17 unsatisfiable, 9 check-prevented.
+    assert_eq!(totals, (40, 14, 17, 9));
+}

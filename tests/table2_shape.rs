@@ -1,0 +1,118 @@
+//! Table 2's structural claims (§5.3, §5.5, §5.6):
+//!
+//! * 9 of the 14 overflows need no branch enforcement;
+//! * the other 5 need a small number (the paper: 2–5);
+//! * the CVE-2008-2430 constraint has exactly two solutions, both
+//!   triggering without a crash;
+//! * target-only success rates are bimodal: ~0 for sanity-checked sites,
+//!   ~all for check-free sites;
+//! * target+enforced success rates are high for the enforced sites.
+
+use diode::apps::all_apps;
+use diode::core::{analyze_program, success_rate, DiodeConfig, SiteOutcome};
+
+#[test]
+fn enforcement_counts_match_the_papers_bands() {
+    let apps = all_apps();
+    let config = DiodeConfig::default();
+    let mut zero_enforced = 0;
+    let mut nonzero = Vec::new();
+    for app in &apps {
+        let analysis = analyze_program(&app.program, &app.seed, &app.format, &config);
+        for report in &analysis.sites {
+            let SiteOutcome::Exposed(bug) = &report.outcome else { continue };
+            let expected = app.expected_for(&report.site).unwrap();
+            let (paper_enf, _) = expected.paper_enforced.unwrap();
+            if paper_enf == 0 {
+                assert_eq!(
+                    bug.enforced, 0,
+                    "{}: paper finds this without enforcement",
+                    report.site
+                );
+                zero_enforced += 1;
+            } else {
+                assert!(
+                    (1..=8).contains(&bug.enforced),
+                    "{}: enforced {} outside the paper's band",
+                    report.site,
+                    bug.enforced
+                );
+                nonzero.push(bug.enforced);
+            }
+        }
+    }
+    // Paper §1.2: 9 of 14 without enforcement; the rest 2..=5 (min 2,
+    // avg 4, max 5).
+    assert_eq!(zero_enforced, 9);
+    assert_eq!(nonzero.len(), 5);
+    let min = *nonzero.iter().min().unwrap();
+    let max = *nonzero.iter().max().unwrap();
+    assert!(min >= 1 && max <= 8, "enforced range {min}..={max}");
+}
+
+#[test]
+fn success_rates_are_bimodal() {
+    let apps = all_apps();
+    let config = DiodeConfig::default();
+    let samples = 12;
+    for app in &apps {
+        let analysis = analyze_program(&app.program, &app.seed, &app.format, &config);
+        for report in &analysis.sites {
+            let SiteOutcome::Exposed(bug) = &report.outcome else { continue };
+            let expected = app.expected_for(&report.site).unwrap();
+            let (paper_hits, paper_n) = expected.paper_target_rate.unwrap();
+            let extraction = report.extraction.as_ref().unwrap();
+            let rate = success_rate(
+                &app.program, &app.seed, &app.format, report.label,
+                &extraction.beta, samples, 99, &config,
+            );
+            if paper_hits == 0 {
+                // Sanity-checked sites: target-only samples rarely pass.
+                assert!(
+                    rate.hits <= rate.samples / 3,
+                    "{}: paper 0/{paper_n}, measured {rate}",
+                    report.site
+                );
+            } else if paper_hits >= paper_n / 2 {
+                // Check-free sites: the vast majority trigger.
+                assert!(
+                    rate.hits * 3 >= rate.samples * 2,
+                    "{}: paper {paper_hits}/{paper_n}, measured {rate}",
+                    report.site
+                );
+            }
+            // Enforced-rate experiment for enforced sites: high success.
+            if bug.enforced > 0 {
+                let erate = success_rate(
+                    &app.program, &app.seed, &app.format, report.label,
+                    &bug.constraint, samples, 100, &config,
+                );
+                assert!(
+                    erate.hits * 3 >= erate.samples * 2,
+                    "{}: enforced rate too low: {erate}",
+                    report.site
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cve_2008_2430_has_exactly_two_solutions() {
+    let app = all_apps().remove(1); // VLC
+    assert_eq!(app.name, "VLC 0.8.6h");
+    let config = DiodeConfig::default();
+    let analysis = analyze_program(&app.program, &app.seed, &app.format, &config);
+    let report = analysis.site("wav.c@147").unwrap();
+    let extraction = report.extraction.as_ref().unwrap();
+    let rate = success_rate(
+        &app.program, &app.seed, &app.format, report.label,
+        &extraction.beta, 200, 1, &config,
+    );
+    assert!(rate.exhaustive, "solution space must be enumerated");
+    assert_eq!(rate.samples, 2, "x + 2 has exactly two overflowing inputs");
+    assert_eq!(rate.hits, 2, "both trigger (paper: 2/2)");
+    // And the triggering runs do not crash (InvalidRead/Write row).
+    let SiteOutcome::Exposed(bug) = &report.outcome else { panic!() };
+    assert_eq!(bug.error_type, "InvalidRead/Write");
+}
