@@ -199,7 +199,11 @@ mod tests {
         assert_eq!(r.outcome, Outcome::Completed);
         assert!(r.mem_errors.is_empty(), "{:?}", r.mem_errors);
         assert_eq!(r.allocs.len(), 7);
-        let rgb = r.allocs.iter().find(|a| &*a.site == "jpegdec.c@248").unwrap();
+        let rgb = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "jpegdec.c@248")
+            .unwrap();
         assert_eq!(
             rgb.size.value(),
             u128::from(SEED_WIDTH) * u128::from(SEED_HEIGHT) * 3 + u128::from(SEED_WIDTH)
@@ -210,7 +214,11 @@ mod tests {
     fn exposed_site_depends_only_on_sof_dimensions() {
         let app = app();
         let r = run(&app.program, &app.seed, Taint, &MachineConfig::default());
-        let rgb = r.allocs.iter().find(|a| &*a.site == "jpegdec.c@248").unwrap();
+        let rgb = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "jpegdec.c@248")
+            .unwrap();
         let h = app.format.field("/sof/height").unwrap().offset;
         let w = app.format.field("/sof/width").unwrap().offset;
         assert_eq!(rgb.size_tag.labels(), &[h, h + 1, w, w + 1]);
@@ -228,7 +236,11 @@ mod tests {
             diode_interp::Symbolic::all_bytes(),
             &MachineConfig::default(),
         );
-        let rgb = r.allocs.iter().find(|a| &*a.site == "jpegdec.c@248").unwrap();
+        let rgb = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "jpegdec.c@248")
+            .unwrap();
         let h = app.format.field("/sof/height").unwrap().offset;
         let relevant = [h, h + 1, h + 2, h + 3];
         for obs in &r.branches[..rgb.branches_before] {
@@ -248,7 +260,11 @@ mod tests {
         let patches: Vec<(u32, u8)> = (0..4).map(|i| (h + i, 0xf0)).collect();
         let input = app.format.reconstruct(&app.seed, patches);
         let r = run(&app.program, &input, Concrete, &MachineConfig::default());
-        let rgb = r.allocs.iter().find(|a| &*a.site == "jpegdec.c@248").unwrap();
+        let rgb = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "jpegdec.c@248")
+            .unwrap();
         assert!(rgb.size_ovf);
         assert!(r.outcome.is_segfault() || !r.mem_errors.is_empty());
     }

@@ -277,7 +277,9 @@ pub fn seed() -> (Vec<u8>, FormatDesc) {
     });
     png_chunk(&mut b, "/idat", b"IDAT", |b| {
         let rowbytes = SEED_WIDTH * u32::from(SEED_BIT_DEPTH) / 8;
-        let data: Vec<u8> = (0..rowbytes * SEED_HEIGHT).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..rowbytes * SEED_HEIGHT)
+            .map(|i| (i % 251) as u8)
+            .collect();
         b.named_bytes("/idat/data", &data);
     });
     png_chunk(&mut b, "/iend", b"IEND", |_| {});
@@ -379,7 +381,10 @@ mod tests {
         let mut bad = app.seed.clone();
         bad[17] ^= 0x01; // width byte without CRC repair
         let r = run(&app.program, &bad, Concrete, &MachineConfig::default());
-        assert_eq!(r.outcome, Outcome::InputRejected("IHDR CRC mismatch".into()));
+        assert_eq!(
+            r.outcome,
+            Outcome::InputRejected("IHDR CRC mismatch".into())
+        );
     }
 
     #[test]

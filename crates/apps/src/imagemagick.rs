@@ -233,7 +233,11 @@ mod tests {
         patches.extend(patch_be32(&app, "/hdr/pixmap_height", 0x0002_0000));
         let input = app.format.reconstruct(&app.seed, patches);
         let r = run(&app.program, &input, Concrete, &MachineConfig::default());
-        let x = r.allocs.iter().find(|a| &*a.site == "xwindow.c@5619").unwrap();
+        let x = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "xwindow.c@5619")
+            .unwrap();
         assert!(x.size_ovf);
         assert!(r.outcome.is_segfault() || !r.mem_errors.is_empty());
     }
@@ -247,7 +251,11 @@ mod tests {
         patches.extend(patch_be32(&app, "/hdr/pixmap_width", 4));
         let input = app.format.reconstruct(&app.seed, patches);
         let r = run(&app.program, &input, Concrete, &MachineConfig::default());
-        let x = r.allocs.iter().find(|a| &*a.site == "xwindow.c@5619").unwrap();
+        let x = r
+            .allocs
+            .iter()
+            .find(|a| &*a.site == "xwindow.c@5619")
+            .unwrap();
         assert!(!x.size_ovf, "w*h*4 = 128 must not overflow");
         let c = r.allocs.iter().find(|a| &*a.site == "cache.c@803").unwrap();
         assert!(c.size_ovf, "2^30 * 8 overflows");
@@ -283,7 +291,10 @@ mod tests {
                 .labels()
                 .to_vec()
         };
-        assert_eq!(by_site("xwindow.c@5619"), vec![16, 17, 18, 19, 20, 21, 22, 23]);
+        assert_eq!(
+            by_site("xwindow.c@5619"),
+            vec![16, 17, 18, 19, 20, 21, 22, 23]
+        );
         assert_eq!(by_site("cache.c@803"), vec![20, 21, 22, 23, 40, 41, 42, 43]);
         assert_eq!(
             by_site("display.c@4393"),

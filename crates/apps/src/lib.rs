@@ -211,7 +211,8 @@ mod tests {
 
     #[test]
     fn expected_counts_match_table_1() {
-        let rows: Vec<(&str, (usize, usize, usize, usize))> = all_apps()
+        type Counts = (usize, usize, usize, usize);
+        let rows: Vec<(&str, Counts)> = all_apps()
             .iter()
             .map(|a| (a.name, a.expected_counts()))
             .collect();

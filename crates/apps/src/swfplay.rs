@@ -215,13 +215,13 @@ pub fn seed() -> (Vec<u8>, FormatDesc) {
     b.be16("/sof/width", SEED_WIDTH);
     b.u8("/sof/ncomp", 1);
     b.raw(&[1, 0x11, 0]); // component spec
-    // SOS @148.
+                          // SOS @148.
     b.raw(&[0xFF, 0xDA]);
     b.be16("/sos/length", 8);
     b.u8("/sos/ns", 1);
     b.raw(&[1, 0x00]); // component selector
     b.raw(&[0, 63, 0]); // spectral selection
-    // Entropy data @158 (raw stand-in) + EOI.
+                        // Entropy data @158 (raw stand-in) + EOI.
     let data: Vec<u8> = (0..192).map(|i| (i * 13 % 251) as u8).collect();
     b.named_bytes("/scan/data", &data);
     b.raw(&[0xFF, 0xD9]);

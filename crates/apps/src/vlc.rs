@@ -214,7 +214,14 @@ pub fn app() -> App {
                 (57, 200),
                 Some((97, 200)),
             ),
-            ExpectedSite::exposed("block.c@54", None, "InvalidRead", (0, 151), (200, 200), None),
+            ExpectedSite::exposed(
+                "block.c@54",
+                None,
+                "InvalidRead",
+                (0, 151),
+                (200, 200),
+                None,
+            ),
         ],
     }
 }

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use diode_core::{
-    analyze_program, extract, full_path_constraint_satisfiable, identify_target_sites,
-    DiodeConfig,
+    analyze_program, extract, full_path_constraint_satisfiable, identify_target_sites, DiodeConfig,
 };
 
 fn bench_ablation(c: &mut Criterion) {

@@ -48,21 +48,17 @@ fn bench_solver(c: &mut Criterion) {
 
     // Unsat proof: bounded arithmetic, with and without interval presolve.
     let bounded = byte32(0).bin(BinOp::Mul, c32(100)).bin(BinOp::Add, c32(7));
-    let atom = diode_symbolic::SymBool::Ovf(
-        diode_symbolic::OvfKind::Mul,
-        field32(0),
-        field32(4),
-    )
-    .and(&diode_symbolic::SymBool::cmp(
-        diode_lang::CmpOp::Ult,
-        field32(0),
-        c32(1000),
-    ))
-    .and(&diode_symbolic::SymBool::cmp(
-        diode_lang::CmpOp::Ult,
-        field32(4),
-        c32(1000),
-    ));
+    let atom = diode_symbolic::SymBool::Ovf(diode_symbolic::OvfKind::Mul, field32(0), field32(4))
+        .and(&diode_symbolic::SymBool::cmp(
+            diode_lang::CmpOp::Ult,
+            field32(0),
+            c32(1000),
+        ))
+        .and(&diode_symbolic::SymBool::cmp(
+            diode_lang::CmpOp::Ult,
+            field32(4),
+            c32(1000),
+        ));
     let _ = bounded;
     group.bench_function("unsat_guarded_mul", |b| {
         b.iter(|| assert!(solve(&atom).is_unsat()))

@@ -3,9 +3,7 @@
 //! success-rate sampling batch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use diode_core::{
-    analyze_site, identify_target_sites, success_rate, DiodeConfig, SiteOutcome,
-};
+use diode_core::{analyze_site, identify_target_sites, success_rate, DiodeConfig, SiteOutcome};
 
 fn bench_discovery(c: &mut Criterion) {
     let app = diode_apps::dillo::app();

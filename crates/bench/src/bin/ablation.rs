@@ -1,23 +1,44 @@
 //! The §5.4 blocking-check experiment: for each exposed site, is the
 //! constraint "β ∧ follow the seed path through every relevant branch"
 //! satisfiable? The paper: satisfiable for exactly 2 of 14 sites.
-//! Also reports the interval-presolve ablation.
+//! Also reports the interval-presolve ablation. Analyses run through the
+//! `diode-engine` scheduler.
 //!
-//! Usage: `cargo run --release -p diode-bench --bin ablation`
+//! Usage: `cargo run --release -p diode-bench --bin ablation [-- FLAGS]`
+//! (`--sequential` / `--threads N` select the analysis backend).
 
 use std::time::Instant;
 
-use diode_bench::{ablation_rows, render_ablation};
-use diode_core::{analyze_program, DiodeConfig};
+use diode_bench::{ablation_rows, config_with_cache, render_ablation, AnalysisBackend};
+use diode_core::DiodeConfig;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let backend = AnalysisBackend::from_args(&args);
     let apps = diode_apps::all_apps();
-    let config = DiodeConfig::default();
-    let rows = ablation_rows(&apps, &config);
-    println!("Ablation A (§5.4): full seed-path constraint satisfiability\n");
+    let (config, cache) = config_with_cache(DiodeConfig::default());
+    let rows = ablation_rows(&apps, &config, backend);
+    println!(
+        "Ablation A (§5.4): full seed-path constraint satisfiability (backend: {})\n",
+        backend.name()
+    );
     println!("{}", render_ablation(&rows));
-    let sat = rows.iter().filter(|r| r.full_path_sat == Some(true)).count();
-    println!("\n{} of {} exposed sites have a satisfiable full-path constraint (paper: 2 of 14).\n", sat, rows.len());
+    let sat = rows
+        .iter()
+        .filter(|r| r.full_path_sat == Some(true))
+        .count();
+    println!(
+        "\n{} of {} exposed sites have a satisfiable full-path constraint (paper: 2 of 14).",
+        sat,
+        rows.len()
+    );
+    let stats = cache.stats();
+    println!(
+        "Solver cache: {} hits / {} misses ({:.0}% hit rate)\n",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
 
     println!("Ablation B: interval pre-solve on/off (full Table 1 classification)");
     for presolve in [true, false] {
@@ -25,7 +46,7 @@ fn main() {
         cfg.solver.interval_presolve = presolve;
         let t = Instant::now();
         for app in &apps {
-            let _ = analyze_program(&app.program, &app.seed, &app.format, &cfg);
+            let _ = backend.analyze(app, &cfg);
         }
         println!("  interval_presolve = {presolve:<5} -> {:?}", t.elapsed());
     }

@@ -1,29 +1,84 @@
 //! DIODE vs fuzzing baselines on every exposed site (§6's comparison:
 //! random and taint-directed fuzzing rarely navigate the sanity checks).
+//! DIODE's analyses run through the `diode-engine` scheduler.
 //!
-//! Usage: `cargo run --release -p diode-bench --bin fuzz_compare [-- --trials N]`
+//! Usage: `cargo run --release -p diode-bench --bin fuzz_compare [-- FLAGS]`
+//!
+//! * `--trials N`    fuzzing trials per fuzzer per site (default 200)
+//! * `--json`        machine-readable output
+//! * `--sequential`  original single-threaded analysis path
+//! * `--threads N`   pin the engine's worker count
 
-use diode_bench::{fuzz_rows, render_fuzz};
+use std::time::Instant;
+
+use diode_bench::jsonout::{cache_json, Json};
+use diode_bench::{config_with_cache, fuzz_rows, render_fuzz, AnalysisBackend, FuzzRow};
 use diode_core::DiodeConfig;
 
 fn main() {
-    let trials = std::env::args()
-        .skip_while(|a| a != "--trials")
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let backend = AnalysisBackend::from_args(&args);
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let apps = diode_apps::all_apps();
-    let config = DiodeConfig::default();
-    let rows = fuzz_rows(&apps, &config, trials);
-    println!("DIODE vs fuzzing baselines ({trials} trials per fuzzer)\n");
-    println!("{}", render_fuzz(&rows));
+    let (config, cache) = config_with_cache(DiodeConfig::default());
+
+    let start = Instant::now();
+    let rows = fuzz_rows(&apps, &config, trials, backend);
+    let wall = start.elapsed();
     let diode_found = rows.iter().filter(|r| r.diode.is_some()).count();
     let fuzz_found = rows
         .iter()
         .filter(|r| r.random.hits > 0 || r.taint.hits > 0)
         .count();
-    println!(
-        "\nDIODE exposes {}/{} sites; fuzzing finds an overflow at {}/{} (mostly the check-free ones).",
-        diode_found, rows.len(), fuzz_found, rows.len()
-    );
+
+    if json {
+        let out = Json::obj()
+            .field("table", "fuzz_compare")
+            .field("backend", backend.name())
+            .field("trials", trials)
+            .field("wall_ms", wall)
+            .field("diode_found", diode_found)
+            .field("fuzz_found", fuzz_found)
+            .field("cache", cache_json(Some(cache.stats())))
+            .field("sites", rows.iter().map(site_json).collect::<Vec<_>>());
+        println!("{out}");
+    } else {
+        println!(
+            "DIODE vs fuzzing baselines ({trials} trials per fuzzer; backend: {})\n",
+            backend.name()
+        );
+        println!("{}", render_fuzz(&rows));
+        println!(
+            "\nDIODE exposes {}/{} sites; fuzzing finds an overflow at {}/{} (mostly the check-free ones).",
+            diode_found,
+            rows.len(),
+            fuzz_found,
+            rows.len()
+        );
+    }
+}
+
+fn site_json(r: &FuzzRow) -> Json {
+    Json::obj()
+        .field("app", r.app)
+        .field("site", r.site.clone())
+        .field("diode_enforced", r.diode)
+        .field(
+            "random",
+            Json::obj()
+                .field("hits", r.random.hits)
+                .field("trials", r.random.trials),
+        )
+        .field(
+            "taint",
+            Json::obj()
+                .field("hits", r.taint.hits)
+                .field("trials", r.taint.trials),
+        )
 }

@@ -1,20 +1,96 @@
-//! Regenerates the paper's Table 1 (target-site classification).
+//! Regenerates the paper's Table 1 (target-site classification), running
+//! the whole-program analyses through the `diode-engine` work-stealing
+//! scheduler with a shared solver-query cache.
 //!
-//! Usage: `cargo run --release -p diode-bench --bin table1`
+//! Usage: `cargo run --release -p diode-bench --bin table1 [-- FLAGS]`
+//!
+//! * `--json`        machine-readable output (per-app timings + counts,
+//!   cache hit-rate, engine-vs-sequential speedup)
+//! * `--sequential`  original single-threaded path (also
+//!   `DIODE_SEQUENTIAL=1`)
+//! * `--threads N`   pin the engine's worker count
 
-use diode_bench::{render_table1, table1_matches_paper, table1_rows};
+use std::time::Instant;
+
+use diode_bench::jsonout::{cache_json, counts_json, Json};
+use diode_bench::{
+    config_with_cache, render_table1, table1_matches_paper, table1_rows, AnalysisBackend, Table1Row,
+};
 use diode_core::DiodeConfig;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let backend = AnalysisBackend::from_args(&args);
     let apps = diode_apps::all_apps();
-    let config = DiodeConfig::default();
-    let rows = table1_rows(&apps, &config);
-    println!("Table 1: Target Site Classification (measured vs paper)\n");
-    println!("{}", render_table1(&rows));
-    if table1_matches_paper(&rows) {
-        println!("RESULT: every per-application classification count matches the paper.");
+    let (config, cache) = config_with_cache(DiodeConfig::default());
+
+    let start = Instant::now();
+    let rows = table1_rows(&apps, &config, backend);
+    let wall = start.elapsed();
+    let matches = table1_matches_paper(&rows);
+
+    if json {
+        // Time the sequential reference once (cache-free, so the engine's
+        // caching does not flatter the comparison) to report the speedup.
+        let speedup = match backend {
+            AnalysisBackend::Engine { .. } => {
+                let seq_start = Instant::now();
+                let _ = table1_rows(&apps, &DiodeConfig::default(), AnalysisBackend::Sequential);
+                Some(seq_start.elapsed().as_secs_f64() / wall.as_secs_f64().max(1e-9))
+            }
+            AnalysisBackend::Sequential => None,
+        };
+        let out = Json::obj()
+            .field("table", "table1")
+            .field("backend", backend.name())
+            .field("wall_ms", wall)
+            .field("engine_speedup", speedup)
+            .field("matches_paper", matches)
+            .field("cache", cache_json(Some(cache.stats())))
+            .field("apps", rows.iter().map(app_json).collect::<Vec<_>>())
+            .field(
+                "totals",
+                counts_json(rows.iter().fold((0, 0, 0, 0), |acc, r| {
+                    (
+                        acc.0 + r.measured.0,
+                        acc.1 + r.measured.1,
+                        acc.2 + r.measured.2,
+                        acc.3 + r.measured.3,
+                    )
+                })),
+            );
+        println!("{out}");
     } else {
-        println!("RESULT: MISMATCH against the paper's Table 1.");
+        println!(
+            "Table 1: Target Site Classification (measured vs paper; backend: {})\n",
+            backend.name()
+        );
+        println!("{}", render_table1(&rows));
+        let stats = cache.stats();
+        println!(
+            "Solver cache: {} hits / {} misses ({:.0}% hit rate, {} entries)",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.entries
+        );
+        if matches {
+            println!("RESULT: every per-application classification count matches the paper.");
+        } else {
+            println!("RESULT: MISMATCH against the paper's Table 1.");
+        }
+    }
+    if !matches {
         std::process::exit(1);
     }
+}
+
+fn app_json(r: &Table1Row) -> Json {
+    Json::obj()
+        .field("app", r.app)
+        .field("analysis_ms", r.analysis_time)
+        .field("measured", counts_json(r.measured))
+        .field("paper", counts_json(r.paper))
+        .field("matches", r.measured == r.paper)
 }

@@ -1,31 +1,106 @@
 //! Regenerates the paper's Table 2 (per-overflow evaluation summary),
-//! including the 200-input success-rate experiments of §5.5/§5.6.
+//! including the success-rate experiments of §5.5/§5.6, with analyses
+//! running through the `diode-engine` scheduler + shared query cache.
 //!
-//! Usage: `cargo run --release -p diode-bench --bin table2 [-- --samples N]`
-//! (default 200 samples per rate column, as in the paper).
+//! Usage: `cargo run --release -p diode-bench --bin table2 [-- FLAGS]`
+//!
+//! * `--samples N`   inputs per success-rate column (default 200, as in
+//!   the paper)
+//! * `--json`        machine-readable output (per-site timings, rates,
+//!   cache hit-rate)
+//! * `--sequential`  original single-threaded analysis path
+//! * `--threads N`   pin the engine's worker count
 
-use diode_bench::{render_table2, table2_rows, table2_shape_matches_paper};
+use std::time::Instant;
+
+use diode_bench::jsonout::{cache_json, Json};
+use diode_bench::{
+    config_with_cache, render_table2, table2_rows, table2_shape_matches_paper, AnalysisBackend,
+    Table2Row,
+};
 use diode_core::DiodeConfig;
 
 fn main() {
-    let samples = std::env::args()
-        .skip_while(|a| a != "--samples")
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let backend = AnalysisBackend::from_args(&args);
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let apps = diode_apps::all_apps();
-    let config = DiodeConfig::default();
-    let rows = table2_rows(&apps, &config, samples, 0xD10DE);
-    println!("Table 2: Evaluation Summary ({samples} samples per rate column)\n");
-    println!("{}", render_table2(&rows));
+    let (config, cache) = config_with_cache(DiodeConfig::default());
+
+    let start = Instant::now();
+    let rows = table2_rows(&apps, &config, samples, 0xD10DE, backend);
+    let wall = start.elapsed();
     let problems = table2_shape_matches_paper(&rows, &apps);
-    if problems.is_empty() {
-        println!("RESULT: all shape invariants hold (14 exposed rows; 0-enforcement sites; enforcement bands; exhaustive CVE-2008-2430 enumeration).");
+
+    if json {
+        let out = Json::obj()
+            .field("table", "table2")
+            .field("backend", backend.name())
+            .field("samples", samples)
+            .field("wall_ms", wall)
+            .field("shape_matches_paper", problems.is_empty())
+            .field("problems", problems.clone())
+            .field("cache", cache_json(Some(cache.stats())))
+            .field("sites", rows.iter().map(site_json).collect::<Vec<_>>());
+        println!("{out}");
     } else {
-        println!("RESULT: shape mismatches:");
-        for p in &problems {
-            println!("  - {p}");
+        println!(
+            "Table 2: Evaluation Summary ({samples} samples per rate column; backend: {})\n",
+            backend.name()
+        );
+        println!("{}", render_table2(&rows));
+        let stats = cache.stats();
+        println!(
+            "Solver cache: {} hits / {} misses ({:.0}% hit rate, {} entries)",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.entries
+        );
+        if problems.is_empty() {
+            println!("RESULT: all shape invariants hold (14 exposed rows; 0-enforcement sites; enforcement bands; exhaustive CVE-2008-2430 enumeration).");
+        } else {
+            println!("RESULT: shape mismatches:");
+            for p in &problems {
+                println!("  - {p}");
+            }
         }
+    }
+    if !problems.is_empty() {
         std::process::exit(1);
     }
+}
+
+fn site_json(r: &Table2Row) -> Json {
+    Json::obj()
+        .field("app", r.app)
+        .field("site", r.site.clone())
+        .field("cve", r.cve.clone())
+        .field("error_type", r.error_type.clone())
+        .field("analysis_ms", r.analysis_time)
+        .field("discovery_ms", r.discovery_time)
+        .field("enforced", r.enforced.0)
+        .field("total_relevant", r.enforced.1)
+        .field(
+            "target_rate",
+            Json::obj()
+                .field("hits", r.target_rate.hits)
+                .field("samples", r.target_rate.samples)
+                .field("exhaustive", r.target_rate.exhaustive),
+        )
+        .field(
+            "enforced_rate",
+            r.enforced_rate.as_ref().map(|e| {
+                Json::obj()
+                    .field("hits", e.hits)
+                    .field("samples", e.samples)
+                    .field("exhaustive", e.exhaustive)
+            }),
+        )
 }

@@ -14,17 +14,98 @@
 //!   by `--bin fuzz_compare`.
 //!
 //! Criterion micro/macro benchmarks live under `benches/`.
+//!
+//! Whole-program analyses run through the `diode-engine` work-stealing
+//! scheduler by default ([`AnalysisBackend::Engine`]); pass
+//! `--sequential` to any binary (or set `DIODE_SEQUENTIAL=1`) to fall
+//! back to the original single-threaded `diode-core` path. Every binary
+//! also accepts `--json` for machine-readable output ([`jsonout`]).
 
 #![warn(missing_docs)]
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use diode_apps::{App, SiteClass};
 use diode_core::{
-    analyze_program, full_path_constraint_satisfiable, success_rate, DiodeConfig,
-    ProgramAnalysis, SiteOutcome, SuccessRate,
+    analyze_program, full_path_constraint_satisfiable, success_rate, DiodeConfig, ProgramAnalysis,
+    SiteOutcome, SuccessRate,
 };
+use diode_engine::{analyze_program_parallel, CampaignApp, CampaignSpec, ExecutionMode};
 use diode_fuzz::{FuzzOutcome, RandomFuzzer, TaintFuzzer};
+use diode_solver::SolverCache;
+
+pub mod jsonout;
+
+/// How the harness runs whole-program analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisBackend {
+    /// Fan per-site jobs out over the `diode-engine` work-stealing
+    /// scheduler (`None` = all cores).
+    Engine {
+        /// Worker count override.
+        threads: Option<usize>,
+    },
+    /// The original sequential `diode-core` path.
+    Sequential,
+}
+
+impl Default for AnalysisBackend {
+    fn default() -> Self {
+        AnalysisBackend::Engine { threads: None }
+    }
+}
+
+impl AnalysisBackend {
+    /// Reads the backend from CLI args (`--sequential`, `--threads N`)
+    /// and the `DIODE_SEQUENTIAL` environment variable.
+    #[must_use]
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> Self {
+        let has = |flag: &str| args.iter().any(|a| a.as_ref() == flag);
+        let sequential =
+            has("--sequential") || std::env::var_os("DIODE_SEQUENTIAL").is_some_and(|v| v != "0");
+        if sequential {
+            return AnalysisBackend::Sequential;
+        }
+        let threads = args
+            .iter()
+            .position(|a| a.as_ref() == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.as_ref().parse().ok());
+        AnalysisBackend::Engine { threads }
+    }
+
+    /// Short name for report headers.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnalysisBackend::Engine { .. } => "engine",
+            AnalysisBackend::Sequential => "sequential",
+        }
+    }
+
+    /// Runs one whole-program analysis through this backend.
+    #[must_use]
+    pub fn analyze(&self, app: &App, config: &DiodeConfig) -> ProgramAnalysis {
+        match self {
+            AnalysisBackend::Engine { threads } => {
+                analyze_program_parallel(&app.program, &app.seed, &app.format, config, *threads)
+            }
+            AnalysisBackend::Sequential => {
+                analyze_program(&app.program, &app.seed, &app.format, config)
+            }
+        }
+    }
+}
+
+/// A config with a fresh shared solver-query cache installed, plus a
+/// handle to read its counters afterwards — the standard setup for every
+/// harness binary.
+#[must_use]
+pub fn config_with_cache(base: DiodeConfig) -> (DiodeConfig, Arc<SolverCache>) {
+    let cache = Arc::new(SolverCache::new());
+    (base.with_query_cache(Arc::clone(&cache)), cache)
+}
 
 /// Renders an aligned plain-text table.
 #[must_use]
@@ -83,16 +164,74 @@ pub struct Table1Row {
 }
 
 /// Runs the Table 1 experiment over the given apps.
+///
+/// With [`AnalysisBackend::Engine`] the whole suite runs as **one
+/// campaign**: every app's per-site jobs share the same work-stealing
+/// pool, so a slow site in one application overlaps with every other
+/// application's work. Per-app `analysis_time` then reports aggregate
+/// work time (identification + extraction + discovery) rather than wall
+/// clock, which interleaving makes meaningless per app.
 #[must_use]
-pub fn table1_rows(apps: &[App], config: &DiodeConfig) -> Vec<Table1Row> {
-    apps.iter()
-        .map(|app| {
-            let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+pub fn table1_rows(apps: &[App], config: &DiodeConfig, backend: AnalysisBackend) -> Vec<Table1Row> {
+    let threads = match backend {
+        AnalysisBackend::Sequential => {
+            return apps
+                .iter()
+                .map(|app| {
+                    let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+                    Table1Row {
+                        app: app.name,
+                        measured: analysis.counts(),
+                        paper: app.expected_counts(),
+                        analysis_time: analysis.analysis_time,
+                        analysis,
+                    }
+                })
+                .collect();
+        }
+        AnalysisBackend::Engine { threads } => threads,
+    };
+    let spec = CampaignSpec {
+        apps: apps
+            .iter()
+            .map(|a| CampaignApp::new(a.name, a.program.clone(), a.format.clone(), a.seed.clone()))
+            .collect(),
+        config: config.clone(),
+        mode: ExecutionMode::Parallel { threads },
+        // Respect the caller's cache decision (config.query_cache); an
+        // implicit campaign cache would make backend timings incomparable.
+        shared_cache: false,
+        // Table 1 is pure classification; re-validation belongs to the
+        // campaign API's bug-report consumers.
+        verify_exposed: false,
+    };
+    let report = spec.run();
+    report
+        .units
+        .into_iter()
+        .zip(apps)
+        .map(|(unit, app)| {
+            let work: Duration = unit
+                .sites
+                .iter()
+                .map(|s| {
+                    s.report.discovery_time
+                        + s.report
+                            .extraction
+                            .as_ref()
+                            .map_or(Duration::ZERO, |e| e.extraction_time)
+                })
+                .sum();
+            let analysis_time = unit.identify_time + work;
+            let analysis = ProgramAnalysis {
+                analysis_time,
+                sites: unit.sites.into_iter().map(|s| s.report).collect(),
+            };
             Table1Row {
                 app: app.name,
                 measured: analysis.counts(),
                 paper: app.expected_counts(),
-                analysis_time: analysis.analysis_time,
+                analysis_time,
                 analysis,
             }
         })
@@ -120,10 +259,7 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
                 r.measured.1.to_string(),
                 r.measured.2.to_string(),
                 r.measured.3.to_string(),
-                format!(
-                    "{}/{}/{}/{}",
-                    r.paper.0, r.paper.1, r.paper.2, r.paper.3
-                ),
+                format!("{}/{}/{}/{}", r.paper.0, r.paper.1, r.paper.2, r.paper.3),
                 fmt_dur(r.analysis_time),
             ]
         })
@@ -178,10 +314,16 @@ pub struct Table2Row {
 /// Runs the full Table 2 experiment: per-site discovery plus the
 /// success-rate sampling of §5.5/§5.6 with `samples` inputs per column.
 #[must_use]
-pub fn table2_rows(apps: &[App], config: &DiodeConfig, samples: u32, rng_seed: u64) -> Vec<Table2Row> {
+pub fn table2_rows(
+    apps: &[App],
+    config: &DiodeConfig,
+    samples: u32,
+    rng_seed: u64,
+    backend: AnalysisBackend,
+) -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for app in apps {
-        let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+        let analysis = backend.analyze(app, config);
         for report in &analysis.sites {
             let SiteOutcome::Exposed(bug) = &report.outcome else {
                 continue;
@@ -215,10 +357,7 @@ pub fn table2_rows(apps: &[App], config: &DiodeConfig, samples: u32, rng_seed: u
             rows.push(Table2Row {
                 app: app.name,
                 site: report.site.clone(),
-                cve: expected
-                    .and_then(|e| e.cve)
-                    .unwrap_or("New")
-                    .to_string(),
+                cve: expected.and_then(|e| e.cve).unwrap_or("New").to_string(),
                 error_type: bug.error_type.clone(),
                 paper_error: expected
                     .and_then(|e| e.paper_error)
@@ -229,9 +368,7 @@ pub fn table2_rows(apps: &[App], config: &DiodeConfig, samples: u32, rng_seed: u
                 enforced: (bug.enforced, report.total_relevant),
                 paper_enforced: expected.and_then(|e| e.paper_enforced).unwrap_or((0, 0)),
                 target_rate,
-                paper_target_rate: expected
-                    .and_then(|e| e.paper_target_rate)
-                    .unwrap_or((0, 0)),
+                paper_target_rate: expected.and_then(|e| e.paper_target_rate).unwrap_or((0, 0)),
                 enforced_rate,
                 paper_enforced_rate: expected.and_then(|e| e.paper_enforced_rate),
             });
@@ -261,7 +398,11 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
                 r.site.clone(),
                 r.cve.clone(),
                 format!("{} ({})", r.error_type, r.paper_error),
-                format!("({}) {}", fmt_dur(r.analysis_time), fmt_dur(r.discovery_time)),
+                format!(
+                    "({}) {}",
+                    fmt_dur(r.analysis_time),
+                    fmt_dur(r.discovery_time)
+                ),
                 format!(
                     "{}/{} ({}/{})",
                     r.enforced.0, r.enforced.1, r.paper_enforced.0, r.paper_enforced.1
@@ -297,18 +438,21 @@ pub struct AblationRow {
 
 /// Runs the §5.4 experiment over every exposed site.
 #[must_use]
-pub fn ablation_rows(apps: &[App], config: &DiodeConfig) -> Vec<AblationRow> {
+pub fn ablation_rows(
+    apps: &[App],
+    config: &DiodeConfig,
+    backend: AnalysisBackend,
+) -> Vec<AblationRow> {
     let mut rows = Vec::new();
     for app in apps {
-        let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+        let analysis = backend.analyze(app, config);
         for report in &analysis.sites {
             if !matches!(report.outcome, SiteOutcome::Exposed(_)) {
                 continue;
             }
             let extraction = report.extraction.as_ref().expect("extraction");
             let full_path_sat = full_path_constraint_satisfiable(extraction, &config.solver);
-            let paper_sat =
-                matches!(report.site.as_str(), "jpeg.c@192" | "jpegdec.c@248");
+            let paper_sat = matches!(report.site.as_str(), "jpeg.c@192" | "jpegdec.c@248");
             rows.push(AblationRow {
                 app: app.name,
                 site: report.site.clone(),
@@ -335,7 +479,11 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
                     Some(false) => "unsat".into(),
                     None => "unknown".into(),
                 },
-                if r.paper_sat { "sat".into() } else { "unsat".into() },
+                if r.paper_sat {
+                    "sat".into()
+                } else {
+                    "unsat".into()
+                },
             ]
         })
         .collect();
@@ -359,10 +507,15 @@ pub struct FuzzRow {
 
 /// Runs the fuzzing comparison over every exposed site.
 #[must_use]
-pub fn fuzz_rows(apps: &[App], config: &DiodeConfig, trials: u32) -> Vec<FuzzRow> {
+pub fn fuzz_rows(
+    apps: &[App],
+    config: &DiodeConfig,
+    trials: u32,
+    backend: AnalysisBackend,
+) -> Vec<FuzzRow> {
     let mut rows = Vec::new();
     for app in apps {
-        let analysis = analyze_program(&app.program, &app.seed, &app.format, config);
+        let analysis = backend.analyze(app, config);
         for report in &analysis.sites {
             let diode = match &report.outcome {
                 SiteOutcome::Exposed(bug) => Some(bug.enforced),

@@ -1,0 +1,41 @@
+//! The harness must produce identical Table 1 classifications through the
+//! engine and sequential backends, with or without a shared query cache.
+
+use diode_bench::{config_with_cache, table1_matches_paper, table1_rows, AnalysisBackend};
+use diode_core::DiodeConfig;
+
+#[test]
+fn backends_agree_on_table1() {
+    let apps = diode_apps::all_apps();
+    let (cached_config, cache) = config_with_cache(DiodeConfig::default());
+    let engine = table1_rows(&apps, &cached_config, AnalysisBackend::default());
+    let sequential = table1_rows(&apps, &DiodeConfig::default(), AnalysisBackend::Sequential);
+    assert!(table1_matches_paper(&engine));
+    assert!(table1_matches_paper(&sequential));
+    for (e, s) in engine.iter().zip(&sequential) {
+        assert_eq!(e.app, s.app);
+        assert_eq!(e.measured, s.measured, "{}", e.app);
+    }
+    let stats = cache.stats();
+    assert!(stats.misses > 0);
+    assert!(
+        stats.hits > 0,
+        "structurally repeated queries across sites must hit: {stats:?}"
+    );
+}
+
+#[test]
+fn backend_flag_parsing() {
+    assert_eq!(
+        AnalysisBackend::from_args(&["--json"]),
+        AnalysisBackend::Engine { threads: None }
+    );
+    assert_eq!(
+        AnalysisBackend::from_args(&["--threads", "3"]),
+        AnalysisBackend::Engine { threads: Some(3) }
+    );
+    assert_eq!(
+        AnalysisBackend::from_args(&["--sequential", "--threads", "3"]),
+        AnalysisBackend::Sequential
+    );
+}

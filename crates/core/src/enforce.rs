@@ -13,12 +13,13 @@
 //!    becomes unsatisfiable, or the candidate satisfies all of φ without
 //!    triggering (sanity checks *prevent* the overflow).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use diode_format::FormatDesc;
 use diode_interp::MachineConfig;
 use diode_lang::{Label, Program};
-use diode_solver::{solve_with, SolveResult, SolverConfig};
+use diode_solver::{solve_with, SolveResult, SolverCache, SolverConfig};
 use diode_symbolic::SymBool;
 
 use crate::pipeline::{extract, generate_input, test_candidate, Extraction, TargetSite};
@@ -116,6 +117,12 @@ pub struct DiodeConfig {
     /// Safety bound on enforcement iterations (the paper's sites need at
     /// most 5; the bound only guards against pathological programs).
     pub max_enforcements: usize,
+    /// Optional shared solver-query cache. When set, every deterministic
+    /// (diversity-free) constraint query in the enforcement loop is
+    /// memoized through it; `diode-engine` campaigns install one cache
+    /// across all workers so repeated φ′∧β queries are answered without
+    /// re-blasting. `None` keeps the original solve-from-scratch path.
+    pub query_cache: Option<Arc<SolverCache>>,
 }
 
 impl Default for DiodeConfig {
@@ -124,6 +131,26 @@ impl Default for DiodeConfig {
             machine: MachineConfig::default(),
             solver: SolverConfig::default(),
             max_enforcements: 32,
+            query_cache: None,
+        }
+    }
+}
+
+impl DiodeConfig {
+    /// This configuration with `cache` installed as the query cache.
+    #[must_use]
+    pub fn with_query_cache(mut self, cache: Arc<SolverCache>) -> Self {
+        self.query_cache = Some(cache);
+        self
+    }
+
+    /// Solves a deterministic constraint query, through the shared cache
+    /// when one is installed.
+    #[must_use]
+    pub fn solve_query(&self, cond: &SymBool) -> SolveResult {
+        match &self.query_cache {
+            Some(cache) => cache.solve(cond, &self.solver),
+            None => solve_with(cond, &self.solver, None).0,
         }
     }
 }
@@ -174,7 +201,7 @@ pub fn enforce(
     config: &DiodeConfig,
 ) -> SiteOutcome {
     // Line 2–3: solve β alone.
-    let (first, _) = solve_with(&extraction.beta, &config.solver, None);
+    let first = config.solve_query(&extraction.beta);
     let model = match first {
         SolveResult::Unsat => return SiteOutcome::TargetUnsat,
         SolveResult::Unknown => return SiteOutcome::Unknown,
@@ -240,7 +267,7 @@ pub fn enforce(
         for idx in violated {
             let cond = &extraction.phi[idx];
             let query = phi_prime.and(&cond.constraint).and(&extraction.beta);
-            match solve_with(&query, &config.solver, None).0 {
+            match config.solve_query(&query) {
                 SolveResult::Unsat => {
                     skipped.insert(idx);
                 }
@@ -251,8 +278,7 @@ pub fn enforce(
                     current_input = generate_input(format, seed, &model);
                     advanced = true;
                     // Line 14–15: test the new input.
-                    let res =
-                        test_candidate(program, &current_input, label, &config.machine);
+                    let res = test_candidate(program, &current_input, label, &config.machine);
                     if res.triggered {
                         return SiteOutcome::Exposed(Bug {
                             input: current_input,

@@ -90,6 +90,7 @@ impl std::fmt::Display for SuccessRate {
 /// the experiment enumerates them exhaustively instead of sampling —
 /// reproducing the paper's `2/2` row for the `x + 2` target expression.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn success_rate(
     program: &Program,
     seed: &[u8],
@@ -181,14 +182,7 @@ mod tests {
         // Target-only: solutions have n in [53688, 65535]; the n ≤ 60000
         // check passes for roughly half of that range.
         let rate = success_rate(
-            &program,
-            &seed,
-            &format,
-            big.label,
-            &ex.beta,
-            24,
-            7,
-            &config,
+            &program, &seed, &format, big.label, &ex.beta, 24, 7, &config,
         );
         assert_eq!(rate.samples, 24);
         assert!(!rate.exhaustive);
@@ -236,14 +230,7 @@ mod tests {
         let site = analysis.site("plus4@2").unwrap();
         let ex = site.extraction.as_ref().unwrap();
         let rate = success_rate(
-            &program,
-            &seed,
-            &format,
-            site.label,
-            &ex.beta,
-            200,
-            3,
-            &config,
+            &program, &seed, &format, site.label, &ex.beta, 200, 3, &config,
         );
         assert!(rate.exhaustive);
         assert_eq!(rate.samples, 4, "x+4 has exactly 4 overflowing values");

@@ -71,10 +71,7 @@ pub fn relevant(conds: Vec<CompressedCond>, beta_bytes: &[u32]) -> Vec<Compresse
 /// raw observation sequence — Table 2's "total relevant conditional
 /// branches on the path" denominator.
 #[must_use]
-pub fn count_relevant_occurrences(
-    obs: &[BranchObs<Option<SymBool>>],
-    beta_bytes: &[u32],
-) -> usize {
+pub fn count_relevant_occurrences(obs: &[BranchObs<Option<SymBool>>], beta_bytes: &[u32]) -> usize {
     obs.iter()
         .filter(|o| {
             o.constraint
@@ -133,7 +130,10 @@ mod tests {
             obs(9, false, Some(lt(1, 50))),
         ];
         let c = compress(&seq);
-        assert_eq!(c.iter().map(|x| x.label).collect::<Vec<_>>(), vec![Label(9), Label(7)]);
+        assert_eq!(
+            c.iter().map(|x| x.label).collect::<Vec<_>>(),
+            vec![Label(9), Label(7)]
+        );
         assert_eq!(c[0].occurrences, 2);
     }
 

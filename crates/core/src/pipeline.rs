@@ -174,10 +174,7 @@ pub fn test_candidate(
 
 /// Builds Table 2's Error Type string from an outcome + memcheck reports.
 #[must_use]
-pub fn classify_error(
-    outcome: &Outcome,
-    mem_errors: &[diode_interp::MemError],
-) -> Option<String> {
+pub fn classify_error(outcome: &Outcome, mem_errors: &[diode_interp::MemError]) -> Option<String> {
     use diode_interp::MemErrorKind;
     let mut kinds: Vec<&str> = Vec::new();
     let mut push = |k: &'static str| {
@@ -315,7 +312,10 @@ mod tests {
         assert_eq!(
             classify_error(
                 &Outcome::Completed,
-                &[me(MemErrorKind::InvalidRead), me(MemErrorKind::InvalidWrite)]
+                &[
+                    me(MemErrorKind::InvalidRead),
+                    me(MemErrorKind::InvalidWrite)
+                ]
             ),
             Some("InvalidRead/Write".into())
         );

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use diode_format::FormatDesc;
 
-use crate::enforce::{Bug, SiteReport, SiteOutcome};
+use crate::enforce::{Bug, SiteOutcome, SiteReport};
 
 /// A rendered bug report for one exposed target site, combining the
 /// analysis metadata with Hachoir-style field names.
@@ -97,8 +97,12 @@ mod tests {
     #[test]
     fn report_renders_fields_and_metadata() {
         let app = diode_apps::dillo::app();
-        let analysis =
-            analyze_program(&app.program, &app.seed, &app.format, &DiodeConfig::default());
+        let analysis = analyze_program(
+            &app.program,
+            &app.seed,
+            &app.format,
+            &DiodeConfig::default(),
+        );
         let site = analysis.site("png.c@203").unwrap();
         let report =
             BugReport::for_site(site, &app.format, analysis.analysis_time).expect("exposed");

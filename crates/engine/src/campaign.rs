@@ -1,0 +1,548 @@
+//! Campaign-scale orchestration: many applications × seeds in one batch.
+//!
+//! A [`CampaignSpec`] names the workloads (each a program + format + one
+//! or more seed inputs) and how to run them; [`CampaignSpec::run`] fans
+//! the work out over the work-stealing scheduler and returns a
+//! [`CampaignReport`] whose per-site outcomes are aggregated in
+//! **site-label order** — byte-identical to what the sequential fallback
+//! produces, regardless of thread count or stealing interleavings.
+//!
+//! The campaign installs one shared [`SolverCache`] across every worker
+//! (unless the caller already installed their own, or disabled sharing),
+//! so the repeated φ′∧β queries of enforcement iterations, bug
+//! verification, and overlapping experiments are answered without
+//! re-blasting; the report surfaces the hit/miss counters.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use diode_core::{analyze_site, DiodeConfig, ProgramAnalysis, SiteOutcome, SiteReport};
+use diode_core::{identify_target_sites, test_candidate, TargetSite};
+use diode_format::FormatDesc;
+use diode_lang::Program;
+use diode_solver::{CacheStats, SolveResult, SolverCache};
+
+use crate::scheduler::{self, Spawner};
+
+/// One workload of a campaign: a program with its format description and
+/// the seed inputs to analyze it under.
+#[derive(Debug)]
+pub struct CampaignApp {
+    /// Display name (used in reports and progress events).
+    pub name: String,
+    /// The application pipeline.
+    pub program: Program,
+    /// Field map + checksum fixups for the seeds' format.
+    pub format: FormatDesc,
+    /// Seed inputs; each `(app, seed)` pair is an independent unit.
+    pub seeds: Vec<Vec<u8>>,
+}
+
+impl CampaignApp {
+    /// A single-seed workload.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        program: Program,
+        format: FormatDesc,
+        seed: Vec<u8>,
+    ) -> Self {
+        CampaignApp {
+            name: name.into(),
+            program,
+            format,
+            seeds: vec![seed],
+        }
+    }
+
+    /// Adds another seed input.
+    #[must_use]
+    pub fn with_seed(mut self, seed: Vec<u8>) -> Self {
+        self.seeds.push(seed);
+        self
+    }
+}
+
+/// How the campaign executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Fan out over the work-stealing scheduler. `threads: None` uses all
+    /// available cores. Falls back to [`ExecutionMode::Sequential`] when
+    /// the `parallel` feature is disabled.
+    Parallel {
+        /// Worker count; `None` = all cores.
+        threads: Option<usize>,
+    },
+    /// The original single-threaded path, in spec order. Kept as the
+    /// reference implementation that determinism tests compare against.
+    Sequential,
+}
+
+impl Default for ExecutionMode {
+    fn default() -> Self {
+        ExecutionMode::Parallel { threads: None }
+    }
+}
+
+/// A batch of workloads plus execution policy.
+#[derive(Debug)]
+pub struct CampaignSpec {
+    /// The workloads.
+    pub apps: Vec<CampaignApp>,
+    /// Per-site analysis configuration (shared by every job).
+    pub config: DiodeConfig,
+    /// Parallel or sequential execution.
+    pub mode: ExecutionMode,
+    /// Install one shared solver-query cache across all jobs. Ignored if
+    /// `config.query_cache` is already set (the caller's cache wins).
+    pub shared_cache: bool,
+    /// Re-validate every exposed bug after discovery: re-solve its final
+    /// constraint (a guaranteed cache hit when caching is on) and re-run
+    /// the triggering input, recording the result per site.
+    pub verify_exposed: bool,
+}
+
+impl CampaignSpec {
+    /// A campaign over `apps` with default policy: parallel on all cores,
+    /// shared cache, bug verification on.
+    #[must_use]
+    pub fn new(apps: Vec<CampaignApp>) -> Self {
+        CampaignSpec {
+            apps,
+            config: DiodeConfig::default(),
+            mode: ExecutionMode::default(),
+            shared_cache: true,
+            verify_exposed: true,
+        }
+    }
+
+    /// Runs the campaign without progress reporting.
+    #[must_use]
+    pub fn run(&self) -> CampaignReport {
+        self.run_with_progress(&NoProgress)
+    }
+
+    /// Runs the campaign, delivering [`CampaignEvent`]s to `sink` as jobs
+    /// progress. Events arrive from worker threads in completion order;
+    /// the returned report is deterministic regardless.
+    #[must_use]
+    pub fn run_with_progress(&self, sink: &dyn ProgressSink) -> CampaignReport {
+        let start = Instant::now();
+        let (config, cache) = self.effective_config();
+        let done = match self.mode {
+            ExecutionMode::Sequential => self.run_sequential(&config, sink),
+            ExecutionMode::Parallel { threads } => {
+                if cfg!(feature = "parallel") {
+                    self.run_parallel(&config, sink, threads)
+                } else {
+                    self.run_sequential(&config, sink)
+                }
+            }
+        };
+        let (units, jobs) = self.aggregate(done);
+        let report = CampaignReport {
+            units,
+            cache: cache.as_ref().map(|c| c.stats()),
+            wall_time: start.elapsed(),
+            threads: self.effective_threads(),
+            jobs,
+        };
+        sink.on_event(CampaignEvent::Finished {
+            wall_time: report.wall_time,
+        });
+        report
+    }
+
+    fn effective_threads(&self) -> usize {
+        match self.mode {
+            ExecutionMode::Sequential => 1,
+            ExecutionMode::Parallel { threads } => {
+                if cfg!(feature = "parallel") {
+                    threads.unwrap_or_else(scheduler::default_threads).max(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// The per-job config: the spec's config with the campaign cache
+    /// installed (if sharing is on and the caller didn't bring their own).
+    fn effective_config(&self) -> (DiodeConfig, Option<Arc<SolverCache>>) {
+        let mut config = self.config.clone();
+        if config.query_cache.is_none() && self.shared_cache {
+            config.query_cache = Some(Arc::new(SolverCache::new()));
+        }
+        let cache = config.query_cache.clone();
+        (config, cache)
+    }
+
+    fn run_parallel(
+        &self,
+        config: &DiodeConfig,
+        sink: &dyn ProgressSink,
+        threads: Option<usize>,
+    ) -> Vec<Done> {
+        let threads = threads.unwrap_or_else(scheduler::default_threads).max(1);
+        let initial: Vec<Job> = self
+            .apps
+            .iter()
+            .enumerate()
+            .flat_map(|(app, a)| (0..a.seeds.len()).map(move |seed| Job::Identify { app, seed }))
+            .collect();
+        scheduler::execute(initial, threads, |job, spawner: &Spawner<'_, Job>| {
+            self.run_job(job, config, sink, Some(spawner))
+        })
+    }
+
+    fn run_sequential(&self, config: &DiodeConfig, sink: &dyn ProgressSink) -> Vec<Done> {
+        let mut done = Vec::new();
+        for (app, a) in self.apps.iter().enumerate() {
+            for seed in 0..a.seeds.len() {
+                let identified = self.run_job(Job::Identify { app, seed }, config, sink, None);
+                let Done::Identified { ref targets, .. } = identified else {
+                    unreachable!("identify job returns Identified");
+                };
+                let site_jobs: Vec<Job> = targets
+                    .iter()
+                    .map(|t| Job::Site {
+                        app,
+                        seed,
+                        target: t.clone(),
+                    })
+                    .collect();
+                done.push(identified);
+                for job in site_jobs {
+                    done.push(self.run_job(job, config, sink, None));
+                }
+            }
+        }
+        done
+    }
+
+    /// Executes one job. In parallel mode `spawner` is present and
+    /// identification pushes per-site jobs onto the worker's own deque; in
+    /// sequential mode the caller schedules them in order.
+    fn run_job(
+        &self,
+        job: Job,
+        config: &DiodeConfig,
+        sink: &dyn ProgressSink,
+        spawner: Option<&Spawner<'_, Job>>,
+    ) -> Done {
+        match job {
+            Job::Identify { app, seed } => {
+                let a = &self.apps[app];
+                sink.on_event(CampaignEvent::UnitStarted { app: &a.name, seed });
+                let start = Instant::now();
+                let targets = identify_target_sites(&a.program, &a.seeds[seed], &config.machine);
+                sink.on_event(CampaignEvent::SitesIdentified {
+                    app: &a.name,
+                    seed,
+                    sites: targets.len(),
+                });
+                if let Some(spawner) = spawner {
+                    for target in &targets {
+                        spawner.spawn(Job::Site {
+                            app,
+                            seed,
+                            target: target.clone(),
+                        });
+                    }
+                }
+                Done::Identified {
+                    app,
+                    seed,
+                    targets,
+                    identify_time: start.elapsed(),
+                }
+            }
+            Job::Site { app, seed, target } => {
+                let a = &self.apps[app];
+                let report = analyze_site(&a.program, &a.seeds[seed], &a.format, &target, config);
+                let verified = self
+                    .verify_exposed
+                    .then(|| self.verify(&a.program, &report, config))
+                    .flatten();
+                sink.on_event(CampaignEvent::SiteFinished {
+                    app: &a.name,
+                    seed,
+                    site: &report.site,
+                    outcome: &report.outcome,
+                    discovery_time: report.discovery_time,
+                });
+                Done::Site {
+                    app,
+                    seed,
+                    record: Box::new(SiteRecord { report, verified }),
+                }
+            }
+        }
+    }
+
+    /// Re-validates an exposed bug: its final constraint must still be
+    /// satisfiable (re-issued through the cache — with caching on this is
+    /// a guaranteed hit, since the enforcement loop solved the identical
+    /// query) and its input must still trigger the overflow.
+    fn verify(&self, program: &Program, report: &SiteReport, config: &DiodeConfig) -> Option<bool> {
+        let bug = match &report.outcome {
+            SiteOutcome::Exposed(bug) => bug,
+            _ => return None,
+        };
+        let constraint_sat = matches!(config.solve_query(&bug.constraint), SolveResult::Sat(_));
+        let still_triggers =
+            test_candidate(program, &bug.input, report.label, &config.machine).triggered;
+        Some(constraint_sat && still_triggers)
+    }
+
+    /// Deterministic aggregation: units in spec order, sites in label
+    /// order within each unit.
+    fn aggregate(&self, done: Vec<Done>) -> (Vec<UnitReport>, usize) {
+        let jobs = done.len();
+        let mut units: Vec<Vec<UnitReport>> = self
+            .apps
+            .iter()
+            .map(|a| {
+                (0..a.seeds.len())
+                    .map(|seed| UnitReport {
+                        app: a.name.clone(),
+                        seed_index: seed,
+                        identify_time: Duration::ZERO,
+                        sites: Vec::new(),
+                    })
+                    .collect()
+            })
+            .collect();
+        for d in done {
+            match d {
+                Done::Identified {
+                    app,
+                    seed,
+                    identify_time,
+                    ..
+                } => units[app][seed].identify_time = identify_time,
+                Done::Site { app, seed, record } => units[app][seed].sites.push(*record),
+            }
+        }
+        let mut flat = Vec::new();
+        for per_app in units {
+            for mut unit in per_app {
+                unit.sites.sort_by_key(|s| s.report.label);
+                flat.push(unit);
+            }
+        }
+        (flat, jobs)
+    }
+}
+
+enum Job {
+    Identify {
+        app: usize,
+        seed: usize,
+    },
+    Site {
+        app: usize,
+        seed: usize,
+        target: TargetSite,
+    },
+}
+
+enum Done {
+    Identified {
+        app: usize,
+        seed: usize,
+        targets: Vec<TargetSite>,
+        identify_time: Duration,
+    },
+    Site {
+        app: usize,
+        seed: usize,
+        record: Box<SiteRecord>,
+    },
+}
+
+/// A per-site analysis outcome plus the campaign's re-validation verdict.
+#[derive(Debug)]
+pub struct SiteRecord {
+    /// The full site report from the Figure 7 analysis.
+    pub report: SiteReport,
+    /// `Some(true)` if the exposed bug re-validated (constraint still
+    /// satisfiable, input still triggers); `None` for non-exposed sites or
+    /// when verification is disabled.
+    pub verified: Option<bool>,
+}
+
+/// Results for one `(app, seed)` unit, sites in site-label order.
+#[derive(Debug)]
+pub struct UnitReport {
+    /// The workload's display name.
+    pub app: String,
+    /// Index into the workload's seed list.
+    pub seed_index: usize,
+    /// Stage-1 identification time.
+    pub identify_time: Duration,
+    /// Per-site records, sorted by site label.
+    pub sites: Vec<SiteRecord>,
+}
+
+impl UnitReport {
+    /// Table 1 counts for this unit: (total, exposed, unsat, prevented).
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut exposed = 0;
+        let mut unsat = 0;
+        let mut prevented = 0;
+        for s in &self.sites {
+            match s.report.outcome {
+                SiteOutcome::Exposed(_) => exposed += 1,
+                SiteOutcome::TargetUnsat => unsat += 1,
+                SiteOutcome::Prevented(_) => prevented += 1,
+                SiteOutcome::Unknown => {}
+            }
+        }
+        (self.sites.len(), exposed, unsat, prevented)
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// One entry per `(app, seed)` unit, in spec order.
+    pub units: Vec<UnitReport>,
+    /// Shared-cache counters, when a cache was in play.
+    pub cache: Option<CacheStats>,
+    /// End-to-end wall-clock time.
+    pub wall_time: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Jobs executed (identification + per-site).
+    pub jobs: usize,
+}
+
+impl CampaignReport {
+    /// Whole-campaign counts: (total, exposed, unsat, prevented).
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        self.units.iter().fold((0, 0, 0, 0), |acc, u| {
+            let c = u.counts();
+            (acc.0 + c.0, acc.1 + c.1, acc.2 + c.2, acc.3 + c.3)
+        })
+    }
+
+    /// The unit for an app name's first seed.
+    #[must_use]
+    pub fn unit(&self, app: &str) -> Option<&UnitReport> {
+        self.units.iter().find(|u| u.app == app)
+    }
+
+    /// A stable textual fingerprint of every site outcome, for
+    /// determinism comparisons across execution modes.
+    #[must_use]
+    pub fn outcome_fingerprint(&self) -> String {
+        let mut out = String::new();
+        for u in &self.units {
+            for s in &u.sites {
+                let o = match &s.report.outcome {
+                    SiteOutcome::Exposed(b) => {
+                        format!("exposed:{}:{:02x?}", b.enforced, b.input)
+                    }
+                    SiteOutcome::TargetUnsat => "unsat".to_string(),
+                    SiteOutcome::Prevented(r) => format!("prevented:{r:?}"),
+                    SiteOutcome::Unknown => "unknown".to_string(),
+                };
+                out.push_str(&format!(
+                    "{}#{}/{} -> {}\n",
+                    u.app, u.seed_index, s.report.site, o
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Progress events, delivered from worker threads as the campaign runs.
+#[derive(Debug)]
+pub enum CampaignEvent<'a> {
+    /// Stage 1 started for a unit.
+    UnitStarted {
+        /// Workload name.
+        app: &'a str,
+        /// Seed index.
+        seed: usize,
+    },
+    /// Stage 1 finished; per-site jobs are being scheduled.
+    SitesIdentified {
+        /// Workload name.
+        app: &'a str,
+        /// Seed index.
+        seed: usize,
+        /// Number of target sites found.
+        sites: usize,
+    },
+    /// One site's full Figure 7 analysis finished.
+    SiteFinished {
+        /// Workload name.
+        app: &'a str,
+        /// Seed index.
+        seed: usize,
+        /// Site name (`file@line`).
+        site: &'a str,
+        /// The classification.
+        outcome: &'a SiteOutcome,
+        /// Discovery wall-clock for this site.
+        discovery_time: Duration,
+    },
+    /// The whole campaign finished.
+    Finished {
+        /// End-to-end wall-clock time.
+        wall_time: Duration,
+    },
+}
+
+/// Consumer of [`CampaignEvent`]s. Implementations must be `Sync`: events
+/// arrive concurrently from worker threads.
+pub trait ProgressSink: Sync {
+    /// Called once per event.
+    fn on_event(&self, event: CampaignEvent<'_>);
+}
+
+/// Discards all events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProgress;
+
+impl ProgressSink for NoProgress {
+    fn on_event(&self, _event: CampaignEvent<'_>) {}
+}
+
+/// Drop-in parallel counterpart of [`diode_core::analyze_program`]: same
+/// inputs, same `ProgramAnalysis` (site reports in site-label order), with
+/// the per-site analyses fanned out over the scheduler. Honors
+/// `config.query_cache` if installed; adds none by itself, so results are
+/// bit-for-bit those of the sequential path.
+#[must_use]
+pub fn analyze_program_parallel(
+    program: &Program,
+    seed: &[u8],
+    format: &FormatDesc,
+    config: &DiodeConfig,
+    threads: Option<usize>,
+) -> ProgramAnalysis {
+    let start = Instant::now();
+    let targets = identify_target_sites(program, seed, &config.machine);
+    let threads = threads
+        .unwrap_or_else(scheduler::default_threads)
+        .max(1)
+        .min(targets.len().max(1));
+    let mut reports: Vec<(usize, SiteReport)> = scheduler::execute(
+        targets.iter().enumerate().collect(),
+        threads,
+        |(idx, target), _spawner: &Spawner<'_, (usize, &TargetSite)>| {
+            (idx, analyze_site(program, seed, format, target, config))
+        },
+    );
+    reports.sort_by_key(|(idx, _)| *idx);
+    ProgramAnalysis {
+        analysis_time: start.elapsed(),
+        sites: reports.into_iter().map(|(_, r)| r).collect(),
+    }
+}

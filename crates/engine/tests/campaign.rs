@@ -1,0 +1,205 @@
+//! Engine integration tests on the five §5 benchmark applications:
+//! parallel campaigns must be byte-identical to the sequential path, and
+//! the shared solver cache must absorb repeated enforcement queries.
+
+use std::sync::Mutex;
+
+use diode_core::{analyze_program, DiodeConfig, SiteOutcome};
+use diode_engine::{
+    analyze_program_parallel, CampaignApp, CampaignEvent, CampaignSpec, ExecutionMode, ProgressSink,
+};
+
+fn benchmark_campaign() -> Vec<CampaignApp> {
+    diode_apps::all_apps()
+        .into_iter()
+        .map(|app| CampaignApp::new(app.name, app.program, app.format, app.seed))
+        .collect()
+}
+
+fn fingerprint(outcome: &SiteOutcome) -> String {
+    match outcome {
+        SiteOutcome::Exposed(b) => format!(
+            "exposed:{}:{:02x?}:{:?}",
+            b.enforced, b.input, b.enforced_labels
+        ),
+        SiteOutcome::TargetUnsat => "unsat".into(),
+        SiteOutcome::Prevented(r) => format!("prevented:{r:?}"),
+        SiteOutcome::Unknown => "unknown".into(),
+    }
+}
+
+#[test]
+fn parallel_campaign_is_byte_identical_to_sequential() {
+    let parallel = CampaignSpec::new(benchmark_campaign()).run();
+    let sequential = CampaignSpec {
+        mode: ExecutionMode::Sequential,
+        // The reference run: no cache at all, original solve path.
+        shared_cache: false,
+        ..CampaignSpec::new(benchmark_campaign())
+    }
+    .run();
+
+    assert_eq!(parallel.counts(), sequential.counts());
+    assert_eq!(parallel.counts(), (40, 14, 17, 9), "paper Table 1 totals");
+    assert_eq!(
+        parallel.outcome_fingerprint(),
+        sequential.outcome_fingerprint(),
+        "site outcomes must not depend on scheduling or caching"
+    );
+    assert!(sequential.cache.is_none());
+    assert_eq!(sequential.threads, 1);
+}
+
+#[test]
+fn parallel_campaign_matches_core_analyze_program() {
+    // The engine against the untouched diode-core sequential entry point.
+    let report = CampaignSpec::new(benchmark_campaign()).run();
+    let config = DiodeConfig::default();
+    for (unit, app) in report.units.iter().zip(diode_apps::all_apps()) {
+        let reference = analyze_program(&app.program, &app.seed, &app.format, &config);
+        assert_eq!(unit.counts(), reference.counts(), "{}", app.name);
+        assert_eq!(unit.sites.len(), reference.sites.len());
+        for (got, want) in unit.sites.iter().zip(&reference.sites) {
+            assert_eq!(got.report.site, want.site, "{}: site order", app.name);
+            assert_eq!(
+                fingerprint(&got.report.outcome),
+                fingerprint(&want.outcome),
+                "{}/{}",
+                app.name,
+                want.site
+            );
+        }
+    }
+}
+
+#[test]
+fn analyze_program_parallel_is_a_drop_in_replacement() {
+    let config = DiodeConfig::default();
+    for app in diode_apps::all_apps() {
+        let seq = analyze_program(&app.program, &app.seed, &app.format, &config);
+        let par = analyze_program_parallel(&app.program, &app.seed, &app.format, &config, None);
+        assert_eq!(par.counts(), seq.counts(), "{}", app.name);
+        for (p, s) in par.sites.iter().zip(&seq.sites) {
+            assert_eq!(p.site, s.site, "{}: order preserved", app.name);
+            assert_eq!(fingerprint(&p.outcome), fingerprint(&s.outcome));
+        }
+    }
+}
+
+#[test]
+fn every_exposed_bug_reverifies() {
+    let report = CampaignSpec::new(benchmark_campaign()).run();
+    let mut exposed = 0;
+    for unit in &report.units {
+        for site in &unit.sites {
+            match site.report.outcome {
+                SiteOutcome::Exposed(_) => {
+                    exposed += 1;
+                    assert_eq!(
+                        site.verified,
+                        Some(true),
+                        "{}/{} failed re-validation",
+                        unit.app,
+                        site.report.site
+                    );
+                }
+                _ => assert_eq!(site.verified, None),
+            }
+        }
+    }
+    assert_eq!(exposed, 14);
+}
+
+#[test]
+fn shared_cache_absorbs_enforcement_queries() {
+    let report = CampaignSpec::new(benchmark_campaign()).run();
+    let stats = report.cache.expect("default campaign installs a cache");
+    // Re-validation re-issues every exposed site's final constraint, and
+    // any site with ≥1 enforcement iteration re-solves overlapping
+    // queries; 14 exposed sites ⇒ at least 14 hits.
+    assert!(stats.hits >= 14, "expected ≥14 cache hits, got {stats:?}");
+    assert!(stats.misses > 0);
+    assert!(stats.entries > 0);
+    assert!(stats.hit_rate() > 0.0);
+}
+
+#[test]
+fn cache_hit_on_a_site_requiring_enforcement() {
+    // A single-site campaign whose bug needs ≥1 enforcement iteration:
+    // the Figure 2 Dillo site. The cache must report hits even for this
+    // lone unit (the re-validation query repeats the final φ′∧β solve).
+    let dillo = diode_apps::dillo::app();
+    let report = CampaignSpec::new(vec![CampaignApp::new(
+        dillo.name,
+        dillo.program,
+        dillo.format,
+        dillo.seed,
+    )])
+    .run();
+    let unit = report.unit("Dillo 2.1").expect("unit present");
+    let fig2 = unit
+        .sites
+        .iter()
+        .find(|s| s.report.site == "png.c@203")
+        .expect("figure 2 site");
+    let bug = fig2.report.outcome.bug().expect("exposed");
+    assert!(bug.enforced >= 1, "png.c@203 requires enforcement");
+    let stats = report.cache.expect("cache on");
+    assert!(stats.hits >= 1, "repeat query must hit: {stats:?}");
+}
+
+#[test]
+fn progress_events_cover_every_unit_and_site() {
+    #[derive(Default)]
+    struct Recorder {
+        lines: Mutex<Vec<String>>,
+    }
+    impl ProgressSink for Recorder {
+        fn on_event(&self, event: CampaignEvent<'_>) {
+            let line = match event {
+                CampaignEvent::UnitStarted { app, seed } => format!("start {app}#{seed}"),
+                CampaignEvent::SitesIdentified { app, seed, sites } => {
+                    format!("identified {app}#{seed} {sites}")
+                }
+                CampaignEvent::SiteFinished { app, site, .. } => format!("site {app}/{site}"),
+                CampaignEvent::Finished { .. } => "finished".to_string(),
+            };
+            self.lines.lock().unwrap().push(line);
+        }
+    }
+    let recorder = Recorder::default();
+    let report = CampaignSpec::new(benchmark_campaign()).run_with_progress(&recorder);
+    let lines = recorder.lines.into_inner().unwrap();
+    assert_eq!(lines.iter().filter(|l| l.starts_with("start ")).count(), 5);
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("site ")).count(),
+        report.counts().0
+    );
+    assert_eq!(lines.last().map(String::as_str), Some("finished"));
+    assert_eq!(report.jobs, 5 + report.counts().0);
+}
+
+#[test]
+fn multi_seed_units_are_independent() {
+    // Same app twice under different seeds: units must aggregate per seed
+    // and stay in spec order.
+    let a = diode_apps::vlc::app();
+    let b = diode_apps::vlc::app();
+    let spec = CampaignSpec::new(vec![CampaignApp::new(
+        "VLC twice",
+        a.program,
+        a.format,
+        a.seed.clone(),
+    )
+    .with_seed(b.seed)]);
+    let report = spec.run();
+    assert_eq!(report.units.len(), 2);
+    assert_eq!(report.units[0].seed_index, 0);
+    assert_eq!(report.units[1].seed_index, 1);
+    assert_eq!(report.units[0].counts(), report.units[1].counts());
+    assert_eq!(
+        report.units[0].sites.len(),
+        report.units[1].sites.len(),
+        "identical seeds ⇒ identical site lists"
+    );
+}

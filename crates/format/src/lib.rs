@@ -205,8 +205,7 @@ impl FormatDesc {
                     let (s, e) = (start as usize, (start + len) as usize);
                     if e <= out.len() && (dest as usize + 4) <= out.len() {
                         let crc = crc32(&out[s..e]);
-                        out[dest as usize..dest as usize + 4]
-                            .copy_from_slice(&crc.to_be_bytes());
+                        out[dest as usize..dest as usize + 4].copy_from_slice(&crc.to_be_bytes());
                     }
                 }
             }
@@ -392,7 +391,11 @@ mod tests {
         let names = desc.describe_bytes(&[4, 5, 6, 7, 12, 0]);
         assert_eq!(
             names,
-            vec!["/hdr/width".to_string(), "/hdr/depth".into(), "byte[0]".into()]
+            vec![
+                "/hdr/width".to_string(),
+                "/hdr/depth".into(),
+                "byte[0]".into()
+            ]
         );
     }
 

@@ -65,7 +65,7 @@ impl Default for RandomFuzzer {
         RandomFuzzer {
             trials: 200,
             mutations_per_input: 8,
-            rng_seed: 0xD10D_E,
+            rng_seed: 0xD10DE,
             fix_checksums: false,
         }
     }

@@ -158,7 +158,9 @@ impl<T: Default + Clone> Heap<T> {
             freed: false,
             payload,
         });
-        Some(BlockId(u32::try_from(self.blocks.len()).expect("too many blocks")))
+        Some(BlockId(
+            u32::try_from(self.blocks.len()).expect("too many blocks"),
+        ))
     }
 
     /// Frees a block, recording a double-free if needed.
@@ -225,7 +227,13 @@ impl<T: Default + Clone> Heap<T> {
 
     /// Stores one byte. Out-of-bounds writes within the red zone are
     /// recorded and dropped; farther writes fault.
-    pub fn store(&mut self, ptr: BlockId, offset: u64, cell: Cell<T>, at: Label) -> AccessResult<()> {
+    pub fn store(
+        &mut self,
+        ptr: BlockId,
+        offset: u64,
+        cell: Cell<T>,
+        at: Label,
+    ) -> AccessResult<()> {
         if ptr.is_null() {
             return Err(Fault::NullDeref { at });
         }

@@ -704,12 +704,20 @@ mod tests {
     use diode_lang::parse;
 
     fn run_concrete(src: &str, input: &[u8]) -> Run<(), ()> {
-        run(&parse(src).unwrap(), input, Concrete, &MachineConfig::default())
+        run(
+            &parse(src).unwrap(),
+            input,
+            Concrete,
+            &MachineConfig::default(),
+        )
     }
 
     #[test]
     fn arithmetic_and_variables() {
-        let r = run_concrete("fn main() { x = 2 + 3 * 4; if x != 14 { abort(\"bad\"); } }", &[]);
+        let r = run_concrete(
+            "fn main() { x = 2 + 3 * 4; if x != 14 { abort(\"bad\"); } }",
+            &[],
+        );
         assert_eq!(r.outcome, Outcome::Completed);
     }
 
@@ -811,8 +819,10 @@ mod tests {
 
     #[test]
     fn fuel_bounds_infinite_loops() {
-        let mut cfg = MachineConfig::default();
-        cfg.fuel = 1000;
+        let cfg = MachineConfig {
+            fuel: 1000,
+            ..MachineConfig::default()
+        };
         let r = run(
             &parse("fn main() { while true { skip; } }").unwrap(),
             &[],
@@ -849,7 +859,10 @@ mod tests {
         }"#;
         let r = run_concrete(src, &[200]);
         assert_eq!(r.allocs.len(), 2);
-        assert!(r.allocs[1].size_ovf, "overflow flag must flow through the heap");
+        assert!(
+            r.allocs[1].size_ovf,
+            "overflow flag must flow through the heap"
+        );
     }
 
     #[test]
@@ -975,8 +988,10 @@ mod tests {
 
     #[test]
     fn branch_recording_can_be_disabled() {
-        let mut cfg = MachineConfig::default();
-        cfg.record_branches = false;
+        let cfg = MachineConfig {
+            record_branches: false,
+            ..MachineConfig::default()
+        };
         let r = run(
             &parse("fn main() { i = 0; while i < 10 { i = i + 1; } }").unwrap(),
             &[],

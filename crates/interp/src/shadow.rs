@@ -16,7 +16,7 @@
 //! "Relevant Input Bytes" optimisation prescribes.
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use diode_lang::{BinOp, Bv, CastKind, CmpOp, UnOp};
 use diode_symbolic::{SymBool, SymExpr};
@@ -75,13 +75,13 @@ impl Shadow for Concrete {
     type Tag = ();
     type CondTag = ();
 
-    fn input_byte(&mut self, _offset: u32) -> () {}
-    fn un(&mut self, _op: UnOp, _operand: (&(), Bv)) -> () {}
-    fn bin(&mut self, _op: BinOp, _lhs: (&(), Bv), _rhs: (&(), Bv)) -> () {}
-    fn cast(&mut self, _kind: CastKind, _width: u8, _operand: (&(), Bv)) -> () {}
-    fn cmp(&mut self, _op: CmpOp, _lhs: (&(), Bv), _rhs: (&(), Bv), _outcome: bool) -> () {}
-    fn cond_true(&mut self) -> () {}
-    fn cond_and(&mut self, _a: (), _b: ()) -> () {}
+    fn input_byte(&mut self, _offset: u32) {}
+    fn un(&mut self, _op: UnOp, _operand: (&(), Bv)) {}
+    fn bin(&mut self, _op: BinOp, _lhs: (&(), Bv), _rhs: (&(), Bv)) {}
+    fn cast(&mut self, _kind: CastKind, _width: u8, _operand: (&(), Bv)) {}
+    fn cmp(&mut self, _op: CmpOp, _lhs: (&(), Bv), _rhs: (&(), Bv), _outcome: bool) {}
+    fn cond_true(&mut self) {}
+    fn cond_and(&mut self, _a: (), _b: ()) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -91,7 +91,7 @@ impl Shadow for Concrete {
 /// A sorted, deduplicated, structurally shared set of input-byte labels.
 /// The empty set (the `Default`) means *untainted*.
 #[derive(Debug, Clone, Default)]
-pub struct LabelSet(Option<Rc<[u32]>>);
+pub struct LabelSet(Option<Arc<[u32]>>);
 
 impl LabelSet {
     /// The untainted (empty) label set.
@@ -103,7 +103,7 @@ impl LabelSet {
     /// A singleton label set.
     #[must_use]
     pub fn singleton(label: u32) -> Self {
-        LabelSet(Some(Rc::from(vec![label])))
+        LabelSet(Some(Arc::from(vec![label])))
     }
 
     /// True if no labels are present.
@@ -153,7 +153,7 @@ impl LabelSet {
         }
         out.extend_from_slice(&a[i..]);
         out.extend_from_slice(&b[j..]);
-        LabelSet(Some(Rc::from(out)))
+        LabelSet(Some(Arc::from(out)))
     }
 }
 
@@ -267,7 +267,12 @@ impl Shadow for Symbolic {
         Some(materialize(lhs.0, lhs.1).bin(op, materialize(rhs.0, rhs.1)))
     }
 
-    fn cast(&mut self, kind: CastKind, width: u8, operand: (&Option<SymExpr>, Bv)) -> Option<SymExpr> {
+    fn cast(
+        &mut self,
+        kind: CastKind,
+        width: u8,
+        operand: (&Option<SymExpr>, Bv),
+    ) -> Option<SymExpr> {
         operand.0.as_ref().map(|e| e.cast(kind, width))
     }
 

@@ -631,7 +631,10 @@ mod tests {
     fn program_requires_main() {
         let err = Program::from_parts(vec![], Interner::new(), 0);
         assert!(err.is_err());
-        assert_eq!(err.unwrap_err().to_string(), "program has no `main` procedure");
+        assert_eq!(
+            err.unwrap_err().to_string(),
+            "program has no `main` procedure"
+        );
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct Bv {
     bits: u128,
 }
 
+// `add`/`sub`/`mul`/... intentionally shadow the std operator names: they
+// return `(result, overflow)` pairs, which `impl Add for Bv` cannot express.
+#[allow(clippy::should_implement_trait)]
 impl Bv {
     /// Creates a bitvector of `width` bits holding `value` (masked to width).
     ///
@@ -50,7 +53,7 @@ impl Bv {
     #[must_use]
     pub fn new(width: u8, value: u128) -> Self {
         assert!(
-            width >= 1 && width <= MAX_WIDTH,
+            (1..=MAX_WIDTH).contains(&width),
             "bitvector width must be in 1..=64, got {width}"
         );
         Bv {
@@ -212,7 +215,10 @@ impl Bv {
     /// treatment of every arithmetic step as an unsigned machine op).
     #[must_use]
     pub fn neg(self) -> (Bv, bool) {
-        (Bv::new(self.width, self.bits.wrapping_neg()), !self.is_zero())
+        (
+            Bv::new(self.width, self.bits.wrapping_neg()),
+            !self.is_zero(),
+        )
     }
 
     /// Left shift; the flag reports that nonzero bits were shifted out

@@ -42,8 +42,8 @@ pub mod parse;
 pub mod pretty;
 
 pub use ast::{
-    Aexp, Bexp, BinOp, Block, CastKind, CmpOp, Interner, Label, NoMainError, Proc, ProcId,
-    Program, Stmt, Symbol, UnOp,
+    Aexp, Bexp, BinOp, Block, CastKind, CmpOp, Interner, Label, NoMainError, Proc, ProcId, Program,
+    Stmt, Symbol, UnOp,
 };
 pub use bv::{Bv, MAX_WIDTH};
 pub use parse::{parse, ParseError};

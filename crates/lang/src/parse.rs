@@ -274,9 +274,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 let word = &src[start..j];
@@ -446,12 +444,13 @@ impl<'t> Parser<'t> {
             procs.push(self.proc()?);
         }
         let n_labels = self.next_label;
-        Program::from_parts(procs, std::mem::take(&mut self.interner), n_labels)
-            .map_err(|e| ParseError {
+        Program::from_parts(procs, std::mem::take(&mut self.interner), n_labels).map_err(|e| {
+            ParseError {
                 line: 1,
                 col: 1,
                 msg: e.to_string(),
-            })
+            }
+        })
     }
 
     fn proc(&mut self) -> Result<Proc, ParseError> {
@@ -1162,7 +1161,9 @@ mod tests {
         let p = parse_main("if !crc32_ok(8, 13, 25) { error(\"bad crc\"); }");
         match &main_stmts(&p)[0] {
             Stmt::If { cond, .. } => {
-                assert!(matches!(cond, Bexp::Not(inner) if matches!(**inner, Bexp::Crc32Ok { .. })));
+                assert!(
+                    matches!(cond, Bexp::Not(inner) if matches!(**inner, Bexp::Crc32Ok { .. }))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

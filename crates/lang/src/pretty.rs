@@ -70,8 +70,17 @@ fn stmt_into(s: &Stmt, p: &Program, level: usize, out: &mut String) {
             abort_on_fail,
             ..
         } => {
-            let kw = if *abort_on_fail { "alloc_abort" } else { "alloc" };
-            let _ = writeln!(out, "{} = {kw}(\"{site}\", {});", i.name(*dst), aexp(size, i));
+            let kw = if *abort_on_fail {
+                "alloc_abort"
+            } else {
+                "alloc"
+            };
+            let _ = writeln!(
+                out,
+                "{} = {kw}(\"{site}\", {});",
+                i.name(*dst),
+                aexp(size, i)
+            );
         }
         Stmt::Free(_, ptr) => {
             let _ = writeln!(out, "free({});", i.name(*ptr));
@@ -79,7 +88,13 @@ fn stmt_into(s: &Stmt, p: &Program, level: usize, out: &mut String) {
         Stmt::Load {
             dst, base, offset, ..
         } => {
-            let _ = writeln!(out, "{} = {}[{}];", i.name(*dst), i.name(*base), aexp(offset, i));
+            let _ = writeln!(
+                out,
+                "{} = {}[{}];",
+                i.name(*dst),
+                i.name(*base),
+                aexp(offset, i)
+            );
         }
         Stmt::Store {
             base,
@@ -87,7 +102,13 @@ fn stmt_into(s: &Stmt, p: &Program, level: usize, out: &mut String) {
             value,
             ..
         } => {
-            let _ = writeln!(out, "{}[{}] = {};", i.name(*base), aexp(offset, i), aexp(value, i));
+            let _ = writeln!(
+                out,
+                "{}[{}] = {};",
+                i.name(*base),
+                aexp(offset, i),
+                aexp(value, i)
+            );
         }
         Stmt::If {
             cond,

@@ -5,7 +5,15 @@ use diode_lang::Bv;
 use proptest::prelude::*;
 
 fn arb_width() -> impl Strategy<Value = u8> {
-    prop_oneof![Just(1u8), Just(8), Just(16), Just(31), Just(32), Just(33), Just(64)]
+    prop_oneof![
+        Just(1u8),
+        Just(8),
+        Just(16),
+        Just(31),
+        Just(32),
+        Just(33),
+        Just(64)
+    ]
 }
 
 proptest! {

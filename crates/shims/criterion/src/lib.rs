@@ -1,0 +1,110 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the subset of the criterion 0.5 API this workspace's `benches/`
+//! targets use — [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timer that
+//! reports min/mean per-iteration times. It has no statistical machinery;
+//! it exists so `cargo bench` runs offline and the bench targets stay
+//! compiled and honest.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    #[must_use]
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup {name}");
+        BenchmarkGroup { sample_size: 10 }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: calls `f` with a [`Bencher`], times the
+    /// iterations it registers, and prints a one-line summary.
+    pub fn bench_function<S: std::fmt::Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1);
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!("  {id:<44} mean {mean:>12.2?}  min {min:>12.2?}  ({n} samples)");
+        self
+    }
+
+    /// Ends the group (mirrors criterion's API; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timing handle (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample after a single untimed warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Prevents the compiler from optimising a value away (re-export shape of
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,572 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no registry access, so this
+//! crate implements the subset of the proptest API the test suites use:
+//! the [`Strategy`] trait with `prop_map` and `prop_recursive`, [`Just`],
+//! range and tuple strategies, [`any`]/[`Arbitrary`], uniform
+//! [`collection::vec`], and the `proptest!`, `prop_oneof!`,
+//! `prop_assert!`, `prop_assert_eq!`, and `prop_assume!` macros.
+//!
+//! Semantics: each test runs `cases` random cases (default 256) from a
+//! deterministic per-test seed. There is **no shrinking** — on failure the
+//! panic message carries the case number so the run can be replayed by
+//! reading the generated values (all generation is seed-deterministic).
+
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+
+/// Deterministic generation RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Why a test case did not pass (mirrors `proptest::test_runner`).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be discarded (`prop_assume!`).
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Per-test configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value-generation strategy (mirrors `proptest::strategy::Strategy`,
+/// minus shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Gen<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        Gen::new(move |rng| f(inner.generate(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// builds one extra level from the strategy for the level below. The
+    /// `_desired_size`/`_expected_branch_size` hints are accepted for API
+    /// compatibility; depth alone bounds recursion here.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Gen<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(Gen<Self::Value>) -> S,
+    {
+        let mut level = self.clone().into_gen();
+        for _ in 0..depth {
+            let leaf = self.clone().into_gen();
+            let branch = recurse(level).into_gen();
+            level = Gen::new(move |rng| {
+                // 1-in-4 leaves keeps generated structures diverse without
+                // always bottoming out at max depth.
+                if rng.below(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    branch.generate(rng)
+                }
+            });
+        }
+        level
+    }
+}
+
+/// A boxed generation function — the universal strategy form every
+/// combinator returns. Cheap to clone.
+pub struct Gen<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for Gen<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gen<{}>", std::any::type_name::<T>())
+    }
+}
+
+impl<T> Gen<T> {
+    /// Wraps a generation function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Gen(Rc::new(f))
+    }
+
+    /// Chooses uniformly among the given strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn one_of(arms: Vec<Gen<T>>) -> Self
+    where
+        T: 'static,
+    {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Gen::new(move |rng| {
+            let i = rng.below(arms.len() as u64) as usize;
+            arms[i].generate(rng)
+        })
+    }
+}
+
+impl<T> Strategy for Gen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Conversion of any strategy into its boxed [`Gen`] form.
+pub trait IntoGen: Strategy + Sized + 'static {
+    /// Boxes the strategy.
+    fn into_gen(self) -> Gen<Self::Value>;
+}
+
+impl<S: Strategy + Sized + 'static> IntoGen for S {
+    fn into_gen(self) -> Gen<S::Value> {
+        Gen::new(move |rng| self.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                let draw = if span == 0 || (span as u128) > u128::from(u64::MAX) {
+                    // Full-width or >2^64 span: take raw bits modulo span.
+                    let raw = ((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()))
+                        as $wide;
+                    if span == 0 { raw } else { raw % span }
+                } else {
+                    rng.below(span as u64) as $wide
+                };
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i32 => u32, i64 => u64
+);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// Types with a canonical uniform strategy (mirrors
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates a uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for an [`Arbitrary`] type (mirrors
+/// `proptest::arbitrary::any`).
+#[must_use]
+pub fn any<T: Arbitrary + 'static>() -> Gen<T> {
+    Gen::new(T::arbitrary)
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Gen, Strategy, TestRng};
+
+    /// A strategy for `Vec`s whose length is uniform in `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S>(element: S, len: std::ops::Range<usize>) -> Gen<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Gen::new(move |rng: &mut TestRng| {
+            let n = len.generate(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// Everything a test file needs (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Gen, IntoGen, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[doc(hidden)]
+#[must_use]
+pub fn test_seed(name: &str) -> u64 {
+    // FNV-1a over the fully qualified test name: stable across runs, so
+    // failures reproduce, while distinct tests get distinct streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let seed = test_seed(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = u64::from(config.cases) * 16 + 256;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::new(seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many rejected cases ({rejected}) — prop_assume! filter too strict"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {attempt} (seed {seed:#x}) failed: {msg}");
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Runs property tests (mirrors the `proptest!` macro).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(#[test] fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |__rng: &mut $crate::TestRng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $crate::__proptest_bind!(__rng, $($params)*);
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Binds `proptest!` parameters (`x in strategy` or `x: Type`) to values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $i:ident in $s:expr $(,)?) => {
+        let $i = $crate::Strategy::generate(&$s, $rng);
+    };
+    ($rng:ident, $i:ident in $s:expr, $($rest:tt)+) => {
+        let $i = $crate::Strategy::generate(&$s, $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+    ($rng:ident, $i:ident : $t:ty $(,)?) => {
+        let $i: $t = $crate::Arbitrary::arbitrary($rng);
+    };
+    ($rng:ident, $i:ident : $t:ty, $($rest:tt)+) => {
+        let $i: $t = $crate::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+}
+
+/// Chooses uniformly among strategies (mirrors `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Gen::one_of(vec![$($crate::IntoGen::into_gen($arm)),+])
+    };
+}
+
+/// Asserts inside a property test without aborting the whole run on panic
+/// (mirrors `prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test (mirrors `prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($a), stringify!($b), __l, __r
+                );
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), __l, __r
+                );
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property test (mirrors `prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: {} != {} (both {:?})",
+                    stringify!($a),
+                    stringify!($b),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case (mirrors `prop_assume!`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(1u32), Just(2), 10u32..20]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn mixed_binding_forms(x in small(), y: u8, pair in (0u32..4, any::<u8>())) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+            let _ = y;
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0u32..100, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            for x in v {
+                prop_assert!(x < 100);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n: u8) {
+            prop_assume!(n.is_multiple_of(2));
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(#[allow(dead_code)] u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn recursive_strategies_bound_depth(
+            t in (0u32..10).prop_map(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let s = (0u32..1000, 0u32..1000);
+        let mut r1 = crate::TestRng::new(crate::test_seed("a"));
+        let mut r2 = crate::TestRng::new(crate::test_seed("a"));
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

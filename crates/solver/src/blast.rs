@@ -318,7 +318,7 @@ impl<'s> Blaster<'s> {
         let mut cur: Vec<Lit> = a.to_vec();
         // Stages for amount bits 0..s where 2^s covers w-1.
         let stages = (usize::BITS - (w - 1).leading_zeros()) as usize;
-        for k in 0..stages.min(amount.len()) {
+        for (k, &amount_bit) in amount.iter().enumerate().take(stages) {
             let step = 1usize << k;
             let mut next = Vec::with_capacity(w);
             for i in 0..w {
@@ -333,7 +333,7 @@ impl<'s> Blaster<'s> {
                 } else {
                     fill
                 };
-                next.push(self.gate_ite(amount[k], shifted, cur[i]));
+                next.push(self.gate_ite(amount_bit, shifted, cur[i]));
             }
             cur = next;
         }
@@ -406,13 +406,9 @@ impl<'s> Blaster<'s> {
                     }
                     BinOp::UDiv => self.divider(&ab, &bb).0,
                     BinOp::URem => self.divider(&ab, &bb).1,
-                    BinOp::And => (0..ab.len())
-                        .map(|i| self.gate_and(ab[i], bb[i]))
-                        .collect(),
+                    BinOp::And => (0..ab.len()).map(|i| self.gate_and(ab[i], bb[i])).collect(),
                     BinOp::Or => (0..ab.len()).map(|i| self.gate_or(ab[i], bb[i])).collect(),
-                    BinOp::Xor => (0..ab.len())
-                        .map(|i| self.gate_xor(ab[i], bb[i]))
-                        .collect(),
+                    BinOp::Xor => (0..ab.len()).map(|i| self.gate_xor(ab[i], bb[i])).collect(),
                     BinOp::Shl => self.shifter(&ab, &bb, true, false),
                     BinOp::LShr => self.shifter(&ab, &bb, false, false),
                     BinOp::AShr => self.shifter(&ab, &bb, false, true),
@@ -676,8 +672,7 @@ mod tests {
         // in[0] / in[1] == 7 ∧ in[0] % in[1] == 3 (nonzero divisor > 3).
         let q = byte32(0).bin(BinOp::UDiv, byte32(1));
         let r = byte32(0).bin(BinOp::URem, byte32(1));
-        let cond = SymBool::cmp(CmpOp::Eq, q, c(32, 7))
-            .and(&SymBool::cmp(CmpOp::Eq, r, c(32, 3)));
+        let cond = SymBool::cmp(CmpOp::Eq, q, c(32, 7)).and(&SymBool::cmp(CmpOp::Eq, r, c(32, 3)));
         let m = solve_model(&cond).expect("sat");
         check_model_satisfies(&cond, &m);
         let (n, d) = (u32::from(m[&0]), u32::from(m[&1]));
@@ -711,8 +706,11 @@ mod tests {
     fn overshift_yields_zero() {
         // in[0] >= 32 and (1 << in[0]) == 0 simultaneously: satisfiable.
         let sh = c(32, 1).bin(BinOp::Shl, byte32(0));
-        let cond = SymBool::cmp(CmpOp::Eq, sh, c(32, 0))
-            .and(&SymBool::cmp(CmpOp::Uge, byte32(0), c(32, 32)));
+        let cond = SymBool::cmp(CmpOp::Eq, sh, c(32, 0)).and(&SymBool::cmp(
+            CmpOp::Uge,
+            byte32(0),
+            c(32, 32),
+        ));
         let m = solve_model(&cond).expect("sat");
         assert!(m[&0] >= 32);
     }

@@ -106,6 +106,10 @@ fn range_rec(e: &SymExpr, cache: &mut HashMap<usize, Range>) -> Range {
                     }
                 }
                 BinOp::UDiv => {
+                    // rb.lo > 0 also implies rb.hi > 0, which checked_div
+                    // cannot see; spelling both as checked_div would turn a
+                    // range fact into per-division fallbacks.
+                    #[allow(clippy::manual_checked_ops)]
                     if rb.lo > 0 {
                         Range::new(ra.lo / rb.hi, ra.hi / rb.lo, w)
                     } else {

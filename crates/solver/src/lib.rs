@@ -12,7 +12,11 @@
 //!    [`diode_symbolic::SymExpr`]/[`SymBool`] DAGs into CNF with exact
 //!    circuits for every operation and overflow atom,
 //! 3. a CDCL SAT core ([`sat`]) with watched literals, VSIDS, Luby
-//!    restarts, phase saving and clause-database reduction.
+//!    restarts, phase saving and clause-database reduction,
+//! 4. a sharded, thread-safe **query cache** ([`cache`]) memoizing
+//!    `Sat`/`Unsat` outcomes behind structural fingerprints of the
+//!    constraint DAG — the substrate `diode-engine` campaigns share
+//!    across all workers.
 //!
 //! The high-level API ([`solve`], [`sample`], [`enumerate`]) additionally
 //! implements the paper's evaluation protocol: diversified model sampling
@@ -41,8 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod blast;
+pub mod cache;
 pub mod interval;
 pub mod sat;
 mod solve;
 
-pub use solve::{enumerate, sample, solve, solve_with, Enumeration, Model, SolveResult, SolveStats, SolverConfig};
+pub use cache::{constraint_fingerprint, CacheStats, SolverCache};
+pub use solve::{
+    enumerate, sample, solve, solve_with, Enumeration, Model, SolveResult, SolveStats, SolverConfig,
+};

@@ -277,7 +277,10 @@ impl Sat {
     /// level 0 after each [`Sat::solve`], so interleaving solve/add is
     /// fine).
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        assert!(self.trail_lim.is_empty(), "add_clause at decision level 0 only");
+        assert!(
+            self.trail_lim.is_empty(),
+            "add_clause at decision level 0 only"
+        );
         if self.unsat {
             return false;
         }
@@ -519,16 +522,16 @@ impl Sat {
 
         // Cheap self-subsumption minimisation: drop literals whose reason
         // clause is entirely covered by the rest of the learnt clause.
-        let covered: std::collections::HashSet<u32> =
-            learnt.iter().map(|l| l.var().0).collect();
+        let covered: std::collections::HashSet<u32> = learnt.iter().map(|l| l.var().0).collect();
         let mut minimised = vec![learnt[0]];
         for &l in &learnt[1..] {
             let v = l.var().0 as usize;
             let redundant = match self.reason[v] {
-                Some(r) => self.clauses[r as usize]
-                    .lits
-                    .iter()
-                    .all(|q| q.var() == l.var() || covered.contains(&q.var().0) || self.level[q.var().0 as usize] == 0),
+                Some(r) => self.clauses[r as usize].lits.iter().all(|q| {
+                    q.var() == l.var()
+                        || covered.contains(&q.var().0)
+                        || self.level[q.var().0 as usize] == 0
+                }),
                 None => false,
             };
             if !redundant {
@@ -619,9 +622,11 @@ impl Sat {
         // Keep the more useful half: low LBD, then high activity.
         learnt_refs.sort_by(|&a, &b| {
             let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
-            ca.lbd
-                .cmp(&cb.lbd)
-                .then(cb.activity.partial_cmp(&ca.activity).unwrap_or(std::cmp::Ordering::Equal))
+            ca.lbd.cmp(&cb.lbd).then(
+                cb.activity
+                    .partial_cmp(&ca.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let locked: std::collections::HashSet<u32> =
             self.reason.iter().flatten().copied().collect();
@@ -667,8 +672,7 @@ impl Sat {
             return SatOutcome::Unsat;
         }
         let mut restart_count = 0u64;
-        let mut conflicts_until_restart =
-            self.config.restart_base * luby(restart_count);
+        let mut conflicts_until_restart = self.config.restart_base * luby(restart_count);
         let budget_start = self.n_conflicts;
 
         loop {
@@ -885,9 +889,9 @@ mod tests {
             s.add_clause(&clause);
         }
         for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in p1 + 1..pigeons {
-                    s.add_clause(&[Lit::neg(grid[p1][h]), Lit::neg(grid[p2][h])]);
+            for (p1, row1) in grid.iter().enumerate() {
+                for row2 in grid.iter().skip(p1 + 1) {
+                    s.add_clause(&[Lit::neg(row1[h]), Lit::neg(row2[h])]);
                 }
             }
         }
@@ -907,7 +911,7 @@ mod tests {
         assert_eq!(s.solve(), SatOutcome::Sat);
         // Verify it is a real assignment: each pigeon in some hole, no
         // hole shared.
-        let mut used = vec![false; 6];
+        let mut used = [false; 6];
         for p in &grid {
             let hole = p
                 .iter()
@@ -1002,9 +1006,7 @@ mod tests {
             let mut brute_sat = false;
             'outer: for m in 0u32..(1 << n_vars) {
                 for cl in &clauses {
-                    let ok = cl
-                        .iter()
-                        .any(|&(v, sign)| ((m >> v) & 1 == 1) == sign);
+                    let ok = cl.iter().any(|&(v, sign)| ((m >> v) & 1 == 1) == sign);
                     if !ok {
                         continue 'outer;
                     }
@@ -1019,7 +1021,13 @@ mod tests {
             for cl in &clauses {
                 let lits: Vec<Lit> = cl
                     .iter()
-                    .map(|&(v, sign)| if sign { Lit::pos(vs[v]) } else { Lit::neg(vs[v]) })
+                    .map(|&(v, sign)| {
+                        if sign {
+                            Lit::pos(vs[v])
+                        } else {
+                            Lit::neg(vs[v])
+                        }
+                    })
                     .collect();
                 ok &= s.add_clause(&lits);
             }

@@ -149,15 +149,10 @@ pub fn solve_with(
     diversity_seed: Option<u64>,
 ) -> (SolveResult, SolveStats) {
     let mut stats = SolveStats::default();
-    if config.interval_presolve {
-        match cond_range(cond) {
-            Tri::False => {
-                stats.decided_by_interval = true;
-                return (SolveResult::Unsat, stats);
-            }
-            // Tri::True still needs a model, so fall through to SAT.
-            _ => {}
-        }
+    // Tri::True still needs a model, so only Unsat short-circuits here.
+    if config.interval_presolve && cond_range(cond) == Tri::False {
+        stats.decided_by_interval = true;
+        return (SolveResult::Unsat, stats);
     }
     let mut sat = Sat::new(SatConfig {
         max_conflicts: config.max_conflicts,

@@ -41,7 +41,7 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
     let leaf = prop_oneof![
         (0u32..2).prop_map(Recipe::Byte),
         // Shift-friendly constants keep Shl interesting without blowup.
-        prop_oneof![(0u32..40), (0x100u32..0x2000), Just(0xffff_fff0u32)].prop_map(Recipe::Const),
+        prop_oneof![0u32..40, 0x100u32..0x2000, Just(0xffff_fff0u32)].prop_map(Recipe::Const),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
         (arb_op(), inner.clone(), inner)
@@ -58,8 +58,11 @@ fn arb_cond() -> impl Strategy<Value = SymBool> {
         Just(CmpOp::Slt),
     ];
     prop_oneof![
-        (arb_recipe(), cmp, 0u32..0x300)
-            .prop_map(|(r, op, k)| SymBool::cmp(op, build(&r), SymExpr::constant(Bv::u32(k)))),
+        (arb_recipe(), cmp, 0u32..0x300).prop_map(|(r, op, k)| SymBool::cmp(
+            op,
+            build(&r),
+            SymExpr::constant(Bv::u32(k))
+        )),
         arb_recipe().prop_map(|r| overflow_condition(&build(&r))),
     ]
 }

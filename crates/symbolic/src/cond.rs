@@ -8,7 +8,7 @@
 //! overflow predicates in [`OvfKind`].
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use diode_lang::{BinOp, Bv, CastKind, CmpOp, UnOp};
 
@@ -43,11 +43,11 @@ pub enum SymBool {
     /// Comparison of two equal-width expressions.
     Cmp(CmpOp, SymExpr, SymExpr),
     /// Logical negation.
-    Not(Rc<SymBool>),
+    Not(Arc<SymBool>),
     /// Conjunction.
-    And(Rc<SymBool>, Rc<SymBool>),
+    And(Arc<SymBool>, Arc<SymBool>),
     /// Disjunction.
-    Or(Rc<SymBool>, Rc<SymBool>),
+    Or(Arc<SymBool>, Arc<SymBool>),
     /// Atomic overflow predicate on an operation's operands. For unary
     /// kinds ([`OvfKind::Neg`], [`OvfKind::Trunc`]) the second operand is
     /// ignored and conventionally equals the first.
@@ -78,7 +78,7 @@ impl SymBool {
             SymBool::Const(b) => SymBool::Const(!b),
             SymBool::Not(inner) => (**inner).clone(),
             SymBool::Cmp(op, a, b) => SymBool::Cmp(op.negated(), a.clone(), b.clone()),
-            other => SymBool::Not(Rc::new(other.clone())),
+            other => SymBool::Not(Arc::new(other.clone())),
         }
     }
 
@@ -88,7 +88,7 @@ impl SymBool {
         match (self, rhs) {
             (SymBool::Const(false), _) | (_, SymBool::Const(false)) => SymBool::Const(false),
             (SymBool::Const(true), other) | (other, SymBool::Const(true)) => other.clone(),
-            (a, b) => SymBool::And(Rc::new(a.clone()), Rc::new(b.clone())),
+            (a, b) => SymBool::And(Arc::new(a.clone()), Arc::new(b.clone())),
         }
     }
 
@@ -98,7 +98,7 @@ impl SymBool {
         match (self, rhs) {
             (SymBool::Const(true), _) | (_, SymBool::Const(true)) => SymBool::Const(true),
             (SymBool::Const(false), other) | (other, SymBool::Const(false)) => other.clone(),
-            (a, b) => SymBool::Or(Rc::new(a.clone()), Rc::new(b.clone())),
+            (a, b) => SymBool::Or(Arc::new(a.clone()), Arc::new(b.clone())),
         }
     }
 
@@ -122,9 +122,7 @@ impl SymBool {
             match task {
                 Task::Visit(node) => match node {
                     SymBool::Const(b) => values.push(*b),
-                    SymBool::Cmp(op, a, b) => {
-                        values.push(op.eval(a.eval(input), b.eval(input)))
-                    }
+                    SymBool::Cmp(op, a, b) => values.push(op.eval(a.eval(input), b.eval(input))),
                     SymBool::Not(inner) => {
                         tasks.push(Task::Not);
                         tasks.push(Task::Visit(inner));
@@ -370,7 +368,11 @@ fn unsigned_max(e: &SymExpr) -> Option<u128> {
                 BinOp::Or | BinOp::Xor => {
                     // Bounded by the next power of two covering both.
                     let bits = 128 - ma.max(mb).leading_zeros();
-                    Some(if bits >= 128 { u128::MAX } else { (1u128 << bits) - 1 })
+                    Some(if bits >= 128 {
+                        u128::MAX
+                    } else {
+                        (1u128 << bits) - 1
+                    })
                 }
                 BinOp::UDiv => {
                     // Division by zero yields all-ones (SMT-LIB), which can
@@ -492,8 +494,11 @@ mod tests {
 
     #[test]
     fn eval_respects_shortcircuit_semantics() {
-        let c = SymBool::cmp(CmpOp::Ugt, byte32(0), c32(10))
-            .and(&SymBool::cmp(CmpOp::Ult, byte32(1), c32(4)));
+        let c = SymBool::cmp(CmpOp::Ugt, byte32(0), c32(10)).and(&SymBool::cmp(
+            CmpOp::Ult,
+            byte32(1),
+            c32(4),
+        ));
         assert!(c.eval(&|off| if off == 0 { 20 } else { 2 }));
         assert!(!c.eval(&|off| if off == 0 { 5 } else { 2 }));
     }

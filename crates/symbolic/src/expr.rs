@@ -15,7 +15,7 @@
 //! the folded constant itself does not wrap.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use diode_lang::{BinOp, Bv, CastKind, UnOp};
 
@@ -41,7 +41,7 @@ struct Node {
     sym: Sym,
     width: u8,
     /// Sorted, deduplicated input-byte offsets this expression depends on.
-    bytes: Rc<[u32]>,
+    bytes: Arc<[u32]>,
 }
 
 /// A reference-counted symbolic expression (cheap to clone, shared
@@ -62,26 +62,26 @@ struct Node {
 /// assert_eq!(field.eval(&|off| [0xAB, 0xCD][off as usize]).value(), 0xABCD);
 /// ```
 #[derive(Clone)]
-pub struct SymExpr(Rc<Node>);
+pub struct SymExpr(Arc<Node>);
 
 impl SymExpr {
     /// A constant expression.
     #[must_use]
     pub fn constant(bv: Bv) -> Self {
-        SymExpr(Rc::new(Node {
+        SymExpr(Arc::new(Node {
             width: bv.width(),
             sym: Sym::Const(bv),
-            bytes: Rc::from(Vec::new()),
+            bytes: Arc::from(Vec::new()),
         }))
     }
 
     /// The input byte at `offset` (8 bits wide).
     #[must_use]
     pub fn input_byte(offset: u32) -> Self {
-        SymExpr(Rc::new(Node {
+        SymExpr(Arc::new(Node {
             width: 8,
             sym: Sym::InputByte(offset),
-            bytes: Rc::from(vec![offset]),
+            bytes: Arc::from(vec![offset]),
         }))
     }
 
@@ -116,10 +116,19 @@ impl SymExpr {
     /// True if the two references share the same node (O(1)).
     #[must_use]
     pub fn ptr_eq(a: &SymExpr, b: &SymExpr) -> bool {
-        Rc::ptr_eq(&a.0, &b.0)
+        Arc::ptr_eq(&a.0, &b.0)
     }
 
-    fn merged_bytes(a: &SymExpr, b: &SymExpr) -> Rc<[u32]> {
+    /// An opaque identity for the shared node: two expressions return the
+    /// same id iff [`SymExpr::ptr_eq`] holds. Valid only while at least one
+    /// of the references is alive; intended for memoized DAG traversals
+    /// (e.g. the solver query cache's structural fingerprinting).
+    #[must_use]
+    pub fn node_id(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    fn merged_bytes(a: &SymExpr, b: &SymExpr) -> Arc<[u32]> {
         if a.0.bytes.is_empty() {
             return b.0.bytes.clone();
         }
@@ -147,7 +156,7 @@ impl SymExpr {
         }
         out.extend_from_slice(&a.0.bytes[i..]);
         out.extend_from_slice(&b.0.bytes[j..]);
-        Rc::from(out)
+        Arc::from(out)
     }
 
     /// Builds a unary operation, folding constants and removing double
@@ -171,7 +180,7 @@ impl SymExpr {
                 return inner.clone();
             }
         }
-        SymExpr(Rc::new(Node {
+        SymExpr(Arc::new(Node {
             width: self.0.width,
             sym: Sym::Un(op, self.clone()),
             bytes: self.0.bytes.clone(),
@@ -200,8 +209,10 @@ impl SymExpr {
         }
 
         // Canonicalise: constants to the right for commutative ops.
-        let (lhs, rhs) = if matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
-            && lhs.as_const().is_some()
+        let (lhs, rhs) = if matches!(
+            op,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        ) && lhs.as_const().is_some()
         {
             (rhs, lhs)
         } else {
@@ -211,7 +222,12 @@ impl SymExpr {
         if let Some(c) = rhs.as_const() {
             // Neutral / absorbing elements.
             match op {
-                BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::LShr
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Shl
+                | BinOp::LShr
                 | BinOp::AShr
                     if c.is_zero() =>
                 {
@@ -268,7 +284,7 @@ impl SymExpr {
         }
 
         let bytes = SymExpr::merged_bytes(&lhs, &rhs);
-        SymExpr(Rc::new(Node {
+        SymExpr(Arc::new(Node {
             width: w,
             sym: Sym::Bin(op, lhs, rhs),
             bytes,
@@ -319,7 +335,7 @@ impl SymExpr {
                 _ => {}
             }
         }
-        SymExpr(Rc::new(Node {
+        SymExpr(Arc::new(Node {
             width,
             sym: Sym::Cast(kind, width, self.clone()),
             bytes: self.0.bytes.clone(),
@@ -372,7 +388,7 @@ impl SymExpr {
     pub fn node_count(&self) -> usize {
         let mut seen = std::collections::HashSet::new();
         fn walk(e: &SymExpr, seen: &mut std::collections::HashSet<usize>) {
-            let ptr = Rc::as_ptr(&e.0) as usize;
+            let ptr = Arc::as_ptr(&e.0) as usize;
             if !seen.insert(ptr) {
                 return;
             }
@@ -415,7 +431,8 @@ pub fn eval_bin(op: BinOp, a: Bv, b: Bv) -> (Bv, bool) {
 
 impl PartialEq for SymExpr {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0) || (self.0.width == other.0.width && self.0.sym == other.0.sym)
+        Arc::ptr_eq(&self.0, &other.0)
+            || (self.0.width == other.0.width && self.0.sym == other.0.sym)
     }
 }
 
@@ -505,7 +522,10 @@ mod tests {
         assert!(SymExpr::ptr_eq(&x.bin(BinOp::Shl, c32(0)), &x));
         assert_eq!(x.bin(BinOp::Mul, c32(0)).as_const(), Some(Bv::u32(0)));
         assert_eq!(x.bin(BinOp::And, c32(0)).as_const(), Some(Bv::u32(0)));
-        assert!(SymExpr::ptr_eq(&x.bin(BinOp::And, SymExpr::constant(Bv::ones(32))), &x));
+        assert!(SymExpr::ptr_eq(
+            &x.bin(BinOp::And, SymExpr::constant(Bv::ones(32))),
+            &x
+        ));
     }
 
     #[test]
@@ -531,9 +551,7 @@ mod tests {
         }
         // (x * 2^31) * 2 would fold to x*0 — the constant product wraps, so
         // the chain must NOT collapse.
-        let e = x
-            .bin(BinOp::Mul, c32(1 << 31))
-            .bin(BinOp::Mul, c32(2));
+        let e = x.bin(BinOp::Mul, c32(1 << 31)).bin(BinOp::Mul, c32(2));
         match e.sym() {
             Sym::Bin(BinOp::Mul, inner, rhs) => {
                 assert_eq!(rhs.as_const(), Some(Bv::u32(2)));
@@ -571,7 +589,10 @@ mod tests {
         let a = byte(9).cast(CastKind::Zext, 32);
         let b = byte(2).cast(CastKind::Zext, 32);
         let c = byte(5).cast(CastKind::Zext, 32);
-        let e = a.bin(BinOp::Add, b).bin(BinOp::Mul, c).bin(BinOp::Add, byte(2).cast(CastKind::Zext, 32));
+        let e = a
+            .bin(BinOp::Add, b)
+            .bin(BinOp::Mul, c)
+            .bin(BinOp::Add, byte(2).cast(CastKind::Zext, 32));
         assert_eq!(e.input_bytes(), &[2, 5, 9]);
     }
 
@@ -604,7 +625,10 @@ mod tests {
 
     #[test]
     fn trunc_counts_as_overflow_when_lossy() {
-        let e = byte(0).cast(CastKind::Zext, 32).bin(BinOp::Mul, c32(2)).cast(CastKind::Trunc, 8);
+        let e = byte(0)
+            .cast(CastKind::Zext, 32)
+            .bin(BinOp::Mul, c32(2))
+            .cast(CastKind::Trunc, 8);
         let (v, ovf) = e.eval_overflow(&|_| 200);
         assert_eq!(v.value(), (400u32 & 0xff) as u128);
         assert!(ovf);
@@ -614,9 +638,7 @@ mod tests {
 
     #[test]
     fn display_uses_paper_notation() {
-        let e = byte(4)
-            .cast(CastKind::Zext, 32)
-            .bin(BinOp::Shl, c32(24));
+        let e = byte(4).cast(CastKind::Zext, 32).bin(BinOp::Shl, c32(24));
         let s = e.to_string();
         assert!(s.contains("Shl(32"), "{s}");
         assert!(s.contains("ToSize(32, in[4])"), "{s}");

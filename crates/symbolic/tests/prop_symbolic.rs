@@ -23,9 +23,7 @@ fn build(r: &Recipe) -> SymExpr {
         Recipe::Byte(o) => SymExpr::input_byte(*o).cast(CastKind::Zext, 32),
         Recipe::Const(v) => SymExpr::constant(Bv::u32(*v)),
         Recipe::Bin(op, a, b) => build(a).bin(*op, build(b)),
-        Recipe::TruncZext(a) => build(a)
-            .cast(CastKind::Trunc, 16)
-            .cast(CastKind::Zext, 32),
+        Recipe::TruncZext(a) => build(a).cast(CastKind::Trunc, 16).cast(CastKind::Zext, 32),
     }
 }
 
@@ -69,8 +67,11 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (arb_op(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Recipe::Bin(op, Box::new(a), Box::new(b))),
+            (arb_op(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Recipe::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.prop_map(|a| Recipe::TruncZext(Box::new(a))),
         ]
     })

@@ -79,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let stored = u32::from_be_bytes(bug.input[8..12].try_into().unwrap());
             assert_eq!(stored, diode::lang::checksum::crc32(&bug.input[2..8]));
             println!("  header checksum still valid ✓ (repaired during generation)");
-            assert!(g <= 20000 && w <= 1024 && h <= 1024, "all sanity checks satisfied");
+            assert!(
+                g <= 20000 && w <= 1024 && h <= 1024,
+                "all sanity checks satisfied"
+            );
         }
         other => println!("outcome: {other:?}"),
     }

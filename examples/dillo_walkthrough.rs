@@ -33,7 +33,10 @@ fn main() {
 
     // Target site identification: the Figure 2 site and its relevant bytes.
     let sites = identify_target_sites(&app.program, &app.seed, &config.machine);
-    let fig2 = sites.iter().find(|s| &*s.site == "png.c@203").expect("site");
+    let fig2 = sites
+        .iter()
+        .find(|s| &*s.site == "png.c@203")
+        .expect("site");
     println!(
         "target site png.c@203 (dMalloc(rowbytes * height))\nrelevant input fields: {}",
         app.format.describe_bytes(&fig2.relevant_bytes).join(", ")
@@ -42,7 +45,10 @@ fn main() {
     // The full goal-directed enforcement loop.
     let report = analyze_site(&app.program, &app.seed, &app.format, fig2, &config);
     let SiteOutcome::Exposed(bug) = &report.outcome else {
-        panic!("expected the Figure 2 site to be exposed, got {:?}", report.outcome);
+        panic!(
+            "expected the Figure 2 site to be exposed, got {:?}",
+            report.outcome
+        );
     };
 
     println!(
@@ -75,7 +81,13 @@ fn main() {
     assert!(width <= 1_000_000 && height <= 1_000_000, "checks 3-4");
     assert!(width < 1 << 31 && height < 1 << 31, "checks 1-2");
     let wrapped = width.wrapping_mul(height) as i32;
-    assert!(wrapped.unsigned_abs() <= 36_000_000, "check 5 evaded by overflow");
-    assert!(rowbytes * u64::from(height) > u64::from(u32::MAX), "target overflows");
+    assert!(
+        wrapped.unsigned_abs() <= 36_000_000,
+        "check 5 evaded by overflow"
+    );
+    assert!(
+        rowbytes * u64::from(height) > u64::from(u32::MAX),
+        "target overflows"
+    );
     println!("\nall five Figure 2 sanity checks verified satisfied/evaded ✓");
 }

@@ -13,7 +13,10 @@ fn main() {
     let app = diode::apps::dillo::app();
     let config = DiodeConfig::default();
     let sites = identify_target_sites(&app.program, &app.seed, &config.machine);
-    let fig2 = sites.iter().find(|s| &*s.site == "png.c@203").expect("site");
+    let fig2 = sites
+        .iter()
+        .find(|s| &*s.site == "png.c@203")
+        .expect("site");
 
     println!("target: Dillo 2.1 png.c@203 (five sanity checks on the path)\n");
 
@@ -22,7 +25,13 @@ fn main() {
         trials,
         ..RandomFuzzer::default()
     }
-    .run(&app.program, &app.seed, &app.format, fig2.label, &config.machine);
+    .run(
+        &app.program,
+        &app.seed,
+        &app.format,
+        fig2.label,
+        &config.machine,
+    );
     println!(
         "random fuzzing:          {random}  ({} of {trials} inputs never reached the site)",
         random.rejected_early

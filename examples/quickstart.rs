@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use diode::core::{
-    analyze_site, extract, identify_target_sites, DiodeConfig, SiteOutcome,
-};
+use diode::core::{analyze_site, extract, identify_target_sites, DiodeConfig, SiteOutcome};
 use diode::format::FormatDesc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -65,6 +63,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  observed error: {}", bug.error_type);
         }
         other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    println!("\n== Campaign scale: the same analysis through diode-engine ==");
+    // Production runs batch many programs × seeds through the engine's
+    // work-stealing scheduler with a shared solver-query cache; site
+    // outcomes are byte-identical to the sequential stages above.
+    let spec = diode::engine::CampaignSpec::new(vec![diode::engine::CampaignApp::new(
+        "quickstart-demo",
+        program,
+        format,
+        seed,
+    )]);
+    let campaign = spec.run();
+    let (total, exposed, _, _) = campaign.counts();
+    println!(
+        "  {} site(s) analyzed on {} worker thread(s): {} exposed, bug re-validated: {:?}",
+        total, campaign.threads, exposed, campaign.units[0].sites[0].verified
+    );
+    if let Some(cache) = campaign.cache {
+        println!(
+            "  solver cache: {} hits / {} misses ({:.0}% hit rate)",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0
+        );
     }
     Ok(())
 }

@@ -16,7 +16,10 @@ fn main() {
     let config = DiodeConfig::default();
 
     let sites = identify_target_sites(&app.program, &app.seed, &config.machine);
-    let cve = sites.iter().find(|s| &*s.site == "wav.c@147").expect("site");
+    let cve = sites
+        .iter()
+        .find(|s| &*s.site == "wav.c@147")
+        .expect("site");
     println!("target site wav.c@147: p_wf = malloc(fmt_size + 2)   [CVE-2008-2430]");
     println!(
         "relevant input field: {}\n",
@@ -67,5 +70,7 @@ fn main() {
         assert!(res.triggered);
         assert_eq!(res.error_type.as_deref(), Some("InvalidRead/Write"));
     }
-    println!("\nboth solutions trigger InvalidRead/Write without crashing — Table 2's CVE row (2/2).");
+    println!(
+        "\nboth solutions trigger InvalidRead/Write without crashing — Table 2's CVE row (2/2)."
+    );
 }

@@ -15,11 +15,15 @@
 //! | [`apps`] | the five benchmark applications of §5 |
 //! | [`core`] | the DIODE engine: goal-directed branch enforcement (Figure 7) |
 //! | [`fuzz`] | random and taint-directed fuzzing baselines |
+//! | [`engine`] | campaign-scale orchestration: work-stealing parallel scheduler + shared solver-query cache |
 //!
-//! Start with the `quickstart` example, or regenerate the paper's tables:
+//! Start with the `quickstart` example (or `campaign` for batch
+//! analysis), or regenerate the paper's tables — analyses fan out over
+//! the [`engine`] scheduler by default; add `--sequential` for the
+//! single-threaded path and `--json` for machine-readable output:
 //!
 //! ```text
-//! cargo run --release -p diode-bench --bin table1
+//! cargo run --release -p diode-bench --bin table1 [-- --json | --sequential | --threads N]
 //! cargo run --release -p diode-bench --bin table2
 //! cargo run --release -p diode-bench --bin ablation
 //! cargo run --release -p diode-bench --bin fuzz_compare
@@ -58,6 +62,7 @@
 
 pub use diode_apps as apps;
 pub use diode_core as core;
+pub use diode_engine as engine;
 pub use diode_format as format;
 pub use diode_fuzz as fuzz;
 pub use diode_interp as interp;

@@ -14,16 +14,38 @@ fn fuzzers_fail_where_diode_succeeds() {
     let sites = identify_target_sites(&app.program, &app.seed, &config.machine);
     let fig2 = sites.iter().find(|s| &*s.site == "png.c@203").unwrap();
 
-    let random = RandomFuzzer { trials: 100, ..RandomFuzzer::default() }.run(
-        &app.program, &app.seed, &app.format, fig2.label, &config.machine,
+    let random = RandomFuzzer {
+        trials: 100,
+        ..RandomFuzzer::default()
+    }
+    .run(
+        &app.program,
+        &app.seed,
+        &app.format,
+        fig2.label,
+        &config.machine,
     );
-    assert_eq!(random.hits, 0, "random fuzzing should not navigate 5 checks");
+    assert_eq!(
+        random.hits, 0,
+        "random fuzzing should not navigate 5 checks"
+    );
 
-    let taint = TaintFuzzer { trials: 100, ..TaintFuzzer::default() }.run(
-        &app.program, &app.seed, &app.format, fig2.label,
-        &fig2.relevant_bytes, &config.machine,
+    let taint = TaintFuzzer {
+        trials: 100,
+        ..TaintFuzzer::default()
+    }
+    .run(
+        &app.program,
+        &app.seed,
+        &app.format,
+        fig2.label,
+        &fig2.relevant_bytes,
+        &config.machine,
     );
-    assert_eq!(taint.hits, 0, "taint-directed fuzzing should not navigate 5 checks");
+    assert_eq!(
+        taint.hits, 0,
+        "taint-directed fuzzing should not navigate 5 checks"
+    );
 
     let report = analyze_site(&app.program, &app.seed, &app.format, fig2, &config);
     assert!(matches!(report.outcome, SiteOutcome::Exposed(_)));
@@ -37,7 +59,9 @@ fn every_app_has_a_diode_only_site_or_an_easy_site() {
     for app in all_apps() {
         let sites = identify_target_sites(&app.program, &app.seed, &config.machine);
         for site in &sites {
-            let Some(expected) = app.expected_for(&site.site) else { continue };
+            let Some(expected) = app.expected_for(&site.site) else {
+                continue;
+            };
             if expected.class != diode::apps::SiteClass::Exposed {
                 continue;
             }

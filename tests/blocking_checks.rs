@@ -4,9 +4,7 @@
 //! jpeg.c@192 and CWebP's jpegdec.c@248.
 
 use diode::apps::all_apps;
-use diode::core::{
-    analyze_program, full_path_constraint_satisfiable, DiodeConfig, SiteOutcome,
-};
+use diode::core::{analyze_program, full_path_constraint_satisfiable, DiodeConfig, SiteOutcome};
 
 #[test]
 fn full_path_constraint_satisfiable_for_exactly_the_papers_two_sites() {

@@ -45,15 +45,36 @@ fn success_rates_are_deterministic_per_seed() {
     let report = analysis.site("block.c@54").unwrap();
     let beta = &report.extraction.as_ref().unwrap().beta;
     let r1 = success_rate(
-        &app.program, &app.seed, &app.format, report.label, beta, 10, 1234, &config,
+        &app.program,
+        &app.seed,
+        &app.format,
+        report.label,
+        beta,
+        10,
+        1234,
+        &config,
     );
     let r2 = success_rate(
-        &app.program, &app.seed, &app.format, report.label, beta, 10, 1234, &config,
+        &app.program,
+        &app.seed,
+        &app.format,
+        report.label,
+        beta,
+        10,
+        1234,
+        &config,
     );
     assert_eq!(r1, r2);
     // A different seed may differ (diverse sampling), but stays valid.
     let r3 = success_rate(
-        &app.program, &app.seed, &app.format, report.label, beta, 10, 4321, &config,
+        &app.program,
+        &app.seed,
+        &app.format,
+        report.label,
+        beta,
+        10,
+        4321,
+        &config,
     );
     assert_eq!(r3.samples, 10);
 }

@@ -7,7 +7,12 @@ use diode::interp::{run, Concrete, MachineConfig, MemErrorKind, Outcome};
 use diode::lang::parse;
 
 fn exec(src: &str, input: &[u8]) -> diode::interp::Run<(), ()> {
-    run(&parse(src).unwrap(), input, Concrete, &MachineConfig::default())
+    run(
+        &parse(src).unwrap(),
+        input,
+        Concrete,
+        &MachineConfig::default(),
+    )
 }
 
 #[test]

@@ -3,14 +3,17 @@
 //! SatisfiesPhi termination) and the three-way classification on
 //! synthetic programs.
 
-use diode::core::{
-    analyze_program, DiodeConfig, PreventedReason, SiteOutcome,
-};
+use diode::core::{analyze_program, DiodeConfig, PreventedReason, SiteOutcome};
 use diode::format::FormatDesc;
 
 fn analyze(src: &str, seed: &[u8]) -> diode::core::ProgramAnalysis {
     let program = diode::lang::parse(src).unwrap();
-    analyze_program(&program, seed, &FormatDesc::new("t"), &DiodeConfig::default())
+    analyze_program(
+        &program,
+        seed,
+        &FormatDesc::new("t"),
+        &DiodeConfig::default(),
+    )
 }
 
 #[test]

@@ -37,7 +37,12 @@ fn table_1_reproduces_exactly() {
             );
         }
         let c = analysis.counts();
-        totals = (totals.0 + c.0, totals.1 + c.1, totals.2 + c.2, totals.3 + c.3);
+        totals = (
+            totals.0 + c.0,
+            totals.1 + c.1,
+            totals.2 + c.2,
+            totals.3 + c.3,
+        );
     }
     // Paper: 40 sites, 14 exposed, 17 unsatisfiable, 9 check-prevented.
     assert_eq!(totals, (40, 14, 17, 9));

@@ -20,7 +20,9 @@ fn enforcement_counts_match_the_papers_bands() {
     for app in &apps {
         let analysis = analyze_program(&app.program, &app.seed, &app.format, &config);
         for report in &analysis.sites {
-            let SiteOutcome::Exposed(bug) = &report.outcome else { continue };
+            let SiteOutcome::Exposed(bug) = &report.outcome else {
+                continue;
+            };
             let expected = app.expected_for(&report.site).unwrap();
             let (paper_enf, _) = expected.paper_enforced.unwrap();
             if paper_enf == 0 {
@@ -58,13 +60,21 @@ fn success_rates_are_bimodal() {
     for app in &apps {
         let analysis = analyze_program(&app.program, &app.seed, &app.format, &config);
         for report in &analysis.sites {
-            let SiteOutcome::Exposed(bug) = &report.outcome else { continue };
+            let SiteOutcome::Exposed(bug) = &report.outcome else {
+                continue;
+            };
             let expected = app.expected_for(&report.site).unwrap();
             let (paper_hits, paper_n) = expected.paper_target_rate.unwrap();
             let extraction = report.extraction.as_ref().unwrap();
             let rate = success_rate(
-                &app.program, &app.seed, &app.format, report.label,
-                &extraction.beta, samples, 99, &config,
+                &app.program,
+                &app.seed,
+                &app.format,
+                report.label,
+                &extraction.beta,
+                samples,
+                99,
+                &config,
             );
             if paper_hits == 0 {
                 // Sanity-checked sites: target-only samples rarely pass.
@@ -84,8 +94,14 @@ fn success_rates_are_bimodal() {
             // Enforced-rate experiment for enforced sites: high success.
             if bug.enforced > 0 {
                 let erate = success_rate(
-                    &app.program, &app.seed, &app.format, report.label,
-                    &bug.constraint, samples, 100, &config,
+                    &app.program,
+                    &app.seed,
+                    &app.format,
+                    report.label,
+                    &bug.constraint,
+                    samples,
+                    100,
+                    &config,
                 );
                 assert!(
                     erate.hits * 3 >= erate.samples * 2,
@@ -106,13 +122,21 @@ fn cve_2008_2430_has_exactly_two_solutions() {
     let report = analysis.site("wav.c@147").unwrap();
     let extraction = report.extraction.as_ref().unwrap();
     let rate = success_rate(
-        &app.program, &app.seed, &app.format, report.label,
-        &extraction.beta, 200, 1, &config,
+        &app.program,
+        &app.seed,
+        &app.format,
+        report.label,
+        &extraction.beta,
+        200,
+        1,
+        &config,
     );
     assert!(rate.exhaustive, "solution space must be enumerated");
     assert_eq!(rate.samples, 2, "x + 2 has exactly two overflowing inputs");
     assert_eq!(rate.hits, 2, "both trigger (paper: 2/2)");
     // And the triggering runs do not crash (InvalidRead/Write row).
-    let SiteOutcome::Exposed(bug) = &report.outcome else { panic!() };
+    let SiteOutcome::Exposed(bug) = &report.outcome else {
+        panic!()
+    };
     assert_eq!(bug.error_type, "InvalidRead/Write");
 }
