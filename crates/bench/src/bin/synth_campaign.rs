@@ -1,0 +1,136 @@
+//! Campaign-scale benchmarking on forged suites: forge N applications
+//! with a by-construction oracle, run them through the engine, and grade
+//! the report for recall/precision — the workload generator the five §5
+//! apps can never provide.
+//!
+//! Usage: `cargo run --release -p diode-bench --bin synth_campaign [-- FLAGS]`
+//!
+//! * `--apps N`          forged applications (default 25)
+//! * `--depth D`         guard-chain depth per site (default 3)
+//! * `--seed S`          forge RNG seed (default from `SynthConfig`)
+//! * `--seeds-per-app K` seed inputs per app (default 1)
+//! * `--json`            machine-readable output (throughput, cache
+//!   hit-rate, recall/precision) in the BENCH json schema
+//! * `--sequential`      single-threaded reference path (also
+//!   `DIODE_SEQUENTIAL=1`)
+//! * `--threads N`       pin the engine's worker count
+//!
+//! Exits non-zero when recall < 1.0 or any site is misclassified — this
+//! is the CI `synth-smoke` gate.
+
+use std::time::Instant;
+
+use diode_bench::jsonout::{cache_json, counts_json, score_json, Json};
+use diode_bench::{flag_num, render_synth, synth_rows, AnalysisBackend};
+use diode_engine::CampaignSpec;
+use diode_synth::{forge, score, SynthConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let backend = AnalysisBackend::from_args(&args);
+
+    let apps = flag_num(&args, "--apps").unwrap_or(25) as usize;
+    if apps == 0 {
+        eprintln!("--apps must be at least 1");
+        std::process::exit(2);
+    }
+    let mut cfg = SynthConfig::default()
+        .with_apps(apps)
+        .with_depth(flag_num(&args, "--depth").unwrap_or(3) as usize);
+    if let Some(seed) = flag_num(&args, "--seed") {
+        cfg = cfg.with_rng_seed(seed);
+    }
+    if let Some(k) = flag_num(&args, "--seeds-per-app") {
+        cfg.seeds_per_app = (k as usize).max(1);
+    }
+
+    let forge_start = Instant::now();
+    let suite = forge(&cfg);
+    let forge_time = forge_start.elapsed();
+
+    let spec = CampaignSpec {
+        mode: backend.execution_mode(),
+        ..CampaignSpec::new(suite.campaign_apps())
+    };
+    let report = spec.run();
+    let card = score(&report, &suite.oracle);
+    let rows = synth_rows(&report, &suite.oracle);
+
+    let wall_s = report.wall_time.as_secs_f64().max(1e-9);
+    let sites = report.counts().0;
+    let units = report.units.len();
+
+    if json {
+        let out = Json::obj()
+            .field("table", "synth_campaign")
+            .field("backend", backend.name())
+            .field(
+                "config",
+                Json::obj()
+                    .field("apps", cfg.apps)
+                    .field("depth", cfg.branch_depth)
+                    .field("seeds_per_app", cfg.seeds_per_app)
+                    .field("rng_seed", cfg.rng_seed),
+            )
+            .field("forge_ms", forge_time)
+            .field("wall_ms", report.wall_time)
+            .field("threads", report.threads)
+            .field("jobs", report.jobs)
+            .field(
+                "throughput",
+                Json::obj()
+                    .field("sites_per_sec", sites as f64 / wall_s)
+                    .field("units_per_sec", units as f64 / wall_s),
+            )
+            .field("cache", cache_json(report.cache))
+            .field("counts", counts_json(report.counts()))
+            .field("oracle", counts_json(suite.oracle.expected_counts()))
+            .field("score", score_json(&card));
+        println!("{out}");
+    } else {
+        println!(
+            "Forged campaign: {} apps x {} seed(s), depth {}, rng seed {:#x} (backend: {})\n",
+            cfg.apps,
+            cfg.seeds_per_app,
+            cfg.branch_depth,
+            cfg.rng_seed,
+            backend.name()
+        );
+        println!("{}", render_synth(&rows));
+        println!(
+            "Forged in {:.1}ms, analyzed {} sites in {} units in {:.1}ms \
+             ({:.0} sites/s on {} thread(s), {} jobs)",
+            forge_time.as_secs_f64() * 1e3,
+            sites,
+            units,
+            wall_s * 1e3,
+            sites as f64 / wall_s,
+            report.threads,
+            report.jobs,
+        );
+        if let Some(stats) = report.cache {
+            println!(
+                "Solver cache: {} hits / {} misses ({:.0}% hit rate, {} entries)",
+                stats.hits,
+                stats.misses,
+                stats.hit_rate() * 100.0,
+                stats.entries
+            );
+        }
+        println!("Score vs oracle: {card}");
+        for m in &card.mismatches {
+            println!("  MISMATCH {m}");
+        }
+        if card.is_perfect() {
+            println!("RESULT: every site classified exactly as the oracle predicts.");
+        } else {
+            println!("RESULT: MISCLASSIFICATION against the forge oracle.");
+        }
+    }
+    // A false negative is never an exact match, so perfection subsumes
+    // the recall gate.
+    if !card.is_perfect() {
+        std::process::exit(1);
+    }
+}

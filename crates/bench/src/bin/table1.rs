@@ -6,23 +6,50 @@
 //!
 //! * `--json`        machine-readable output (per-app timings + counts,
 //!   cache hit-rate, engine-vs-sequential speedup)
+//! * `--app NAME`    single-app run: keep only benchmark apps whose name
+//!   contains `NAME` (case-insensitive)
+//! * `--synth N`     forged-suite run: replace the five §5 apps with `N`
+//!   freshly forged scenarios and grade the result against the synth
+//!   oracle (exit non-zero unless recall is 1.0 and every classification
+//!   matches); combine with `--app` to filter forged app names
 //! * `--sequential`  original single-threaded path (also
 //!   `DIODE_SEQUENTIAL=1`)
 //! * `--threads N`   pin the engine's worker count
 
 use std::time::Instant;
 
-use diode_bench::jsonout::{cache_json, counts_json, Json};
+use diode_bench::jsonout::{cache_json, counts_json, score_json, Json};
 use diode_bench::{
-    config_with_cache, render_table1, table1_matches_paper, table1_rows, AnalysisBackend, Table1Row,
+    config_with_cache, flag_num, flag_str, render_synth, render_table1, synth_rows,
+    table1_matches_paper, table1_rows, AnalysisBackend, Table1Row,
 };
 use diode_core::DiodeConfig;
+use diode_engine::CampaignSpec;
+use diode_synth::{forge, score, SynthConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let backend = AnalysisBackend::from_args(&args);
-    let apps = diode_apps::all_apps();
+    let app_filter = flag_str(&args, "--app").map(|f| f.to_lowercase());
+
+    if let Some(n) = flag_num(&args, "--synth") {
+        if n == 0 {
+            eprintln!("--synth must be at least 1");
+            std::process::exit(2);
+        }
+        run_forged_suite(n as usize, app_filter.as_deref(), backend, json);
+        return;
+    }
+
+    let mut apps = diode_apps::all_apps();
+    if let Some(filter) = &app_filter {
+        apps.retain(|a| a.name.to_lowercase().contains(filter));
+        if apps.is_empty() {
+            eprintln!("--app {filter:?} matches none of the five benchmark applications");
+            std::process::exit(2);
+        }
+    }
     let (config, cache) = config_with_cache(DiodeConfig::default());
 
     let start = Instant::now();
@@ -82,6 +109,55 @@ fn main() {
         }
     }
     if !matches {
+        std::process::exit(1);
+    }
+}
+
+/// The `--synth N` path: a Table 1-style run over a forged suite, graded
+/// against the by-construction oracle instead of the paper.
+fn run_forged_suite(n: usize, filter: Option<&str>, backend: AnalysisBackend, json: bool) {
+    let cfg = SynthConfig::default().with_apps(n);
+    let suite = forge(&cfg);
+    let mut apps = suite.campaign_apps();
+    if let Some(filter) = filter {
+        apps.retain(|a| a.name.to_lowercase().contains(filter));
+        if apps.is_empty() {
+            eprintln!("--app {filter:?} matches no forged application");
+            std::process::exit(2);
+        }
+    }
+    let spec = CampaignSpec {
+        mode: backend.execution_mode(),
+        ..CampaignSpec::new(apps)
+    };
+    let report = spec.run();
+    let card = score(&report, &suite.oracle);
+    let rows = synth_rows(&report, &suite.oracle);
+
+    if json {
+        let out = Json::obj()
+            .field("table", "table1-synth")
+            .field("backend", backend.name())
+            .field("forged_apps", n)
+            .field("wall_ms", report.wall_time)
+            .field("cache", cache_json(report.cache))
+            .field("counts", counts_json(report.counts()))
+            .field("score", score_json(&card));
+        println!("{out}");
+    } else {
+        println!(
+            "Table 1 (forged suite of {n}; backend: {})\n",
+            backend.name()
+        );
+        println!("{}", render_synth(&rows));
+        println!("Score vs oracle: {card}");
+        for m in &card.mismatches {
+            println!("  MISMATCH {m}");
+        }
+    }
+    // A false negative is never an exact match, so perfection subsumes
+    // the recall gate.
+    if !card.is_perfect() {
         std::process::exit(1);
     }
 }

@@ -185,6 +185,28 @@ pub fn counts_json(c: (usize, usize, usize, usize)) -> Json {
         .field("prevented", c.3)
 }
 
+/// Serializes a forge score card (recall/precision grading).
+#[must_use]
+pub fn score_json(card: &diode_synth::ScoreCard) -> Json {
+    Json::obj()
+        .field("graded", card.graded)
+        .field("recall", card.recall())
+        .field("precision", card.precision())
+        .field("exact", card.exact)
+        .field("exact_rate", card.exact_rate())
+        .field("true_pos", card.true_pos)
+        .field("false_pos", card.false_pos)
+        .field("false_neg", card.false_neg)
+        .field("true_neg", card.true_neg)
+        .field(
+            "mismatches",
+            card.mismatches
+                .iter()
+                .map(|m| Json::Str(m.to_string()))
+                .collect::<Vec<_>>(),
+        )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

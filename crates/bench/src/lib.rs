@@ -11,7 +11,11 @@
 //!   satisfiability) and the interval-presolve ablation: [`ablation_rows`],
 //!   driven by `--bin ablation`;
 //! * the **fuzzing comparison** of §6's discussion: [`fuzz_rows`], driven
-//!   by `--bin fuzz_compare`.
+//!   by `--bin fuzz_compare`;
+//! * **forged campaigns** over `diode-synth` suites with recall/precision
+//!   grading against the by-construction oracle: [`synth_rows`] +
+//!   [`render_synth`], driven by `--bin synth_campaign` (and `table1
+//!   --synth N`).
 //!
 //! Criterion micro/macro benchmarks live under `benches/`.
 //!
@@ -31,9 +35,12 @@ use diode_core::{
     analyze_program, full_path_constraint_satisfiable, success_rate, DiodeConfig, ProgramAnalysis,
     SiteOutcome, SuccessRate,
 };
-use diode_engine::{analyze_program_parallel, CampaignApp, CampaignSpec, ExecutionMode};
+use diode_engine::{
+    analyze_program_parallel, CampaignApp, CampaignReport, CampaignSpec, ExecutionMode,
+};
 use diode_fuzz::{FuzzOutcome, RandomFuzzer, TaintFuzzer};
 use diode_solver::SolverCache;
+use diode_synth::SynthOracle;
 
 pub mod jsonout;
 
@@ -67,11 +74,7 @@ impl AnalysisBackend {
         if sequential {
             return AnalysisBackend::Sequential;
         }
-        let threads = args
-            .iter()
-            .position(|a| a.as_ref() == "--threads")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.as_ref().parse().ok());
+        let threads = flag_num(args, "--threads").map(|n| n as usize);
         AnalysisBackend::Engine { threads }
     }
 
@@ -81,6 +84,15 @@ impl AnalysisBackend {
         match self {
             AnalysisBackend::Engine { .. } => "engine",
             AnalysisBackend::Sequential => "sequential",
+        }
+    }
+
+    /// The campaign [`ExecutionMode`] equivalent to this backend.
+    #[must_use]
+    pub fn execution_mode(&self) -> ExecutionMode {
+        match self {
+            AnalysisBackend::Engine { threads } => ExecutionMode::Parallel { threads: *threads },
+            AnalysisBackend::Sequential => ExecutionMode::Sequential,
         }
     }
 
@@ -94,6 +106,31 @@ impl AnalysisBackend {
             AnalysisBackend::Sequential => {
                 analyze_program(&app.program, &app.seed, &app.format, config)
             }
+        }
+    }
+}
+
+/// Reads the string value following `flag` from CLI args.
+#[must_use]
+pub fn flag_str<S: AsRef<str>>(args: &[S], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a.as_ref() == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.as_ref().to_string())
+}
+
+/// Reads the numeric value following `flag` from CLI args.
+///
+/// A *present but unparsable* value is a hard usage error (exit 2): a
+/// typo like `--apps 1OO` must not silently run a different workload.
+#[must_use]
+pub fn flag_num<S: AsRef<str>>(args: &[S], flag: &str) -> Option<u64> {
+    let raw = flag_str(args, flag)?;
+    match raw.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("{flag} expects a number, got {raw:?}");
+            std::process::exit(2);
         }
     }
 }
@@ -578,6 +615,75 @@ pub fn render_fuzz(rows: &[FuzzRow]) -> String {
                 },
                 r.random.to_string(),
                 r.taint.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+/// One row of a forged-campaign table: measured vs oracle-expected counts
+/// for one `(app, seed)` unit.
+#[derive(Debug)]
+pub struct SynthRow {
+    /// Forged application name.
+    pub app: String,
+    /// Seed index of the unit.
+    pub seed_index: usize,
+    /// Measured (total, exposed, unsat, prevented).
+    pub measured: (usize, usize, usize, usize),
+    /// Oracle-expected (total, exposable, unsat, prevented).
+    pub expected: (usize, usize, usize, usize),
+}
+
+/// Builds per-unit rows for a forged campaign graded against its oracle.
+#[must_use]
+pub fn synth_rows(report: &CampaignReport, oracle: &SynthOracle) -> Vec<SynthRow> {
+    report
+        .units
+        .iter()
+        .filter(|u| oracle.app(&u.app).is_some())
+        .map(|u| SynthRow {
+            app: u.app.clone(),
+            seed_index: u.seed_index,
+            measured: u.counts(),
+            expected: oracle.expected_counts_for(&u.app),
+        })
+        .collect()
+}
+
+/// Renders the forged-campaign table.
+#[must_use]
+pub fn render_synth(rows: &[SynthRow]) -> String {
+    let headers = [
+        "Forged App",
+        "Seed",
+        "Sites",
+        "Exposed",
+        "Unsat",
+        "Prevented",
+        "(oracle T/E/U/P)",
+        "Match",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.seed_index.to_string(),
+                r.measured.0.to_string(),
+                r.measured.1.to_string(),
+                r.measured.2.to_string(),
+                r.measured.3.to_string(),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.expected.0, r.expected.1, r.expected.2, r.expected.3
+                ),
+                if r.measured == r.expected {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
             ]
         })
         .collect();

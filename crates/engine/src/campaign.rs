@@ -26,7 +26,7 @@ use crate::scheduler::{self, Spawner};
 
 /// One workload of a campaign: a program with its format description and
 /// the seed inputs to analyze it under.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CampaignApp {
     /// Display name (used in reports and progress events).
     pub name: String,

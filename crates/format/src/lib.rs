@@ -184,6 +184,57 @@ impl FormatDesc {
         out
     }
 
+    /// Structural validation of an input against this description: every
+    /// field's byte range must lie within the input, every fixup's source
+    /// region and destination must lie within the input, and every stored
+    /// checksum must match its recomputed value. Seeds and reconstructed
+    /// inputs are expected to validate; a failure means the description
+    /// and the bytes have drifted apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] encountered (fields in offset
+    /// order, then fixups in registration order).
+    pub fn validate(&self, input: &[u8]) -> Result<(), ValidateError> {
+        let ilen = input.len() as u64;
+        for f in &self.fields {
+            if u64::from(f.offset) + u64::from(f.len) > ilen {
+                return Err(ValidateError::FieldOutOfBounds {
+                    path: f.path.clone(),
+                    offset: f.offset,
+                    len: f.len,
+                    input_len: input.len(),
+                });
+            }
+        }
+        for fixup in &self.fixups {
+            match *fixup {
+                Fixup::Crc32 { start, len, dest } => {
+                    if u64::from(start) + u64::from(len) > ilen || u64::from(dest) + 4 > ilen {
+                        return Err(ValidateError::FixupOutOfBounds {
+                            dest,
+                            input_len: input.len(),
+                        });
+                    }
+                    let computed = crc32(&input[start as usize..(start + len) as usize]);
+                    let stored = u32::from_be_bytes(
+                        input[dest as usize..dest as usize + 4]
+                            .try_into()
+                            .expect("4 bytes"),
+                    );
+                    if computed != stored {
+                        return Err(ValidateError::ChecksumMismatch {
+                            dest,
+                            stored,
+                            computed,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Peach-style reconstruction: copies the seed, applies the byte
     /// patches, then repairs every checksum (in registration order).
     /// Patches that land on checksum bytes are overwritten by the repair,
@@ -213,6 +264,67 @@ impl FormatDesc {
         out
     }
 }
+
+/// A structural problem found by [`FormatDesc::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A field's byte range extends past the end of the input.
+    FieldOutOfBounds {
+        /// The field's path.
+        path: String,
+        /// The field's offset.
+        offset: u32,
+        /// The field's length.
+        len: u32,
+        /// The input length.
+        input_len: usize,
+    },
+    /// A fixup's source region or destination lies outside the input.
+    FixupOutOfBounds {
+        /// The fixup's destination offset.
+        dest: u32,
+        /// The input length.
+        input_len: usize,
+    },
+    /// A stored checksum does not match the recomputed value.
+    ChecksumMismatch {
+        /// The checksum's offset.
+        dest: u32,
+        /// The value stored in the input.
+        stored: u32,
+        /// The value recomputed from the input.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::FieldOutOfBounds {
+                path,
+                offset,
+                len,
+                input_len,
+            } => write!(
+                f,
+                "field {path} at {offset}+{len} exceeds input length {input_len}"
+            ),
+            ValidateError::FixupOutOfBounds { dest, input_len } => {
+                write!(f, "fixup at {dest} exceeds input length {input_len}")
+            }
+            ValidateError::ChecksumMismatch {
+                dest,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum at {dest}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
 
 impl fmt::Display for FormatDesc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -451,6 +563,42 @@ mod tests {
         let out = desc.reconstruct(&bytes, [(16u32, 0xffu8)]);
         let stored = u32::from_be_bytes(out[crc_off..].try_into().unwrap());
         assert_eq!(stored, crc32(&out[12..crc_off]));
+    }
+
+    #[test]
+    fn validate_accepts_seed_and_reconstructions() {
+        let (bytes, desc) = sample();
+        assert_eq!(desc.validate(&bytes), Ok(()));
+        let out = desc.reconstruct(&bytes, [(4u32, 0xAAu8), (7, 0xBB)]);
+        assert_eq!(desc.validate(&out), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_truncation_and_corruption() {
+        let (bytes, desc) = sample();
+        // Truncated input: the flags field no longer fits.
+        assert!(matches!(
+            desc.validate(&bytes[..12]),
+            Err(ValidateError::FieldOutOfBounds { .. })
+        ));
+        // Corrupted checksummed byte without repair.
+        let mut corrupt = bytes.clone();
+        corrupt[4] ^= 0xFF;
+        assert!(matches!(
+            desc.validate(&corrupt),
+            Err(ValidateError::ChecksumMismatch { .. })
+        ));
+        // Fixup destination out of range.
+        let mut desc2 = FormatDesc::new("bad");
+        desc2.add_fixup(Fixup::Crc32 {
+            start: 0,
+            len: 4,
+            dest: 9999,
+        });
+        assert!(matches!(
+            desc2.validate(&bytes),
+            Err(ValidateError::FixupOutOfBounds { .. })
+        ));
     }
 
     #[test]

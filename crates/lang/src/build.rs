@@ -1,0 +1,453 @@
+//! Programmatic AST construction: fresh labels, interned variables, and
+//! procedure slots without going through the text front-end.
+//!
+//! The text parser ([`crate::parse`]) is the right entry point for
+//! hand-written benchmark sources, but generated programs (the
+//! `diode-synth` scenario forge) want to be **well-formed by
+//! construction**: every statement gets a unique label, every variable is
+//! interned exactly once, and procedure references resolve by
+//! construction rather than by name lookup. [`ProgramBuilder`] provides
+//! that: declare procedures up front (obtaining [`ProcId`]s usable in
+//! [`Stmt::Call`]), build statements through the labelling helpers, and
+//! [`ProgramBuilder::finish`] assembles a [`Program`] that pretty-prints
+//! and re-parses cleanly.
+//!
+//! ```
+//! use diode_lang::build::{exp, ProgramBuilder};
+//! use diode_lang::Block;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let main = b.declare_proc("main");
+//! let x = b.var("x");
+//! let buf = b.var("buf");
+//! let body = Block(vec![
+//!     b.assign(x, exp::shl(exp::zext(32, exp::in_byte(exp::c32(0))), exp::c32(8))),
+//!     b.alloc("gen.c@2", buf, exp::mul(exp::v(x), exp::c32(4))).1,
+//! ]);
+//! b.define_proc(main, vec![], body);
+//! let program = b.finish().unwrap();
+//! assert_eq!(program.alloc_sites().len(), 1);
+//! let reparsed = diode_lang::parse(&diode_lang::pretty::program(&program)).unwrap();
+//! assert_eq!(reparsed.alloc_sites().len(), 1);
+//! ```
+
+use std::fmt;
+
+use crate::ast::{
+    Aexp, Bexp, Block, Interner, Label, NoMainError, Proc, ProcId, Program, Stmt, Symbol,
+};
+
+/// Incrementally assembles a [`Program`] with fresh labels and interned
+/// variables.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    interner: Interner,
+    procs: Vec<(String, Option<Proc>)>,
+    next_label: u32,
+}
+
+/// Error returned by [`ProgramBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A declared procedure was never defined.
+    UndefinedProc(String),
+    /// No procedure is named `main`.
+    NoMain,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndefinedProc(name) => {
+                write!(f, "procedure `{name}` was declared but never defined")
+            }
+            BuildError::NoMain => write!(f, "{NoMainError}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a variable name.
+    pub fn var(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// Allocates a fresh statement label.
+    pub fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Declares a procedure, reserving its [`ProcId`] so calls can be
+    /// built before (or while) its body is.
+    pub fn declare_proc(&mut self, name: &str) -> ProcId {
+        let id = ProcId(u32::try_from(self.procs.len()).expect("too many procedures"));
+        self.procs.push((name.to_owned(), None));
+        id
+    }
+
+    /// Defines a previously declared procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this builder or is already
+    /// defined.
+    pub fn define_proc(&mut self, id: ProcId, params: Vec<Symbol>, body: Block) {
+        let slot = &mut self.procs[id.0 as usize];
+        assert!(slot.1.is_none(), "procedure `{}` defined twice", slot.0);
+        slot.1 = Some(Proc {
+            name: slot.0.clone(),
+            params,
+            body,
+        });
+    }
+
+    /// Assembles the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any declared procedure lacks a definition or no
+    /// procedure is named `main`.
+    pub fn finish(self) -> Result<Program, BuildError> {
+        let mut procs = Vec::with_capacity(self.procs.len());
+        for (name, def) in self.procs {
+            procs.push(def.ok_or(BuildError::UndefinedProc(name))?);
+        }
+        Program::from_parts(procs, self.interner, self.next_label)
+            .map_err(|NoMainError| BuildError::NoMain)
+    }
+
+    // -- labelled statement helpers ------------------------------------
+
+    /// `skip;`
+    pub fn skip(&mut self) -> Stmt {
+        Stmt::Skip(self.fresh_label())
+    }
+
+    /// `dst = e;`
+    pub fn assign(&mut self, dst: Symbol, e: Aexp) -> Stmt {
+        Stmt::Assign(self.fresh_label(), dst, e)
+    }
+
+    /// `dst = proc(args);` (or a bare call when `dst` is `None`).
+    pub fn call(&mut self, dst: Option<Symbol>, proc: ProcId, args: Vec<Aexp>) -> Stmt {
+        Stmt::Call {
+            label: self.fresh_label(),
+            dst,
+            proc,
+            args,
+        }
+    }
+
+    /// `dst = alloc("site", size);` — returns the site label too (the
+    /// target label ℓ used by oracles and reports).
+    pub fn alloc(&mut self, site: &str, dst: Symbol, size: Aexp) -> (Label, Stmt) {
+        let label = self.fresh_label();
+        (
+            label,
+            Stmt::Alloc {
+                label,
+                site: site.into(),
+                dst,
+                size,
+                abort_on_fail: false,
+            },
+        )
+    }
+
+    /// `free(ptr);`
+    pub fn free(&mut self, ptr: Symbol) -> Stmt {
+        Stmt::Free(self.fresh_label(), ptr)
+    }
+
+    /// `dst = base[offset];`
+    pub fn load(&mut self, dst: Symbol, base: Symbol, offset: Aexp) -> Stmt {
+        Stmt::Load {
+            label: self.fresh_label(),
+            dst,
+            base,
+            offset,
+        }
+    }
+
+    /// `base[offset] = value;`
+    pub fn store(&mut self, base: Symbol, offset: Aexp, value: Aexp) -> Stmt {
+        Stmt::Store {
+            label: self.fresh_label(),
+            base,
+            offset,
+            value,
+        }
+    }
+
+    /// `if cond { then_blk } else { else_blk }`
+    pub fn if_(&mut self, cond: Bexp, then_blk: Block, else_blk: Block) -> Stmt {
+        Stmt::If {
+            label: self.fresh_label(),
+            cond,
+            then_blk,
+            else_blk,
+        }
+    }
+
+    /// `while cond { body }`
+    pub fn while_(&mut self, cond: Bexp, body: Block) -> Stmt {
+        Stmt::While {
+            label: self.fresh_label(),
+            cond,
+            body,
+        }
+    }
+
+    /// `error("msg");`
+    pub fn error(&mut self, msg: &str) -> Stmt {
+        Stmt::Error(self.fresh_label(), msg.to_owned())
+    }
+
+    /// `warn("msg");`
+    pub fn warn(&mut self, msg: &str) -> Stmt {
+        Stmt::Warn(self.fresh_label(), msg.to_owned())
+    }
+
+    /// `abort("msg");`
+    pub fn abort(&mut self, msg: &str) -> Stmt {
+        Stmt::Abort(self.fresh_label(), msg.to_owned())
+    }
+
+    /// `return e?;`
+    pub fn ret(&mut self, e: Option<Aexp>) -> Stmt {
+        Stmt::Return(self.fresh_label(), e)
+    }
+}
+
+/// Expression shorthands for generated code. All are plain constructors;
+/// width discipline is the caller's responsibility (as in the parser).
+pub mod exp {
+    use crate::ast::{Aexp, Bexp, BinOp, CastKind, CmpOp, Symbol};
+    use crate::bv::Bv;
+
+    /// 8-bit constant.
+    #[must_use]
+    pub fn c8(v: u8) -> Aexp {
+        Aexp::Const(Bv::byte(v))
+    }
+
+    /// 32-bit constant.
+    #[must_use]
+    pub fn c32(v: u32) -> Aexp {
+        Aexp::Const(Bv::u32(v))
+    }
+
+    /// 64-bit constant.
+    #[must_use]
+    pub fn c64(v: u64) -> Aexp {
+        Aexp::Const(Bv::new(64, u128::from(v)))
+    }
+
+    /// Variable reference.
+    #[must_use]
+    pub fn v(sym: Symbol) -> Aexp {
+        Aexp::Var(sym)
+    }
+
+    /// One input byte, `in[idx]`.
+    #[must_use]
+    pub fn in_byte(idx: Aexp) -> Aexp {
+        Aexp::InByte(Box::new(idx))
+    }
+
+    /// Zero extension to `width`.
+    #[must_use]
+    pub fn zext(width: u8, e: Aexp) -> Aexp {
+        Aexp::Cast(CastKind::Zext, width, Box::new(e))
+    }
+
+    /// Truncation to `width`.
+    #[must_use]
+    pub fn trunc(width: u8, e: Aexp) -> Aexp {
+        Aexp::Cast(CastKind::Trunc, width, Box::new(e))
+    }
+
+    /// Wrapping addition.
+    #[must_use]
+    pub fn add(a: Aexp, b: Aexp) -> Aexp {
+        Aexp::bin(BinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    #[must_use]
+    pub fn sub(a: Aexp, b: Aexp) -> Aexp {
+        Aexp::bin(BinOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication.
+    #[must_use]
+    pub fn mul(a: Aexp, b: Aexp) -> Aexp {
+        Aexp::bin(BinOp::Mul, a, b)
+    }
+
+    /// Unsigned division.
+    #[must_use]
+    pub fn udiv(a: Aexp, b: Aexp) -> Aexp {
+        Aexp::bin(BinOp::UDiv, a, b)
+    }
+
+    /// Left shift.
+    #[must_use]
+    pub fn shl(a: Aexp, b: Aexp) -> Aexp {
+        Aexp::bin(BinOp::Shl, a, b)
+    }
+
+    /// Bitwise or.
+    #[must_use]
+    pub fn or(a: Aexp, b: Aexp) -> Aexp {
+        Aexp::bin(BinOp::Or, a, b)
+    }
+
+    /// Comparison atom.
+    #[must_use]
+    pub fn cmp(op: CmpOp, a: Aexp, b: Aexp) -> Bexp {
+        Bexp::cmp(op, a, b)
+    }
+
+    /// Unsigned `a > b`.
+    #[must_use]
+    pub fn ugt(a: Aexp, b: Aexp) -> Bexp {
+        Bexp::cmp(CmpOp::Ugt, a, b)
+    }
+
+    /// Unsigned `a < b`.
+    #[must_use]
+    pub fn ult(a: Aexp, b: Aexp) -> Bexp {
+        Bexp::cmp(CmpOp::Ult, a, b)
+    }
+
+    /// `a != b`.
+    #[must_use]
+    pub fn ne(a: Aexp, b: Aexp) -> Bexp {
+        Bexp::cmp(CmpOp::Ne, a, b)
+    }
+
+    /// `a == b`.
+    #[must_use]
+    pub fn eq(a: Aexp, b: Aexp) -> Bexp {
+        Bexp::cmp(CmpOp::Eq, a, b)
+    }
+
+    /// Short-circuit conjunction.
+    #[must_use]
+    pub fn band(a: Bexp, b: Bexp) -> Bexp {
+        Bexp::And(Box::new(a), Box::new(b))
+    }
+
+    /// Short-circuit disjunction.
+    #[must_use]
+    pub fn bor(a: Bexp, b: Bexp) -> Bexp {
+        Bexp::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Checksum-verification condition `crc32_ok(start, len, stored)`.
+    #[must_use]
+    pub fn crc32_ok(start: Aexp, len: Aexp, stored: Aexp) -> Bexp {
+        Bexp::Crc32Ok {
+            start: Box::new(start),
+            len: Box::new(len),
+            stored: Box::new(stored),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::exp;
+    use super::*;
+    use crate::parse;
+    use crate::pretty;
+
+    #[test]
+    fn builder_assembles_a_roundtrippable_program() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare_proc("main");
+        let helper = b.declare_proc("be16at");
+        let p = b.var("p");
+        let body = Block(vec![b.ret(Some(exp::or(
+            exp::shl(exp::zext(32, exp::in_byte(exp::v(p))), exp::c32(8)),
+            exp::zext(32, exp::in_byte(exp::add(exp::v(p), exp::c32(1)))),
+        )))]);
+        b.define_proc(helper, vec![p], body);
+
+        let x = b.var("x");
+        let buf = b.var("buf");
+        let reject = b.error("too big");
+        let guard = b.if_(
+            exp::ugt(exp::v(x), exp::c32(1000)),
+            Block(vec![reject]),
+            Block::new(),
+        );
+        let main_body = Block(vec![
+            b.call(Some(x), helper, vec![exp::c32(4)]),
+            guard,
+            b.alloc("gen.c@9", buf, exp::mul(exp::v(x), exp::c32(131072)))
+                .1,
+            b.free(buf),
+        ]);
+        b.define_proc(main, vec![], main_body);
+
+        let program = b.finish().unwrap();
+        assert_eq!(program.alloc_sites().len(), 1);
+        assert_eq!(&*program.alloc_sites()[0].1, "gen.c@9");
+
+        let printed = pretty::program(&program);
+        let reparsed = parse(&printed).expect("builder output re-parses");
+        assert_eq!(printed, pretty::program(&reparsed), "canonical round-trip");
+    }
+
+    #[test]
+    fn labels_are_unique_and_dense() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare_proc("main");
+        let x = b.var("x");
+        let bump = b.assign(x, exp::add(exp::v(x), exp::c32(1)));
+        let stmts = vec![
+            b.assign(x, exp::c32(1)),
+            b.skip(),
+            b.while_(exp::ult(exp::v(x), exp::c32(3)), Block(vec![bump])),
+        ];
+        b.define_proc(main, vec![], Block(stmts));
+        let program = b.finish().unwrap();
+        assert_eq!(program.n_labels(), 4);
+    }
+
+    #[test]
+    fn finish_rejects_undefined_and_mainless_programs() {
+        let mut b = ProgramBuilder::new();
+        let _ = b.declare_proc("main");
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::UndefinedProc("main".into())
+        );
+
+        let mut b = ProgramBuilder::new();
+        let helper = b.declare_proc("helper");
+        b.define_proc(helper, vec![], Block::new());
+        assert_eq!(b.finish().unwrap_err(), BuildError::NoMain);
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn double_definition_panics() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare_proc("main");
+        b.define_proc(main, vec![], Block::new());
+        b.define_proc(main, vec![], Block::new());
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod build;
 mod bv;
 pub mod checksum;
 pub mod parse;

@@ -1,0 +1,215 @@
+//! Forge configuration: how many scenarios, how deep the guard chains,
+//! which field widths and arithmetic shapes, and the class mix.
+
+use rand::{rngs::StdRng, Rng};
+
+use crate::oracle::GroundTruth;
+
+/// Width (and endianness) of a planted input field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WidthClass {
+    /// A single byte.
+    U8,
+    /// Big-endian 16-bit field (PNG-style).
+    U16Be,
+    /// Little-endian 16-bit field (RIFF-style).
+    U16Le,
+    /// Big-endian 32-bit field.
+    U32Be,
+    /// Little-endian 32-bit field.
+    U32Le,
+}
+
+impl WidthClass {
+    /// Field length in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            WidthClass::U8 => 1,
+            WidthClass::U16Be | WidthClass::U16Le => 2,
+            WidthClass::U32Be | WidthClass::U32Le => 4,
+        }
+    }
+
+    /// Largest value the field can hold.
+    #[must_use]
+    pub fn field_max(self) -> u64 {
+        match self {
+            WidthClass::U8 => 0xFF,
+            WidthClass::U16Be | WidthClass::U16Le => 0xFFFF,
+            WidthClass::U32Be | WidthClass::U32Le => 0xFFFF_FFFF,
+        }
+    }
+
+    /// The 16-bit class with this class's endianness (big for [`U8`]).
+    ///
+    /// [`U8`]: WidthClass::U8
+    #[must_use]
+    pub fn narrowed(self) -> WidthClass {
+        match self {
+            WidthClass::U32Be => WidthClass::U16Be,
+            WidthClass::U32Le => WidthClass::U16Le,
+            other => other,
+        }
+    }
+
+    /// The 32-bit class with this class's endianness (big for [`U8`]).
+    ///
+    /// [`U8`]: WidthClass::U8
+    #[must_use]
+    pub fn widened(self) -> WidthClass {
+        match self {
+            WidthClass::U8 | WidthClass::U16Be => WidthClass::U32Be,
+            WidthClass::U16Le => WidthClass::U32Le,
+            wide => wide,
+        }
+    }
+}
+
+/// Arithmetic shape of a planted allocation-size computation. All size
+/// arithmetic runs at 32 bits (the x86-32 `malloc` width of the paper's
+/// benchmarks), so "overflow" below always means the true mathematical
+/// value reaching 2³².
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeClass {
+    /// `v * c` — element count times element size (the common case).
+    MulConst,
+    /// `v + c` — field plus header overhead (CVE-2008-2430's shape).
+    AddConst,
+    /// `(v1 * v2) * c` — two-dimensional extent (Figure 2's `w * h * 4`).
+    MulFields,
+    /// `v << k` — shift-scaled count.
+    ShlConst,
+    /// `v * c + d` — scaled count plus header overhead.
+    MulAddConst,
+}
+
+/// Relative weights of the three ground-truth classes when planting sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassMix {
+    /// Weight of overflow-exposable sites.
+    pub exposable: u32,
+    /// Weight of guard-prevented sites.
+    pub guard_prevented: u32,
+    /// Weight of target-unsatisfiable sites.
+    pub target_unsat: u32,
+}
+
+impl ClassMix {
+    /// Draws a class according to the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub(crate) fn draw(&self, rng: &mut StdRng) -> GroundTruth {
+        let total = self.exposable + self.guard_prevented + self.target_unsat;
+        assert!(total > 0, "ClassMix weights must not all be zero");
+        let r = rng.gen_range(0u32..total);
+        if r < self.exposable {
+            GroundTruth::Exposable
+        } else if r < self.exposable + self.guard_prevented {
+            GroundTruth::GuardPrevented
+        } else {
+            GroundTruth::TargetUnsat
+        }
+    }
+}
+
+impl Default for ClassMix {
+    fn default() -> Self {
+        ClassMix {
+            exposable: 2,
+            guard_prevented: 1,
+            target_unsat: 1,
+        }
+    }
+}
+
+/// Everything that determines a forged suite. Two equal configs forge
+/// byte-identical suites: all randomness flows from [`rng_seed`].
+///
+/// [`rng_seed`]: SynthConfig::rng_seed
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of applications to forge.
+    pub apps: usize,
+    /// Minimum planted allocation sites per application.
+    pub min_sites: usize,
+    /// Maximum planted allocation sites per application (inclusive).
+    pub max_sites: usize,
+    /// Guard-chain depth: sanity checks planted in front of each site.
+    /// With depth 0 no guards are planted, so guard-prevented sites are
+    /// remapped to exposable ones.
+    pub branch_depth: usize,
+    /// Field width classes to draw from.
+    pub widths: Vec<WidthClass>,
+    /// Arithmetic shapes to draw from.
+    pub shapes: Vec<ShapeClass>,
+    /// Ground-truth class weights.
+    pub mix: ClassMix,
+    /// Protect the header with a CRC-32 (field region checksummed, fixup
+    /// registered, `crc32_ok` check planted) so reconstruction is
+    /// exercised on every generated input.
+    pub checksum: bool,
+    /// Plant bounded field-dependent skim loops (blocking checks à la
+    /// `png_memset`) in front of sites, exercising the enforcement loop's
+    /// blocking-check skipping.
+    pub blocking_loops: bool,
+    /// Seed inputs per application (each becomes its own campaign unit).
+    pub seeds_per_app: usize,
+    /// Master RNG seed.
+    pub rng_seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            apps: 10,
+            min_sites: 2,
+            max_sites: 4,
+            branch_depth: 3,
+            widths: vec![
+                WidthClass::U8,
+                WidthClass::U16Be,
+                WidthClass::U16Le,
+                WidthClass::U32Be,
+                WidthClass::U32Le,
+            ],
+            shapes: vec![
+                ShapeClass::MulConst,
+                ShapeClass::AddConst,
+                ShapeClass::MulFields,
+                ShapeClass::ShlConst,
+                ShapeClass::MulAddConst,
+            ],
+            mix: ClassMix::default(),
+            checksum: true,
+            blocking_loops: true,
+            seeds_per_app: 1,
+            rng_seed: 0xD10D_E5EE,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// This config with a different number of forged applications.
+    #[must_use]
+    pub fn with_apps(mut self, apps: usize) -> Self {
+        self.apps = apps;
+        self
+    }
+
+    /// This config with a different guard-chain depth.
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.branch_depth = depth;
+        self
+    }
+
+    /// This config with a different master RNG seed.
+    #[must_use]
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}

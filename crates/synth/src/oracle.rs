@@ -1,0 +1,139 @@
+//! The ground-truth oracle: what each planted site's classification is,
+//! known **by construction** from the chosen field widths, guard limits,
+//! and size arithmetic.
+
+use std::fmt;
+
+/// The by-construction classification of a planted allocation site.
+///
+/// The forge derives it from the *true* (unbounded) value of the size
+/// computation at the extreme points of the input space (all size shapes
+/// are monotone in each field):
+///
+/// * [`Exposable`] — some guard-passing input drives the true size to 2³²
+///   or beyond, so the 32-bit computation wraps and the planted probe
+///   loop faults. DIODE must report [`SiteOutcome::Exposed`].
+/// * [`GuardPrevented`] — the raw fields could overflow the computation,
+///   but every guard-passing input keeps the true size below 2³². DIODE
+///   must report [`SiteOutcome::Prevented`].
+/// * [`TargetUnsat`] — no field values at all can overflow the
+///   computation (the forge additionally picks parameters so the static
+///   bound analysis discharges every overflow atom). DIODE must report
+///   [`SiteOutcome::TargetUnsat`].
+///
+/// [`Exposable`]: GroundTruth::Exposable
+/// [`GuardPrevented`]: GroundTruth::GuardPrevented
+/// [`TargetUnsat`]: GroundTruth::TargetUnsat
+/// [`SiteOutcome::Exposed`]: diode_core::SiteOutcome::Exposed
+/// [`SiteOutcome::Prevented`]: diode_core::SiteOutcome::Prevented
+/// [`SiteOutcome::TargetUnsat`]: diode_core::SiteOutcome::TargetUnsat
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroundTruth {
+    /// An overflow-triggering, guard-passing input exists.
+    Exposable,
+    /// Sanity checks prevent every overflow.
+    GuardPrevented,
+    /// The size computation cannot overflow for any input.
+    TargetUnsat,
+}
+
+impl fmt::Display for GroundTruth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundTruth::Exposable => write!(f, "exposable"),
+            GroundTruth::GuardPrevented => write!(f, "guard-prevented"),
+            GroundTruth::TargetUnsat => write!(f, "target-unsat"),
+        }
+    }
+}
+
+/// Ground truth for one planted allocation site.
+#[derive(Debug, Clone)]
+pub struct PlantedSite {
+    /// Site name as it appears in the program (`genN.c@L` style).
+    pub site: String,
+    /// The by-construction classification.
+    pub truth: GroundTruth,
+    /// Format paths of the input fields feeding the size computation.
+    pub fields: Vec<String>,
+    /// Human-readable size arithmetic, e.g. `v * 131072`.
+    pub shape: String,
+    /// Guard limits planted in front of the site (each `if v > L` rejects
+    /// the input); the effective bound is their minimum.
+    pub guards: Vec<u64>,
+    /// Smallest driver-field value whose true size reaches 2³² (with any
+    /// secondary field at its maximum); `None` when no value overflows.
+    pub overflow_threshold: Option<u64>,
+}
+
+/// Ground truth for one forged application.
+#[derive(Debug, Clone)]
+pub struct AppOracle {
+    /// The application's campaign name.
+    pub app: String,
+    /// Planted sites, in program order.
+    pub sites: Vec<PlantedSite>,
+}
+
+impl AppOracle {
+    /// The planted site with the given name.
+    #[must_use]
+    pub fn site(&self, name: &str) -> Option<&PlantedSite> {
+        self.sites.iter().find(|s| s.site == name)
+    }
+}
+
+/// The full oracle for a forged suite.
+#[derive(Debug, Clone, Default)]
+pub struct SynthOracle {
+    /// Per-application ground truth, in suite order.
+    pub apps: Vec<AppOracle>,
+}
+
+impl SynthOracle {
+    /// The oracle for an application name.
+    #[must_use]
+    pub fn app(&self, name: &str) -> Option<&AppOracle> {
+        self.apps.iter().find(|a| a.app == name)
+    }
+
+    /// Total planted sites across the suite.
+    #[must_use]
+    pub fn total_sites(&self) -> usize {
+        self.apps.iter().map(|a| a.sites.len()).sum()
+    }
+
+    /// Expected whole-suite counts, Table 1 style:
+    /// `(total, exposable, unsat, prevented)`.
+    #[must_use]
+    pub fn expected_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for site in self.apps.iter().flat_map(|a| &a.sites) {
+            counts.0 += 1;
+            match site.truth {
+                GroundTruth::Exposable => counts.1 += 1,
+                GroundTruth::TargetUnsat => counts.2 += 1,
+                GroundTruth::GuardPrevented => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Expected counts for one application, `(total, exposable, unsat,
+    /// prevented)`; zeros when the app is unknown.
+    #[must_use]
+    pub fn expected_counts_for(&self, app: &str) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        if let Some(a) = self.app(app) {
+            for site in &a.sites {
+                counts.0 += 1;
+                match site.truth {
+                    GroundTruth::Exposable => counts.1 += 1,
+                    GroundTruth::TargetUnsat => counts.2 += 1,
+                    GroundTruth::GuardPrevented => counts.3 += 1,
+                }
+            }
+        }
+        counts
+    }
+}

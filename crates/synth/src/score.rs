@@ -1,0 +1,190 @@
+//! Grading campaign reports against the forge oracle: recall, precision,
+//! and exact three-way classification accuracy.
+
+use std::fmt;
+
+use diode_core::SiteOutcome;
+use diode_engine::CampaignReport;
+
+use crate::oracle::{GroundTruth, SynthOracle};
+
+/// One graded disagreement between the oracle and a campaign report.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Application name.
+    pub app: String,
+    /// Seed index of the campaign unit.
+    pub seed_index: usize,
+    /// Site name.
+    pub site: String,
+    /// What the oracle says the site is.
+    pub expected: GroundTruth,
+    /// What the campaign reported (human-readable).
+    pub observed: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{}/{}: expected {}, observed {}",
+            self.app, self.seed_index, self.site, self.expected, self.observed
+        )
+    }
+}
+
+/// The grade of a campaign report against a [`SynthOracle`].
+///
+/// "Positive" means *exposed*: recall asks how many truly exposable sites
+/// the campaign exposed, precision asks how many exposed findings are
+/// truly exposable. `exact` additionally demands the full three-way
+/// classification (exposed / prevented / unsat) to match the oracle.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreCard {
+    /// Planted (site, unit) pairs graded.
+    pub graded: usize,
+    /// Exposable sites reported exposed.
+    pub true_pos: usize,
+    /// Non-exposable sites reported exposed.
+    pub false_pos: usize,
+    /// Exposable sites not reported exposed.
+    pub false_neg: usize,
+    /// Non-exposable sites not reported exposed.
+    pub true_neg: usize,
+    /// Sites whose three-way classification matches the oracle exactly.
+    pub exact: usize,
+    /// Every graded disagreement (three-way, so stricter than FP+FN).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl ScoreCard {
+    /// `TP / (TP + FN)`; 1.0 when nothing is exposable.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        ratio(self.true_pos, self.true_pos + self.false_neg)
+    }
+
+    /// `TP / (TP + FP)`; 1.0 when nothing was reported exposed.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        ratio(self.true_pos, self.true_pos + self.false_pos)
+    }
+
+    /// Fraction of graded sites with an exact three-way match.
+    #[must_use]
+    pub fn exact_rate(&self) -> f64 {
+        ratio(self.exact, self.graded)
+    }
+
+    /// True when every graded site matches the oracle exactly.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        self.graded > 0 && self.exact == self.graded && self.mismatches.is_empty()
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for ScoreCard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recall {:.3}, precision {:.3}, exact {}/{}",
+            self.recall(),
+            self.precision(),
+            self.exact,
+            self.graded
+        )
+    }
+}
+
+/// Grades a campaign report against the oracle.
+///
+/// Every unit whose app name appears in the oracle is graded against that
+/// app's planted sites (units from non-forged apps are ignored, so mixed
+/// campaigns grade only their forged part). A planted site missing from a
+/// unit's report counts as a mismatch — and as a false negative when it
+/// was exposable.
+#[must_use]
+pub fn score(report: &CampaignReport, oracle: &SynthOracle) -> ScoreCard {
+    let mut card = ScoreCard::default();
+    for unit in &report.units {
+        let Some(app) = oracle.app(&unit.app) else {
+            continue;
+        };
+        for planted in &app.sites {
+            card.graded += 1;
+            let record = unit.sites.iter().find(|s| s.report.site == planted.site);
+            let observed = record.map(|r| &r.report.outcome);
+            let exposed = matches!(observed, Some(SiteOutcome::Exposed(_)));
+            let exposable = planted.truth == GroundTruth::Exposable;
+            match (exposable, exposed) {
+                (true, true) => card.true_pos += 1,
+                (true, false) => card.false_neg += 1,
+                (false, true) => card.false_pos += 1,
+                (false, false) => card.true_neg += 1,
+            }
+            let exact = matches!(
+                (planted.truth, observed),
+                (GroundTruth::Exposable, Some(SiteOutcome::Exposed(_)))
+                    | (GroundTruth::GuardPrevented, Some(SiteOutcome::Prevented(_)))
+                    | (GroundTruth::TargetUnsat, Some(SiteOutcome::TargetUnsat))
+            );
+            if exact {
+                card.exact += 1;
+            } else {
+                card.mismatches.push(Mismatch {
+                    app: unit.app.clone(),
+                    seed_index: unit.seed_index,
+                    site: planted.site.clone(),
+                    expected: planted.truth,
+                    observed: match observed {
+                        None => "site not analyzed".to_string(),
+                        Some(SiteOutcome::Exposed(b)) => {
+                            format!("exposed ({} enforced)", b.enforced)
+                        }
+                        Some(SiteOutcome::TargetUnsat) => "target-unsat".to_string(),
+                        Some(SiteOutcome::Prevented(r)) => format!("prevented ({r:?})"),
+                        Some(SiteOutcome::Unknown) => "unknown".to_string(),
+                    },
+                });
+            }
+        }
+    }
+    card
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_default_to_one_on_empty_denominators() {
+        let card = ScoreCard::default();
+        assert_eq!(card.recall(), 1.0);
+        assert_eq!(card.precision(), 1.0);
+        assert_eq!(card.exact_rate(), 1.0);
+        assert!(!card.is_perfect(), "nothing graded is not perfection");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let card = ScoreCard {
+            graded: 4,
+            true_pos: 2,
+            false_neg: 0,
+            false_pos: 0,
+            true_neg: 2,
+            exact: 4,
+            mismatches: vec![],
+        };
+        assert_eq!(card.to_string(), "recall 1.000, precision 1.000, exact 4/4");
+        assert!(card.is_perfect());
+    }
+}

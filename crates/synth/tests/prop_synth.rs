@@ -1,0 +1,110 @@
+//! Property tests over the forge (via the in-tree proptest shim): every
+//! forged program survives a `pretty → parse` round-trip, and every
+//! forged seed passes its own `FormatDesc` validation — across random
+//! configurations.
+
+use diode_interp::{run, Concrete, MachineConfig, Outcome};
+use diode_lang::{parse, pretty};
+use diode_synth::{forge, SynthConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forged_programs_roundtrip_through_pretty_and_parse(
+        rng_seed in 0u64..1_000_000,
+        apps in 1usize..4,
+        depth in 0usize..5,
+        checksum: bool,
+        blocking: bool,
+    ) {
+        let cfg = SynthConfig {
+            apps,
+            branch_depth: depth,
+            checksum,
+            blocking_loops: blocking,
+            rng_seed,
+            ..SynthConfig::default()
+        };
+        let suite = forge(&cfg);
+        prop_assert_eq!(suite.apps.len(), apps);
+        for app in &suite.apps {
+            let printed = pretty::program(&app.program);
+            let reparsed = match parse(&printed) {
+                Ok(p) => p,
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "{}: forged program does not re-parse: {e}\n{printed}",
+                    app.name
+                ))),
+            };
+            // Printing is canonical: a second print must be identical.
+            prop_assert_eq!(
+                &printed,
+                &pretty::program(&reparsed),
+                "{}: pretty→parse→pretty drift", app.name
+            );
+            // Site structure survives the round-trip.
+            let orig: Vec<String> = app.program.alloc_sites().iter().map(|(_, s)| s.to_string()).collect();
+            let back: Vec<String> = reparsed.alloc_sites().iter().map(|(_, s)| s.to_string()).collect();
+            prop_assert_eq!(orig, back);
+        }
+    }
+
+    #[test]
+    fn forged_seeds_validate_against_their_format(
+        rng_seed in 0u64..1_000_000,
+        apps in 1usize..4,
+        seeds_per_app in 1usize..3,
+    ) {
+        let cfg = SynthConfig {
+            apps,
+            seeds_per_app,
+            rng_seed,
+            ..SynthConfig::default()
+        };
+        let suite = forge(&cfg);
+        for app in &suite.apps {
+            prop_assert_eq!(app.seeds.len(), seeds_per_app);
+            for seed in &app.seeds {
+                if let Err(e) = app.format.validate(seed) {
+                    return Err(TestCaseError::fail(format!(
+                        "{}: seed fails its own format validation: {e}", app.name
+                    )));
+                }
+                // Reconstruction keeps inputs structurally valid too.
+                let patched = app.format.reconstruct(seed, [(4u32, 0xFFu8), (5, 0xFF)]);
+                if let Err(e) = app.format.validate(&patched) {
+                    return Err(TestCaseError::fail(format!(
+                        "{}: reconstructed input fails validation: {e}", app.name
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forged_seeds_run_cleanly_under_random_configs(
+        rng_seed in 0u64..1_000_000,
+        depth in 0usize..4,
+    ) {
+        let cfg = SynthConfig {
+            apps: 2,
+            branch_depth: depth,
+            rng_seed,
+            ..SynthConfig::default()
+        };
+        let suite = forge(&cfg);
+        for app in &suite.apps {
+            for seed in &app.seeds {
+                let r = run(&app.program, seed, Concrete, &MachineConfig::default());
+                prop_assert_eq!(
+                    &r.outcome, &Outcome::Completed,
+                    "{}: seed rejected: {:?} (warnings {:?})", app.name, r.outcome, r.warnings
+                );
+                prop_assert!(r.mem_errors.is_empty(), "{}: {:?}", app.name, r.mem_errors);
+                prop_assert!(r.allocs.iter().all(|a| !a.size_ovf && !a.failed));
+            }
+        }
+    }
+}

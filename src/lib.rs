@@ -16,6 +16,7 @@
 //! | [`core`] | the DIODE engine: goal-directed branch enforcement (Figure 7) |
 //! | [`fuzz`] | random and taint-directed fuzzing baselines |
 //! | [`engine`] | campaign-scale orchestration: work-stealing parallel scheduler + shared solver-query cache |
+//! | [`synth`] | ground-truth scenario forge: synthesized benchmark suites + recall/precision oracle |
 //!
 //! Start with the `quickstart` example (or `campaign` for batch
 //! analysis), or regenerate the paper's tables — analyses fan out over
@@ -69,3 +70,4 @@ pub use diode_interp as interp;
 pub use diode_lang as lang;
 pub use diode_solver as solver;
 pub use diode_symbolic as symbolic;
+pub use diode_synth as synth;
