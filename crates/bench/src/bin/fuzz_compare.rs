@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use diode_bench::jsonout::{cache_json, Json};
+use diode_bench::jsonout::{cache_json, ms, Json};
 use diode_bench::{config_with_cache, fuzz_rows, render_fuzz, AnalysisBackend, FuzzRow};
 use diode_core::DiodeConfig;
 
@@ -42,7 +42,7 @@ fn main() {
             .field("table", "fuzz_compare")
             .field("backend", backend.name())
             .field("trials", trials)
-            .field("wall_ms", wall)
+            .field("wall_ms", ms(wall))
             .field("diode_found", diode_found)
             .field("fuzz_found", fuzz_found)
             .field("cache", cache_json(Some(cache.stats())))

@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use diode_bench::jsonout::{cache_json, counts_json, score_json, Json};
+use diode_bench::jsonout::{cache_json, counts_json, ms, score_json, Json};
 use diode_bench::{
     config_with_cache, flag_num, flag_str, render_synth, render_table1, synth_rows,
     table1_matches_paper, table1_rows, AnalysisBackend, Table1Row,
@@ -71,7 +71,7 @@ fn main() {
         let out = Json::obj()
             .field("table", "table1")
             .field("backend", backend.name())
-            .field("wall_ms", wall)
+            .field("wall_ms", ms(wall))
             .field("engine_speedup", speedup)
             .field("matches_paper", matches)
             .field("cache", cache_json(Some(cache.stats())))
@@ -139,7 +139,7 @@ fn run_forged_suite(n: usize, filter: Option<&str>, backend: AnalysisBackend, js
             .field("table", "table1-synth")
             .field("backend", backend.name())
             .field("forged_apps", n)
-            .field("wall_ms", report.wall_time)
+            .field("wall_ms", ms(report.wall_time))
             .field("cache", cache_json(report.cache))
             .field("counts", counts_json(report.counts()))
             .field("score", score_json(&card));
@@ -165,7 +165,7 @@ fn run_forged_suite(n: usize, filter: Option<&str>, backend: AnalysisBackend, js
 fn app_json(r: &Table1Row) -> Json {
     Json::obj()
         .field("app", r.app)
-        .field("analysis_ms", r.analysis_time)
+        .field("analysis_ms", ms(r.analysis_time))
         .field("measured", counts_json(r.measured))
         .field("paper", counts_json(r.paper))
         .field("matches", r.measured == r.paper)

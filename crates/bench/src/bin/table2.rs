@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use diode_bench::jsonout::{cache_json, Json};
+use diode_bench::jsonout::{cache_json, ms, Json};
 use diode_bench::{
     config_with_cache, render_table2, table2_rows, table2_shape_matches_paper, AnalysisBackend,
     Table2Row,
@@ -43,7 +43,7 @@ fn main() {
             .field("table", "table2")
             .field("backend", backend.name())
             .field("samples", samples)
-            .field("wall_ms", wall)
+            .field("wall_ms", ms(wall))
             .field("shape_matches_paper", problems.is_empty())
             .field("problems", problems.clone())
             .field("cache", cache_json(Some(cache.stats())))
@@ -83,8 +83,8 @@ fn site_json(r: &Table2Row) -> Json {
         .field("site", r.site.clone())
         .field("cve", r.cve.clone())
         .field("error_type", r.error_type.clone())
-        .field("analysis_ms", r.analysis_time)
-        .field("discovery_ms", r.discovery_time)
+        .field("analysis_ms", ms(r.analysis_time))
+        .field("discovery_ms", ms(r.discovery_time))
         .field("enforced", r.enforced.0)
         .field("total_relevant", r.enforced.1)
         .field(

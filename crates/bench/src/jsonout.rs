@@ -1,165 +1,20 @@
-//! Minimal JSON emission for the `--json` harness outputs.
+//! JSON emission for the `--json` harness outputs.
 //!
-//! The container builds offline (no serde), so this is a small value tree
-//! with a compliant serializer — enough for the `BENCH_*.json` perf
-//! trajectory: numbers, strings, bools, arrays, objects.
+//! The value type is `diode-corpus`'s round-tripping [`Json`] — one
+//! codec for the whole workspace, so corpus documents and `BENCH_*.json`
+//! artifacts share canonical formatting and `u64` payloads (RNG seeds,
+//! guard limits) stay exact instead of passing through `f64`. This
+//! module adds the harness-shared serializers on top.
 
-use std::fmt;
 use std::time::Duration;
 
-/// A JSON value.
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// A finite number (serialized via `{:?}`, i.e. shortest roundtrip).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
+pub use diode_corpus::{Json, JsonError};
 
-impl Json {
-    /// An object builder.
-    #[must_use]
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Adds a field to an object (panics on non-objects — builder misuse).
-    #[must_use]
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
-            _ => panic!("field() on non-object"),
-        }
-        self
-    }
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        if v.is_finite() {
-            Json::Num(v)
-        } else {
-            Json::Null
-        }
-    }
-}
-
-impl From<u32> for Json {
-    fn from(v: u32) -> Json {
-        Json::Num(f64::from(v))
-    }
-}
-
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        Json::Num(v as f64)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::Num(v as f64)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-impl From<Duration> for Json {
-    /// Durations serialize as fractional milliseconds.
-    fn from(v: Duration) -> Json {
-        Json::Num(v.as_secs_f64() * 1e3)
-    }
-}
-
-impl<T: Into<Json>> From<Vec<T>> for Json {
-    fn from(v: Vec<T>) -> Json {
-        Json::Arr(v.into_iter().map(Into::into).collect())
-    }
-}
-
-impl<T: Into<Json>> From<Option<T>> for Json {
-    fn from(v: Option<T>) -> Json {
-        v.map_or(Json::Null, Into::into)
-    }
-}
-
-fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-    f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
-        }
-    }
-    f.write_str("\"")
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => f.write_str("null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
-                    write!(f, "{}", *n as i64)
-                } else {
-                    write!(f, "{n:?}")
-                }
-            }
-            Json::Str(s) => escape(s, f),
-            Json::Arr(items) => {
-                f.write_str("[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                f.write_str("]")
-            }
-            Json::Obj(fields) => {
-                f.write_str("{")?;
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    escape(k, f)?;
-                    f.write_str(":")?;
-                    write!(f, "{v}")?;
-                }
-                f.write_str("}")
-            }
-        }
-    }
+/// Serializes a duration as fractional milliseconds (every `*_ms` field
+/// in the BENCH schema).
+#[must_use]
+pub fn ms(d: Duration) -> Json {
+    Json::from(d.as_secs_f64() * 1e3)
 }
 
 /// Serializes cache counters in the shape every binary shares.
@@ -228,8 +83,13 @@ mod tests {
 
     #[test]
     fn durations_are_fractional_ms() {
-        let j: Json = Duration::from_micros(1500).into();
-        assert_eq!(j.to_string(), "1.5");
+        assert_eq!(ms(Duration::from_micros(1500)).to_string(), "1.5");
+    }
+
+    #[test]
+    fn u64_payloads_stay_exact() {
+        let j = Json::obj().field("rng_seed", u64::MAX);
+        assert_eq!(j.to_string(), r#"{"rng_seed":18446744073709551615}"#);
     }
 
     #[test]

@@ -135,6 +135,20 @@ pub fn flag_num<S: AsRef<str>>(args: &[S], flag: &str) -> Option<u64> {
     }
 }
 
+/// Reads the floating-point value following `flag` from CLI args, with
+/// the same hard-usage-error semantics as [`flag_num`].
+#[must_use]
+pub fn flag_f64<S: AsRef<str>>(args: &[S], flag: &str) -> Option<f64> {
+    let raw = flag_str(args, flag)?;
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() => Some(v),
+        _ => {
+            eprintln!("{flag} expects a finite number, got {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// A config with a fresh shared solver-query cache installed, plus a
 /// handle to read its counters afterwards — the standard setup for every
 /// harness binary.

@@ -1,0 +1,73 @@
+//! The `synth_campaign` binary's JSON contract: cache hit/miss counters
+//! and the recall gate must be present in `--json` output, and `--sweep`
+//! must emit the `BENCH_engine.json` scaling artifact.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_synth_campaign"))
+        .args(args)
+        .output()
+        .expect("synth_campaign runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+    )
+}
+
+#[test]
+fn json_output_carries_cache_counters_and_recall_gate() {
+    let (ok, out) = run(&["--apps", "2", "--json"]);
+    assert!(ok, "{out}");
+    for needle in [
+        "\"cache\":{\"hits\":",
+        "\"misses\":",
+        "\"hit_rate\":",
+        "\"gate\":{\"min_recall\":1,\"achieved_recall\":",
+        "\"passed\":true",
+    ] {
+        assert!(out.contains(needle), "missing {needle} in:\n{out}");
+    }
+}
+
+#[test]
+fn min_recall_flag_gates_and_reports() {
+    // A lenient gate still passes and prints the achieved recall.
+    let (ok, out) = run(&["--apps", "2", "--min-recall", "0.5"]);
+    assert!(ok, "{out}");
+    assert!(
+        out.contains("Achieved recall 1.000 against gate 0.500: PASS"),
+        "{out}"
+    );
+}
+
+#[test]
+fn sweep_writes_the_scaling_artifact() {
+    let path = std::env::temp_dir().join(format!("BENCH_engine-test-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let (ok, _) = run(&[
+        "--apps",
+        "2",
+        "--sweep",
+        "--sweep-out",
+        path.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok);
+    let artifact = std::fs::read_to_string(&path).expect("artifact written");
+    assert!(
+        artifact.contains("\"table\":\"bench_engine\""),
+        "{artifact}"
+    );
+    for threads in [
+        "\"threads\":1",
+        "\"threads\":2",
+        "\"threads\":4",
+        "\"threads\":8",
+    ] {
+        assert!(artifact.contains(threads), "missing {threads}:\n{artifact}");
+    }
+    assert!(artifact.contains("\"speedup\":"), "{artifact}");
+    assert!(artifact.contains("\"cache\":{\"hits\":"), "{artifact}");
+    std::fs::remove_file(&path).ok();
+}

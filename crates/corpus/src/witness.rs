@@ -1,0 +1,326 @@
+//! Witnesses and diffs: the replayable record of what a campaign found.
+//!
+//! A [`WitnessSet`] freezes one campaign run over a stored suite — every
+//! site's canonical outcome token, enforcement count, and triggering
+//! input — plus the graded [`ScoreCard`] in canonical serialized form.
+//! Two runs of the same suite can then be compared **byte-for-byte**
+//! (`scorecard` + `fingerprint` equality) or structurally via
+//! [`CorpusDiff`], which classifies per-site drift into *new*, *lost*,
+//! and *changed* sites — the regression-detection primitive the paper's
+//! longitudinal workflow needs (rerun a suite after a guard was
+//! tightened, and the formerly exposable site shows up as changed).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use diode_core::{PreventedReason, SiteOutcome};
+use diode_engine::CampaignReport;
+use diode_synth::{score, Fnv64, Mismatch, ScoreCard, SynthOracle};
+
+/// Canonical serialized image of a [`ScoreCard`]. Equality of two
+/// summaries is equality of their canonical JSON bytes — "byte-for-byte"
+/// is literal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScoreSummary {
+    /// Planted (site, unit) pairs graded.
+    pub graded: usize,
+    /// Exposable sites reported exposed.
+    pub true_pos: usize,
+    /// Non-exposable sites reported exposed.
+    pub false_pos: usize,
+    /// Exposable sites not reported exposed.
+    pub false_neg: usize,
+    /// Non-exposable sites not reported exposed.
+    pub true_neg: usize,
+    /// Sites whose three-way classification matches the oracle exactly.
+    pub exact: usize,
+    /// Rendered three-way disagreements.
+    pub mismatches: Vec<String>,
+}
+
+impl ScoreSummary {
+    /// Summarizes a graded score card.
+    #[must_use]
+    pub fn from_card(card: &ScoreCard) -> ScoreSummary {
+        ScoreSummary {
+            graded: card.graded,
+            true_pos: card.true_pos,
+            false_pos: card.false_pos,
+            false_neg: card.false_neg,
+            true_neg: card.true_neg,
+            exact: card.exact,
+            mismatches: card.mismatches.iter().map(Mismatch::to_string).collect(),
+        }
+    }
+
+    /// `TP / (TP + FN)`, by [`ScoreCard::ratio`]'s convention.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        ScoreCard::ratio(self.true_pos, self.true_pos + self.false_neg)
+    }
+
+    /// `TP / (TP + FP)`, by [`ScoreCard::ratio`]'s convention.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        ScoreCard::ratio(self.true_pos, self.true_pos + self.false_pos)
+    }
+
+    /// True when every graded site matched the oracle exactly.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        self.graded > 0 && self.exact == self.graded && self.mismatches.is_empty()
+    }
+}
+
+/// The frozen outcome of one site in one campaign unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteWitness {
+    /// Application name.
+    pub app: String,
+    /// Seed index of the unit.
+    pub seed_index: usize,
+    /// Site name.
+    pub site: String,
+    /// Canonical outcome token (`exposed`, `target-unsat`,
+    /// `prevented:constraint-unsat:N`, `prevented:satisfies-phi:N`,
+    /// `prevented:budget`, `unknown`).
+    pub outcome: String,
+    /// Branches enforced before exposure (exposed sites only).
+    pub enforced: Option<usize>,
+    /// Hex dump of the triggering input (exposed sites only).
+    pub input_hex: Option<String>,
+    /// Error classification of the triggering run (exposed sites only).
+    pub error_type: Option<String>,
+    /// The campaign's re-validation verdict, when it ran.
+    pub verified: Option<bool>,
+}
+
+impl SiteWitness {
+    /// The identity this witness is keyed by in diffs.
+    #[must_use]
+    pub fn key(&self) -> SiteKey {
+        SiteKey {
+            app: self.app.clone(),
+            seed_index: self.seed_index,
+            site: self.site.clone(),
+        }
+    }
+
+    /// The comparable payload: everything recorded about the finding —
+    /// outcome token, enforcement count, triggering input, error class,
+    /// and re-validation verdict. Two witnesses with equal payloads are
+    /// "the same finding"; drift in *any* recorded field makes a diff
+    /// non-clean.
+    #[must_use]
+    pub fn payload(
+        &self,
+    ) -> (
+        &str,
+        Option<usize>,
+        Option<&str>,
+        Option<&str>,
+        Option<bool>,
+    ) {
+        (
+            &self.outcome,
+            self.enforced,
+            self.input_hex.as_deref(),
+            self.error_type.as_deref(),
+            self.verified,
+        )
+    }
+}
+
+/// Canonical token for a site outcome.
+#[must_use]
+pub fn outcome_token(outcome: &SiteOutcome) -> String {
+    match outcome {
+        SiteOutcome::Exposed(_) => "exposed".to_string(),
+        SiteOutcome::TargetUnsat => "target-unsat".to_string(),
+        SiteOutcome::Prevented(PreventedReason::ConstraintUnsat { enforced }) => {
+            format!("prevented:constraint-unsat:{enforced}")
+        }
+        SiteOutcome::Prevented(PreventedReason::SatisfiesPhi { enforced }) => {
+            format!("prevented:satisfies-phi:{enforced}")
+        }
+        SiteOutcome::Prevented(PreventedReason::Budget) => "prevented:budget".to_string(),
+        SiteOutcome::Unknown => "unknown".to_string(),
+    }
+}
+
+/// One recorded campaign run over a stored suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WitnessSet {
+    /// The suite this run replayed.
+    pub suite_id: String,
+    /// The run's label within `witnesses/` (e.g. `baseline`).
+    pub label: String,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// The graded score, when an oracle was available.
+    pub scorecard: Option<ScoreSummary>,
+    /// Per-site witnesses, in deterministic report order.
+    pub sites: Vec<SiteWitness>,
+}
+
+impl WitnessSet {
+    /// Freezes a campaign report (grading it against `oracle` when given).
+    #[must_use]
+    pub fn from_report(
+        suite_id: impl Into<String>,
+        label: impl Into<String>,
+        report: &CampaignReport,
+        oracle: Option<&SynthOracle>,
+    ) -> WitnessSet {
+        let mut sites = Vec::new();
+        for unit in &report.units {
+            for s in &unit.sites {
+                let bug = s.report.outcome.bug();
+                sites.push(SiteWitness {
+                    app: unit.app.clone(),
+                    seed_index: unit.seed_index,
+                    site: s.report.site.clone(),
+                    outcome: outcome_token(&s.report.outcome),
+                    enforced: bug.map(|b| b.enforced),
+                    input_hex: bug.map(|b| hex(&b.input)),
+                    error_type: bug.map(|b| b.error_type.clone()),
+                    verified: s.verified,
+                });
+            }
+        }
+        WitnessSet {
+            suite_id: suite_id.into(),
+            label: label.into(),
+            threads: report.threads,
+            scorecard: oracle.map(|o| ScoreSummary::from_card(&score(report, o))),
+            sites,
+        }
+    }
+
+    /// A stable fingerprint over every site's payload — equal iff the two
+    /// runs produced identical findings. Uses the same length-delimited
+    /// FNV-1a ([`Fnv64`]) as app hashes and suite IDs.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut h = Fnv64::new();
+        for s in &self.sites {
+            h.str(&s.app);
+            h.bytes(&(s.seed_index as u64).to_le_bytes());
+            h.str(&s.site);
+            h.str(&s.outcome);
+            h.str(&s.enforced.map_or(String::new(), |e| e.to_string()));
+            h.str(s.input_hex.as_deref().unwrap_or(""));
+            h.str(s.error_type.as_deref().unwrap_or(""));
+            h.str(&s.verified.map_or(String::new(), |v| v.to_string()));
+        }
+        h.hex()
+    }
+}
+
+/// Identity of one (app, seed, site) record across runs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SiteKey {
+    /// Application name.
+    pub app: String,
+    /// Seed index.
+    pub seed_index: usize,
+    /// Site name.
+    pub site: String,
+}
+
+impl fmt::Display for SiteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}/{}", self.app, self.seed_index, self.site)
+    }
+}
+
+/// One site whose finding drifted between two runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangedSite {
+    /// The site's identity.
+    pub key: SiteKey,
+    /// Outcome token in the old run.
+    pub old: String,
+    /// Outcome token in the new run.
+    pub new: String,
+}
+
+/// The structural difference between two recorded runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusDiff {
+    /// Sites present only in the new run (e.g. a grown suite).
+    pub new_sites: Vec<SiteKey>,
+    /// Sites present only in the old run.
+    pub lost_sites: Vec<SiteKey>,
+    /// Sites present in both with different findings.
+    pub changed: Vec<ChangedSite>,
+    /// Sites present in both with byte-identical findings.
+    pub unchanged: usize,
+}
+
+impl CorpusDiff {
+    /// Diffs two witness sets, keyed by `(app, seed, site)`.
+    #[must_use]
+    pub fn between(old: &WitnessSet, new: &WitnessSet) -> CorpusDiff {
+        let old_map: BTreeMap<SiteKey, &SiteWitness> =
+            old.sites.iter().map(|s| (s.key(), s)).collect();
+        let new_map: BTreeMap<SiteKey, &SiteWitness> =
+            new.sites.iter().map(|s| (s.key(), s)).collect();
+        let mut diff = CorpusDiff::default();
+        for (key, o) in &old_map {
+            match new_map.get(key) {
+                None => diff.lost_sites.push(key.clone()),
+                Some(n) if n.payload() != o.payload() => diff.changed.push(ChangedSite {
+                    key: key.clone(),
+                    old: o.outcome.clone(),
+                    new: n.outcome.clone(),
+                }),
+                Some(_) => diff.unchanged += 1,
+            }
+        }
+        for key in new_map.keys() {
+            if !old_map.contains_key(key) {
+                diff.new_sites.push(key.clone());
+            }
+        }
+        diff
+    }
+
+    /// True when the runs found exactly the same things (growth counts as
+    /// drift: new sites make a diff non-clean, so replays gate strictly).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.new_sites.is_empty() && self.lost_sites.is_empty() && self.changed.is_empty()
+    }
+}
+
+impl fmt::Display for CorpusDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} unchanged, {} changed, {} new, {} lost",
+            self.unchanged,
+            self.changed.len(),
+            self.new_sites.len(),
+            self.lost_sites.len()
+        )?;
+        for c in &self.changed {
+            writeln!(f, "  CHANGED {}: {} -> {}", c.key, c.old, c.new)?;
+        }
+        for k in &self.new_sites {
+            writeln!(f, "  NEW     {k}")?;
+        }
+        for k in &self.lost_sites {
+            writeln!(f, "  LOST    {k}")?;
+        }
+        Ok(())
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = fmt::Write::write_fmt(&mut out, format_args!("{b:02x}"));
+    }
+    out
+}

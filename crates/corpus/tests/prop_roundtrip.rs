@@ -1,0 +1,79 @@
+//! Property tests: `save → load` over a real on-disk store preserves
+//! program ASTs (via pretty→parse), seed bytes, `FormatDesc`s, and oracle
+//! classifications, for arbitrary forge configurations.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use diode_corpus::CorpusStore;
+use diode_lang::pretty;
+use diode_synth::{forge, SynthConfig};
+use proptest::prelude::*;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh scratch directory per case (removed on success).
+fn scratch() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("diode-corpus-prop-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn save_then_load_preserves_everything(
+        rng_seed in 0u64..1_000_000,
+        apps in 1usize..4,
+        depth in 0usize..5,
+        checksum: bool,
+        blocking: bool,
+        seeds_per_app in 1usize..3,
+    ) {
+        let cfg = SynthConfig {
+            apps,
+            branch_depth: depth,
+            checksum,
+            blocking_loops: blocking,
+            seeds_per_app,
+            rng_seed,
+            ..SynthConfig::default()
+        };
+        let suite = forge(&cfg);
+        let dir = scratch();
+
+        let id = {
+            let store = CorpusStore::open(&dir).expect("open");
+            store.save(&suite.manifest(&cfg)).expect("save")
+        };
+        // A fresh handle (fresh process in CI): nothing carried over but
+        // the directory contents.
+        let store = CorpusStore::open(&dir).expect("reopen");
+        let loaded = store.load(&id).expect("load");
+
+        prop_assert_eq!(loaded.id(), id.as_str());
+        prop_assert_eq!(loaded.config(), &cfg);
+        prop_assert_eq!(loaded.suite.apps.len(), suite.apps.len());
+        for (orig, back) in suite.apps.iter().zip(&loaded.suite.apps) {
+            prop_assert_eq!(&orig.name, &back.name);
+            // AST equality through the canonical printer.
+            prop_assert_eq!(
+                pretty::program(&orig.program),
+                pretty::program(&back.program),
+                "{}: program AST drifted through the store", orig.name
+            );
+            prop_assert_eq!(&orig.seeds, &back.seeds, "{}: seeds drifted", orig.name);
+            prop_assert_eq!(&orig.format, &back.format, "{}: format drifted", orig.name);
+        }
+        // Oracle classifications survive exactly.
+        prop_assert_eq!(&suite.oracle, loaded.oracle());
+        // And the reloaded suite re-manifests to the identical identity.
+        prop_assert_eq!(
+            loaded.suite.manifest(&cfg).suite_id,
+            id
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -84,6 +84,17 @@ impl Default for ExecutionMode {
     }
 }
 
+/// A source of campaign workloads — a forged suite, an on-disk corpus
+/// suite, or anything else that can mint fresh [`CampaignApp`]s. The
+/// engine stays agnostic about where suites live; implementors (e.g.
+/// `diode_synth::ForgedSuite`, `diode_corpus::ReplayableSuite`) plug into
+/// [`CampaignSpec::from_corpus`] so stored suites run unchanged through
+/// the scheduler.
+pub trait CorpusSuite {
+    /// Fresh campaign workloads, clonable per run.
+    fn campaign_apps(&self) -> Vec<CampaignApp>;
+}
+
 /// A batch of workloads plus execution policy.
 #[derive(Debug)]
 pub struct CampaignSpec {
@@ -114,6 +125,14 @@ impl CampaignSpec {
             shared_cache: true,
             verify_exposed: true,
         }
+    }
+
+    /// A campaign over a stored or in-memory suite, with the same default
+    /// policy as [`CampaignSpec::new`]. This is how corpus suites loaded
+    /// from disk replay through the scheduler unchanged.
+    #[must_use]
+    pub fn from_corpus(suite: &(impl CorpusSuite + ?Sized)) -> Self {
+        CampaignSpec::new(suite.campaign_apps())
     }
 
     /// Runs the campaign without progress reporting.

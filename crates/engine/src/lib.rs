@@ -61,6 +61,6 @@ pub mod scheduler;
 
 pub use campaign::{
     analyze_program_parallel, CampaignApp, CampaignEvent, CampaignReport, CampaignSpec,
-    ExecutionMode, NoProgress, ProgressSink, SiteRecord, UnitReport,
+    CorpusSuite, ExecutionMode, NoProgress, ProgressSink, SiteRecord, UnitReport,
 };
 pub use diode_solver::{CacheStats, SolverCache};

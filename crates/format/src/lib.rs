@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::fmt::Write as _;
 
 use diode_lang::checksum::crc32;
 
@@ -76,7 +77,7 @@ pub enum Fixup {
 }
 
 /// A format description: the field map and checksum fixups of one file.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FormatDesc {
     name: String,
     fields: Vec<Field>,
@@ -235,6 +236,120 @@ impl FormatDesc {
         Ok(())
     }
 
+    /// Serializes this description to the canonical one-line-per-entry
+    /// *format spec* text accepted by [`FormatDesc::from_spec`]:
+    ///
+    /// ```text
+    /// format <name>
+    /// field <path> <offset> <len> <be|le>
+    /// crc32 <start> <len> <dest>
+    /// ```
+    ///
+    /// Fields appear in offset order and fixups in registration order, so
+    /// equal descriptions serialize to identical text — the spec doubles
+    /// as a content fingerprint for on-disk corpus stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format name or a field path contains whitespace or
+    /// control characters (the spec is whitespace-delimited; no such name
+    /// is ever produced by [`SeedBuilder`]).
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        let check = |kind: &str, s: &str| {
+            assert!(
+                !s.is_empty() && !s.chars().any(|c| c.is_whitespace() || c.is_control()),
+                "{kind} {s:?} is not spec-safe"
+            );
+        };
+        check("format name", &self.name);
+        let mut out = format!("format {}\n", self.name);
+        for f in &self.fields {
+            check("field path", &f.path);
+            let endian = match f.endian {
+                Endian::Big => "be",
+                Endian::Little => "le",
+            };
+            let _ = writeln!(out, "field {} {} {} {endian}", f.path, f.offset, f.len);
+        }
+        for fixup in &self.fixups {
+            match *fixup {
+                Fixup::Crc32 { start, len, dest } => {
+                    let _ = writeln!(out, "crc32 {start} {len} {dest}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text produced by [`FormatDesc::to_spec`]. Blank lines
+    /// and `#` comment lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first malformed line.
+    pub fn from_spec(src: &str) -> Result<FormatDesc, SpecError> {
+        let mut desc: Option<FormatDesc> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: &str| SpecError {
+                line: idx + 1,
+                reason: reason.to_string(),
+                text: raw.to_string(),
+            };
+            let mut tokens = line.split_whitespace();
+            let keyword = tokens.next().expect("non-empty line has a token");
+            let rest: Vec<&str> = tokens.collect();
+            let num = |s: &str, what: &str| {
+                s.parse::<u32>()
+                    .map_err(|_| err(&format!("{what} is not a u32")))
+            };
+            match keyword {
+                "format" => {
+                    if desc.is_some() {
+                        return Err(err("duplicate format line"));
+                    }
+                    let [name] = rest[..] else {
+                        return Err(err("expected: format <name>"));
+                    };
+                    desc = Some(FormatDesc::new(name));
+                }
+                "field" => {
+                    let d = desc.as_mut().ok_or_else(|| err("field before format"))?;
+                    let [path, offset, len, endian] = rest[..] else {
+                        return Err(err("expected: field <path> <offset> <len> <be|le>"));
+                    };
+                    let endian = match endian {
+                        "be" => Endian::Big,
+                        "le" => Endian::Little,
+                        _ => return Err(err("endianness must be be|le")),
+                    };
+                    d.add_field(path, num(offset, "offset")?, num(len, "len")?, endian);
+                }
+                "crc32" => {
+                    let d = desc.as_mut().ok_or_else(|| err("crc32 before format"))?;
+                    let [start, len, dest] = rest[..] else {
+                        return Err(err("expected: crc32 <start> <len> <dest>"));
+                    };
+                    d.add_fixup(Fixup::Crc32 {
+                        start: num(start, "start")?,
+                        len: num(len, "len")?,
+                        dest: num(dest, "dest")?,
+                    });
+                }
+                _ => return Err(err("unknown keyword")),
+            }
+        }
+        desc.ok_or(SpecError {
+            line: 0,
+            reason: "missing format line".to_string(),
+            text: String::new(),
+        })
+    }
+
     /// Peach-style reconstruction: copies the seed, applies the byte
     /// patches, then repairs every checksum (in registration order).
     /// Patches that land on checksum bytes are overwritten by the repair,
@@ -264,6 +379,29 @@ impl FormatDesc {
         out
     }
 }
+
+/// A malformed line found by [`FormatDesc::from_spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number (0 for whole-document problems).
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+    /// The offending line's text.
+    pub text: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "format spec line {}: {} ({:?})",
+            self.line, self.reason, self.text
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// A structural problem found by [`FormatDesc::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -599,6 +737,48 @@ mod tests {
             desc2.validate(&bytes),
             Err(ValidateError::FixupOutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn spec_roundtrip_preserves_description() {
+        let (_, desc) = sample();
+        let spec = desc.to_spec();
+        let back = FormatDesc::from_spec(&spec).unwrap();
+        assert_eq!(back, desc);
+        // Serialization is canonical: a second trip is byte-identical.
+        assert_eq!(back.to_spec(), spec);
+        assert!(spec.starts_with("format sample\n"), "{spec}");
+        assert!(spec.contains("field /hdr/flags 13 2 le\n"), "{spec}");
+        assert!(spec.contains("crc32 4 11 15\n"), "{spec}");
+    }
+
+    #[test]
+    fn spec_ignores_blanks_and_comments() {
+        let back = FormatDesc::from_spec(
+            "# a comment\n\nformat x\n  field /a 0 2 be  \n# more\ncrc32 0 2 2\n",
+        )
+        .unwrap();
+        assert_eq!(back.name(), "x");
+        assert_eq!(back.fields().len(), 1);
+        assert_eq!(back.fixups().len(), 1);
+    }
+
+    #[test]
+    fn spec_errors_name_the_line() {
+        let cases = [
+            ("", "missing format line"),
+            ("field /a 0 2 be\n", "field before format"),
+            ("format x\nformat y\n", "duplicate format"),
+            ("format x\nfield /a 0 2 middle\n", "endianness"),
+            ("format x\nfield /a zero 2 be\n", "offset is not a u32"),
+            ("format x\nfield /a 0 2\n", "expected: field"),
+            ("format x\ncrc32 1 2\n", "expected: crc32"),
+            ("format x\nbogus\n", "unknown keyword"),
+        ];
+        for (src, needle) in cases {
+            let err = FormatDesc::from_spec(src).unwrap_err();
+            assert!(err.to_string().contains(needle), "{src:?}: {err}");
+        }
     }
 
     #[test]

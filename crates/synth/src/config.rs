@@ -64,6 +64,31 @@ impl WidthClass {
             wide => wide,
         }
     }
+
+    /// Stable textual token, used by corpus manifests.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            WidthClass::U8 => "u8",
+            WidthClass::U16Be => "u16be",
+            WidthClass::U16Le => "u16le",
+            WidthClass::U32Be => "u32be",
+            WidthClass::U32Le => "u32le",
+        }
+    }
+
+    /// Parses a [`token`](WidthClass::token).
+    #[must_use]
+    pub fn from_token(s: &str) -> Option<WidthClass> {
+        Some(match s {
+            "u8" => WidthClass::U8,
+            "u16be" => WidthClass::U16Be,
+            "u16le" => WidthClass::U16Le,
+            "u32be" => WidthClass::U32Be,
+            "u32le" => WidthClass::U32Le,
+            _ => return None,
+        })
+    }
 }
 
 /// Arithmetic shape of a planted allocation-size computation. All size
@@ -82,6 +107,33 @@ pub enum ShapeClass {
     ShlConst,
     /// `v * c + d` — scaled count plus header overhead.
     MulAddConst,
+}
+
+impl ShapeClass {
+    /// Stable textual token, used by corpus manifests.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            ShapeClass::MulConst => "mul-const",
+            ShapeClass::AddConst => "add-const",
+            ShapeClass::MulFields => "mul-fields",
+            ShapeClass::ShlConst => "shl-const",
+            ShapeClass::MulAddConst => "mul-add-const",
+        }
+    }
+
+    /// Parses a [`token`](ShapeClass::token).
+    #[must_use]
+    pub fn from_token(s: &str) -> Option<ShapeClass> {
+        Some(match s {
+            "mul-const" => ShapeClass::MulConst,
+            "add-const" => ShapeClass::AddConst,
+            "mul-fields" => ShapeClass::MulFields,
+            "shl-const" => ShapeClass::ShlConst,
+            "mul-add-const" => ShapeClass::MulAddConst,
+            _ => return None,
+        })
+    }
 }
 
 /// Relative weights of the three ground-truth classes when planting sites.
@@ -129,7 +181,7 @@ impl Default for ClassMix {
 /// byte-identical suites: all randomness flows from [`rng_seed`].
 ///
 /// [`rng_seed`]: SynthConfig::rng_seed
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SynthConfig {
     /// Number of applications to forge.
     pub apps: usize,

@@ -47,6 +47,12 @@ impl ForgedSuite {
     }
 }
 
+impl diode_engine::CorpusSuite for ForgedSuite {
+    fn campaign_apps(&self) -> Vec<CampaignApp> {
+        ForgedSuite::campaign_apps(self)
+    }
+}
+
 /// Concrete size arithmetic of one planted site.
 #[derive(Debug, Clone, Copy)]
 enum Shape {
@@ -606,15 +612,35 @@ fn forge_app(cfg: &SynthConfig, app_idx: usize, rng: &mut StdRng) -> (CampaignAp
     (app, oracle)
 }
 
-/// Forges a complete suite from a configuration. Deterministic: equal
-/// configs produce byte-identical programs, seeds, formats, and oracles.
+/// Derives the independent RNG stream of one application index.
+///
+/// Each forged app draws from its own stream — a SplitMix64 finalizer
+/// over `(rng_seed, app_idx)` — so app `i`'s content depends only on the
+/// configuration and `i`, never on how many apps were forged before it.
+/// This is what makes incremental corpus growth possible: extending a
+/// suite forges *only* the new indices, and the old apps are bit-stable.
+fn app_rng(cfg: &SynthConfig, app_idx: usize) -> StdRng {
+    let mut z = cfg
+        .rng_seed
+        .wrapping_add((app_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Forges the applications with indices `start .. start + count` — the
+/// incremental-growth primitive behind `diode-corpus`. Because every app
+/// draws from its own RNG stream, `forge_range(cfg, 0, k)` and
+/// `forge_range(cfg, k, n)` together are byte-identical to
+/// `forge_range(cfg, 0, k + n)`: growing a suite never re-forges (or
+/// perturbs) the apps that already exist.
 ///
 /// # Panics
 ///
 /// Panics when the configuration is vacuous (no widths, no shapes, zero
 /// sites, zero seeds, or `min_sites > max_sites`).
 #[must_use]
-pub fn forge(cfg: &SynthConfig) -> ForgedSuite {
+pub fn forge_range(cfg: &SynthConfig, start: usize, count: usize) -> ForgedSuite {
     assert!(
         !cfg.widths.is_empty(),
         "SynthConfig.widths must not be empty"
@@ -626,10 +652,10 @@ pub fn forge(cfg: &SynthConfig) -> ForgedSuite {
     assert!(cfg.min_sites >= 1, "need at least one site per app");
     assert!(cfg.min_sites <= cfg.max_sites, "min_sites > max_sites");
     assert!(cfg.seeds_per_app >= 1, "need at least one seed per app");
-    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
-    let mut apps = Vec::with_capacity(cfg.apps);
-    let mut oracles = Vec::with_capacity(cfg.apps);
-    for i in 0..cfg.apps {
+    let mut apps = Vec::with_capacity(count);
+    let mut oracles = Vec::with_capacity(count);
+    for i in start..start + count {
+        let mut rng = app_rng(cfg, i);
         let (app, oracle) = forge_app(cfg, i, &mut rng);
         apps.push(app);
         oracles.push(oracle);
@@ -638,6 +664,18 @@ pub fn forge(cfg: &SynthConfig) -> ForgedSuite {
         apps,
         oracle: SynthOracle { apps: oracles },
     }
+}
+
+/// Forges a complete suite from a configuration. Deterministic: equal
+/// configs produce byte-identical programs, seeds, formats, and oracles.
+///
+/// # Panics
+///
+/// Panics when the configuration is vacuous (no widths, no shapes, zero
+/// sites, zero seeds, or `min_sites > max_sites`).
+#[must_use]
+pub fn forge(cfg: &SynthConfig) -> ForgedSuite {
+    forge_range(cfg, 0, cfg.apps)
 }
 
 #[cfg(test)]
@@ -658,6 +696,31 @@ mod tests {
             assert_eq!(x.seeds, y.seeds);
         }
         assert_eq!(a.oracle.expected_counts(), b.oracle.expected_counts());
+    }
+
+    #[test]
+    fn forge_range_composes_without_reforging() {
+        // Apps 0..3 forged in one shot are byte-identical to forging
+        // 0..2 and then growing by 2..3 — the incremental-corpus contract.
+        let cfg = SynthConfig::default().with_apps(3);
+        let whole = forge(&cfg);
+        let head = forge_range(&cfg, 0, 2);
+        let tail = forge_range(&cfg, 2, 1);
+        let parts: Vec<&CampaignApp> = head.apps.iter().chain(&tail.apps).collect();
+        assert_eq!(whole.apps.len(), parts.len());
+        for (w, p) in whole.apps.iter().zip(parts) {
+            assert_eq!(w.name, p.name);
+            assert_eq!(
+                diode_lang::pretty::program(&w.program),
+                diode_lang::pretty::program(&p.program)
+            );
+            assert_eq!(w.seeds, p.seeds);
+            assert_eq!(w.format, p.format);
+        }
+        let grown_oracle: Vec<_> = head.oracle.apps.iter().chain(&tail.oracle.apps).collect();
+        for (w, p) in whole.oracle.apps.iter().zip(grown_oracle) {
+            assert_eq!(w, p);
+        }
     }
 
     #[test]

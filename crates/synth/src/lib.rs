@@ -74,10 +74,12 @@
 
 mod config;
 mod forge;
+mod manifest;
 mod oracle;
 mod score;
 
 pub use config::{ClassMix, ShapeClass, SynthConfig, WidthClass};
-pub use forge::{forge, ForgedSuite};
+pub use forge::{forge, forge_range, ForgedSuite};
+pub use manifest::{AppManifest, Fnv64, ManifestError, SuiteManifest};
 pub use oracle::{AppOracle, GroundTruth, PlantedSite, SynthOracle};
 pub use score::{score, Mismatch, ScoreCard};

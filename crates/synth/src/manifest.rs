@@ -1,0 +1,449 @@
+//! Suite ↔ manifest conversion: the serializable form of a forged suite,
+//! with stable content-hash identities.
+//!
+//! A [`SuiteManifest`] is the complete, plain-data image of a
+//! [`ForgedSuite`]: canonical program source (via the pretty-printer),
+//! seed bytes, format specs, the oracle, and the [`SynthConfig`] that
+//! forged it. `diode-corpus` persists manifests to disk; this module owns
+//! the conversion in both directions so the corpus layer never reaches
+//! into forge internals.
+//!
+//! Identity is **content-addressed**: every app gets a 64-bit FNV-1a hash
+//! over its canonical bytes, and the suite ID folds the config and every
+//! app hash together. Two processes that forge (or load) the same suite
+//! compute the same ID, and any on-disk corruption surfaces as a hash
+//! mismatch on load.
+//!
+//! Loading round-trips each program through the parser
+//! (`parse(pretty(p))`) and insists the result re-prints byte-identically
+//! — so a persisted corpus doubles as a parser fuzz corpus: every stored
+//! program is a checked pretty→parse→pretty fixpoint.
+
+use std::fmt;
+
+use diode_format::FormatDesc;
+use diode_lang::{parse, pretty, ParseError};
+
+use crate::config::SynthConfig;
+use crate::forge::ForgedSuite;
+use crate::oracle::SynthOracle;
+use diode_engine::CampaignApp;
+
+/// The serializable image of one forged application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppManifest {
+    /// Campaign name (`forge-NNN`).
+    pub name: String,
+    /// Canonical program source (pretty-printer output).
+    pub program: String,
+    /// The seeds' format description.
+    pub format: FormatDesc,
+    /// Seed inputs, in campaign order.
+    pub seeds: Vec<Vec<u8>>,
+    /// 16-hex-digit FNV-1a content hash over this app's canonical bytes
+    /// (name, program, format spec, seeds, oracle entry).
+    pub content_hash: String,
+}
+
+/// The serializable image of a whole forged suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteManifest {
+    /// Content-addressed suite identity: `suite-` + 16 hex digits folding
+    /// the config and every app's content hash.
+    pub suite_id: String,
+    /// The configuration that forged (and can re-forge or grow) the suite.
+    pub config: SynthConfig,
+    /// Per-app images, in suite order.
+    pub apps: Vec<AppManifest>,
+    /// The by-construction ground truth.
+    pub oracle: SynthOracle,
+}
+
+/// Why a manifest could not be turned back into a runnable suite.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// A stored program no longer parses.
+    Parse {
+        /// App name.
+        app: String,
+        /// The parser's complaint.
+        error: ParseError,
+    },
+    /// A stored program parses but is not a pretty-printer fixpoint (the
+    /// stored text was edited or produced by a different version).
+    NotCanonical {
+        /// App name.
+        app: String,
+    },
+    /// An app's stored content hash does not match its recomputed hash.
+    HashMismatch {
+        /// App name.
+        app: String,
+        /// The hash recorded in the manifest.
+        stored: String,
+        /// The hash of the content actually present.
+        computed: String,
+    },
+    /// The manifest's suite ID does not match its recomputed identity.
+    SuiteIdMismatch {
+        /// The ID recorded in the manifest.
+        stored: String,
+        /// The identity of the content actually present.
+        computed: String,
+    },
+    /// App list and oracle disagree about which apps exist.
+    OracleSkew {
+        /// App name present on one side only.
+        app: String,
+    },
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Parse { app, error } => {
+                write!(f, "{app}: stored program does not parse: {error}")
+            }
+            ManifestError::NotCanonical { app } => {
+                write!(f, "{app}: stored program is not pretty-printer-canonical")
+            }
+            ManifestError::HashMismatch {
+                app,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{app}: content hash mismatch (stored {stored}, computed {computed})"
+            ),
+            ManifestError::SuiteIdMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "suite id mismatch (stored {stored}, computed {computed})"
+                )
+            }
+            ManifestError::OracleSkew { app } => {
+                write!(f, "{app}: present in apps or oracle but not both")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Incremental 64-bit FNV-1a over length-delimited chunks — the one
+/// content-hash primitive behind app hashes, suite IDs, and (in
+/// `diode-corpus`) witness fingerprints. Sharing the implementation
+/// keeps every content-addressed domain on identical hashing rules.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Folds in one chunk. Chunks are length-delimited, so
+    /// `("ab", "c")` and `("a", "bc")` hash differently.
+    pub fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let len = data.len() as u64;
+        for b in len.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds in one string chunk.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// The digest as 16 lowercase hex digits.
+    #[must_use]
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Canonical textual image of a config, the hashing (not storage) form.
+fn config_canon(cfg: &SynthConfig) -> String {
+    let widths: Vec<&str> = cfg.widths.iter().map(|w| w.token()).collect();
+    let shapes: Vec<&str> = cfg.shapes.iter().map(|s| s.token()).collect();
+    format!(
+        "apps={};sites={}..{};depth={};widths={};shapes={};mix={}/{}/{};\
+         checksum={};blocking={};seeds={};rng={:#x}",
+        cfg.apps,
+        cfg.min_sites,
+        cfg.max_sites,
+        cfg.branch_depth,
+        widths.join(","),
+        shapes.join(","),
+        cfg.mix.exposable,
+        cfg.mix.guard_prevented,
+        cfg.mix.target_unsat,
+        cfg.checksum,
+        cfg.blocking_loops,
+        cfg.seeds_per_app,
+        cfg.rng_seed,
+    )
+}
+
+/// Content hash of one app: name, canonical program text, format spec,
+/// seed bytes, and the oracle's planted-site records.
+fn app_hash(
+    name: &str,
+    program: &str,
+    format: &FormatDesc,
+    seeds: &[Vec<u8>],
+    oracle: &SynthOracle,
+) -> String {
+    let mut h = Fnv64::new();
+    h.str(name);
+    h.str(program);
+    h.str(&format.to_spec());
+    for seed in seeds {
+        h.bytes(seed);
+    }
+    if let Some(app) = oracle.app(name) {
+        for site in &app.sites {
+            h.str(&site.site);
+            h.str(site.truth.token());
+            h.str(&site.shape);
+            for field in &site.fields {
+                h.str(field);
+            }
+            for &g in &site.guards {
+                h.bytes(&g.to_le_bytes());
+            }
+            h.bytes(&site.overflow_threshold.unwrap_or(u64::MAX).to_le_bytes());
+        }
+    }
+    h.hex()
+}
+
+/// Folds a config and per-app hashes into the suite identity.
+fn fold_suite_id(cfg: &SynthConfig, app_hashes: &[String]) -> String {
+    let mut h = Fnv64::new();
+    h.str(&config_canon(cfg));
+    for a in app_hashes {
+        h.str(a);
+    }
+    format!("suite-{}", h.hex())
+}
+
+impl SuiteManifest {
+    /// Builds the manifest of a forged suite. Deterministic: equal suites
+    /// produce byte-identical manifests (and therefore equal suite IDs)
+    /// in every process.
+    #[must_use]
+    pub fn from_suite(config: &SynthConfig, suite: &ForgedSuite) -> SuiteManifest {
+        let apps: Vec<AppManifest> = suite
+            .apps
+            .iter()
+            .map(|app| AppManifest {
+                name: app.name.clone(),
+                program: pretty::program(&app.program),
+                format: app.format.clone(),
+                seeds: app.seeds.clone(),
+                content_hash: String::new(), // assemble() fills it in
+            })
+            .collect();
+        SuiteManifest::assemble(config.clone(), apps, suite.oracle.clone())
+    }
+
+    /// Assembles a manifest from parts, recomputing every app's content
+    /// hash and the suite ID from the content actually provided. This is
+    /// the incremental-growth entry point: corpus `grow` concatenates
+    /// stored app images with freshly forged ones and reassembles.
+    #[must_use]
+    pub fn assemble(
+        config: SynthConfig,
+        mut apps: Vec<AppManifest>,
+        oracle: SynthOracle,
+    ) -> SuiteManifest {
+        for app in &mut apps {
+            app.content_hash = app_hash(&app.name, &app.program, &app.format, &app.seeds, &oracle);
+        }
+        let hashes: Vec<String> = apps.iter().map(|a| a.content_hash.clone()).collect();
+        SuiteManifest {
+            suite_id: fold_suite_id(&config, &hashes),
+            config,
+            apps,
+            oracle,
+        }
+    }
+
+    /// Reconstructs the runnable suite: every stored program is parsed,
+    /// checked to be a pretty-printer fixpoint, and re-hashed against the
+    /// recorded content hash; finally the suite ID itself is recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Any parse failure, canonicality drift, hash mismatch, or app/oracle
+    /// skew is a [`ManifestError`].
+    pub fn to_suite(&self) -> Result<ForgedSuite, ManifestError> {
+        if self.apps.len() != self.oracle.apps.len() {
+            let app = self
+                .apps
+                .iter()
+                .map(|a| &a.name)
+                .find(|n| self.oracle.app(n).is_none())
+                .or_else(|| {
+                    self.oracle
+                        .apps
+                        .iter()
+                        .map(|a| &a.app)
+                        .find(|n| !self.apps.iter().any(|x| &&x.name == n))
+                })
+                .cloned()
+                .unwrap_or_default();
+            return Err(ManifestError::OracleSkew { app });
+        }
+        let mut apps = Vec::with_capacity(self.apps.len());
+        let mut hashes = Vec::with_capacity(self.apps.len());
+        for entry in &self.apps {
+            if self.oracle.app(&entry.name).is_none() {
+                return Err(ManifestError::OracleSkew {
+                    app: entry.name.clone(),
+                });
+            }
+            let program = parse(&entry.program).map_err(|error| ManifestError::Parse {
+                app: entry.name.clone(),
+                error,
+            })?;
+            if pretty::program(&program) != entry.program {
+                return Err(ManifestError::NotCanonical {
+                    app: entry.name.clone(),
+                });
+            }
+            let computed = app_hash(
+                &entry.name,
+                &entry.program,
+                &entry.format,
+                &entry.seeds,
+                &self.oracle,
+            );
+            if computed != entry.content_hash {
+                return Err(ManifestError::HashMismatch {
+                    app: entry.name.clone(),
+                    stored: entry.content_hash.clone(),
+                    computed,
+                });
+            }
+            hashes.push(computed);
+            let mut app = CampaignApp::new(
+                entry.name.clone(),
+                program,
+                entry.format.clone(),
+                entry.seeds.first().cloned().unwrap_or_default(),
+            );
+            for seed in entry.seeds.iter().skip(1) {
+                app = app.with_seed(seed.clone());
+            }
+            apps.push(app);
+        }
+        let computed = fold_suite_id(&self.config, &hashes);
+        if computed != self.suite_id {
+            return Err(ManifestError::SuiteIdMismatch {
+                stored: self.suite_id.clone(),
+                computed,
+            });
+        }
+        Ok(ForgedSuite {
+            apps,
+            oracle: self.oracle.clone(),
+        })
+    }
+}
+
+impl ForgedSuite {
+    /// This suite's manifest (see [`SuiteManifest::from_suite`]).
+    #[must_use]
+    pub fn manifest(&self, config: &SynthConfig) -> SuiteManifest {
+        SuiteManifest::from_suite(config, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{forge, SynthConfig};
+    use diode_engine::CampaignSpec;
+
+    #[test]
+    fn manifest_roundtrips_and_ids_are_stable() {
+        let cfg = SynthConfig::default().with_apps(3);
+        let suite = forge(&cfg);
+        let m1 = suite.manifest(&cfg);
+        let m2 = forge(&cfg).manifest(&cfg);
+        assert_eq!(m1, m2, "equal suites build byte-identical manifests");
+        assert!(m1.suite_id.starts_with("suite-"), "{}", m1.suite_id);
+
+        let back = m1.to_suite().expect("manifest loads");
+        assert_eq!(back.oracle, suite.oracle);
+        let again = back.manifest(&cfg);
+        assert_eq!(again, m1, "load → manifest is a fixpoint");
+        // The reconstructed suite runs identically.
+        let a = CampaignSpec::from_corpus(&suite).run();
+        let b = CampaignSpec::from_corpus(&back).run();
+        assert_eq!(a.outcome_fingerprint(), b.outcome_fingerprint());
+    }
+
+    #[test]
+    fn different_content_different_id() {
+        let cfg = SynthConfig::default().with_apps(2);
+        let other = cfg.clone().with_rng_seed(7);
+        let a = forge(&cfg).manifest(&cfg);
+        let b = forge(&other).manifest(&other);
+        assert_ne!(a.suite_id, b.suite_id);
+    }
+
+    #[test]
+    fn tampering_is_detected_on_load() {
+        let cfg = SynthConfig::default().with_apps(1);
+        let suite = forge(&cfg);
+        // Flip a seed byte: content hash no longer matches.
+        let mut m = suite.manifest(&cfg);
+        m.apps[0].seeds[0][4] ^= 0xFF;
+        assert!(matches!(
+            m.to_suite(),
+            Err(ManifestError::HashMismatch { .. })
+        ));
+        // Non-canonical (but parseable) program text.
+        let mut m = suite.manifest(&cfg);
+        m.apps[0].program.push_str("\nfn extra() {\n    skip;\n}\n");
+        assert!(matches!(
+            m.to_suite(),
+            Err(ManifestError::NotCanonical { .. }) | Err(ManifestError::Parse { .. })
+        ));
+        // Unparseable program text.
+        let mut m = suite.manifest(&cfg);
+        m.apps[0].program = "fn main( {".to_string();
+        assert!(matches!(m.to_suite(), Err(ManifestError::Parse { .. })));
+        // Stale suite id.
+        let mut m = suite.manifest(&cfg);
+        m.suite_id = "suite-0000000000000000".to_string();
+        assert!(matches!(
+            m.to_suite(),
+            Err(ManifestError::SuiteIdMismatch { .. })
+        ));
+        // Oracle skew.
+        let mut m = suite.manifest(&cfg);
+        m.oracle.apps.clear();
+        assert!(matches!(
+            m.to_suite(),
+            Err(ManifestError::OracleSkew { .. })
+        ));
+    }
+}

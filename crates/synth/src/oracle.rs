@@ -37,18 +37,37 @@ pub enum GroundTruth {
     TargetUnsat,
 }
 
+impl GroundTruth {
+    /// Stable textual token, used by corpus oracles (matches `Display`).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            GroundTruth::Exposable => "exposable",
+            GroundTruth::GuardPrevented => "guard-prevented",
+            GroundTruth::TargetUnsat => "target-unsat",
+        }
+    }
+
+    /// Parses a [`token`](GroundTruth::token).
+    #[must_use]
+    pub fn from_token(s: &str) -> Option<GroundTruth> {
+        Some(match s {
+            "exposable" => GroundTruth::Exposable,
+            "guard-prevented" => GroundTruth::GuardPrevented,
+            "target-unsat" => GroundTruth::TargetUnsat,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for GroundTruth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            GroundTruth::Exposable => write!(f, "exposable"),
-            GroundTruth::GuardPrevented => write!(f, "guard-prevented"),
-            GroundTruth::TargetUnsat => write!(f, "target-unsat"),
-        }
+        f.write_str(self.token())
     }
 }
 
 /// Ground truth for one planted allocation site.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlantedSite {
     /// Site name as it appears in the program (`genN.c@L` style).
     pub site: String,
@@ -67,7 +86,7 @@ pub struct PlantedSite {
 }
 
 /// Ground truth for one forged application.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppOracle {
     /// The application's campaign name.
     pub app: String,
@@ -84,7 +103,7 @@ impl AppOracle {
 }
 
 /// The full oracle for a forged suite.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SynthOracle {
     /// Per-application ground truth, in suite order.
     pub apps: Vec<AppOracle>,

@@ -58,36 +58,41 @@ pub struct ScoreCard {
 }
 
 impl ScoreCard {
+    /// The grading convention for every rate on this type: `num / den`,
+    /// defaulting to 1.0 on an empty denominator (nothing to miss means
+    /// nothing was missed). Public so derived summaries (e.g. the corpus
+    /// witness record) grade by the identical rule.
+    #[must_use]
+    pub fn ratio(num: usize, den: usize) -> f64 {
+        if den == 0 {
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+
     /// `TP / (TP + FN)`; 1.0 when nothing is exposable.
     #[must_use]
     pub fn recall(&self) -> f64 {
-        ratio(self.true_pos, self.true_pos + self.false_neg)
+        ScoreCard::ratio(self.true_pos, self.true_pos + self.false_neg)
     }
 
     /// `TP / (TP + FP)`; 1.0 when nothing was reported exposed.
     #[must_use]
     pub fn precision(&self) -> f64 {
-        ratio(self.true_pos, self.true_pos + self.false_pos)
+        ScoreCard::ratio(self.true_pos, self.true_pos + self.false_pos)
     }
 
     /// Fraction of graded sites with an exact three-way match.
     #[must_use]
     pub fn exact_rate(&self) -> f64 {
-        ratio(self.exact, self.graded)
+        ScoreCard::ratio(self.exact, self.graded)
     }
 
     /// True when every graded site matches the oracle exactly.
     #[must_use]
     pub fn is_perfect(&self) -> bool {
         self.graded > 0 && self.exact == self.graded && self.mismatches.is_empty()
-    }
-}
-
-fn ratio(num: usize, den: usize) -> f64 {
-    if den == 0 {
-        1.0
-    } else {
-        num as f64 / den as f64
     }
 }
 

@@ -1,0 +1,60 @@
+//! The corpus workflow, end to end: forge a suite into an on-disk store,
+//! reload it as a fresh object, replay it byte-identically, record
+//! witnesses, detect a simulated regression with `diff`, and grow the
+//! suite without re-forging what exists.
+//!
+//! Run with: `cargo run --release --example corpus`
+
+use diode::corpus::{CorpusDiff, CorpusStore};
+use diode::engine::ExecutionMode;
+use diode::synth::SynthConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join(format!("diode-corpus-example-{}", std::process::id()));
+    let store = CorpusStore::open(&root)?;
+    println!("corpus root: {}\n", root.display());
+
+    // Forge and persist a small suite. The directory name is the suite's
+    // content hash, so re-saving identical content is a no-op.
+    let cfg = SynthConfig {
+        apps: 3,
+        ..SynthConfig::default()
+    };
+    let saved = store.forge_and_save(&cfg)?;
+    println!(
+        "saved   {} ({} apps, {} sites)",
+        saved.id(),
+        cfg.apps,
+        saved.suite.total_sites()
+    );
+
+    // Replay it (this could be a different process — only the directory
+    // contents matter) and record the findings as the baseline.
+    let (report, card) = saved.replay(ExecutionMode::default());
+    println!("replay  {card}");
+    store.record_witnesses(&saved.witnesses("baseline", &report))?;
+
+    // A later rerun diffs clean against the recorded baseline...
+    let loaded = store.load(saved.id())?;
+    let (rerun, _) = loaded.replay(ExecutionMode::default());
+    let baseline = store.load_witnesses(saved.id(), "baseline")?;
+    let diff = CorpusDiff::between(&baseline, &loaded.witnesses("rerun", &rerun));
+    println!(
+        "diff    baseline vs rerun: {}",
+        if diff.is_clean() { "clean" } else { "DRIFT" }
+    );
+
+    // ...and the suite grows incrementally: only the new apps are forged,
+    // the stored ones are reused byte-for-byte.
+    let grown = store.grow(saved.id(), 2)?;
+    let (_, grown_card) = grown.replay(ExecutionMode::default());
+    println!(
+        "grown   {} ({} apps, {} sites): {grown_card}",
+        grown.id(),
+        grown.suite.apps.len(),
+        grown.suite.total_sites()
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+    Ok(())
+}

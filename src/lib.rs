@@ -17,6 +17,7 @@
 //! | [`fuzz`] | random and taint-directed fuzzing baselines |
 //! | [`engine`] | campaign-scale orchestration: work-stealing parallel scheduler + shared solver-query cache |
 //! | [`synth`] | ground-truth scenario forge: synthesized benchmark suites + recall/precision oracle |
+//! | [`corpus`] | persistent on-disk corpus store: save, replay, diff, and incremental growth |
 //!
 //! Start with the `quickstart` example (or `campaign` for batch
 //! analysis), or regenerate the paper's tables — analyses fan out over
@@ -63,6 +64,7 @@
 
 pub use diode_apps as apps;
 pub use diode_core as core;
+pub use diode_corpus as corpus;
 pub use diode_engine as engine;
 pub use diode_format as format;
 pub use diode_fuzz as fuzz;
