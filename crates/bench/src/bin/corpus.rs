@@ -106,15 +106,24 @@ fn scorecard_json(card: &ScoreCard) -> Json {
         .field("perfect", card.is_perfect())
 }
 
+/// Replays a suite — priming the snapshot cache from recorded
+/// `snapshots.json` metadata when present, so candidate testing skips
+/// straight to the recorded divergent suffixes — then records the run's
+/// witnesses and refreshed snapshot metadata.
 fn replay_and_record(
     store: &CorpusStore,
     suite: &ReplayableSuite,
     label: &str,
     backend: AnalysisBackend,
 ) -> Result<(CampaignReport, ScoreCard, WitnessSet), CorpusError> {
-    let (report, card) = suite.replay(backend.execution_mode());
+    let recorded = store.load_snapshots(suite.id())?;
+    let (report, card) = match &recorded {
+        Some(meta) => suite.replay_primed(backend.execution_mode(), meta),
+        None => suite.replay(backend.execution_mode()),
+    };
     let witnesses = suite.witnesses(label, &report);
     store.record_witnesses(&witnesses)?;
+    store.record_snapshots(&suite.snapshot_meta(&report))?;
     Ok((report, card, witnesses))
 }
 
@@ -192,7 +201,8 @@ fn replay(
     // Load the comparison run before recording anything, so a recording
     // mishap can never make a run compare against itself.
     let baseline = store.load_witnesses(suite.id(), &against)?;
-    let (_, card, witnesses) = replay_and_record(store, &suite, &label, backend)?;
+    let (report, card, witnesses) = replay_and_record(store, &suite, &label, backend)?;
+    let snapstats = report.snapshots;
     let scorecard_identical = baseline.scorecard == witnesses.scorecard;
     let findings_identical = baseline.fingerprint() == witnesses.fingerprint();
     let identical = scorecard_identical && findings_identical;
@@ -203,6 +213,7 @@ fn replay(
             .field("label", label.clone())
             .field("against", against.clone())
             .field("scorecard", scorecard_json(&card))
+            .field("snapshots", diode_bench::jsonout::snapshot_json(snapstats))
             .field("scorecard_identical", scorecard_identical)
             .field("findings_identical", findings_identical)
             .field("identical", identical);

@@ -13,9 +13,16 @@
 //!   the gate additionally demands exact three-way classification (the
 //!   historical perfect-recall behaviour); below 1.0 only recall is
 //!   gated. The achieved recall is printed either way.
+//! * `--sites N`         pin planted sites per app (min = max = N)
 //! * `--sweep`           scaling sweep: run the same suite at 1/2/4/8
-//!   worker threads and write a `BENCH_engine.json` scaling-curve
-//!   artifact (path via `--sweep-out`)
+//!   worker threads **and** across 10/25/50-app suite sizes, writing
+//!   both axes into the `BENCH_engine.json` artifact (path via
+//!   `--sweep-out`)
+//! * `--bench-replay`    prefix-snapshot benchmark: run the same suite
+//!   with snapshots off and on, require byte-identical reports, and
+//!   emit the wall-time speedup into the `BENCH_engine.json` artifact
+//! * `--no-snapshots`    disable prefix-snapshot re-execution for the
+//!   plain (non-artifact) run
 //! * `--json`            machine-readable output (throughput, cache
 //!   hit/miss counters, recall/precision) in the BENCH json schema
 //! * `--sequential`      single-threaded reference path (also
@@ -23,27 +30,31 @@
 //! * `--threads N`       pin the engine's worker count
 //!
 //! Exits non-zero when the recall gate fails — this is the CI
-//! `synth-smoke` gate.
+//! `synth-smoke` gate — or when `--bench-replay` finds the snapshot-on
+//! report diverging from the snapshot-off report.
 
 use std::time::Instant;
 
-use diode_bench::jsonout::{cache_json, counts_json, ms, score_json, Json};
+use diode_bench::jsonout::{cache_json, counts_json, ms, score_json, snapshot_json, Json};
 use diode_bench::{flag_f64, flag_num, flag_str, render_synth, synth_rows, AnalysisBackend};
 use diode_engine::{CampaignReport, CampaignSpec, ExecutionMode};
 use diode_synth::{forge, score, ForgedSuite, ScoreCard, SynthConfig};
 
 /// Worker counts of the `--sweep` scaling curve.
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Suite sizes of the `--sweep` size curve (the second axis).
+const SWEEP_APPS: [usize; 3] = [10, 25, 50];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let sweep = args.iter().any(|a| a == "--sweep");
+    let bench_replay = args.iter().any(|a| a == "--bench-replay");
     let backend = AnalysisBackend::from_args(&args);
-    if sweep && backend != (AnalysisBackend::Engine { threads: None }) {
+    if (sweep || bench_replay) && backend != (AnalysisBackend::Engine { threads: None }) {
         eprintln!(
-            "--sweep pins its own 1/2/4/8-thread ladder; drop --sequential/--threads \
-             (and DIODE_SEQUENTIAL) when sweeping"
+            "--sweep/--bench-replay pin their own execution ladder; drop \
+             --sequential/--threads (and DIODE_SEQUENTIAL) when benchmarking"
         );
         std::process::exit(2);
     }
@@ -67,17 +78,26 @@ fn main() {
     if let Some(k) = flag_num(&args, "--seeds-per-app") {
         cfg.seeds_per_app = (k as usize).max(1);
     }
+    if let Some(n) = flag_num(&args, "--sites") {
+        let n = (n as usize).max(1);
+        cfg.min_sites = n;
+        cfg.max_sites = n;
+    }
+    if let Some(w) = flag_num(&args, "--site-work") {
+        cfg.site_work = w as u32;
+    }
 
     let forge_start = Instant::now();
     let suite = forge(&cfg);
     let forge_time = forge_start.elapsed();
 
-    if sweep {
-        run_sweep(&cfg, &suite, &args, json, min_recall);
+    if sweep || bench_replay {
+        run_artifact(&cfg, &suite, &args, json, min_recall, sweep, bench_replay);
         return;
     }
 
-    let (report, card) = run_campaign(&suite, backend.execution_mode());
+    let snapshots = !args.iter().any(|a| a == "--no-snapshots");
+    let (report, card) = run_campaign(&suite, backend.execution_mode(), snapshots);
     let rows = synth_rows(&report, &suite.oracle);
 
     let wall_s = report.wall_time.as_secs_f64().max(1e-9);
@@ -101,6 +121,7 @@ fn main() {
                     .field("units_per_sec", units as f64 / wall_s),
             )
             .field("cache", cache_json(report.cache))
+            .field("snapshots", snapshot_json(report.snapshots))
             .field("counts", counts_json(report.counts()))
             .field("oracle", counts_json(suite.oracle.expected_counts()))
             .field("score", score_json(&card))
@@ -142,6 +163,15 @@ fn main() {
                 stats.entries
             );
         }
+        if let Some(stats) = report.snapshots {
+            println!(
+                "Prefix snapshots: {} resumed / {} candidate runs ({} captured, {} held)",
+                stats.resumes,
+                stats.hits + stats.misses,
+                stats.captures,
+                stats.entries
+            );
+        }
         println!("Score vs oracle: {card}");
         for m in &card.mismatches {
             println!("  MISMATCH {m}");
@@ -165,15 +195,23 @@ fn config_json(cfg: &SynthConfig) -> Json {
     Json::obj()
         .field("apps", cfg.apps)
         .field("depth", cfg.branch_depth)
+        .field("sites_min", cfg.min_sites)
+        .field("sites_max", cfg.max_sites)
+        .field("site_work", cfg.site_work)
         .field("seeds_per_app", cfg.seeds_per_app)
         .field("rng_seed", cfg.rng_seed)
 }
 
-fn run_campaign(suite: &ForgedSuite, mode: ExecutionMode) -> (CampaignReport, ScoreCard) {
-    let spec = CampaignSpec {
+fn run_campaign(
+    suite: &ForgedSuite,
+    mode: ExecutionMode,
+    snapshots: bool,
+) -> (CampaignReport, ScoreCard) {
+    let mut spec = CampaignSpec {
         mode,
         ..CampaignSpec::from_corpus(suite)
     };
+    spec.config.prefix_snapshots = snapshots;
     let report = spec.run();
     let card = score(&report, &suite.oracle);
     (report, card)
@@ -192,67 +230,133 @@ fn gate_passes(card: &ScoreCard, min_recall: f64) -> bool {
     }
 }
 
-/// `--sweep`: the same forged suite at 1/2/4/8 worker threads, emitting
-/// the scaling-curve artifact for the BENCH trajectory.
-fn run_sweep(cfg: &SynthConfig, suite: &ForgedSuite, args: &[String], json: bool, min_recall: f64) {
+/// `--sweep`/`--bench-replay`: assembles the `BENCH_engine.json`
+/// artifact. `--sweep` contributes the 1/2/4/8-thread scaling curve
+/// (`runs`) and the 10/25/50-app suite-size curve (`size_runs`);
+/// `--bench-replay` contributes the prefix-snapshot off/on comparison
+/// (`replay`), exiting non-zero unless the two reports are
+/// byte-identical. Both sections gate on recall.
+fn run_artifact(
+    cfg: &SynthConfig,
+    suite: &ForgedSuite,
+    args: &[String],
+    json: bool,
+    min_recall: f64,
+    sweep: bool,
+    bench_replay: bool,
+) {
     let out_path = flag_str(args, "--sweep-out").unwrap_or_else(|| "BENCH_engine.json".to_string());
     let sites = suite.total_sites();
-    let mut runs: Vec<Json> = Vec::new();
-    let mut baseline_s = 0.0f64;
     let mut all_passed = true;
-    if !json {
-        println!(
-            "Scaling sweep: {} apps, {} sites, depth {}, rng seed {:#x}",
-            cfg.apps, sites, cfg.branch_depth, cfg.rng_seed
-        );
-    }
-    for (i, &threads) in SWEEP_THREADS.iter().enumerate() {
-        let (report, card) = run_campaign(
-            suite,
-            ExecutionMode::Parallel {
-                threads: Some(threads),
-            },
-        );
-        let wall_s = report.wall_time.as_secs_f64().max(1e-9);
-        if i == 0 {
-            baseline_s = wall_s;
-        }
-        let speedup = baseline_s / wall_s;
-        let passed = gate_passes(&card, min_recall);
-        all_passed &= passed;
-        if !json {
-            let cache = report.cache.map_or_else(String::new, |c| {
-                format!(", cache {}h/{}m", c.hits, c.misses)
-            });
-            println!(
-                "  {threads} thread(s): {:8.1}ms  {:7.0} sites/s  speedup {speedup:4.2}x  \
-                 recall {:.3}{cache}{}",
-                wall_s * 1e3,
-                sites as f64 / wall_s,
-                card.recall(),
-                if passed { "" } else { "  GATE FAIL" },
-            );
-        }
-        runs.push(
-            Json::obj()
-                .field("threads", threads)
-                .field("wall_ms", ms(report.wall_time))
-                .field("sites_per_sec", sites as f64 / wall_s)
-                .field("units_per_sec", report.units.len() as f64 / wall_s)
-                .field("speedup", speedup)
-                .field("jobs", report.jobs)
-                .field("cache", cache_json(report.cache))
-                .field("recall", card.recall())
-                .field("exact_rate", card.exact_rate())
-                .field("gate_passed", passed),
-        );
-    }
-    let artifact = Json::obj()
+    let mut artifact = Json::obj()
         .field("table", "bench_engine")
         .field("config", config_json(cfg))
         .field("sites", sites)
-        .field("min_recall", min_recall)
-        .field("runs", Json::Arr(runs));
+        .field("min_recall", min_recall);
+
+    if sweep {
+        let mut runs: Vec<Json> = Vec::new();
+        let mut baseline_s = 0.0f64;
+        if !json {
+            println!(
+                "Scaling sweep: {} apps, {} sites, depth {}, rng seed {:#x}",
+                cfg.apps, sites, cfg.branch_depth, cfg.rng_seed
+            );
+        }
+        for (i, &threads) in SWEEP_THREADS.iter().enumerate() {
+            let (report, card) = run_campaign(
+                suite,
+                ExecutionMode::Parallel {
+                    threads: Some(threads),
+                },
+                true,
+            );
+            let wall_s = report.wall_time.as_secs_f64().max(1e-9);
+            if i == 0 {
+                baseline_s = wall_s;
+            }
+            let speedup = baseline_s / wall_s;
+            let passed = gate_passes(&card, min_recall);
+            all_passed &= passed;
+            if !json {
+                let cache = report.cache.map_or_else(String::new, |c| {
+                    format!(", cache {}h/{}m", c.hits, c.misses)
+                });
+                println!(
+                    "  {threads} thread(s): {:8.1}ms  {:7.0} sites/s  speedup {speedup:4.2}x  \
+                     recall {:.3}{cache}{}",
+                    wall_s * 1e3,
+                    sites as f64 / wall_s,
+                    card.recall(),
+                    if passed { "" } else { "  GATE FAIL" },
+                );
+            }
+            runs.push(
+                Json::obj()
+                    .field("threads", threads)
+                    .field("wall_ms", ms(report.wall_time))
+                    .field("sites_per_sec", sites as f64 / wall_s)
+                    .field("units_per_sec", report.units.len() as f64 / wall_s)
+                    .field("speedup", speedup)
+                    .field("jobs", report.jobs)
+                    .field("cache", cache_json(report.cache))
+                    .field("snapshots", snapshot_json(report.snapshots))
+                    .field("recall", card.recall())
+                    .field("exact_rate", card.exact_rate())
+                    .field("gate_passed", passed),
+            );
+        }
+        artifact = artifact.field("runs", Json::Arr(runs));
+
+        // Second axis: suite size at the full worker complement. Each
+        // size is forged from the same config, so the 25-app row re-uses
+        // the sweep suite's apps (per-app RNG streams make prefixes of a
+        // larger forge identical to a smaller one).
+        let mut size_runs: Vec<Json> = Vec::new();
+        for &apps in &SWEEP_APPS {
+            let size_cfg = cfg.clone().with_apps(apps);
+            let size_suite = forge(&size_cfg);
+            let n_sites = size_suite.total_sites();
+            let (report, card) =
+                run_campaign(&size_suite, ExecutionMode::Parallel { threads: None }, true);
+            let wall_s = report.wall_time.as_secs_f64().max(1e-9);
+            let passed = gate_passes(&card, min_recall);
+            all_passed &= passed;
+            if !json {
+                println!(
+                    "  {apps:3} apps ({n_sites:3} sites): {:8.1}ms  {:7.0} sites/s  \
+                     recall {:.3}{}",
+                    wall_s * 1e3,
+                    n_sites as f64 / wall_s,
+                    card.recall(),
+                    if passed { "" } else { "  GATE FAIL" },
+                );
+            }
+            size_runs.push(
+                Json::obj()
+                    .field("apps", apps)
+                    .field("sites", n_sites)
+                    .field("threads", report.threads)
+                    .field("wall_ms", ms(report.wall_time))
+                    .field("sites_per_sec", n_sites as f64 / wall_s)
+                    .field("units_per_sec", report.units.len() as f64 / wall_s)
+                    .field("jobs", report.jobs)
+                    .field("cache", cache_json(report.cache))
+                    .field("snapshots", snapshot_json(report.snapshots))
+                    .field("recall", card.recall())
+                    .field("exact_rate", card.exact_rate())
+                    .field("gate_passed", passed),
+            );
+        }
+        artifact = artifact.field("size_runs", Json::Arr(size_runs));
+    }
+
+    if bench_replay {
+        let (section, passed) = run_replay_bench(cfg, suite, json, min_recall);
+        all_passed &= passed;
+        artifact = artifact.field("replay", section);
+    }
+
     let text = artifact.to_string();
     if let Err(e) = std::fs::write(&out_path, format!("{text}\n")) {
         eprintln!("synth_campaign: cannot write {out_path}: {e}");
@@ -261,9 +365,74 @@ fn run_sweep(cfg: &SynthConfig, suite: &ForgedSuite, args: &[String], json: bool
     if json {
         println!("{text}");
     } else {
-        println!("Wrote scaling curve to {out_path}");
+        println!("Wrote benchmark artifact to {out_path}");
     }
     if !all_passed {
         std::process::exit(1);
     }
+}
+
+/// The `--bench-replay` measurement: the same suite with prefix
+/// snapshots off, then on, best of two runs each (first pair doubles as
+/// warm-up), requiring byte-identical reports and a perfect recall gate
+/// on both paths.
+fn run_replay_bench(
+    cfg: &SynthConfig,
+    suite: &ForgedSuite,
+    json: bool,
+    min_recall: f64,
+) -> (Json, bool) {
+    let mode = ExecutionMode::Parallel { threads: None };
+    let mut walls = [f64::INFINITY; 2]; // [off, on]
+    let mut last: Vec<Option<(CampaignReport, ScoreCard)>> = vec![None, None];
+    for round in 0..2 {
+        for (i, &snapshots) in [false, true].iter().enumerate() {
+            let (report, card) = run_campaign(suite, mode, snapshots);
+            walls[i] = walls[i].min(report.wall_time.as_secs_f64().max(1e-9));
+            if round == 1 || last[i].is_none() {
+                last[i] = Some((report, card));
+            }
+        }
+    }
+    let (off_report, off_card) = last[0].take().expect("off run recorded");
+    let (on_report, on_card) = last[1].take().expect("on run recorded");
+    let identical = off_report.outcome_fingerprint() == on_report.outcome_fingerprint();
+    let speedup = walls[0] / walls[1];
+    let gates = gate_passes(&off_card, min_recall) && gate_passes(&on_card, min_recall);
+    if !identical {
+        eprintln!(
+            "--bench-replay: snapshot-on report DIVERGES from the snapshot-off report — \
+             the determinism contract is broken"
+        );
+    }
+    if !json {
+        println!(
+            "Replay bench ({} apps, depth {}, {} sites): off {:.1}ms, on {:.1}ms, \
+             speedup {speedup:.2}x, identical: {identical}",
+            cfg.apps,
+            cfg.branch_depth,
+            suite.total_sites(),
+            walls[0] * 1e3,
+            walls[1] * 1e3,
+        );
+        if let Some(stats) = on_report.snapshots {
+            println!(
+                "  snapshots: {} resumed / {} candidate runs ({} captured)",
+                stats.resumes,
+                stats.hits + stats.misses,
+                stats.captures
+            );
+        }
+    }
+    let section = Json::obj()
+        .field("apps", cfg.apps)
+        .field("depth", cfg.branch_depth)
+        .field("sites", suite.total_sites())
+        .field("off_ms", walls[0] * 1e3)
+        .field("on_ms", walls[1] * 1e3)
+        .field("speedup", speedup)
+        .field("identical", identical)
+        .field("snapshots", snapshot_json(on_report.snapshots))
+        .field("recall", on_card.recall());
+    (section, identical && gates)
 }

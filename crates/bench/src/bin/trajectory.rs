@@ -1,0 +1,217 @@
+//! The BENCH trajectory: a committed, per-commit record of the engine's
+//! benchmark curve, with a regression gate on the prefix-snapshot
+//! speedup.
+//!
+//! Reads the `BENCH_engine.json` artifact that `synth_campaign --sweep
+//! --bench-replay` wrote, appends one record to `BENCH_trajectory.json`
+//! (creating it if absent), and **fails** when
+//!
+//! * the snapshot-on configuration is slower than snapshot-off
+//!   (`replay.speedup < --min-speedup`, default 1.0), or
+//! * the snapshot-on wall time regressed by more than `--max-regress`
+//!   (default 0.15 = 15%) against the previous record's.
+//!
+//! Usage: `trajectory [--bench BENCH_engine.json]
+//! [--out BENCH_trajectory.json] [--commit SHA] [--date YYYY-MM-DD]
+//! [--min-speedup F] [--max-regress F] [--json]`
+//!
+//! `--commit` defaults to `$GITHUB_SHA`; `--date` to today (UTC). CI
+//! uploads the updated trajectory as an artifact on pull requests and
+//! commits it back to the repository on `main`, so the curve across
+//! commits is a versioned fact.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use diode_bench::jsonout::Json;
+use diode_bench::{flag_f64, flag_str};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let bench_path = flag_str(&args, "--bench").unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let out_path = flag_str(&args, "--out").unwrap_or_else(|| "BENCH_trajectory.json".to_string());
+    let min_speedup = flag_f64(&args, "--min-speedup").unwrap_or(1.0);
+    let max_regress = flag_f64(&args, "--max-regress").unwrap_or(0.15);
+    let commit = flag_str(&args, "--commit")
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "unknown".to_string());
+    let date = flag_str(&args, "--date").unwrap_or_else(today_utc);
+
+    let bench_text = match std::fs::read_to_string(&bench_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trajectory: cannot read {bench_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bench = match Json::parse(&bench_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("trajectory: {bench_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let record = build_record(&commit, &date, &bench);
+    let replay_on_ms = bench
+        .get("replay")
+        .and_then(|r| r.get("on_ms"))
+        .and_then(Json::as_f64);
+    let replay_speedup = bench
+        .get("replay")
+        .and_then(|r| r.get("speedup"))
+        .and_then(Json::as_f64);
+    let replay_identical = bench
+        .get("replay")
+        .and_then(|r| r.get("identical"))
+        .and_then(Json::as_bool);
+
+    // Previous trajectory (absent file = empty trajectory).
+    let mut records: Vec<Json> = match std::fs::read_to_string(&out_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(v) => v
+                .get("records")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::to_vec)
+                .unwrap_or_default(),
+            Err(e) => {
+                eprintln!("trajectory: {out_path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let prev_on_ms = records
+        .iter()
+        .rev()
+        .filter_map(|r| r.get("replay").and_then(|x| x.get("on_ms")))
+        .find_map(Json::as_f64);
+
+    // Gates.
+    let mut failures: Vec<String> = Vec::new();
+    match (replay_speedup, replay_identical) {
+        (Some(speedup), identical) => {
+            if identical == Some(false) {
+                failures
+                    .push("snapshot-on report diverged from the snapshot-off report".to_string());
+            }
+            if speedup < min_speedup {
+                failures.push(format!(
+                    "snapshot speedup {speedup:.3}x below the {min_speedup:.2}x gate \
+                     (snapshot-on must not be slower than snapshot-off)"
+                ));
+            }
+        }
+        (None, _) => failures.push(format!(
+            "{bench_path} has no replay section — run synth_campaign with --bench-replay"
+        )),
+    }
+    if let (Some(on), Some(prev)) = (replay_on_ms, prev_on_ms) {
+        let limit = prev * (1.0 + max_regress);
+        if on > limit {
+            failures.push(format!(
+                "snapshot-on wall time {on:.1}ms regressed more than {:.0}% over the previous \
+                 main record ({prev:.1}ms, limit {limit:.1}ms)",
+                max_regress * 100.0
+            ));
+        }
+    }
+
+    records.push(record);
+    let trajectory = Json::obj()
+        .field("table", "bench_trajectory")
+        .field("records", Json::Arr(records.clone()));
+    if let Err(e) = std::fs::write(&out_path, format!("{trajectory}\n")) {
+        eprintln!("trajectory: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+
+    if json {
+        let out = Json::obj()
+            .field("table", "trajectory_gate")
+            .field("commit", commit)
+            .field("date", date)
+            .field("records", records.len())
+            .field("speedup", replay_speedup)
+            .field("previous_on_ms", prev_on_ms)
+            .field("min_speedup", min_speedup)
+            .field("max_regress", max_regress)
+            .field(
+                "failures",
+                failures
+                    .iter()
+                    .map(|f| Json::Str(f.clone()))
+                    .collect::<Vec<_>>(),
+            )
+            .field("passed", failures.is_empty());
+        println!("{out}");
+    } else {
+        println!(
+            "trajectory: appended record #{} for {commit} ({date}) to {out_path}",
+            records.len()
+        );
+        if let Some(s) = replay_speedup {
+            let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |v| format!("{v:.1}ms"));
+            println!(
+                "  snapshot speedup {s:.2}x (gate ≥ {min_speedup:.2}x); on-wall {}, \
+                 previous {} (regress limit {:.0}%)",
+                fmt(replay_on_ms),
+                fmt(prev_on_ms),
+                max_regress * 100.0
+            );
+        }
+        for f in &failures {
+            println!("  GATE FAIL: {f}");
+        }
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// One trajectory record: commit + date, the benchmark config, per-config
+/// wall times from both sweep axes, and the snapshot-replay comparison.
+fn build_record(commit: &str, date: &str, bench: &Json) -> Json {
+    let axis = |key: &str, fields: &[&str]| -> Json {
+        match bench.get(key).and_then(Json::as_arr) {
+            None => Json::Null,
+            Some(runs) => Json::Arr(
+                runs.iter()
+                    .map(|r| {
+                        fields.iter().fold(Json::obj(), |o, f| {
+                            o.field(f, r.get(f).cloned().unwrap_or(Json::Null))
+                        })
+                    })
+                    .collect(),
+            ),
+        }
+    };
+    Json::obj()
+        .field("commit", commit)
+        .field("date", date)
+        .field("config", bench.get("config").cloned().unwrap_or(Json::Null))
+        .field("threads", axis("runs", &["threads", "wall_ms", "speedup"]))
+        .field("sizes", axis("size_runs", &["apps", "sites", "wall_ms"]))
+        .field("replay", bench.get("replay").cloned().unwrap_or(Json::Null))
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, via the standard civil-from-days
+/// algorithm (no external time crates in this workspace).
+fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

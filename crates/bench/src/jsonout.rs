@@ -30,6 +30,22 @@ pub fn cache_json(stats: Option<diode_solver::CacheStats>) -> Json {
     }
 }
 
+/// Serializes prefix-snapshot counters in the shared BENCH shape.
+#[must_use]
+pub fn snapshot_json(stats: Option<diode_core::SnapshotStats>) -> Json {
+    match stats {
+        None => Json::Null,
+        Some(s) => Json::obj()
+            .field("hits", s.hits)
+            .field("misses", s.misses)
+            .field("resumes", s.resumes)
+            .field("captures", s.captures)
+            .field("extract_resumes", s.extract_resumes)
+            .field("entries", s.entries)
+            .field("resume_rate", s.resume_rate()),
+    }
+}
+
 /// Serializes `(total, exposed, unsat, prevented)` counts.
 #[must_use]
 pub fn counts_json(c: (usize, usize, usize, usize)) -> Json {

@@ -252,6 +252,11 @@ pub fn table1_rows(apps: &[App], config: &DiodeConfig, backend: AnalysisBackend)
         // Respect the caller's cache decision (config.query_cache); an
         // implicit campaign cache would make backend timings incomparable.
         shared_cache: false,
+        // Same reasoning for snapshots: honor config.prefix_snapshots
+        // per-site (both backends then behave identically) without an
+        // engine-only shared cache skewing the comparison.
+        shared_snapshots: false,
+        snapshot_cache: None,
         // Table 1 is pure classification; re-validation belongs to the
         // campaign API's bug-report consumers.
         verify_exposed: false,

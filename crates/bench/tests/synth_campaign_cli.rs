@@ -71,3 +71,115 @@ fn sweep_writes_the_scaling_artifact() {
     assert!(artifact.contains("\"cache\":{\"hits\":"), "{artifact}");
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn sweep_emits_the_suite_size_axis() {
+    let path = std::env::temp_dir().join(format!("BENCH_sizes-test-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let (ok, _) = run(&[
+        "--apps",
+        "2",
+        "--sweep",
+        "--sweep-out",
+        path.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok);
+    let artifact = std::fs::read_to_string(&path).expect("artifact written");
+    assert!(artifact.contains("\"size_runs\":["), "{artifact}");
+    for apps in ["\"apps\":10", "\"apps\":25", "\"apps\":50"] {
+        assert!(artifact.contains(apps), "missing {apps}:\n{artifact}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bench_replay_requires_identity_and_reports_speedup() {
+    let path = std::env::temp_dir().join(format!("BENCH_replay-test-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let (ok, _) = run(&[
+        "--apps",
+        "3",
+        "--sites",
+        "2",
+        "--bench-replay",
+        "--sweep-out",
+        path.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok, "byte-identity or recall gate failed");
+    let artifact = std::fs::read_to_string(&path).expect("artifact written");
+    for needle in [
+        "\"replay\":{",
+        "\"off_ms\":",
+        "\"on_ms\":",
+        "\"speedup\":",
+        "\"identical\":true",
+        "\"snapshots\":{\"hits\":",
+        "\"resumes\":",
+        "\"extract_resumes\":",
+    ] {
+        assert!(artifact.contains(needle), "missing {needle}:\n{artifact}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trajectory_appends_records_and_gates_on_the_replay_speedup() {
+    let dir = std::env::temp_dir().join(format!("diode-traj-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("BENCH_engine.json");
+    let traj = dir.join("BENCH_trajectory.json");
+    // A tiny real replay artifact to feed the trajectory gate.
+    let (ok, _) = run(&[
+        "--apps",
+        "3",
+        "--sites",
+        "2",
+        "--bench-replay",
+        "--sweep-out",
+        bench.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok);
+    let trajectory = |extra: &[&str]| {
+        let mut args = vec![
+            "--bench",
+            bench.to_str().unwrap(),
+            "--out",
+            traj.to_str().unwrap(),
+            "--commit",
+            "test-sha",
+            "--date",
+            "2026-07-29",
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_trajectory"))
+            .args(&args)
+            .output()
+            .expect("trajectory runs");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+        )
+    };
+    // Record #1: no previous record, a permissive speedup gate passes.
+    let (ok, out) = trajectory(&["--min-speedup", "0.0"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"records\":1"), "{out}");
+    // Record #2 gates against record #1's on-wall; identical numbers are
+    // within any regression budget.
+    let (ok, out) = trajectory(&["--min-speedup", "0.0"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"records\":2"), "{out}");
+    // An impossible speedup gate fails (exit 1) but still appends.
+    let (ok, out) = trajectory(&["--min-speedup", "1000.0"]);
+    assert!(!ok, "{out}");
+    assert!(out.contains("\"passed\":false"), "{out}");
+    let text = std::fs::read_to_string(&traj).unwrap();
+    assert!(text.contains("\"table\":\"bench_trajectory\""));
+    assert!(text.contains("\"commit\":\"test-sha\""));
+    std::fs::remove_dir_all(&dir).ok();
+}

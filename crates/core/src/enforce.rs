@@ -13,16 +13,19 @@
 //!    becomes unsatisfiable, or the candidate satisfies all of φ without
 //!    triggering (sanity checks *prevent* the overflow).
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use diode_format::FormatDesc;
-use diode_interp::MachineConfig;
+use diode_format::{Fixup, FormatDesc};
+use diode_interp::{run, run_and_capture, run_from, run_probed, Concrete, MachineConfig, Symbolic};
 use diode_lang::{Label, Program};
 use diode_solver::{solve_with, SolveResult, SolverCache, SolverConfig};
 use diode_symbolic::SymBool;
 
-use crate::pipeline::{extract, generate_input, test_candidate, Extraction, TargetSite};
+use crate::pipeline::{classify_run, extract, extract_resumed, generate_input, CandidateResult};
+use crate::pipeline::{Extraction, TargetSite};
+use crate::snapshot::{SiteSlot, TestPlan};
 
 /// Why the enforcement loop concluded that no overflow-triggering input
 /// exists (within budget).
@@ -85,6 +88,25 @@ pub struct Bug {
     pub constraint: SymBool,
 }
 
+/// Prefix-snapshot telemetry for one site's enforcement loop.
+#[derive(Debug, Clone)]
+pub struct SiteSnapshotInfo {
+    /// Step count of the statement performing the first divergent-byte
+    /// read on the candidate path (`None`: never probed, or the path
+    /// reads no divergent byte).
+    pub first_divergent_step: Option<u64>,
+    /// Sorted input offsets that may differ between candidate inputs
+    /// (β's bytes, φ's bytes, checksum-fixup destinations).
+    pub divergent_bytes: Vec<u32>,
+    /// Candidate inputs executed for this site.
+    pub candidates: u64,
+    /// Candidate executions resumed from the prefix snapshot.
+    pub resumed: u64,
+    /// The stage-2 extraction itself resumed from the prefix snapshot
+    /// (warmed campaigns only).
+    pub extract_resumed: bool,
+}
+
 /// A full per-site analysis report.
 #[derive(Debug)]
 pub struct SiteReport {
@@ -105,6 +127,9 @@ pub struct SiteReport {
     pub discovery_time: Duration,
     /// The extraction (target expression, β, φ), for further experiments.
     pub extraction: Option<Extraction>,
+    /// Prefix-snapshot telemetry (`None` when snapshots are disabled or
+    /// the site was never enforced).
+    pub snapshot: Option<SiteSnapshotInfo>,
 }
 
 /// Tunables for the site analysis.
@@ -123,6 +148,14 @@ pub struct DiodeConfig {
     /// across all workers so repeated φ′∧β queries are answered without
     /// re-blasting. `None` keeps the original solve-from-scratch path.
     pub query_cache: Option<Arc<SolverCache>>,
+    /// Prefix-snapshot re-execution (on by default): the enforcement
+    /// loop's first candidate run locates the first read of a
+    /// solver-patchable byte, the second captures the machine state at
+    /// that boundary, and every later candidate resumes from it —
+    /// replaying only the divergent suffix. Off preserves the original
+    /// full-re-execution path for differential testing; results are
+    /// byte-identical either way.
+    pub prefix_snapshots: bool,
 }
 
 impl Default for DiodeConfig {
@@ -132,6 +165,7 @@ impl Default for DiodeConfig {
             solver: SolverConfig::default(),
             max_enforcements: 32,
             query_cache: None,
+            prefix_snapshots: true,
         }
     }
 }
@@ -155,6 +189,155 @@ impl DiodeConfig {
     }
 }
 
+/// The sorted input offsets that may differ between candidate inputs for
+/// one site: every byte the solver can patch (β's and φ's variables)
+/// plus every byte reconstruction rewrites (checksum destinations). The
+/// first read of any of these is where candidate executions can diverge
+/// — and therefore the prefix-snapshot boundary.
+#[must_use]
+fn divergent_bytes(extraction: &Extraction, format: &FormatDesc) -> Vec<u32> {
+    let mut set: BTreeSet<u32> = extraction.beta_bytes.iter().copied().collect();
+    for cond in &extraction.phi {
+        set.extend(cond.constraint.input_bytes());
+    }
+    for fixup in format.fixups() {
+        let Fixup::Crc32 { dest, .. } = fixup;
+        set.extend(*dest..dest + 4);
+    }
+    set.into_iter().collect()
+}
+
+/// Runs every candidate input of one site's enforcement loop, resuming
+/// from the site's prefix snapshot when one is available (and building it
+/// when not: the first candidate probes for the divergence point, the
+/// second captures the snapshot en route). Without a slot this is plain
+/// [`test_candidate`](crate::test_candidate) behaviour.
+struct CandidateTester<'a> {
+    program: &'a Program,
+    label: Label,
+    /// The candidate-run config (branch recording off, as always).
+    machine: MachineConfig,
+    /// The capture config: the caller's machine config verbatim, so a
+    /// snapshot captured here is also valid for extraction resumes
+    /// (which need the prefix's branch observations).
+    capture_machine: MachineConfig,
+    divergent: Vec<u32>,
+    slot: Option<Arc<SiteSlot>>,
+    candidates: u64,
+    resumed: u64,
+}
+
+impl<'a> CandidateTester<'a> {
+    fn new(
+        program: &'a Program,
+        label: Label,
+        machine: &MachineConfig,
+        divergent: Vec<u32>,
+        slot: Option<Arc<SiteSlot>>,
+    ) -> CandidateTester<'a> {
+        let capture_machine = machine.clone();
+        let mut machine = machine.clone();
+        machine.record_branches = false;
+        CandidateTester {
+            program,
+            label,
+            machine,
+            capture_machine,
+            divergent,
+            slot,
+            candidates: 0,
+            resumed: 0,
+        }
+    }
+
+    fn test(&mut self, input: &[u8]) -> CandidateResult {
+        self.candidates += 1;
+        let Some(slot) = self.slot.clone() else {
+            return self.plain(input);
+        };
+        match slot.plan() {
+            TestPlan::Resume(snapshot) => {
+                match run_from(self.program, input, &snapshot, &self.machine) {
+                    Some(r) => {
+                        slot.count_hit(true);
+                        self.resumed += 1;
+                        classify_run(&r, self.label)
+                    }
+                    None => {
+                        slot.count_hit(false);
+                        self.plain(input)
+                    }
+                }
+            }
+            TestPlan::Probe => {
+                slot.count_miss();
+                let (r, probe) = run_probed(
+                    self.program,
+                    input,
+                    Concrete,
+                    &self.machine,
+                    &self.divergent,
+                );
+                slot.record_probe(probe);
+                classify_run(&r, self.label)
+            }
+            TestPlan::Capture(step) => {
+                slot.count_miss();
+                // Capture under the tag-free symbolic policy with the
+                // caller's full machine config: the stored snapshot then
+                // serves both later candidates and (in warmed campaigns)
+                // extraction resumes, which need prefix branches.
+                let (r, snapshot) = run_and_capture(
+                    self.program,
+                    input,
+                    Symbolic::relevant_bytes([]),
+                    &self.capture_machine,
+                    step,
+                );
+                if let Some(s) = snapshot {
+                    // Tester captures bound the boundary by β ∪ φ ∪ CRC
+                    // reads, not relevant-byte reads: safe for candidate
+                    // resumes only.
+                    slot.record_snapshot(step, s, false);
+                }
+                classify_run(&r, self.label)
+            }
+            TestPlan::Plain => {
+                slot.count_miss();
+                self.plain(input)
+            }
+        }
+    }
+
+    fn plain(&self, input: &[u8]) -> CandidateResult {
+        classify_run(
+            &run(self.program, input, Concrete, &self.machine),
+            self.label,
+        )
+    }
+
+    fn info(&self) -> SiteSnapshotInfo {
+        SiteSnapshotInfo {
+            first_divergent_step: self.slot.as_ref().and_then(|s| s.first_divergent_step()),
+            divergent_bytes: self.divergent.clone(),
+            candidates: self.candidates,
+            resumed: self.resumed,
+            extract_resumed: false,
+        }
+    }
+}
+
+/// The slot the enforcement loop should use: the caller's (campaign
+/// cache) slot when snapshots are on, a fresh local slot when the caller
+/// brought none, and none at all when the config disables snapshots.
+fn effective_slot(config: &DiodeConfig, slot: Option<Arc<SiteSlot>>) -> Option<Arc<SiteSlot>> {
+    if config.prefix_snapshots {
+        slot.or_else(|| Some(Arc::new(SiteSlot::local())))
+    } else {
+        None
+    }
+}
+
 /// Runs the complete DIODE analysis for one target site (Figure 7).
 #[must_use]
 pub fn analyze_site(
@@ -164,7 +347,39 @@ pub fn analyze_site(
     site: &TargetSite,
     config: &DiodeConfig,
 ) -> SiteReport {
-    let Some(extraction) = extract(program, seed, site, &config.machine) else {
+    analyze_site_with_snapshots(program, seed, format, site, config, None)
+}
+
+/// [`analyze_site`] with an explicit snapshot slot — the campaign entry
+/// point: `diode-engine` hands every worker the per-`(unit, site)` slot
+/// of its shared [`SnapshotCache`](crate::SnapshotCache) so counters
+/// aggregate campaign-wide. `None` falls back to a site-local slot (or
+/// none, when `config.prefix_snapshots` is off).
+#[must_use]
+pub fn analyze_site_with_snapshots(
+    program: &Program,
+    seed: &[u8],
+    format: &FormatDesc,
+    site: &TargetSite,
+    config: &DiodeConfig,
+    slot: Option<Arc<SiteSlot>>,
+) -> SiteReport {
+    let slot = effective_slot(config, slot);
+    // Warmed campaigns resume the stage-2 symbolic seed run from the
+    // site's prefix snapshot; everyone else re-executes from `main`.
+    let mut extract_was_resumed = false;
+    let extraction = match slot.as_ref().and_then(|s| s.extract_snapshot()) {
+        Some(snapshot) => match extract_resumed(program, seed, site, &config.machine, &snapshot) {
+            Some(e) => {
+                extract_was_resumed = true;
+                slot.as_ref().unwrap().count_extract_resume();
+                Some(e)
+            }
+            None => extract(program, seed, site, &config.machine),
+        },
+        None => extract(program, seed, site, &config.machine),
+    };
+    let Some(extraction) = extraction else {
         return SiteReport {
             site: site.site.to_string(),
             label: site.label,
@@ -174,10 +389,23 @@ pub fn analyze_site(
             phi_len: 0,
             discovery_time: Duration::ZERO,
             extraction: None,
+            snapshot: None,
         };
     };
     let start = Instant::now();
-    let outcome = enforce(program, seed, format, site.label, &extraction, config);
+    let mut tester = CandidateTester::new(
+        program,
+        site.label,
+        &config.machine,
+        divergent_bytes(&extraction, format),
+        slot,
+    );
+    let outcome = enforce_with(seed, format, &extraction, config, &mut tester);
+    let snapshot = tester.slot.is_some().then(|| {
+        let mut info = tester.info();
+        info.extract_resumed = extract_was_resumed;
+        info
+    });
     SiteReport {
         site: site.site.to_string(),
         label: site.label,
@@ -187,6 +415,7 @@ pub fn analyze_site(
         phi_len: extraction.phi.len(),
         discovery_time: start.elapsed(),
         extraction: Some(extraction),
+        snapshot,
     }
 }
 
@@ -200,6 +429,26 @@ pub fn enforce(
     extraction: &Extraction,
     config: &DiodeConfig,
 ) -> SiteOutcome {
+    let mut tester = CandidateTester::new(
+        program,
+        label,
+        &config.machine,
+        divergent_bytes(extraction, format),
+        effective_slot(config, None),
+    );
+    enforce_with(seed, format, extraction, config, &mut tester)
+}
+
+/// The Figure 7 loop body, with candidate execution delegated to the
+/// (possibly snapshot-resuming) tester.
+#[must_use]
+fn enforce_with(
+    seed: &[u8],
+    format: &FormatDesc,
+    extraction: &Extraction,
+    config: &DiodeConfig,
+    tester: &mut CandidateTester<'_>,
+) -> SiteOutcome {
     // Line 2–3: solve β alone.
     let first = config.solve_query(&extraction.beta);
     let model = match first {
@@ -210,7 +459,7 @@ pub fn enforce(
     let mut current_input = generate_input(format, seed, &model);
 
     // Line 4–5: does the initial input already trigger?
-    let res = test_candidate(program, &current_input, label, &config.machine);
+    let res = tester.test(&current_input);
     if res.triggered {
         return SiteOutcome::Exposed(Bug {
             input: current_input,
@@ -278,7 +527,7 @@ pub fn enforce(
                     current_input = generate_input(format, seed, &model);
                     advanced = true;
                     // Line 14–15: test the new input.
-                    let res = test_candidate(program, &current_input, label, &config.machine);
+                    let res = tester.test(&current_input);
                     if res.triggered {
                         return SiteOutcome::Exposed(Bug {
                             input: current_input,
@@ -325,4 +574,75 @@ pub fn full_path_constraint_satisfiable(
 fn _assert_api_types_are_send() {
     fn check<T: Send>() {}
     check::<DiodeConfig>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::identify_target_sites;
+    use diode_lang::parse;
+
+    /// Two sites behind a shared prefix: site 2's candidates replay the
+    /// full processing of site 1 unless snapshots cut it away.
+    const TWO_SITES: &str = r#"fn main() {
+        a = zext32(in[0]) << 8 | zext32(in[1]);
+        if a > 200 { error("a too big"); }
+        buf0 = alloc("s0@3", a * 30000000);
+        i = 0;
+        while i < a { buf0[i] = trunc8(i); i = i + 1; }
+        free(buf0);
+        b = zext32(in[2]) << 8 | zext32(in[3]);
+        if b > 60000 { error("b too big"); }
+        buf1 = alloc("s1@9", b * 80000);
+    }"#;
+
+    fn reports(prefix_snapshots: bool) -> Vec<SiteReport> {
+        let program = parse(TWO_SITES).unwrap();
+        let seed = vec![0x00, 0x08, 0x00, 0x10];
+        let config = DiodeConfig {
+            prefix_snapshots,
+            ..DiodeConfig::default()
+        };
+        identify_target_sites(&program, &seed, &config.machine)
+            .iter()
+            .map(|t| analyze_site(&program, &seed, &FormatDesc::new("two"), t, &config))
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_and_full_paths_classify_identically() {
+        let on = reports(true);
+        let off = reports(false);
+        assert_eq!(on.len(), 2);
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.site, b.site);
+            assert_eq!(format!("{:?}", a.outcome), format!("{:?}", b.outcome));
+            assert!(b.snapshot.is_none(), "disabled path reports no telemetry");
+        }
+    }
+
+    #[test]
+    fn enforcement_loop_reports_snapshot_telemetry() {
+        let on = reports(true);
+        for r in &on {
+            let info = r.snapshot.as_ref().expect("snapshots on");
+            assert!(info.candidates >= 1, "{}: {info:?}", r.site);
+            assert!(
+                !info.divergent_bytes.is_empty(),
+                "{}: both sites are input-driven",
+                r.site
+            );
+            assert!(info.resumed <= info.candidates.saturating_sub(2));
+        }
+        // At least one site's loop ran several candidates; with three or
+        // more, the probe/capture/resume ladder completes and the later
+        // candidates resume.
+        if let Some(deep) = on
+            .iter()
+            .filter_map(|r| r.snapshot.as_ref())
+            .find(|i| i.candidates >= 3)
+        {
+            assert!(deep.resumed >= 1, "{deep:?}");
+        }
+    }
 }

@@ -55,17 +55,19 @@ mod experiment;
 mod phi;
 mod pipeline;
 mod report;
+mod snapshot;
 mod trace;
 
 pub use enforce::{
-    analyze_site, enforce, full_path_constraint_satisfiable, Bug, DiodeConfig, PreventedReason,
-    SiteOutcome, SiteReport,
+    analyze_site, analyze_site_with_snapshots, enforce, full_path_constraint_satisfiable, Bug,
+    DiodeConfig, PreventedReason, SiteOutcome, SiteReport, SiteSnapshotInfo,
 };
 pub use experiment::{analyze_program, success_rate, ProgramAnalysis, SuccessRate};
 pub use phi::{compress, count_relevant_occurrences, relevant, CompressedCond};
 pub use pipeline::{
-    classify_error, extract, generate_input, identify_target_sites, test_candidate,
-    CandidateResult, Extraction, TargetSite,
+    classify_error, classify_run, extract, generate_input, identify_target_sites,
+    identify_target_sites_traced, test_candidate, CandidateResult, Extraction, TargetSite,
 };
 pub use report::BugReport;
+pub use snapshot::{warm_unit_slots, SiteSlot, SnapshotCache, SnapshotStats};
 pub use trace::{diff_paths, first_divergence, Divergence};

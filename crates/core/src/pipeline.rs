@@ -49,9 +49,22 @@ pub fn identify_target_sites(
     seed: &[u8],
     machine: &MachineConfig,
 ) -> Vec<TargetSite> {
+    identify_target_sites_traced(program, seed, machine).0
+}
+
+/// [`identify_target_sites`] plus the first-read trace of the taint run
+/// (input offset → step of its first direct read). The trace is what the
+/// per-unit snapshot warm-up (`warm_unit_slots`) needs to place every
+/// site's prefix snapshot without a second probing pass.
+#[must_use]
+pub fn identify_target_sites_traced(
+    program: &Program,
+    seed: &[u8],
+    machine: &MachineConfig,
+) -> (Vec<TargetSite>, std::collections::HashMap<u64, u64>) {
     let mut cfg = machine.clone();
     cfg.record_branches = false;
-    let r = run(program, seed, Taint, &cfg);
+    let (r, trace) = diode_interp::run_traced(program, seed, Taint, &cfg);
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for a in &r.allocs {
@@ -68,7 +81,7 @@ pub fn identify_target_sites(
             seed_size: a.size,
         });
     }
-    out
+    (out, trace)
 }
 
 /// Stages 2–3: everything extracted for one target site.
@@ -104,6 +117,40 @@ pub fn extract(
     let start = Instant::now();
     let shadow = Symbolic::relevant_bytes(site.relevant_bytes.iter().copied());
     let r = run(program, seed, shadow, machine);
+    extraction_from_run(&r, site, start)
+}
+
+/// [`extract`] resuming the site's symbolic seed run from a prefix
+/// snapshot instead of re-executing from `main`. The snapshot must have
+/// been captured under `Symbolic::relevant_bytes([])` at a boundary
+/// *before* the first read of any of the site's relevant bytes (the
+/// warm-up guarantees this): up to there the tag-free and site-specific
+/// policies record identically (everything `None`), so swapping the
+/// shadow at resume reproduces the from-scratch extraction byte for
+/// byte. Falls back to `None` only if the snapshot fails validation —
+/// impossible for the seed it was captured from — or the site records no
+/// symbolic size.
+#[must_use]
+pub(crate) fn extract_resumed(
+    program: &Program,
+    seed: &[u8],
+    site: &TargetSite,
+    machine: &MachineConfig,
+    snapshot: &diode_interp::Snapshot<Symbolic>,
+) -> Option<Extraction> {
+    let start = Instant::now();
+    let shadow = Symbolic::relevant_bytes(site.relevant_bytes.iter().copied());
+    let r = diode_interp::run_from_with(program, seed, snapshot, shadow, machine)?;
+    extraction_from_run(&r, site, start)
+}
+
+/// Shared stage-2/3 post-processing: target expression, β, compressed
+/// relevant φ.
+fn extraction_from_run(
+    r: &diode_interp::Run<Option<SymExpr>, Option<SymBool>>,
+    site: &TargetSite,
+    start: Instant,
+) -> Option<Extraction> {
     let rec = r.allocs.iter().find(|a| a.label == site.label)?;
     let target_expr = rec.size_tag.clone()?;
     let beta = overflow_condition(&target_expr);
@@ -159,7 +206,16 @@ pub fn test_candidate(
 ) -> CandidateResult {
     let mut cfg = machine.clone();
     cfg.record_branches = false;
-    let r = run(program, input, Concrete, &cfg);
+    classify_run(&run(program, input, Concrete, &cfg), label)
+}
+
+/// Classifies an already-executed run against `label` — the §4.6
+/// decision shared by [`test_candidate`] and the snapshot-resumed
+/// candidate path (which obtains its `Run` via `diode_interp::run_from`
+/// under whatever shadow policy the snapshot carries; the decision only
+/// reads shadow-independent facts).
+#[must_use]
+pub fn classify_run<T, C>(r: &diode_interp::Run<T, C>, label: Label) -> CandidateResult {
     let site_executed = r.allocs_at(label).next().is_some();
     let overflowed = r.overflowed_at(label);
     let error_type = classify_error(&r.outcome, &r.mem_errors);
@@ -168,7 +224,7 @@ pub fn test_candidate(
         triggered,
         site_executed,
         error_type,
-        outcome: r.outcome,
+        outcome: r.outcome.clone(),
     }
 }
 

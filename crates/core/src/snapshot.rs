@@ -1,0 +1,430 @@
+//! Prefix-snapshot cache for the enforcement loop.
+//!
+//! Figure 7 re-executes every candidate input from `main`, yet the
+//! execution prefix up to the first byte the solver may have changed is
+//! identical on every iteration (and, for multi-site programs, covers the
+//! processing of every earlier site). This module owns the cache that
+//! turns those re-executions into resumed suffixes:
+//!
+//! * a [`SiteSlot`] is one site's snapshot state machine — *empty* →
+//!   *probed* (the first candidate run located the first divergent read)
+//!   → *ready* (the second candidate run captured the prefix snapshot en
+//!   route) — plus the terminal *inert* state for sites whose candidate
+//!   paths never read a divergent byte;
+//! * a [`SnapshotCache`] maps `(unit, site label)` keys to slots and is
+//!   shared across campaign workers behind an `Arc`, with the same
+//!   discipline as the solver-query cache; its counters ([`hits`,
+//!   `misses`, `resumes`](SnapshotStats)) surface in campaign reports.
+//!
+//! Correctness never depends on the cache: every resume revalidates the
+//! snapshot's input-observation log against the candidate (see
+//! `diode_interp::Snapshot::validates`), and a mismatch falls back to a
+//! full run. Snapshot-on and snapshot-off runs are byte-identical by
+//! contract.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use diode_format::{Fixup, FormatDesc};
+use diode_interp::{run_capture_multi, MachineConfig, Snapshot, Symbolic};
+use diode_lang::{Label, Program};
+
+use crate::pipeline::TargetSite;
+
+/// Aggregate snapshot-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Candidate tests that found a ready snapshot.
+    pub hits: u64,
+    /// Candidate tests that ran from scratch (no snapshot yet, an inert
+    /// site, or a failed validation).
+    pub misses: u64,
+    /// Candidate tests actually resumed from a snapshot (hits whose
+    /// validation passed). `hits - resumes` counts invalidations.
+    pub resumes: u64,
+    /// Prefix snapshots captured.
+    pub captures: u64,
+    /// Stage-2 extractions resumed from a prefix snapshot (the per-site
+    /// symbolic seed run replayed only its suffix).
+    pub extract_resumes: u64,
+    /// Ready snapshots currently held.
+    pub entries: u64,
+}
+
+impl SnapshotStats {
+    /// Resumed fraction of all candidate executions.
+    #[must_use]
+    pub fn resume_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.resumes as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    resumes: AtomicU64,
+    captures: AtomicU64,
+    extract_resumes: AtomicU64,
+}
+
+/// One site's snapshot state.
+#[derive(Debug, Default)]
+enum SlotState {
+    /// No candidate has run yet.
+    #[default]
+    Empty,
+    /// A probing run found the first divergent read at this step.
+    Probed {
+        /// Step count of the statement performing the read.
+        step: u64,
+    },
+    /// A prefix snapshot is available.
+    Ready {
+        /// The probe step the snapshot was captured before.
+        step: u64,
+        /// The captured prefix.
+        snapshot: Arc<Snapshot<Symbolic>>,
+        /// The boundary is known to precede the first read of the
+        /// site's *relevant* bytes (warm-up captures watch relevant ∪
+        /// checksum bytes), so stage-2 extraction may resume from it.
+        /// Tester-captured snapshots watch β ∪ φ bytes instead — a set
+        /// that can exclude a relevant byte the symbolic expression
+        /// simplified away — and are only safe for candidate resumes.
+        extract_safe: bool,
+    },
+    /// The site's candidate runs never read a divergent byte; snapshots
+    /// cannot help (every candidate behaves identically anyway).
+    Inert,
+}
+
+/// What the candidate tester should do next, as decided by the slot.
+pub(crate) enum TestPlan {
+    /// Resume from the snapshot (falling back to a full run if the
+    /// candidate fails validation).
+    Resume(Arc<Snapshot<Symbolic>>),
+    /// Full run, watching for the first divergent read.
+    Probe,
+    /// Full run, capturing the prefix snapshot before this step.
+    Capture(u64),
+    /// Full run; snapshots cannot help this site.
+    Plain,
+}
+
+/// The per-site snapshot slot. Obtained from a shared [`SnapshotCache`]
+/// (campaigns) or created locally per `analyze_site` call.
+#[derive(Debug)]
+pub struct SiteSlot {
+    state: Mutex<SlotState>,
+    counters: Arc<Counters>,
+}
+
+impl SiteSlot {
+    /// A standalone slot with its own counters, for single-site analyses
+    /// outside a campaign cache.
+    #[must_use]
+    pub fn local() -> SiteSlot {
+        SiteSlot {
+            state: Mutex::new(SlotState::Empty),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    fn with_counters(counters: Arc<Counters>) -> SiteSlot {
+        SiteSlot {
+            state: Mutex::new(SlotState::Empty),
+            counters,
+        }
+    }
+
+    /// The probe result recorded so far, for reports and persisted
+    /// snapshot metadata.
+    #[must_use]
+    pub fn first_divergent_step(&self) -> Option<u64> {
+        match &*self.state.lock().unwrap() {
+            SlotState::Probed { step } | SlotState::Ready { step, .. } => Some(*step),
+            SlotState::Empty | SlotState::Inert => None,
+        }
+    }
+
+    /// Seeds the slot with a probe recorded by an earlier run (corpus
+    /// replay), skipping the probing candidate. No-op unless empty.
+    pub fn prime(&self, first_divergent_step: u64) {
+        let mut state = self.state.lock().unwrap();
+        if matches!(*state, SlotState::Empty) {
+            *state = SlotState::Probed {
+                step: first_divergent_step,
+            };
+        }
+    }
+
+    pub(crate) fn plan(&self) -> TestPlan {
+        match &*self.state.lock().unwrap() {
+            SlotState::Empty => TestPlan::Probe,
+            SlotState::Probed { step } => TestPlan::Capture(*step),
+            SlotState::Ready { snapshot, .. } => TestPlan::Resume(Arc::clone(snapshot)),
+            SlotState::Inert => TestPlan::Plain,
+        }
+    }
+
+    pub(crate) fn record_probe(&self, probe: Option<u64>) {
+        let mut state = self.state.lock().unwrap();
+        if matches!(*state, SlotState::Empty) {
+            *state = match probe {
+                Some(step) => SlotState::Probed { step },
+                None => SlotState::Inert,
+            };
+        }
+    }
+
+    pub(crate) fn record_snapshot(
+        &self,
+        step: u64,
+        snapshot: Snapshot<Symbolic>,
+        extract_safe: bool,
+    ) {
+        self.counters.captures.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock().unwrap();
+        if matches!(*state, SlotState::Probed { .. } | SlotState::Empty) {
+            *state = SlotState::Ready {
+                step,
+                snapshot: Arc::new(snapshot),
+                extract_safe,
+            };
+        }
+    }
+
+    pub(crate) fn count_hit(&self, resumed: bool) {
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        if resumed {
+            self.counters.resumes.fetch_add(1, Ordering::Relaxed);
+        }
+        // A failed validation (hit without resume) re-executes from
+        // scratch but still counts as ONE candidate execution: hits and
+        // misses partition the tests, so `hits + misses` is the run
+        // count and `hits - resumes` the invalidations.
+    }
+
+    pub(crate) fn count_miss(&self) {
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_extract_resume(&self) {
+        self.counters
+            .extract_resumes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The ready prefix snapshot, only if its boundary is certified for
+    /// stage-2 extraction resumes (see [`SlotState::Ready`]).
+    #[must_use]
+    pub(crate) fn extract_snapshot(&self) -> Option<Arc<Snapshot<Symbolic>>> {
+        match &*self.state.lock().unwrap() {
+            SlotState::Ready {
+                snapshot,
+                extract_safe: true,
+                ..
+            } => Some(Arc::clone(snapshot)),
+            _ => None,
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        matches!(*self.state.lock().unwrap(), SlotState::Ready { .. })
+    }
+
+    /// This slot's counters as stats (entries counts this slot only).
+    #[must_use]
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            resumes: self.counters.resumes.load(Ordering::Relaxed),
+            captures: self.counters.captures.load(Ordering::Relaxed),
+            extract_resumes: self.counters.extract_resumes.load(Ordering::Relaxed),
+            entries: u64::from(self.is_ready()),
+        }
+    }
+}
+
+/// A thread-safe map from `(unit, site label)` to [`SiteSlot`]s, shared
+/// across campaign workers behind an `Arc` (the same discipline as the
+/// solver-query cache). The `unit` key is caller-chosen — campaigns use
+/// `(app index << 32) | seed index` — so snapshots never leak between
+/// workloads whose prefixes have nothing in common.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    slots: Mutex<HashMap<(u64, Label), Arc<SiteSlot>>>,
+    counters: Arc<Counters>,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> SnapshotCache {
+        SnapshotCache::default()
+    }
+
+    /// The slot for one `(unit, site)` — created on first use; every slot
+    /// shares the cache's counters.
+    #[must_use]
+    pub fn slot(&self, unit: u64, label: Label) -> Arc<SiteSlot> {
+        let mut slots = self.slots.lock().unwrap();
+        Arc::clone(
+            slots
+                .entry((unit, label))
+                .or_insert_with(|| Arc::new(SiteSlot::with_counters(Arc::clone(&self.counters)))),
+        )
+    }
+
+    /// Seeds a slot with a probe step recorded by an earlier run (corpus
+    /// snapshot metadata), so the first candidate run captures instead of
+    /// probing.
+    pub fn prime(&self, unit: u64, label: Label, first_divergent_step: u64) {
+        self.slot(unit, label).prime(first_divergent_step);
+    }
+
+    /// Aggregate counters plus the number of ready snapshots held.
+    #[must_use]
+    pub fn stats(&self) -> SnapshotStats {
+        let entries = self
+            .slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| s.is_ready())
+            .count() as u64;
+        SnapshotStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            resumes: self.counters.resumes.load(Ordering::Relaxed),
+            captures: self.counters.captures.load(Ordering::Relaxed),
+            extract_resumes: self.counters.extract_resumes.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+/// The input offsets whose first read marks a site's snapshot boundary
+/// when warming from stage-1 data alone: the site's relevant bytes (a
+/// superset of β's bytes) plus every checksum-fixup destination.
+#[must_use]
+pub(crate) fn warm_watch_bytes(target: &TargetSite, format: &FormatDesc) -> Vec<u32> {
+    let mut set: std::collections::BTreeSet<u32> = target.relevant_bytes.iter().copied().collect();
+    for fixup in format.fixups() {
+        let Fixup::Crc32 { dest, .. } = fixup;
+        set.extend(*dest..dest + 4);
+    }
+    set.into_iter().collect()
+}
+
+/// Warms every site slot of one `(program, seed)` unit in a single pass:
+/// given the first-read trace of the identification run (see
+/// `diode_interp::run_traced`), each site's snapshot boundary is the
+/// earliest first-read among its watch bytes, and **one** capture run —
+/// under the tag-free `Symbolic::relevant_bytes([])` policy, stopping at
+/// the last boundary — produces every site's prefix snapshot. Stage-2
+/// extraction then resumes each site's symbolic seed run from its
+/// snapshot (with the site's own relevant-byte policy swapped in), and
+/// every enforcement candidate resumes from the first input onward.
+///
+/// `slots` is parallel to `targets`. Sites whose watch bytes were never
+/// read are marked inert.
+pub fn warm_unit_slots(
+    program: &Program,
+    seed: &[u8],
+    format: &FormatDesc,
+    targets: &[TargetSite],
+    machine: &MachineConfig,
+    first_reads: &HashMap<u64, u64>,
+    slots: &[Arc<SiteSlot>],
+) {
+    assert_eq!(targets.len(), slots.len(), "slots parallel to targets");
+    let mut stops: Vec<(u64, usize)> = Vec::new();
+    for (i, target) in targets.iter().enumerate() {
+        let step = warm_watch_bytes(target, format)
+            .iter()
+            .filter_map(|&o| first_reads.get(&u64::from(o)).copied())
+            .min();
+        match step {
+            Some(step) => stops.push((step, i)),
+            None => slots[i].record_probe(None),
+        }
+    }
+    if stops.is_empty() {
+        return;
+    }
+    stops.sort_unstable();
+    let steps: Vec<u64> = stops.iter().map(|&(s, _)| s).collect();
+    let snapshots = run_capture_multi(program, seed, Symbolic::relevant_bytes([]), machine, &steps);
+    for (&(step, i), snapshot) in stops.iter().zip(snapshots) {
+        match snapshot {
+            Some(s) => slots[i].record_snapshot(step, s, true),
+            None => slots[i].record_probe(Some(step)),
+        }
+    }
+}
+
+#[allow(unused)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<SnapshotCache>();
+    check::<SiteSlot>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_state_machine_progresses() {
+        let slot = SiteSlot::local();
+        assert!(matches!(slot.plan(), TestPlan::Probe));
+        slot.record_probe(Some(42));
+        assert_eq!(slot.first_divergent_step(), Some(42));
+        assert!(matches!(slot.plan(), TestPlan::Capture(42)));
+        slot.record_probe(Some(7)); // late probe does not regress
+        assert!(matches!(slot.plan(), TestPlan::Capture(42)));
+    }
+
+    #[test]
+    fn inert_sites_stay_plain() {
+        let slot = SiteSlot::local();
+        slot.record_probe(None);
+        assert!(matches!(slot.plan(), TestPlan::Plain));
+        assert_eq!(slot.first_divergent_step(), None);
+    }
+
+    #[test]
+    fn cache_shares_counters_and_keys_by_unit_and_label() {
+        let cache = SnapshotCache::new();
+        let a = cache.slot(1, Label(3));
+        let b = cache.slot(1, Label(3));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.slot(2, Label(3));
+        assert!(!Arc::ptr_eq(&a, &c));
+        a.count_miss();
+        c.count_hit(true);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.resumes, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn priming_skips_the_probe_state() {
+        let cache = SnapshotCache::new();
+        cache.prime(0, Label(9), 100);
+        assert!(matches!(
+            cache.slot(0, Label(9)).plan(),
+            TestPlan::Capture(100)
+        ));
+    }
+}

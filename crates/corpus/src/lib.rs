@@ -66,11 +66,13 @@ use std::path::PathBuf;
 
 mod codec;
 pub mod json;
+mod snapmeta;
 mod store;
 mod witness;
 
 pub use codec::LAYOUT_VERSION;
 pub use json::{Json, JsonError};
+pub use snapmeta::{SnapshotMeta, SnapshotMetaSet};
 pub use store::{CorpusStore, ReplayableSuite, SuiteSummary};
 pub use witness::{
     outcome_token, ChangedSite, CorpusDiff, ScoreSummary, SiteKey, SiteWitness, WitnessSet,

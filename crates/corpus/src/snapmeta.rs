@@ -1,0 +1,116 @@
+//! Persisted prefix-snapshot metadata: where each site's candidate
+//! executions diverge, and how much of the last campaign resumed.
+//!
+//! A [`SnapshotMetaSet`] freezes the snapshot telemetry of one campaign
+//! over a stored suite — per site: the first-divergent-read step (the
+//! prefix-snapshot boundary), the divergent byte set, and the
+//! candidate/resume counts. It lives in `snapshots.json` next to
+//! `witnesses/`, so a later `corpus replay` can prime its campaign's
+//! [`SnapshotCache`](diode_core::SnapshotCache) with the recorded
+//! boundaries and skip straight to the recorded divergent suffixes, and
+//! so boundary drift (a program change moving a site's divergence point)
+//! is a diffable, versioned fact rather than a re-derived one.
+
+use diode_core::SnapshotCache;
+use diode_engine::{CampaignReport, CampaignSpec};
+
+use crate::store::ReplayableSuite;
+
+/// One site's recorded snapshot telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Application name.
+    pub app: String,
+    /// Seed index of the unit.
+    pub seed_index: usize,
+    /// Site name.
+    pub site: String,
+    /// Step count of the first divergent-byte read on the seed path
+    /// (`None`: the site's candidates never read a divergent byte).
+    pub first_divergent_step: Option<u64>,
+    /// Sorted input offsets candidate inputs may differ at.
+    pub divergent_bytes: Vec<u32>,
+    /// Candidate inputs executed for the site in the recorded run.
+    pub candidates: u64,
+    /// Candidate executions resumed from the prefix snapshot.
+    pub resumed: u64,
+}
+
+/// The snapshot metadata of one recorded campaign run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotMetaSet {
+    /// The suite the campaign ran over.
+    pub suite_id: String,
+    /// Per-site records, in deterministic report order.
+    pub sites: Vec<SnapshotMeta>,
+}
+
+impl SnapshotMetaSet {
+    /// Extracts the snapshot telemetry of a campaign report. Sites
+    /// analyzed with snapshots disabled contribute nothing; an empty set
+    /// means the campaign ran snapshot-free.
+    #[must_use]
+    pub fn from_report(suite_id: impl Into<String>, report: &CampaignReport) -> SnapshotMetaSet {
+        let mut sites = Vec::new();
+        for unit in &report.units {
+            for s in &unit.sites {
+                let Some(info) = &s.report.snapshot else {
+                    continue;
+                };
+                sites.push(SnapshotMeta {
+                    app: unit.app.clone(),
+                    seed_index: unit.seed_index,
+                    site: s.report.site.clone(),
+                    first_divergent_step: info.first_divergent_step,
+                    divergent_bytes: info.divergent_bytes.clone(),
+                    candidates: info.candidates,
+                    resumed: info.resumed,
+                });
+            }
+        }
+        SnapshotMetaSet {
+            suite_id: suite_id.into(),
+            sites,
+        }
+    }
+
+    /// True when no site recorded any telemetry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Builds a [`SnapshotCache`] primed with every recorded divergence
+    /// boundary, resolving `(app, seed, site)` records to the engine's
+    /// `(unit key, site label)` slots through the suite's programs. The
+    /// campaign's identify-time warm-up then captures at the recorded
+    /// steps without re-deriving them, and records whose sites no longer
+    /// exist in the suite are ignored (they will show up in the witness
+    /// diff anyway).
+    #[must_use]
+    pub fn primed_cache(&self, suite: &ReplayableSuite) -> SnapshotCache {
+        let cache = SnapshotCache::new();
+        for meta in &self.sites {
+            let Some(step) = meta.first_divergent_step else {
+                continue;
+            };
+            let Some(app_idx) = suite.suite.apps.iter().position(|a| a.name == meta.app) else {
+                continue;
+            };
+            let label = suite.suite.apps[app_idx]
+                .program
+                .alloc_sites()
+                .into_iter()
+                .find(|(_, name)| **name == *meta.site)
+                .map(|(label, _)| label);
+            if let Some(label) = label {
+                cache.prime(
+                    CampaignSpec::unit_key(app_idx, meta.seed_index),
+                    label,
+                    step,
+                );
+            }
+        }
+        cache
+    }
+}

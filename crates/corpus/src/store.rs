@@ -27,6 +27,7 @@ use diode_synth::{
 
 use crate::codec;
 use crate::json::Json;
+use crate::snapmeta::SnapshotMetaSet;
 use crate::witness::WitnessSet;
 use crate::CorpusError;
 
@@ -75,6 +76,34 @@ impl ReplayableSuite {
     #[must_use]
     pub fn witnesses(&self, label: &str, report: &CampaignReport) -> WitnessSet {
         WitnessSet::from_report(self.id(), label, report, Some(&self.suite.oracle))
+    }
+
+    /// Freezes a replay's prefix-snapshot telemetry for this suite.
+    #[must_use]
+    pub fn snapshot_meta(&self, report: &CampaignReport) -> SnapshotMetaSet {
+        SnapshotMetaSet::from_report(self.id(), report)
+    }
+
+    /// [`replay`](ReplayableSuite::replay) with the campaign's snapshot
+    /// cache primed from recorded metadata: every site's divergence
+    /// boundary is installed up front, so the warm-up captures at the
+    /// recorded steps and candidate testing skips straight to the
+    /// recorded divergent suffixes. Results are byte-identical to an
+    /// unprimed replay (priming is a scheduling hint, never an input).
+    #[must_use]
+    pub fn replay_primed(
+        &self,
+        mode: ExecutionMode,
+        meta: &SnapshotMetaSet,
+    ) -> (CampaignReport, ScoreCard) {
+        let spec = CampaignSpec {
+            mode,
+            snapshot_cache: Some(std::sync::Arc::new(meta.primed_cache(self))),
+            ..CampaignSpec::from_corpus(self)
+        };
+        let report = spec.run();
+        let card = score(&report, &self.suite.oracle);
+        (report, card)
     }
 }
 
@@ -369,6 +398,32 @@ impl CorpusStore {
             .join(format!("{}.json", witnesses.label));
         write_file(&path, codec::witness_json(witnesses).to_string().as_bytes())?;
         Ok(path)
+    }
+
+    /// Records a run's prefix-snapshot metadata as `snapshots.json` in
+    /// its suite directory (next to `witnesses/`), overwriting the
+    /// previous record: the file tracks the *latest* known divergence
+    /// boundaries, which a later `corpus replay` primes its snapshot
+    /// cache from. Empty sets (snapshot-free runs) are not written.
+    pub fn record_snapshots(&self, meta: &SnapshotMetaSet) -> Result<Option<PathBuf>, CorpusError> {
+        if meta.is_empty() {
+            return Ok(None);
+        }
+        let id = self.resolve(&meta.suite_id)?;
+        let path = self.suite_dir(&id).join("snapshots.json");
+        write_file(&path, codec::snapmeta_json(meta).to_string().as_bytes())?;
+        Ok(Some(path))
+    }
+
+    /// Loads a suite's recorded snapshot metadata, if any was recorded.
+    pub fn load_snapshots(&self, id: &str) -> Result<Option<SnapshotMetaSet>, CorpusError> {
+        let id = self.resolve(id)?;
+        let path = self.suite_dir(&id).join("snapshots.json");
+        if !path.exists() {
+            return Ok(None);
+        }
+        let doc = read_doc(&path)?;
+        codec::snapmeta_from_json("snapshots.json", &doc).map(Some)
     }
 
     /// Loads a recorded witness set by suite and label, re-verifying its

@@ -235,3 +235,42 @@ fn store_surfaces_typed_errors() {
     ));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn snapshot_metadata_roundtrips_and_primes_replays() {
+    let dir = scratch("snapmeta");
+    let store = CorpusStore::open(&dir).unwrap();
+    let saved = store.forge_and_save(&small_cfg(0xBEEF)).unwrap();
+
+    // Nothing recorded yet.
+    assert!(store.load_snapshots(saved.id()).unwrap().is_none());
+
+    let (report, card) = saved.replay(ExecutionMode::default());
+    assert!(card.is_perfect());
+    let meta = saved.snapshot_meta(&report);
+    assert!(
+        !meta.is_empty(),
+        "default replay runs with prefix snapshots on"
+    );
+    assert_eq!(meta.sites.len(), saved.suite.total_sites());
+    store.record_snapshots(&meta).unwrap().expect("written");
+
+    // Round-trip through disk.
+    let loaded = store.load_snapshots(saved.id()).unwrap().expect("recorded");
+    assert_eq!(loaded, meta);
+
+    // A primed replay skips the probe states and stays byte-identical.
+    let (primed_report, primed_card) = saved.replay_primed(ExecutionMode::default(), &loaded);
+    assert_eq!(
+        report.outcome_fingerprint(),
+        primed_report.outcome_fingerprint(),
+        "priming is a scheduling hint, never an input"
+    );
+    assert_eq!(card.recall(), primed_card.recall());
+    let stats = primed_report.snapshots.expect("snapshots on");
+    assert!(stats.resumes >= 1, "{stats:?}");
+
+    // The refreshed metadata matches what the first run derived.
+    assert_eq!(saved.snapshot_meta(&primed_report), meta);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -16,8 +16,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use diode_core::{analyze_site, DiodeConfig, ProgramAnalysis, SiteOutcome, SiteReport};
-use diode_core::{identify_target_sites, test_candidate, TargetSite};
+use diode_core::{analyze_site, analyze_site_with_snapshots, DiodeConfig, ProgramAnalysis};
+use diode_core::{identify_target_sites, identify_target_sites_traced, warm_unit_slots};
+use diode_core::{test_candidate, TargetSite};
+use diode_core::{SiteOutcome, SiteReport, SnapshotCache, SnapshotStats};
 use diode_format::FormatDesc;
 use diode_lang::Program;
 use diode_solver::{CacheStats, SolveResult, SolverCache};
@@ -107,6 +109,16 @@ pub struct CampaignSpec {
     /// Install one shared solver-query cache across all jobs. Ignored if
     /// `config.query_cache` is already set (the caller's cache wins).
     pub shared_cache: bool,
+    /// Share one prefix-[`SnapshotCache`] across all jobs (same `Arc`
+    /// discipline as the solver cache), keyed per `(app, seed, site)` so
+    /// enforcement loops resume candidate runs from stored prefixes and
+    /// the hit/miss/resume counters aggregate campaign-wide. No effect
+    /// when `config.prefix_snapshots` is off.
+    pub shared_snapshots: bool,
+    /// A caller-provided snapshot cache (e.g. primed from persisted
+    /// corpus snapshot metadata). Wins over `shared_snapshots`; still
+    /// gated by `config.prefix_snapshots`.
+    pub snapshot_cache: Option<Arc<SnapshotCache>>,
     /// Re-validate every exposed bug after discovery: re-solve its final
     /// constraint (a guaranteed cache hit when caching is on) and re-run
     /// the triggering input, recording the result per site.
@@ -115,7 +127,7 @@ pub struct CampaignSpec {
 
 impl CampaignSpec {
     /// A campaign over `apps` with default policy: parallel on all cores,
-    /// shared cache, bug verification on.
+    /// shared solver + snapshot caches, bug verification on.
     #[must_use]
     pub fn new(apps: Vec<CampaignApp>) -> Self {
         CampaignSpec {
@@ -123,6 +135,8 @@ impl CampaignSpec {
             config: DiodeConfig::default(),
             mode: ExecutionMode::default(),
             shared_cache: true,
+            shared_snapshots: true,
+            snapshot_cache: None,
             verify_exposed: true,
         }
     }
@@ -148,13 +162,14 @@ impl CampaignSpec {
     pub fn run_with_progress(&self, sink: &dyn ProgressSink) -> CampaignReport {
         let start = Instant::now();
         let (config, cache) = self.effective_config();
+        let snapshots = self.effective_snapshots(&config);
         let done = match self.mode {
-            ExecutionMode::Sequential => self.run_sequential(&config, sink),
+            ExecutionMode::Sequential => self.run_sequential(&config, snapshots.as_deref(), sink),
             ExecutionMode::Parallel { threads } => {
                 if cfg!(feature = "parallel") {
-                    self.run_parallel(&config, sink, threads)
+                    self.run_parallel(&config, snapshots.as_deref(), sink, threads)
                 } else {
-                    self.run_sequential(&config, sink)
+                    self.run_sequential(&config, snapshots.as_deref(), sink)
                 }
             }
         };
@@ -162,6 +177,7 @@ impl CampaignSpec {
         let report = CampaignReport {
             units,
             cache: cache.as_ref().map(|c| c.stats()),
+            snapshots: snapshots.as_ref().map(|c| c.stats()),
             wall_time: start.elapsed(),
             threads: self.effective_threads(),
             jobs,
@@ -170,6 +186,24 @@ impl CampaignSpec {
             wall_time: report.wall_time,
         });
         report
+    }
+
+    /// The campaign-wide snapshot cache: the caller's, a fresh shared
+    /// one, or none (sharing off or snapshots disabled in the config).
+    fn effective_snapshots(&self, config: &DiodeConfig) -> Option<Arc<SnapshotCache>> {
+        if !config.prefix_snapshots {
+            return None;
+        }
+        self.snapshot_cache.clone().or_else(|| {
+            self.shared_snapshots
+                .then(|| Arc::new(SnapshotCache::new()))
+        })
+    }
+
+    /// The snapshot-cache unit key of one `(app, seed)` workload.
+    #[must_use]
+    pub fn unit_key(app: usize, seed: usize) -> u64 {
+        ((app as u64) << 32) | seed as u64
     }
 
     fn effective_threads(&self) -> usize {
@@ -199,6 +233,7 @@ impl CampaignSpec {
     fn run_parallel(
         &self,
         config: &DiodeConfig,
+        snapshots: Option<&SnapshotCache>,
         sink: &dyn ProgressSink,
         threads: Option<usize>,
     ) -> Vec<Done> {
@@ -210,15 +245,21 @@ impl CampaignSpec {
             .flat_map(|(app, a)| (0..a.seeds.len()).map(move |seed| Job::Identify { app, seed }))
             .collect();
         scheduler::execute(initial, threads, |job, spawner: &Spawner<'_, Job>| {
-            self.run_job(job, config, sink, Some(spawner))
+            self.run_job(job, config, snapshots, sink, Some(spawner))
         })
     }
 
-    fn run_sequential(&self, config: &DiodeConfig, sink: &dyn ProgressSink) -> Vec<Done> {
+    fn run_sequential(
+        &self,
+        config: &DiodeConfig,
+        snapshots: Option<&SnapshotCache>,
+        sink: &dyn ProgressSink,
+    ) -> Vec<Done> {
         let mut done = Vec::new();
         for (app, a) in self.apps.iter().enumerate() {
             for seed in 0..a.seeds.len() {
-                let identified = self.run_job(Job::Identify { app, seed }, config, sink, None);
+                let identified =
+                    self.run_job(Job::Identify { app, seed }, config, snapshots, sink, None);
                 let Done::Identified { ref targets, .. } = identified else {
                     unreachable!("identify job returns Identified");
                 };
@@ -232,7 +273,7 @@ impl CampaignSpec {
                     .collect();
                 done.push(identified);
                 for job in site_jobs {
-                    done.push(self.run_job(job, config, sink, None));
+                    done.push(self.run_job(job, config, snapshots, sink, None));
                 }
             }
         }
@@ -246,6 +287,7 @@ impl CampaignSpec {
         &self,
         job: Job,
         config: &DiodeConfig,
+        snapshots: Option<&SnapshotCache>,
         sink: &dyn ProgressSink,
         spawner: Option<&Spawner<'_, Job>>,
     ) -> Done {
@@ -254,7 +296,28 @@ impl CampaignSpec {
                 let a = &self.apps[app];
                 sink.on_event(CampaignEvent::UnitStarted { app: &a.name, seed });
                 let start = Instant::now();
-                let targets = identify_target_sites(&a.program, &a.seeds[seed], &config.machine);
+                let targets = if let Some(cache) = snapshots {
+                    // One capture pass warms every site's prefix snapshot
+                    // before the per-site jobs fan out: stage-2 extraction
+                    // and every enforcement candidate then resume instead
+                    // of re-executing the shared prefix.
+                    let (targets, first_reads) =
+                        identify_target_sites_traced(&a.program, &a.seeds[seed], &config.machine);
+                    let key = CampaignSpec::unit_key(app, seed);
+                    let slots: Vec<_> = targets.iter().map(|t| cache.slot(key, t.label)).collect();
+                    warm_unit_slots(
+                        &a.program,
+                        &a.seeds[seed],
+                        &a.format,
+                        &targets,
+                        &config.machine,
+                        &first_reads,
+                        &slots,
+                    );
+                    targets
+                } else {
+                    identify_target_sites(&a.program, &a.seeds[seed], &config.machine)
+                };
                 sink.on_event(CampaignEvent::SitesIdentified {
                     app: &a.name,
                     seed,
@@ -278,7 +341,16 @@ impl CampaignSpec {
             }
             Job::Site { app, seed, target } => {
                 let a = &self.apps[app];
-                let report = analyze_site(&a.program, &a.seeds[seed], &a.format, &target, config);
+                let slot =
+                    snapshots.map(|c| c.slot(CampaignSpec::unit_key(app, seed), target.label));
+                let report = analyze_site_with_snapshots(
+                    &a.program,
+                    &a.seeds[seed],
+                    &a.format,
+                    &target,
+                    config,
+                    slot,
+                );
                 let verified = self
                     .verify_exposed
                     .then(|| self.verify(&a.program, &report, config))
@@ -430,6 +502,8 @@ pub struct CampaignReport {
     pub units: Vec<UnitReport>,
     /// Shared-cache counters, when a cache was in play.
     pub cache: Option<CacheStats>,
+    /// Prefix-snapshot counters, when a snapshot cache was in play.
+    pub snapshots: Option<SnapshotStats>,
     /// End-to-end wall-clock time.
     pub wall_time: Duration,
     /// Worker threads used.

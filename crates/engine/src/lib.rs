@@ -63,4 +63,5 @@ pub use campaign::{
     analyze_program_parallel, CampaignApp, CampaignEvent, CampaignReport, CampaignSpec,
     CorpusSuite, ExecutionMode, NoProgress, ProgressSink, SiteRecord, UnitReport,
 };
+pub use diode_core::{SnapshotCache, SnapshotStats};
 pub use diode_solver::{CacheStats, SolverCache};

@@ -149,6 +149,37 @@ fn cache_hit_on_a_site_requiring_enforcement() {
 }
 
 #[test]
+fn snapshot_campaign_is_byte_identical_to_full_reexecution() {
+    // The differential-testing contract of prefix snapshots: the
+    // snapshot-off config preserves the original full-re-execution path,
+    // and the default snapshot-on campaign must match it byte for byte.
+    let with_snapshots = CampaignSpec::new(benchmark_campaign()).run();
+    let mut spec = CampaignSpec::new(benchmark_campaign());
+    spec.config.prefix_snapshots = false;
+    let without = spec.run();
+
+    assert_eq!(with_snapshots.counts(), without.counts());
+    assert_eq!(
+        with_snapshots.outcome_fingerprint(),
+        without.outcome_fingerprint(),
+        "prefix snapshots must not change any finding"
+    );
+    assert!(without.snapshots.is_none(), "disabled ⇒ no counters");
+    let stats = with_snapshots
+        .snapshots
+        .expect("default campaign shares a snapshot cache");
+    // The identify-time warm-up captures one prefix snapshot per target
+    // site, and from then on every candidate test and every stage-2
+    // extraction resumes instead of re-executing from `main`.
+    assert_eq!(stats.captures, 40, "one capture per §5 target site");
+    assert_eq!(stats.entries, stats.captures, "{stats:?}");
+    assert!(stats.resumes >= 40, "every site tests ≥1 candidate");
+    assert_eq!(stats.hits, stats.resumes, "seed-prefix snapshots validate");
+    assert_eq!(stats.misses, 0, "warmed campaigns never re-execute");
+    assert_eq!(stats.extract_resumes, 40, "every extraction resumes");
+}
+
+#[test]
 fn progress_events_cover_every_unit_and_site() {
     #[derive(Default)]
     struct Recorder {

@@ -95,9 +95,22 @@ impl<T: Default> Default for Cell<T> {
     }
 }
 
+/// Block payloads sit behind `Arc`s so cloning a whole heap — the
+/// prefix-snapshot operation — is O(blocks), not O(bytes): the payloads
+/// are shared and only copied again when a post-snapshot write lands in
+/// them (`Arc::make_mut` copy-on-write).
 enum Payload<T> {
-    Dense(Vec<Cell<T>>),
-    Sparse(HashMap<u64, Cell<T>>),
+    Dense(Arc<Vec<Cell<T>>>),
+    Sparse(Arc<HashMap<u64, Cell<T>>>),
+}
+
+impl<T: Clone> Clone for Payload<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Payload::Dense(cells) => Payload::Dense(Arc::clone(cells)),
+            Payload::Sparse(cells) => Payload::Sparse(Arc::clone(cells)),
+        }
+    }
 }
 
 struct Block<T> {
@@ -105,6 +118,17 @@ struct Block<T> {
     size: u32,
     freed: bool,
     payload: Payload<T>,
+}
+
+impl<T: Clone> Clone for Block<T> {
+    fn clone(&self) -> Self {
+        Block {
+            site: self.site.clone(),
+            size: self.size,
+            freed: self.freed,
+            payload: self.payload.clone(),
+        }
+    }
 }
 
 /// Outcome of a heap access: either a value (reads) / unit (writes), plus
@@ -121,6 +145,18 @@ pub struct Heap<T> {
     redzone: u64,
     /// Block payloads at most this large are stored densely.
     dense_limit: u32,
+}
+
+impl<T: Clone> Clone for Heap<T> {
+    fn clone(&self) -> Self {
+        Heap {
+            blocks: self.blocks.clone(),
+            errors: self.errors.clone(),
+            alloc_limit: self.alloc_limit,
+            redzone: self.redzone,
+            dense_limit: self.dense_limit,
+        }
+    }
 }
 
 impl<T: Default + Clone> Heap<T> {
@@ -148,9 +184,9 @@ impl<T: Default + Clone> Heap<T> {
             return None;
         }
         let payload = if size <= self.dense_limit {
-            Payload::Dense(vec![Cell::default(); size as usize])
+            Payload::Dense(Arc::new(vec![Cell::default(); size as usize]))
         } else {
-            Payload::Sparse(HashMap::new())
+            Payload::Sparse(Arc::new(HashMap::new()))
         };
         self.blocks.push(Block {
             site,
@@ -182,6 +218,12 @@ impl<T: Default + Clone> Heap<T> {
             });
         } else {
             block.freed = true;
+            // Use-after-free accesses are answered from the `freed` flag
+            // before the payload is ever consulted, so the cells are
+            // unreachable from here on: drop them eagerly. This keeps
+            // long-lived heap clones — prefix snapshots — from pinning
+            // (and later re-dropping) megabytes of dead payload.
+            block.payload = Payload::Dense(Arc::new(Vec::new()));
         }
     }
 
@@ -266,9 +308,9 @@ impl<T: Default + Clone> Heap<T> {
             return Ok(());
         }
         match &mut block.payload {
-            Payload::Dense(cells) => cells[offset as usize] = cell,
+            Payload::Dense(cells) => Arc::make_mut(cells)[offset as usize] = cell,
             Payload::Sparse(cells) => {
-                cells.insert(offset, cell);
+                Arc::make_mut(cells).insert(offset, cell);
             }
         }
         Ok(())

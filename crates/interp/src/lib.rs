@@ -34,9 +34,14 @@
 mod heap;
 mod machine;
 mod shadow;
+mod snapshot;
 mod value;
 
 pub use heap::{Cell, Fault, Heap, MemError, MemErrorKind};
-pub use machine::{run, AllocRecord, BranchObs, MachineConfig, Outcome, Run};
+pub use machine::{
+    run, run_and_capture, run_capture_multi, run_from, run_from_with, run_probed, run_traced,
+    AllocRecord, BranchObs, MachineConfig, Outcome, Run,
+};
 pub use shadow::{Concrete, LabelSet, Shadow, Symbolic, Taint};
+pub use snapshot::Snapshot;
 pub use value::{BlockId, Raw, Value};

@@ -12,12 +12,12 @@
 
 use std::collections::HashMap;
 
-use diode_lang::checksum::crc32;
-use diode_lang::{Aexp, Bexp, Block, Bv, CastKind, Label, Program, Stmt, Symbol, UnOp};
+use diode_lang::{Aexp, Bexp, Block, Bv, CastKind, Label, ProcId, Program, Stmt, Symbol, UnOp};
 use diode_symbolic::eval_bin;
 
 use crate::heap::{Cell, Fault, Heap, MemError};
 use crate::shadow::Shadow;
+use crate::snapshot::{crc_check, ContImage, FrameImage, ReadLog, Snapshot};
 use crate::value::{BlockId, Raw, Value};
 
 /// Interpreter limits and switches.
@@ -155,35 +155,168 @@ pub fn run<S: Shadow>(
     shadow: S,
     config: &MachineConfig,
 ) -> Run<S::Tag, S::CondTag> {
+    let mut m = Machine::boot(program, input, shadow, config);
+    let outcome = m.drive_to_end();
+    m.finish(outcome)
+}
+
+/// Like [`run`], additionally recording, for every input offset the
+/// program reads directly, the step count of the statement performing
+/// the **first** such read. One traced run therefore answers "where
+/// would executions diverge?" for *every* candidate byte set at once —
+/// the per-unit warm-up uses this to place one prefix snapshot per site
+/// from a single pass.
+///
+/// Reads made by the `crc32_ok` intrinsic are not traced: snapshot
+/// validation checks checksum outcomes semantically, so a checksum over
+/// divergent bytes does not force a snapshot earlier.
+pub fn run_traced<S: Shadow>(
+    program: &Program,
+    input: &[u8],
+    shadow: S,
+    config: &MachineConfig,
+) -> (Run<S::Tag, S::CondTag>, HashMap<u64, u64>) {
+    let mut m = Machine::boot(program, input, shadow, config);
+    m.trace_reads = Some(HashMap::new());
+    let outcome = m.drive_to_end();
+    let trace = m.trace_reads.take().unwrap_or_default();
+    (m.finish(outcome), trace)
+}
+
+/// Like [`run`], additionally watching for the first read of a byte in
+/// `divergent` (a **sorted** list of input offsets). Returns the run plus
+/// the step count of the statement that performed the first such read —
+/// the natural prefix-snapshot point for candidate inputs that differ
+/// from this one only at divergent offsets. `None` when the run never
+/// read a divergent byte.
+pub fn run_probed<S: Shadow>(
+    program: &Program,
+    input: &[u8],
+    shadow: S,
+    config: &MachineConfig,
+    divergent: &[u32],
+) -> (Run<S::Tag, S::CondTag>, Option<u64>) {
+    debug_assert!(divergent.windows(2).all(|w| w[0] < w[1]));
+    let (run, trace) = run_traced(program, input, shadow, config);
+    let probe = divergent
+        .iter()
+        .filter_map(|&o| trace.get(&u64::from(o)).copied())
+        .min();
+    (run, probe)
+}
+
+/// Like [`run`], additionally capturing a [`Snapshot`] of the machine
+/// state just before the statement whose tick would reach
+/// `stop_before_step` (as reported by [`run_probed`]), then continuing to
+/// completion. The snapshot is `None` when the run halts before reaching
+/// that step.
+#[allow(clippy::type_complexity)]
+pub fn run_and_capture<S: Shadow + Clone>(
+    program: &Program,
+    input: &[u8],
+    shadow: S,
+    config: &MachineConfig,
+    stop_before_step: u64,
+) -> (Run<S::Tag, S::CondTag>, Option<Snapshot<S>>) {
+    let mut m = Machine::boot(program, input, shadow, config);
+    m.log = Some(ReadLog::default());
+    m.capture_before = Some(stop_before_step);
+    match m.drive() {
+        DriveEnd::Outcome(outcome) => (m.finish(outcome), None),
+        DriveEnd::Captured => {
+            let snapshot = m.capture(false);
+            m.capture_before = None;
+            let outcome = m.drive_to_end();
+            (m.finish(outcome), Some(snapshot))
+        }
+    }
+}
+
+/// Captures prefix snapshots at **several** step boundaries in a single
+/// pass — the per-unit warm-up that hands every site of a multi-site
+/// program its own resumption point for the price of one partial run.
+/// `stops` must be sorted ascending (duplicates allowed: each gets its
+/// own capture of the same state); execution ends right after the last
+/// capture, so the run costs only the longest requested prefix. Entries
+/// are `None` from the first stop the run halted before reaching.
+pub fn run_capture_multi<S: Shadow + Clone>(
+    program: &Program,
+    input: &[u8],
+    shadow: S,
+    config: &MachineConfig,
+    stops: &[u64],
+) -> Vec<Option<Snapshot<S>>> {
+    debug_assert!(stops.windows(2).all(|w| w[0] <= w[1]));
+    let mut m = Machine::boot(program, input, shadow, config);
+    m.log = Some(ReadLog::default());
+    let mut out: Vec<Option<Snapshot<S>>> = Vec::with_capacity(stops.len());
+    for (i, &stop) in stops.iter().enumerate() {
+        m.capture_before = Some(stop);
+        match m.drive() {
+            DriveEnd::Captured => out.push(Some(m.capture(i + 1 < stops.len()))),
+            DriveEnd::Outcome(_) => break,
+        }
+    }
+    out.resize_with(stops.len(), || None);
+    out
+}
+
+/// Resumes a captured [`Snapshot`] on `input`, running the divergent
+/// suffix to completion. Returns `None` — without executing anything —
+/// unless the snapshot [`validates`](Snapshot::validates) for `input`;
+/// when it does, the result is byte-identical to `run(program, input,
+/// ...)` under the same shadow policy and configuration.
+///
+/// # Panics
+///
+/// Panics if `program` is not the program the snapshot was captured from
+/// (the control stack no longer matches its structure).
+pub fn run_from<S: Shadow + Clone>(
+    program: &Program,
+    input: &[u8],
+    snapshot: &Snapshot<S>,
+    config: &MachineConfig,
+) -> Option<Run<S::Tag, S::CondTag>> {
+    run_from_with(program, input, snapshot, snapshot.shadow.clone(), config)
+}
+
+/// [`run_from`] with a **shadow override**: the suffix executes under
+/// `shadow` instead of the policy the snapshot was captured with.
+///
+/// The caller asserts that the two policies are indistinguishable over
+/// the captured prefix — i.e. they would have produced identical tags
+/// for every prefix value. The canonical use: a prefix captured under
+/// `Symbolic::relevant_bytes([])` (all tags `None`) resumed per site
+/// under `Symbolic::relevant_bytes(site_bytes)`, valid because the
+/// prefix ends *before* the first read of any site byte, so the
+/// site-specific policy would also have tagged nothing.
+pub fn run_from_with<S: Shadow + Clone>(
+    program: &Program,
+    input: &[u8],
+    snapshot: &Snapshot<S>,
+    shadow: S,
+    config: &MachineConfig,
+) -> Option<Run<S::Tag, S::CondTag>> {
+    if !snapshot.validates(input) {
+        return None;
+    }
     let mut m = Machine {
         program,
         input,
         shadow,
         config,
-        heap: Heap::new(config.alloc_limit, config.redzone),
-        frames: vec![HashMap::new()],
-        branches: Vec::new(),
-        allocs: Vec::new(),
-        warnings: Vec::new(),
-        steps: 0,
+        heap: snapshot.heap.clone(),
+        frames: rebuild_frames(program, &snapshot.frames),
+        branches: snapshot.branches.clone(),
+        allocs: snapshot.allocs.clone(),
+        warnings: snapshot.warnings.clone(),
+        steps: snapshot.steps,
+        trace_reads: None,
+        log: None,
+        capture_before: None,
     };
-    let entry = program.proc(program.entry());
-    let outcome = if entry.params.is_empty() {
-        match m.exec_block(&entry.body) {
-            Ok(_) => Outcome::Completed,
-            Err(halt) => halt.into_outcome(),
-        }
-    } else {
-        Outcome::RuntimeError("main must not take parameters".into())
-    };
-    Run {
-        outcome,
-        mem_errors: m.heap.into_errors(),
-        allocs: m.allocs,
-        branches: m.branches,
-        warnings: m.warnings,
-        steps: m.steps,
-    }
+    let outcome = m.drive_to_end();
+    Some(m.finish(outcome))
 }
 
 enum Halt {
@@ -206,9 +339,140 @@ impl Halt {
     }
 }
 
-enum Flow<T> {
-    Normal,
-    Return(Option<Value<T>>),
+/// How a nested block was entered — mirrored by
+/// [`ContImage`](crate::snapshot) when a control stack is frozen.
+#[derive(Debug, Clone, Copy)]
+enum Via {
+    Root,
+    Then,
+    Else,
+    LoopBody,
+}
+
+/// One control-stack entry: a block being executed, or a `while` head
+/// about to re-evaluate its condition.
+enum Cont<'a> {
+    Block {
+        block: &'a Block,
+        idx: usize,
+        via: Via,
+    },
+    Loop {
+        stmt: &'a Stmt,
+    },
+}
+
+/// One call frame: the executing procedure, the caller's destination for
+/// the return value, the local environment, and the control stack.
+struct Frame<'a, T> {
+    proc: ProcId,
+    ret_dst: Option<Symbol>,
+    env: HashMap<Symbol, Value<T>>,
+    control: Vec<Cont<'a>>,
+}
+
+/// The next machine transition, decided without mutating anything so the
+/// capture check can fire *before* the state advances.
+enum Action<'a> {
+    /// The frame's control stack is empty: implicit `return`.
+    FramePop,
+    /// The top block is exhausted: pop it.
+    BlockPop,
+    /// Execute this statement (the top block's next one).
+    Stmt(&'a Stmt),
+    /// Re-evaluate the top `while` head's condition.
+    LoopCond(&'a Stmt),
+}
+
+/// Why the drive loop stopped.
+enum DriveEnd {
+    Outcome(Outcome),
+    Captured,
+}
+
+/// Rebuilds a borrowed control stack from its program-independent image.
+///
+/// # Panics
+///
+/// Panics when the image does not fit the program's structure (i.e. the
+/// snapshot was captured from a different program).
+fn rebuild_frames<'a, T: Clone>(
+    program: &'a Program,
+    images: &[FrameImage<T>],
+) -> Vec<Frame<'a, T>> {
+    images
+        .iter()
+        .map(|img| {
+            let proc = program.proc(img.proc);
+            let mut control: Vec<Cont<'a>> = Vec::with_capacity(img.control.len());
+            for entry in &img.control {
+                let next = match (entry, control.last()) {
+                    (ContImage::Root { idx }, None) => Cont::Block {
+                        block: &proc.body,
+                        idx: *idx,
+                        via: Via::Root,
+                    },
+                    (
+                        ContImage::Then { idx },
+                        Some(Cont::Block {
+                            block, idx: pidx, ..
+                        }),
+                    ) => match &block.stmts()[pidx - 1] {
+                        Stmt::If { then_blk, .. } => Cont::Block {
+                            block: then_blk,
+                            idx: *idx,
+                            via: Via::Then,
+                        },
+                        other => panic!("snapshot/program mismatch: expected if, found {other:?}"),
+                    },
+                    (
+                        ContImage::Else { idx },
+                        Some(Cont::Block {
+                            block, idx: pidx, ..
+                        }),
+                    ) => match &block.stmts()[pidx - 1] {
+                        Stmt::If { else_blk, .. } => Cont::Block {
+                            block: else_blk,
+                            idx: *idx,
+                            via: Via::Else,
+                        },
+                        other => panic!("snapshot/program mismatch: expected if, found {other:?}"),
+                    },
+                    (
+                        ContImage::Loop,
+                        Some(Cont::Block {
+                            block, idx: pidx, ..
+                        }),
+                    ) => match &block.stmts()[pidx - 1] {
+                        stmt @ Stmt::While { .. } => Cont::Loop { stmt },
+                        other => {
+                            panic!("snapshot/program mismatch: expected while, found {other:?}")
+                        }
+                    },
+                    (ContImage::LoopBody { idx }, Some(Cont::Loop { stmt })) => match stmt {
+                        Stmt::While { body, .. } => Cont::Block {
+                            block: body,
+                            idx: *idx,
+                            via: Via::LoopBody,
+                        },
+                        other => {
+                            panic!("snapshot/program mismatch: expected while, found {other:?}")
+                        }
+                    },
+                    (entry, _) => {
+                        panic!("snapshot/program mismatch: {entry:?} has no matching parent")
+                    }
+                };
+                control.push(next);
+            }
+            Frame {
+                proc: img.proc,
+                ret_dst: img.ret_dst,
+                env: img.env.clone(),
+                control,
+            }
+        })
+        .collect()
 }
 
 struct Machine<'a, S: Shadow> {
@@ -217,16 +481,226 @@ struct Machine<'a, S: Shadow> {
     shadow: S,
     config: &'a MachineConfig,
     heap: Heap<S::Tag>,
-    frames: Vec<HashMap<Symbol, Value<S::Tag>>>,
+    frames: Vec<Frame<'a, S::Tag>>,
     branches: Vec<BranchObs<S::CondTag>>,
     allocs: Vec<AllocRecord<S::Tag>>,
     warnings: Vec<String>,
     steps: u64,
+    /// Trace mode: input offset → step of its first direct read.
+    trace_reads: Option<HashMap<u64, u64>>,
+    /// Capture mode: prefix input observations being logged.
+    log: Option<ReadLog>,
+    /// Capture mode: stop just before the tick reaching this step.
+    capture_before: Option<u64>,
 }
 
 impl<'a, S: Shadow> Machine<'a, S> {
-    fn frame(&mut self) -> &mut HashMap<Symbol, Value<S::Tag>> {
+    /// A fresh machine at `main`'s entry. A program whose `main` takes
+    /// parameters gets an empty frame stack plus a pending boot error,
+    /// reported by the first `drive`.
+    fn boot(
+        program: &'a Program,
+        input: &'a [u8],
+        shadow: S,
+        config: &'a MachineConfig,
+    ) -> Machine<'a, S> {
+        let entry = program.proc(program.entry());
+        let frames = if entry.params.is_empty() {
+            vec![Frame {
+                proc: program.entry(),
+                ret_dst: None,
+                env: HashMap::new(),
+                control: vec![Cont::Block {
+                    block: &entry.body,
+                    idx: 0,
+                    via: Via::Root,
+                }],
+            }]
+        } else {
+            Vec::new()
+        };
+        Machine {
+            program,
+            input,
+            shadow,
+            config,
+            heap: Heap::new(config.alloc_limit, config.redzone),
+            frames,
+            branches: Vec::new(),
+            allocs: Vec::new(),
+            warnings: Vec::new(),
+            steps: 0,
+            trace_reads: None,
+            log: None,
+            capture_before: None,
+        }
+    }
+
+    /// True when `main` took parameters at boot (empty frame stack with
+    /// zero executed steps means we never started).
+    fn boot_failed(&self) -> bool {
+        self.frames.is_empty() && self.steps == 0
+    }
+
+    /// The main interpreter loop: repeatedly decide the next transition,
+    /// fire the capture check ahead of any state change, and execute.
+    fn drive(&mut self) -> DriveEnd {
+        if self.boot_failed() {
+            return DriveEnd::Outcome(Outcome::RuntimeError(
+                "main must not take parameters".into(),
+            ));
+        }
+        loop {
+            let action: Action<'a> = {
+                let Some(frame) = self.frames.last() else {
+                    return DriveEnd::Outcome(Outcome::Completed);
+                };
+                match frame.control.last() {
+                    None => Action::FramePop,
+                    Some(Cont::Block { block, idx, .. }) => {
+                        let block: &'a Block = block;
+                        match block.stmts().get(*idx) {
+                            Some(stmt) => Action::Stmt(stmt),
+                            None => Action::BlockPop,
+                        }
+                    }
+                    Some(Cont::Loop { stmt }) => Action::LoopCond(stmt),
+                }
+            };
+            let result = match action {
+                Action::FramePop => self.pop_frame(None),
+                Action::BlockPop => {
+                    self.top_frame().control.pop();
+                    Ok(())
+                }
+                Action::Stmt(stmt) => {
+                    // Both statement execution and loop-condition
+                    // evaluation tick; capture fires right before the tick
+                    // that would reach the requested step, i.e. at the
+                    // exact statement boundary the probe identified.
+                    if self.capture_due() {
+                        return DriveEnd::Captured;
+                    }
+                    self.advance_idx();
+                    self.step_stmt(stmt)
+                }
+                Action::LoopCond(stmt) => {
+                    if self.capture_due() {
+                        return DriveEnd::Captured;
+                    }
+                    self.loop_step(stmt)
+                }
+            };
+            if let Err(halt) = result {
+                return DriveEnd::Outcome(halt.into_outcome());
+            }
+        }
+    }
+
+    /// Drives to completion in a mode where capture cannot fire.
+    fn drive_to_end(&mut self) -> Outcome {
+        match self.drive() {
+            DriveEnd::Outcome(o) => o,
+            DriveEnd::Captured => unreachable!("capture disabled in this mode"),
+        }
+    }
+
+    /// Consumes the machine's observations into a [`Run`].
+    fn finish(self, outcome: Outcome) -> Run<S::Tag, S::CondTag> {
+        Run {
+            outcome,
+            mem_errors: self.heap.into_errors(),
+            allocs: self.allocs,
+            branches: self.branches,
+            warnings: self.warnings,
+            steps: self.steps,
+        }
+    }
+
+    fn capture_due(&self) -> bool {
+        self.capture_before == Some(self.steps + 1)
+    }
+
+    /// Freezes the current state (capture mode only): the read log so far
+    /// becomes the snapshot's validation log, and logging stops.
+    fn capture(&mut self, keep_logging: bool) -> Snapshot<S>
+    where
+        S: Clone,
+    {
+        let log = if keep_logging {
+            self.log.clone().unwrap_or_default()
+        } else {
+            self.log.take().unwrap_or_default()
+        };
+        let mut reads: Vec<(u64, u8)> = log.reads.into_iter().collect();
+        reads.sort_unstable();
+        Snapshot {
+            shadow: self.shadow.clone(),
+            steps: self.steps,
+            heap: self.heap.clone(),
+            frames: self.frames.iter().map(Machine::<S>::frame_image).collect(),
+            branches: self.branches.clone(),
+            allocs: self.allocs.clone(),
+            warnings: self.warnings.clone(),
+            reads,
+            crcs: log.crcs,
+            inlen: log.inlen,
+        }
+    }
+
+    fn frame_image(frame: &Frame<'a, S::Tag>) -> FrameImage<S::Tag> {
+        FrameImage {
+            proc: frame.proc,
+            ret_dst: frame.ret_dst,
+            env: frame.env.clone(),
+            control: frame
+                .control
+                .iter()
+                .map(|c| match c {
+                    Cont::Block { idx, via, .. } => match via {
+                        Via::Root => ContImage::Root { idx: *idx },
+                        Via::Then => ContImage::Then { idx: *idx },
+                        Via::Else => ContImage::Else { idx: *idx },
+                        Via::LoopBody => ContImage::LoopBody { idx: *idx },
+                    },
+                    Cont::Loop { .. } => ContImage::Loop,
+                })
+                .collect(),
+        }
+    }
+
+    fn top_frame(&mut self) -> &mut Frame<'a, S::Tag> {
         self.frames.last_mut().expect("frame stack never empty")
+    }
+
+    fn env(&mut self) -> &mut HashMap<Symbol, Value<S::Tag>> {
+        &mut self.top_frame().env
+    }
+
+    fn advance_idx(&mut self) {
+        match self.top_frame().control.last_mut() {
+            Some(Cont::Block { idx, .. }) => *idx += 1,
+            _ => unreachable!("advance_idx only follows Action::Stmt"),
+        }
+    }
+
+    /// Pops the current frame, delivering `value` to the caller's
+    /// destination (exactly the old recursive `Flow::Return` semantics:
+    /// a discarded value is fine, a missing expected value is a runtime
+    /// error).
+    fn pop_frame(&mut self, value: Option<Value<S::Tag>>) -> Result<(), Halt> {
+        let frame = self.frames.pop().expect("frame stack never empty");
+        match (frame.ret_dst, value) {
+            (Some(dst), Some(v)) => {
+                self.env().insert(dst, v);
+                Ok(())
+            }
+            (Some(_), None) => Err(Halt::Runtime(format!(
+                "procedure `{}` returned no value",
+                self.program.proc(frame.proc).name
+            ))),
+            (None, _) => Ok(()),
+        }
     }
 
     fn tick(&mut self) -> Result<(), Halt> {
@@ -242,23 +716,17 @@ impl<'a, S: Shadow> Machine<'a, S> {
         self.program.interner().name(sym)
     }
 
-    fn exec_block(&mut self, block: &Block) -> Result<Flow<S::Tag>, Halt> {
-        for stmt in block.stmts() {
-            if let Flow::Return(v) = self.exec_stmt(stmt)? {
-                return Ok(Flow::Return(v));
-            }
-        }
-        Ok(Flow::Normal)
-    }
-
-    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow<S::Tag>, Halt> {
+    /// Executes one statement. Control statements (`if`, `while`, calls,
+    /// returns) only manipulate the explicit control/frame stacks; the
+    /// drive loop picks up from there on the next iteration.
+    fn step_stmt(&mut self, stmt: &'a Stmt) -> Result<(), Halt> {
         self.tick()?;
         match stmt {
-            Stmt::Skip(_) => Ok(Flow::Normal),
+            Stmt::Skip(_) => Ok(()),
             Stmt::Assign(_, dst, e) => {
                 let v = self.eval(e)?;
-                self.frame().insert(*dst, v);
-                Ok(Flow::Normal)
+                self.env().insert(*dst, v);
+                Ok(())
             }
             Stmt::Call {
                 dst, proc, args, ..
@@ -275,31 +743,22 @@ impl<'a, S: Shadow> Machine<'a, S> {
                         args.len()
                     )));
                 }
-                let mut new_frame = HashMap::new();
+                let mut env = HashMap::new();
                 for (param, arg) in callee.params.iter().zip(args) {
                     let v = self.eval(arg)?;
-                    new_frame.insert(*param, v);
+                    env.insert(*param, v);
                 }
-                self.frames.push(new_frame);
-                let flow = self.exec_block(&callee.body);
-                self.frames.pop();
-                match flow? {
-                    Flow::Return(Some(v)) => {
-                        if let Some(dst) = dst {
-                            self.frame().insert(*dst, v);
-                        }
-                        Ok(Flow::Normal)
-                    }
-                    Flow::Return(None) | Flow::Normal => {
-                        if dst.is_some() {
-                            return Err(Halt::Runtime(format!(
-                                "procedure `{}` returned no value",
-                                callee.name
-                            )));
-                        }
-                        Ok(Flow::Normal)
-                    }
-                }
+                self.frames.push(Frame {
+                    proc: *proc,
+                    ret_dst: *dst,
+                    env,
+                    control: vec![Cont::Block {
+                        block: &callee.body,
+                        idx: 0,
+                        via: Via::Root,
+                    }],
+                });
+                Ok(())
             }
             Stmt::Alloc {
                 label,
@@ -331,15 +790,15 @@ impl<'a, S: Shadow> Machine<'a, S> {
                 });
                 match block {
                     Some(b) => {
-                        self.frame().insert(*dst, Value::ptr(b));
-                        Ok(Flow::Normal)
+                        self.env().insert(*dst, Value::ptr(b));
+                        Ok(())
                     }
                     None if *abort_on_fail => Err(Halt::Aborted(format!(
                         "allocation of {size32} bytes failed at {site}"
                     ))),
                     None => {
-                        self.frame().insert(*dst, Value::ptr(BlockId::NULL));
-                        Ok(Flow::Normal)
+                        self.env().insert(*dst, Value::ptr(BlockId::NULL));
+                        Ok(())
                     }
                 }
             }
@@ -352,7 +811,7 @@ impl<'a, S: Shadow> Machine<'a, S> {
                     )));
                 };
                 self.heap.free(b, *label);
-                Ok(Flow::Normal)
+                Ok(())
             }
             Stmt::Load {
                 label,
@@ -375,7 +834,7 @@ impl<'a, S: Shadow> Machine<'a, S> {
                     .heap
                     .load(b, off.value() as u64, *label)
                     .map_err(Halt::Fault)?;
-                self.frame().insert(
+                self.env().insert(
                     *dst,
                     Value {
                         raw: Raw::Int(cell.value),
@@ -383,7 +842,7 @@ impl<'a, S: Shadow> Machine<'a, S> {
                         tag: cell.tag,
                     },
                 );
-                Ok(Flow::Normal)
+                Ok(())
             }
             Stmt::Store {
                 label,
@@ -424,7 +883,7 @@ impl<'a, S: Shadow> Machine<'a, S> {
                         *label,
                     )
                     .map_err(Halt::Fault)?;
-                Ok(Flow::Normal)
+                Ok(())
             }
             Stmt::If {
                 label,
@@ -440,48 +899,67 @@ impl<'a, S: Shadow> Machine<'a, S> {
                         constraint,
                     });
                 }
-                if taken {
-                    self.exec_block(then_blk)
+                let (block, via) = if taken {
+                    (then_blk, Via::Then)
                 } else {
-                    self.exec_block(else_blk)
-                }
+                    (else_blk, Via::Else)
+                };
+                self.top_frame()
+                    .control
+                    .push(Cont::Block { block, idx: 0, via });
+                Ok(())
             }
-            Stmt::While { label, cond, body } => {
-                loop {
-                    self.tick()?;
-                    let (taken, constraint) = self.eval_cond(cond)?;
-                    if self.config.record_branches {
-                        self.branches.push(BranchObs {
-                            label: *label,
-                            taken,
-                            constraint,
-                        });
-                    }
-                    if !taken {
-                        break;
-                    }
-                    if let Flow::Return(v) = self.exec_block(body)? {
-                        return Ok(Flow::Return(v));
-                    }
-                }
-                Ok(Flow::Normal)
+            Stmt::While { .. } => {
+                // The statement's own tick already happened; the loop head
+                // goes on the control stack and each condition evaluation
+                // ticks again in `loop_step`, exactly as the recursive
+                // interpreter did.
+                self.top_frame().control.push(Cont::Loop { stmt });
+                Ok(())
             }
             Stmt::Error(_, msg) => Err(Halt::Rejected(msg.clone())),
             Stmt::Warn(_, msg) => {
                 self.warnings.push(msg.clone());
-                Ok(Flow::Normal)
+                Ok(())
             }
             Stmt::Abort(_, msg) => Err(Halt::Aborted(msg.clone())),
-            Stmt::Return(_, None) => Ok(Flow::Return(None)),
+            Stmt::Return(_, None) => self.pop_frame(None),
             Stmt::Return(_, Some(e)) => {
                 let v = self.eval(e)?;
-                Ok(Flow::Return(Some(v)))
+                self.pop_frame(Some(v))
             }
         }
     }
 
+    /// One `while`-head evaluation: tick, evaluate the condition, record
+    /// the branch observation, then either enter the body or pop the loop.
+    fn loop_step(&mut self, stmt: &'a Stmt) -> Result<(), Halt> {
+        let Stmt::While { label, cond, body } = stmt else {
+            unreachable!("Cont::Loop always holds a while statement");
+        };
+        self.tick()?;
+        let (taken, constraint) = self.eval_cond(cond)?;
+        if self.config.record_branches {
+            self.branches.push(BranchObs {
+                label: *label,
+                taken,
+                constraint,
+            });
+        }
+        if taken {
+            self.top_frame().control.push(Cont::Block {
+                block: body,
+                idx: 0,
+                via: Via::LoopBody,
+            });
+        } else {
+            self.top_frame().control.pop();
+        }
+        Ok(())
+    }
+
     fn lookup(&mut self, sym: Symbol) -> Result<Value<S::Tag>, Halt> {
-        match self.frames.last().expect("frame").get(&sym) {
+        match self.frames.last().expect("frame").env.get(&sym) {
             Some(v) => Ok(v.clone()),
             None => Err(Halt::Runtime(format!(
                 "use of unbound variable `{}`",
@@ -494,15 +972,21 @@ impl<'a, S: Shadow> Machine<'a, S> {
         match e {
             Aexp::Const(bv) => Ok(Value::int(*bv)),
             Aexp::Var(sym) => self.lookup(*sym),
-            Aexp::InLen => Ok(Value::int(Bv::u32(
-                u32::try_from(self.input.len()).unwrap_or(u32::MAX),
-            ))),
+            Aexp::InLen => {
+                if let Some(log) = &mut self.log {
+                    log.inlen = Some(self.input.len() as u64);
+                }
+                Ok(Value::int(Bv::u32(
+                    u32::try_from(self.input.len()).unwrap_or(u32::MAX),
+                )))
+            }
             Aexp::InByte(idx) => {
                 let iv = self.eval(idx)?;
                 let Some(off) = iv.as_int() else {
                     return Err(Halt::Runtime("input index must be an integer".into()));
                 };
                 let off64 = off.value() as u64;
+                self.observe_read(off64);
                 // Reads past the end of the input behave like reads past
                 // EOF: they produce zero, untainted bytes.
                 if off64 >= self.input.len() as u64 {
@@ -681,19 +1165,33 @@ impl<'a, S: Shadow> Machine<'a, S> {
             .ok_or_else(|| Halt::Runtime("expected an integer".into()))
     }
 
-    fn crc_matches(&self, start: u64, len: u64, stored_off: u64) -> bool {
-        let end = start.saturating_add(len);
-        let input_len = self.input.len() as u64;
-        if end > input_len || stored_off.saturating_add(4) > input_len {
-            return false;
+    /// The `crc32_ok` intrinsic. Its input reads are *not* watched as
+    /// divergent and are logged **semantically** (region + outcome, not
+    /// bytes): candidate inputs have their checksums repaired by
+    /// reconstruction, so the bytes differ while the outcome — the only
+    /// thing execution depends on — stays the same.
+    fn crc_matches(&mut self, start: u64, len: u64, stored_off: u64) -> bool {
+        let outcome = crc_check(self.input, start, len, stored_off);
+        if let Some(log) = &mut self.log {
+            log.crcs.push((start, len, stored_off, outcome));
         }
-        let data = &self.input[start as usize..end as usize];
-        let stored = u32::from_be_bytes(
-            self.input[stored_off as usize..stored_off as usize + 4]
-                .try_into()
-                .expect("4 bytes"),
-        );
-        crc32(data) == stored
+        outcome
+    }
+
+    /// Records one direct input-byte observation: probe mode notes the
+    /// first divergent read's step, capture mode logs the observed value.
+    fn observe_read(&mut self, off: u64) {
+        if let Some(trace) = &mut self.trace_reads {
+            trace.entry(off).or_insert(self.steps);
+        }
+        if let Some(log) = &mut self.log {
+            let val = if off < self.input.len() as u64 {
+                self.input[off as usize]
+            } else {
+                0
+            };
+            log.reads.entry(off).or_insert(val);
+        }
     }
 }
 
@@ -984,6 +1482,198 @@ mod tests {
         assert!(matches!(r.outcome, Outcome::RuntimeError(m) if m.contains("width mismatch")));
         let r = run_concrete("fn main() { x = 1; x[0] = 1u8; }", &[]);
         assert!(matches!(r.outcome, Outcome::RuntimeError(_)));
+    }
+
+    /// Byte-identity oracle for snapshot tests: the full Debug rendering
+    /// covers outcome, memory errors, allocations (values, overflow
+    /// flags, tags), branch observations, warnings, and step counts.
+    fn image<T: std::fmt::Debug, C: std::fmt::Debug>(r: &Run<T, C>) -> String {
+        format!("{r:?}")
+    }
+
+    const SNAP_SRC: &str = r#"
+        fn be16(p) { return zext32(in[p]) << 8 | zext32(in[p + 1]); }
+        fn main() {
+            a = be16(0);
+            i = 0;
+            scratch = alloc("pre@1", 64);
+            while i < a {
+                scratch[i] = trunc8(i * 3);
+                i = i + 1;
+            }
+            if a > 40 { warn("large prefix field"); }
+            b = be16(2);
+            if b > 60000 { error("too big"); }
+            buf = alloc("t@2", b * 80000);
+            free(scratch);
+        }
+    "#;
+
+    #[test]
+    fn probe_finds_first_divergent_read() {
+        let p = parse(SNAP_SRC).unwrap();
+        let seed = [0, 8, 0, 4];
+        // Bytes 2..4 are divergent (the `b` field); bytes 0..2 drive the
+        // prefix loop and are read first.
+        let (r, probe) = run_probed(&p, &seed, Concrete, &MachineConfig::default(), &[2, 3]);
+        assert_eq!(r.outcome, Outcome::Completed);
+        let step = probe.expect("b is read on this path");
+        // The prefix (field a, the 8-iteration loop) executes first, so
+        // the divergent read happens well past the first statements.
+        assert!(step > 10, "divergent read at step {step}");
+        // A watch on the first field fires at the very first statement's
+        // call argument evaluation instead.
+        let (_, early) = run_probed(&p, &seed, Concrete, &MachineConfig::default(), &[0, 1]);
+        assert!(early.expect("a is read") < step);
+    }
+
+    #[test]
+    fn capture_and_resume_are_byte_identical() {
+        let p = parse(SNAP_SRC).unwrap();
+        let seed = [0, 8, 0, 4];
+        let cfg = MachineConfig::default();
+        let (_, probe) = run_probed(&p, &seed, Concrete, &cfg, &[2, 3]);
+        let (full, snap) = run_and_capture(&p, &seed, Concrete, &cfg, probe.unwrap());
+        let snap = snap.expect("capture point reached");
+        assert!(snap.steps() > 0);
+        assert_eq!(image(&full), image(&run(&p, &seed, Concrete, &cfg)));
+        // Resume on candidates that differ only in the divergent field:
+        // a triggering one (b = 0xEA60 = 60000, 60000*80000 wraps) and a
+        // rejected one (b = 0xFFFF fails the check).
+        for cand in [
+            vec![0, 8, 0xEA, 0x60],
+            vec![0, 8, 0xFF, 0xFF],
+            seed.to_vec(),
+        ] {
+            let resumed = run_from(&p, &cand, &snap, &cfg).expect("prefix agrees");
+            let scratch = run(&p, &cand, Concrete, &cfg);
+            assert_eq!(image(&resumed), image(&scratch), "input {cand:02x?}");
+            assert_eq!(resumed.steps, scratch.steps);
+        }
+    }
+
+    #[test]
+    fn resume_refuses_divergent_prefixes() {
+        let p = parse(SNAP_SRC).unwrap();
+        let seed = [0, 8, 0, 4];
+        let cfg = MachineConfig::default();
+        let (_, probe) = run_probed(&p, &seed, Concrete, &cfg, &[2, 3]);
+        let (_, snap) = run_and_capture(&p, &seed, Concrete, &cfg, probe.unwrap());
+        let snap = snap.unwrap();
+        // Byte 1 feeds the prefix loop: a snapshot resumed on an input
+        // that disagrees there would replay the wrong prefix, so the
+        // validation log must reject it.
+        assert!(run_from(&p, &[0, 9, 0, 4], &snap, &cfg).is_none());
+        assert!(snap.reads_logged() >= 2);
+    }
+
+    #[test]
+    fn crc_checks_validate_semantically() {
+        // The checksum covers the divergent field, so its *bytes* differ
+        // between candidates — but reconstruction repairs the stored CRC,
+        // and validation compares outcomes, not bytes.
+        let src = r#"fn main() {
+            if !crc32_ok(0, 2, 2) { error("bad crc"); }
+            pad = in[6];
+            n = zext32(in[0]) << 8 | zext32(in[1]);
+            buf = alloc("t@1", n * 70000);
+        }"#;
+        let p = parse(src).unwrap();
+        let build = |n: u16| {
+            let mut v = n.to_be_bytes().to_vec();
+            v.extend_from_slice(&diode_lang::checksum::crc32(&v.clone()).to_be_bytes());
+            v.push(0xaa);
+            v
+        };
+        let seed = build(4);
+        let cfg = MachineConfig::default();
+        // The divergent field is read by the crc intrinsic first, but that
+        // read is semantic: the probe only fires at the direct in[0] read.
+        let (_, probe) = run_probed(&p, &seed, Concrete, &cfg, &[0, 1]);
+        let (_, snap) = run_and_capture(&p, &seed, Concrete, &cfg, probe.unwrap());
+        let snap = snap.unwrap();
+        // A repaired candidate with a different field value resumes...
+        let cand = build(0xFFFF);
+        let resumed = run_from(&p, &cand, &snap, &cfg).expect("repaired crc validates");
+        assert_eq!(image(&resumed), image(&run(&p, &cand, Concrete, &cfg)));
+        // ...while a corrupted one (crc outcome flips) is refused.
+        let mut corrupt = build(0xFFFF);
+        corrupt[3] ^= 1;
+        assert!(run_from(&p, &corrupt, &snap, &cfg).is_none());
+    }
+
+    #[test]
+    fn capture_inside_call_and_loop_restores_control() {
+        // The capture point lands mid-loop inside a callee frame; the
+        // rebuilt control stack must resume exactly there.
+        let src = r#"
+            fn fill(n) {
+                buf = alloc("inner@1", 32);
+                j = 0;
+                while j < n {
+                    buf[j] = trunc8(zext32(in[4]) + j);
+                    j = j + 1;
+                }
+                return j;
+            }
+            fn main() {
+                pre = zext32(in[0]);
+                k = fill(pre + 3);
+                post = zext32(in[8]);
+                out = alloc("t@2", post * 90000);
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let seed = [5, 0, 0, 0, 7, 0, 0, 0, 1];
+        let cfg = MachineConfig::default();
+        let (_, probe) = run_probed(&p, &seed, Concrete, &cfg, &[4]);
+        let step = probe.expect("in[4] read inside the loop");
+        // Capture one step *after* the first in[4] read as well, to land
+        // mid-loop with the callee frame live.
+        for target in [step, step + 2] {
+            let (full, snap) = run_and_capture(&p, &seed, Concrete, &cfg, target);
+            let snap = snap.expect("capture point reached");
+            assert_eq!(image(&full), image(&run(&p, &seed, Concrete, &cfg)));
+            let mut cand = seed.to_vec();
+            cand[8] = 0xEA; // post * 90000 overflows
+            if let Some(resumed) = run_from(&p, &cand, &snap, &cfg) {
+                assert_eq!(image(&resumed), image(&run(&p, &cand, Concrete, &cfg)));
+            } else {
+                // Snapshot past the in[4] read logs byte 4 — candidates
+                // agreeing there must validate.
+                panic!("candidate agrees on every logged byte");
+            }
+        }
+    }
+
+    #[test]
+    fn taint_and_symbolic_snapshots_resume_identically() {
+        let p = parse(SNAP_SRC).unwrap();
+        let seed = [0, 8, 0, 4];
+        let cfg = MachineConfig::default();
+        let cand = vec![0, 8, 0xEA, 0x60];
+        let (_, probe) = run_probed(&p, &seed, Taint, &cfg, &[2, 3]);
+        let (_, snap) = run_and_capture(&p, &seed, Taint, &cfg, probe.unwrap());
+        let resumed = run_from(&p, &cand, &snap.unwrap(), &cfg).unwrap();
+        assert_eq!(image(&resumed), image(&run(&p, &cand, Taint, &cfg)));
+
+        let sym = Symbolic::all_bytes();
+        let (_, probe) = run_probed(&p, &seed, sym.clone(), &cfg, &[2, 3]);
+        let (_, snap) = run_and_capture(&p, &seed, sym.clone(), &cfg, probe.unwrap());
+        let resumed = run_from(&p, &cand, &snap.unwrap(), &cfg).unwrap();
+        assert_eq!(image(&resumed), image(&run(&p, &cand, sym, &cfg)));
+    }
+
+    #[test]
+    fn run_halting_before_capture_point_yields_no_snapshot() {
+        let p = parse(SNAP_SRC).unwrap();
+        let cfg = MachineConfig::default();
+        // b = 0xFFFF is rejected before... actually the error sits *after*
+        // the capture point; instead pick a capture step beyond the run's
+        // length to exercise the no-capture path.
+        let (r, snap) = run_and_capture(&p, &[0, 8, 0, 4], Concrete, &cfg, 1_000_000);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(snap.is_none());
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Prefix snapshots: freezing a run mid-flight and resuming it on a new
+//! input.
+//!
+//! DIODE's enforcement loop (paper §3.3, Figure 7) re-executes a fresh
+//! candidate input from `main` on every iteration, yet for multi-site
+//! programs every candidate traverses the *same* prefix — the parsing and
+//! processing of everything before the target site's own fields. A
+//! [`Snapshot`] captures the complete machine state at a statement
+//! boundary: heap (cheaply, via the heap's `Arc`-backed copy-on-write
+//! payloads), shadow policy state, call frames with their environments
+//! and control stacks, the recorded branch/allocation/warning prefixes,
+//! and the step counter.
+//!
+//! Soundness does not rest on the caller choosing the snapshot point
+//! well: the capture run logs **every input observation of the prefix**
+//! — each `in[i]` read (with its value), whether `inlen` was consulted,
+//! and the outcome of every `crc32_ok` intrinsic (validated semantically,
+//! so checksum-repaired candidates still match even though their CRC
+//! bytes differ). [`Snapshot::validates`] replays that log against a new
+//! input; only when every observation agrees is the resumed execution
+//! guaranteed byte-identical to a from-scratch run, and
+//! [`run_from`](crate::run_from) refuses to resume otherwise. The
+//! divergence-*probing* run ([`run_probed`](crate::run_probed)) merely
+//! picks a good snapshot point (the last statement boundary before the
+//! first read of a divergent byte); a bad pick costs resumption misses,
+//! never correctness.
+
+use std::collections::HashMap;
+
+use diode_lang::{ProcId, Symbol};
+
+use crate::heap::Heap;
+use crate::machine::{AllocRecord, BranchObs};
+use crate::shadow::Shadow;
+use crate::value::Value;
+
+/// A control-stack entry in program-independent form. Each entry records
+/// how its block (or loop head) was entered relative to the entry below
+/// it, which is enough to rebuild the borrowed control stack against the
+/// same [`Program`](diode_lang::Program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ContImage {
+    /// The frame's root block (the procedure body), next stmt at `idx`.
+    Root {
+        /// Next statement index.
+        idx: usize,
+    },
+    /// The `then` block of the `if` just before the parent entry's index.
+    Then {
+        /// Next statement index.
+        idx: usize,
+    },
+    /// The `else` block of that `if`.
+    Else {
+        /// Next statement index.
+        idx: usize,
+    },
+    /// A `while` being iterated (condition evaluation is next); the
+    /// statement sits just before the parent entry's index.
+    Loop,
+    /// The body block of the `Loop` entry directly below.
+    LoopBody {
+        /// Next statement index.
+        idx: usize,
+    },
+}
+
+/// One call frame in program-independent form.
+#[derive(Debug, Clone)]
+pub(crate) struct FrameImage<T> {
+    /// The procedure this frame executes.
+    pub proc: ProcId,
+    /// Where the caller stores the frame's return value.
+    pub ret_dst: Option<Symbol>,
+    /// The local environment.
+    pub env: HashMap<Symbol, Value<T>>,
+    /// The control stack, outermost first.
+    pub control: Vec<ContImage>,
+}
+
+/// Input observations made during a prefix, logged by the capture run and
+/// replayed by [`Snapshot::validates`].
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ReadLog {
+    /// Every `in[i]` read: offset → observed byte (0 past EOF).
+    pub reads: HashMap<u64, u8>,
+    /// Every `crc32_ok(start, len, stored)` evaluation and its outcome.
+    pub crcs: Vec<(u64, u64, u64, bool)>,
+    /// The input length, if `inlen` was consulted.
+    pub inlen: Option<u64>,
+}
+
+/// A frozen machine state at a statement boundary, resumable on any input
+/// that [`validates`](Snapshot::validates).
+pub struct Snapshot<S: Shadow> {
+    pub(crate) shadow: S,
+    pub(crate) steps: u64,
+    pub(crate) heap: Heap<S::Tag>,
+    pub(crate) frames: Vec<FrameImage<S::Tag>>,
+    pub(crate) branches: Vec<BranchObs<S::CondTag>>,
+    pub(crate) allocs: Vec<AllocRecord<S::Tag>>,
+    pub(crate) warnings: Vec<String>,
+    /// Sorted `(offset, byte)` log of every prefix input read.
+    pub(crate) reads: Vec<(u64, u8)>,
+    pub(crate) crcs: Vec<(u64, u64, u64, bool)>,
+    pub(crate) inlen: Option<u64>,
+}
+
+impl<S: Shadow> std::fmt::Debug for Snapshot<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("steps", &self.steps)
+            .field("frames", &self.frames.len())
+            .field("reads", &self.reads.len())
+            .field("crcs", &self.crcs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The byte an `in[off]` read observes: the input byte, or 0 past EOF.
+fn byte_or_zero(input: &[u8], off: u64) -> u8 {
+    if off < input.len() as u64 {
+        input[off as usize]
+    } else {
+        0
+    }
+}
+
+/// The `crc32_ok` intrinsic's semantics, shared between live evaluation
+/// and snapshot validation.
+#[must_use]
+pub(crate) fn crc_check(input: &[u8], start: u64, len: u64, stored_off: u64) -> bool {
+    let end = start.saturating_add(len);
+    let input_len = input.len() as u64;
+    if end > input_len || stored_off.saturating_add(4) > input_len {
+        return false;
+    }
+    let data = &input[start as usize..end as usize];
+    let stored = u32::from_be_bytes(
+        input[stored_off as usize..stored_off as usize + 4]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    diode_lang::checksum::crc32(data) == stored
+}
+
+impl<S: Shadow> Snapshot<S> {
+    /// Statements executed in the captured prefix.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Distinct input offsets the prefix observed directly.
+    #[must_use]
+    pub fn reads_logged(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// True when resuming on `input` is guaranteed byte-identical to a
+    /// from-scratch run: every prefix input observation — byte reads,
+    /// `inlen`, and `crc32_ok` outcomes — agrees with `input`.
+    #[must_use]
+    pub fn validates(&self, input: &[u8]) -> bool {
+        if let Some(len) = self.inlen {
+            if input.len() as u64 != len {
+                return false;
+            }
+        }
+        self.reads
+            .iter()
+            .all(|&(off, val)| byte_or_zero(input, off) == val)
+            && self
+                .crcs
+                .iter()
+                .all(|&(s, l, d, out)| crc_check(input, s, l, d) == out)
+    }
+}

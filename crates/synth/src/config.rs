@@ -207,6 +207,13 @@ pub struct SynthConfig {
     /// `png_memset`) in front of sites, exercising the enforcement loop's
     /// blocking-check skipping.
     pub blocking_loops: bool,
+    /// Per-site processing-work loop iterations: each planted site is
+    /// preceded by an input-independent arithmetic loop of this many
+    /// iterations, modelling the parsing/decoding work real applications
+    /// do between allocation sites (what makes re-executing a prefix
+    /// expensive, and prefix snapshots worthwhile). `0` (the default)
+    /// plants nothing and keeps previously forged suites byte-identical.
+    pub site_work: u32,
     /// Seed inputs per application (each becomes its own campaign unit).
     pub seeds_per_app: usize,
     /// Master RNG seed.
@@ -237,6 +244,7 @@ impl Default for SynthConfig {
             mix: ClassMix::default(),
             checksum: true,
             blocking_loops: true,
+            site_work: 0,
             seeds_per_app: 1,
             rng_seed: 0xD10D_E5EE,
         }

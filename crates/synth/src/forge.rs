@@ -361,7 +361,7 @@ fn true_extent_expr(shape: Shape, vars: &[Symbol]) -> Aexp {
 }
 
 /// Builds the whole forged program for one application.
-fn build_program(app_idx: usize, plans: &[SitePlan], layout: &Layout) -> Program {
+fn build_program(app_idx: usize, plans: &[SitePlan], layout: &Layout, site_work: u32) -> Program {
     let mut b = ProgramBuilder::new();
     let main = b.declare_proc("main");
     let be16 = b.declare_proc("be16at");
@@ -404,6 +404,26 @@ fn build_program(app_idx: usize, plans: &[SitePlan], layout: &Layout) -> Program
     }
 
     for (k, plan) in plans.iter().enumerate() {
+        // Optional processing-work loop: input-independent arithmetic
+        // standing in for the parsing/decoding work between sites. No
+        // RNG draws (forged content with `site_work = 0` stays
+        // byte-identical to older forges).
+        if site_work > 0 {
+            let acc = b.var(&format!("work{k}"));
+            let j = b.var(&format!("wj{k}"));
+            stmts.push(b.assign(acc, exp::c32(0x9E37_0001 ^ (k as u32))));
+            stmts.push(b.assign(j, exp::c32(0)));
+            let churn = b.assign(
+                acc,
+                exp::add(exp::mul(exp::v(acc), exp::c32(0x9E37_79B1)), exp::v(j)),
+            );
+            let bump = b.assign(j, exp::add(exp::v(j), exp::c32(1)));
+            stmts.push(b.while_(
+                exp::ult(exp::v(j), exp::c32(site_work)),
+                Block(vec![churn, bump]),
+            ));
+        }
+
         // Field extraction (parser-style, via the loader helpers).
         let vars: Vec<Symbol> = plan
             .fields
@@ -579,7 +599,7 @@ fn forge_app(cfg: &SynthConfig, app_idx: usize, rng: &mut StdRng) -> (CampaignAp
         })
         .collect();
 
-    let program = build_program(app_idx, &plans, &layout);
+    let program = build_program(app_idx, &plans, &layout, cfg.site_work);
     let name = format!("forge-{app_idx:03}");
 
     let (first_seed, format) = build_seed(app_idx, &plans, &all_values[0], &layout);

@@ -180,7 +180,7 @@ impl Fnv64 {
 fn config_canon(cfg: &SynthConfig) -> String {
     let widths: Vec<&str> = cfg.widths.iter().map(|w| w.token()).collect();
     let shapes: Vec<&str> = cfg.shapes.iter().map(|s| s.token()).collect();
-    format!(
+    let mut base = format!(
         "apps={};sites={}..{};depth={};widths={};shapes={};mix={}/{}/{};\
          checksum={};blocking={};seeds={};rng={:#x}",
         cfg.apps,
@@ -196,7 +196,13 @@ fn config_canon(cfg: &SynthConfig) -> String {
         cfg.blocking_loops,
         cfg.seeds_per_app,
         cfg.rng_seed,
-    )
+    );
+    // Appended only when set, so every pre-existing suite (site_work 0)
+    // keeps its stored content hash.
+    if cfg.site_work > 0 {
+        base.push_str(&format!(";work={}", cfg.site_work));
+    }
+    base
 }
 
 /// Content hash of one app: name, canonical program text, format spec,
