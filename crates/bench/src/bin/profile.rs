@@ -1,0 +1,95 @@
+//! Fold a `diode-obs` JSONL campaign trace into a per-phase / per-site
+//! breakdown report.
+//!
+//! Usage: `cargo run --release -p diode-bench --bin profile -- --trace PATH [FLAGS]`
+//!
+//! * `--trace PATH`          the JSONL trace to fold (written by
+//!   `synth_campaign --trace`); required
+//! * `--json`                machine-readable single-line JSON instead
+//!   of the human table
+//! * `--top N`               keep the N slowest sites (default 10)
+//! * `--collapsed PATH`      additionally write collapsed stacks
+//!   (`app;site;phase... weight` lines) for flamegraph tooling, e.g.
+//!   `flamegraph.pl PATH > flame.svg`
+//! * `--require-phases a,b`  exit non-zero unless every named phase
+//!   appears in the trace with nonzero total duration (the CI
+//!   `obs-profile` gate)
+//!
+//! Exits 2 on unreadable/invalid traces, 1 on a failed phase gate.
+
+use diode_bench::flag_str;
+use diode_obs::{collapsed_stacks, Phase, ProfileReport, Trace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let Some(path) = flag_str(&args, "--trace") else {
+        eprintln!("profile: --trace PATH is required");
+        std::process::exit(2);
+    };
+    let top = flag_str(&args, "--top")
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("profile: --top expects a number, got {v:?}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(10);
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("profile: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let trace = match Trace::from_jsonl(&text) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("profile: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = ProfileReport::from_trace(&trace, top);
+
+    if let Some(out) = flag_str(&args, "--collapsed") {
+        if let Err(e) = std::fs::write(&out, collapsed_stacks(&trace)) {
+            eprintln!("profile: cannot write {out}: {e}");
+            std::process::exit(2);
+        }
+        if !json {
+            println!("Wrote collapsed stacks to {out} (fold with flamegraph.pl)");
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render());
+    }
+
+    if let Some(required) = flag_str(&args, "--require-phases") {
+        let mut missing = Vec::new();
+        for name in required.split(',').filter(|n| !n.is_empty()) {
+            let Some(phase) = Phase::parse(name) else {
+                eprintln!("profile: --require-phases: unknown phase {name:?}");
+                std::process::exit(2);
+            };
+            match report.breakdown.phase(phase) {
+                Some(row) if row.count > 0 && row.total_ns > 0 => {}
+                _ => missing.push(name),
+            }
+        }
+        if !missing.is_empty() {
+            eprintln!(
+                "profile: phase gate FAILED — no spans (or zero duration) for: {}",
+                missing.join(", ")
+            );
+            std::process::exit(1);
+        }
+        if !json {
+            println!("Phase gate passed: {required}");
+        }
+    }
+}

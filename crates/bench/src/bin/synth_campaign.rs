@@ -23,6 +23,14 @@
 //!   emit the wall-time speedup into the `BENCH_engine.json` artifact
 //! * `--no-snapshots`    disable prefix-snapshot re-execution for the
 //!   plain (non-artifact) run
+//! * `--trace PATH`      record a structured `diode-obs` trace of the
+//!   campaign and write it to PATH as versioned JSONL (works in plain
+//!   and artifact modes; fold it with the `profile` bin)
+//! * `--profile`         run with tracing and print the per-phase /
+//!   per-site breakdown after the campaign (adds a `profile` field in
+//!   `--json` mode)
+//! * `--progress`        stream per-site progress lines to stderr with
+//!   live solver-cache and snapshot hit rates
 //! * `--json`            machine-readable output (throughput, cache
 //!   hit/miss counters, recall/precision) in the BENCH json schema
 //! * `--sequential`      single-threaded reference path (also
@@ -33,11 +41,15 @@
 //! `synth-smoke` gate — or when `--bench-replay` finds the snapshot-on
 //! report diverging from the snapshot-off report.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use diode_bench::jsonout::{cache_json, counts_json, ms, score_json, snapshot_json, Json};
 use diode_bench::{flag_f64, flag_num, flag_str, render_synth, synth_rows, AnalysisBackend};
-use diode_engine::{CampaignReport, CampaignSpec, ExecutionMode};
+use diode_engine::{
+    CampaignEvent, CampaignReport, CampaignSpec, ExecutionMode, ProgressSink, Recorder,
+};
+use diode_obs::{JsonlFileSink, ProfileReport, Trace, TraceSink};
 use diode_synth::{forge, score, ForgedSuite, ScoreCard, SynthConfig};
 
 /// Worker counts of the `--sweep` scaling curve.
@@ -97,7 +109,21 @@ fn main() {
     }
 
     let snapshots = !args.iter().any(|a| a == "--no-snapshots");
-    let (report, card) = run_campaign(&suite, backend.execution_mode(), snapshots);
+    let trace_path = flag_str(&args, "--trace");
+    let profile = args.iter().any(|a| a == "--profile");
+    let progress = args.iter().any(|a| a == "--progress");
+    let recorder = (trace_path.is_some() || profile).then(|| Arc::new(Recorder::new()));
+    let (report, card) = run_campaign_observed(
+        &suite,
+        backend.execution_mode(),
+        snapshots,
+        recorder.clone(),
+        progress,
+    );
+    let trace = recorder.as_ref().map(|r| stamped_trace(r, &report));
+    if let (Some(path), Some(trace)) = (&trace_path, &trace) {
+        write_trace(path, trace);
+    }
     let rows = synth_rows(&report, &suite.oracle);
 
     let wall_s = report.wall_time.as_secs_f64().max(1e-9);
@@ -106,7 +132,7 @@ fn main() {
     let passed = gate_passes(&card, min_recall);
 
     if json {
-        let out = Json::obj()
+        let mut out = Json::obj()
             .field("table", "synth_campaign")
             .field("backend", backend.name())
             .field("config", config_json(&cfg))
@@ -132,6 +158,11 @@ fn main() {
                     .field("achieved_recall", card.recall())
                     .field("passed", passed),
             );
+        if let Some(trace) = &trace {
+            if profile {
+                out = out.field("profile", profile_json(trace));
+            }
+        }
         println!("{out}");
     } else {
         println!(
@@ -185,6 +216,14 @@ fn main() {
         if min_recall >= 1.0 && !card.is_perfect() {
             println!("RESULT: MISCLASSIFICATION against the forge oracle.");
         }
+        if let Some(trace) = &trace {
+            if profile {
+                println!("\n{}", ProfileReport::from_trace(trace, 10).render());
+            }
+            if let Some(path) = &trace_path {
+                println!("Wrote JSONL trace to {path}");
+            }
+        }
     }
     if !passed {
         std::process::exit(1);
@@ -207,14 +246,89 @@ fn run_campaign(
     mode: ExecutionMode,
     snapshots: bool,
 ) -> (CampaignReport, ScoreCard) {
+    run_campaign_observed(suite, mode, snapshots, None, false)
+}
+
+/// [`run_campaign`] with an optional `diode-obs` recorder attached and
+/// optional live per-site progress streaming to stderr.
+fn run_campaign_observed(
+    suite: &ForgedSuite,
+    mode: ExecutionMode,
+    snapshots: bool,
+    recorder: Option<Arc<Recorder>>,
+    progress: bool,
+) -> (CampaignReport, ScoreCard) {
     let mut spec = CampaignSpec {
         mode,
         ..CampaignSpec::from_corpus(suite)
     };
     spec.config.prefix_snapshots = snapshots;
-    let report = spec.run();
+    spec.recorder = recorder;
+    let report = if progress {
+        spec.run_with_progress(&LiveProgress)
+    } else {
+        spec.run()
+    };
     let card = score(&report, &suite.oracle);
     (report, card)
+}
+
+/// `--progress`: streams one line per finished site to stderr, with the
+/// live shared-cache and snapshot counters the events now carry.
+struct LiveProgress;
+
+impl ProgressSink for LiveProgress {
+    fn on_event(&self, event: CampaignEvent<'_>) {
+        if let CampaignEvent::SiteFinished {
+            app,
+            site,
+            outcome,
+            discovery_time,
+            cache,
+            snapshots,
+            ..
+        } = event
+        {
+            let kind = match outcome {
+                diode_core::SiteOutcome::Exposed(_) => "exposed",
+                diode_core::SiteOutcome::TargetUnsat => "unsat",
+                diode_core::SiteOutcome::Prevented(_) => "prevented",
+                diode_core::SiteOutcome::Unknown => "unknown",
+            };
+            let cache = cache
+                .map(|c| format!("  cache {:.0}% hit", c.hit_rate() * 100.0))
+                .unwrap_or_default();
+            let snapshots = snapshots
+                .map(|s| format!("  resume {:.0}%", s.resume_rate() * 100.0))
+                .unwrap_or_default();
+            eprintln!(
+                "[live] {app}/{site}: {kind} in {:.1}ms{cache}{snapshots}",
+                discovery_time.as_secs_f64() * 1e3,
+            );
+        }
+    }
+}
+
+/// The recorder's merged trace, stamped with the campaign's wall time
+/// and thread count so folded reports can compute coverage.
+fn stamped_trace(recorder: &Recorder, report: &CampaignReport) -> Trace {
+    let mut trace = recorder.trace();
+    trace.wall_ns = Some(report.wall_time.as_nanos() as u64);
+    trace.threads = Some(report.threads as u32);
+    trace
+}
+
+fn write_trace(path: &str, trace: &Trace) {
+    if let Err(e) = JsonlFileSink::new(path).emit(trace) {
+        eprintln!("synth_campaign: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// The folded profile as a `Json` value for embedding in artifacts.
+fn profile_json(trace: &Trace) -> Json {
+    Json::parse(&ProfileReport::from_trace(trace, 10).to_json())
+        .expect("profile JSON is well-formed")
 }
 
 /// The recall gate. At the default (and maximum) threshold of 1.0 the
@@ -355,6 +469,36 @@ fn run_artifact(
         let (section, passed) = run_replay_bench(cfg, suite, json, min_recall);
         all_passed &= passed;
         artifact = artifact.field("replay", section);
+    }
+
+    // Phase attribution: one traced run at the full worker complement
+    // contributes per-phase totals to the artifact, so speed PRs can be
+    // gated on the phase they claim to improve. `--trace PATH`
+    // additionally writes the raw JSONL trace for the `profile` bin.
+    {
+        let recorder = Arc::new(Recorder::new());
+        let (report, card) = run_campaign_observed(
+            suite,
+            ExecutionMode::Parallel { threads: None },
+            true,
+            Some(Arc::clone(&recorder)),
+            false,
+        );
+        all_passed &= gate_passes(&card, min_recall);
+        let trace = stamped_trace(&recorder, &report);
+        if let Some(path) = flag_str(args, "--trace") {
+            write_trace(&path, &trace);
+        }
+        let profile = ProfileReport::from_trace(&trace, 10);
+        if !json {
+            println!(
+                "Traced run: wall {:.1}ms, instrumented compute {:.1}ms, queue wait {:.1}ms",
+                ms(report.wall_time),
+                profile.breakdown.top_level_ns as f64 / 1e6,
+                profile.breakdown.queue_wait_ns as f64 / 1e6,
+            );
+        }
+        artifact = artifact.field("phases", profile_json(&trace));
     }
 
     let text = artifact.to_string();

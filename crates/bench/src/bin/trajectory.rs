@@ -3,8 +3,13 @@
 //! speedup.
 //!
 //! Reads the `BENCH_engine.json` artifact that `synth_campaign --sweep
-//! --bench-replay` wrote, appends one record to `BENCH_trajectory.json`
-//! (creating it if absent), and **fails** when
+//! --bench-replay` wrote, appends one record — including the per-phase
+//! duration breakdown when the artifact carries one — to
+//! `BENCH_trajectory.json` (creating it if absent). The existing
+//! trajectory is schema-validated on load (clear per-record errors,
+//! exit 2); records that predate an axis (`threads`/`sizes`/`replay`/
+//! `phases`) are tolerated and backfilled with `null`. The gate
+//! **fails** when
 //!
 //! * the snapshot-on configuration is slower than snapshot-off
 //!   (`replay.speedup < --min-speedup`, default 1.0), or
@@ -66,21 +71,9 @@ fn main() {
         .and_then(|r| r.get("identical"))
         .and_then(Json::as_bool);
 
-    // Previous trajectory (absent file = empty trajectory).
-    let mut records: Vec<Json> = match std::fs::read_to_string(&out_path) {
-        Ok(text) => match Json::parse(&text) {
-            Ok(v) => v
-                .get("records")
-                .and_then(Json::as_arr)
-                .map(<[Json]>::to_vec)
-                .unwrap_or_default(),
-            Err(e) => {
-                eprintln!("trajectory: {out_path}: {e}");
-                std::process::exit(2);
-            }
-        },
-        Err(_) => Vec::new(),
-    };
+    // Previous trajectory (absent file = empty trajectory), validated
+    // and normalised so downstream consumers see a uniform shape.
+    let mut records = load_records(&out_path);
     let prev_on_ms = records
         .iter()
         .rev()
@@ -169,8 +162,66 @@ fn main() {
     }
 }
 
+/// Axis keys every record carries; absent or omitted ones (e.g. in the
+/// hand-written seed record) are backfilled with an explicit `null`.
+const AXES: [&str; 5] = ["config", "threads", "sizes", "replay", "phases"];
+
+/// Load and validate the existing trajectory. An absent file is an empty
+/// trajectory; a present file must be an object with a `records` array
+/// whose entries each carry string `commit` and `date` fields — anything
+/// else is a clear, line-item error (exit 2), not a silent drop. Records
+/// that predate an axis (the seed record has no `threads`/`sizes`/
+/// `replay`, pre-observability records have no `phases`) are tolerated:
+/// the missing keys are backfilled with `null` so consumers can index
+/// every record identically.
+fn load_records(out_path: &str) -> Vec<Json> {
+    let Ok(text) = std::fs::read_to_string(out_path) else {
+        return Vec::new();
+    };
+    let doc = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("trajectory: {out_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(records) = doc.get("records").and_then(Json::as_arr) else {
+        eprintln!(
+            "trajectory: {out_path}: expected an object with a \"records\" array \
+             (is this really a bench_trajectory file?)"
+        );
+        std::process::exit(2);
+    };
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let Json::Obj(fields) = r else {
+                eprintln!("trajectory: {out_path}: record #{i} is not an object: {r}");
+                std::process::exit(2);
+            };
+            for key in ["commit", "date"] {
+                if r.get(key).and_then(Json::as_str).is_none() {
+                    eprintln!(
+                        "trajectory: {out_path}: record #{i} is missing a string {key:?} field"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            let mut fields = fields.clone();
+            for axis in AXES {
+                if r.get(axis).is_none() {
+                    fields.push((axis.to_string(), Json::Null));
+                }
+            }
+            Json::Obj(fields)
+        })
+        .collect()
+}
+
 /// One trajectory record: commit + date, the benchmark config, per-config
-/// wall times from both sweep axes, and the snapshot-replay comparison.
+/// wall times from both sweep axes, the snapshot-replay comparison, and
+/// (since the observability layer) the per-phase duration breakdown.
 fn build_record(commit: &str, date: &str, bench: &Json) -> Json {
     let axis = |key: &str, fields: &[&str]| -> Json {
         match bench.get(key).and_then(Json::as_arr) {
@@ -193,6 +244,7 @@ fn build_record(commit: &str, date: &str, bench: &Json) -> Json {
         .field("threads", axis("runs", &["threads", "wall_ms", "speedup"]))
         .field("sizes", axis("size_runs", &["apps", "sites", "wall_ms"]))
         .field("replay", bench.get("replay").cloned().unwrap_or(Json::Null))
+        .field("phases", bench.get("phases").cloned().unwrap_or(Json::Null))
 }
 
 /// Today's UTC date as `YYYY-MM-DD`, via the standard civil-from-days

@@ -260,6 +260,7 @@ pub fn table1_rows(apps: &[App], config: &DiodeConfig, backend: AnalysisBackend)
         // Table 1 is pure classification; re-validation belongs to the
         // campaign API's bug-report consumers.
         verify_exposed: false,
+        recorder: None,
     };
     let report = spec.run();
     report

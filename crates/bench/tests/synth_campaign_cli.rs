@@ -125,6 +125,190 @@ fn bench_replay_requires_identity_and_reports_speedup() {
 }
 
 #[test]
+fn trace_profile_flow_from_campaign_to_profile_bin() {
+    let dir = std::env::temp_dir().join(format!("diode-obs-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let folded = dir.join("profile.folded");
+
+    // A traced campaign emits the JSONL trace and an inline profile.
+    let (ok, out) = run(&[
+        "--apps",
+        "3",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--profile",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    assert!(
+        out.contains("\"profile\":{\"table\":\"obs_profile\""),
+        "{out}"
+    );
+    assert!(out.contains("\"phases\":["), "{out}");
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(text.starts_with("{\"type\":\"trace\",\"v\":1"), "{text}");
+
+    // The profile bin folds it, passes the phase gate, and writes
+    // collapsed stacks.
+    let profile = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_profile"))
+            .args(args)
+            .output()
+            .expect("profile runs");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+    let (ok, out, err) = profile(&[
+        "--trace",
+        trace.to_str().unwrap(),
+        "--json",
+        "--collapsed",
+        folded.to_str().unwrap(),
+        "--require-phases",
+        "identify,extract,solve,enforce,interp_run",
+    ]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    for needle in [
+        "\"table\":\"obs_profile\"",
+        "\"phase\":\"solve\"",
+        "\"top_sites\":[",
+        "\"counters\":{",
+        "\"solver.queries\":",
+    ] {
+        assert!(out.contains(needle), "missing {needle} in:\n{out}");
+    }
+    let stacks = std::fs::read_to_string(&folded).expect("collapsed stacks written");
+    let line = stacks.lines().next().expect("nonempty stacks");
+    assert!(
+        line.rsplit_once(' ').is_some_and(|(frames, weight)| {
+            frames.contains(';') && weight.parse::<u64>().is_ok()
+        }),
+        "not a collapsed-stack line: {line}"
+    );
+
+    // A trace missing a required phase fails the gate with exit 1.
+    let sparse = dir.join("sparse.jsonl");
+    std::fs::write(
+        &sparse,
+        "{\"type\":\"trace\",\"v\":1}\n\
+         {\"type\":\"span\",\"phase\":\"solve\",\"app\":\"a\",\"seed\":0,\
+         \"seq\":0,\"start_ns\":0,\"dur_ns\":10}\n",
+    )
+    .unwrap();
+    let (ok, _, err) = profile(&[
+        "--trace",
+        sparse.to_str().unwrap(),
+        "--require-phases",
+        "solve,identify",
+    ]);
+    assert!(!ok, "gate must fail for an absent phase");
+    assert!(
+        err.contains("phase gate FAILED") && err.contains("identify"),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trajectory_tolerates_and_backfills_null_seed_records() {
+    let dir = std::env::temp_dir().join(format!("diode-traj-null-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("BENCH_engine.json");
+    let traj = dir.join("BENCH_trajectory.json");
+    // A legacy trajectory: the hand-written seed record has null axes and
+    // predates the `phases` key entirely.
+    std::fs::write(
+        &traj,
+        "{\"table\":\"bench_trajectory\",\"records\":[{\"commit\":\"seed\",\
+         \"date\":\"2026-07-29\",\"threads\":null,\"sizes\":null,\"replay\":null}]}\n",
+    )
+    .unwrap();
+    let (ok, _) = run(&[
+        "--apps",
+        "3",
+        "--sites",
+        "2",
+        "--bench-replay",
+        "--sweep-out",
+        bench.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok);
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_trajectory"))
+        .args([
+            "--bench",
+            bench.to_str().unwrap(),
+            "--out",
+            traj.to_str().unwrap(),
+            "--commit",
+            "after-seed",
+            "--date",
+            "2026-08-08",
+            "--min-speedup",
+            "0.0",
+            "--json",
+        ])
+        .output()
+        .expect("trajectory runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = std::fs::read_to_string(&traj).unwrap();
+    // The seed record survives, normalised: every axis key is present.
+    assert!(
+        text.contains("\"commit\":\"seed\""),
+        "seed record dropped:\n{text}"
+    );
+    let seed_part = text
+        .split("\"commit\":\"after-seed\"")
+        .next()
+        .expect("seed record precedes the new one");
+    for key in [
+        "\"config\":",
+        "\"threads\":",
+        "\"sizes\":",
+        "\"replay\":",
+        "\"phases\":",
+    ] {
+        assert!(
+            seed_part.contains(key),
+            "seed record missing {key}:\n{text}"
+        );
+    }
+
+    // A malformed record is a clear, attributed error — not a silent drop.
+    std::fs::write(
+        &traj,
+        "{\"table\":\"bench_trajectory\",\"records\":[{\"date\":\"2026-07-29\"}]}\n",
+    )
+    .unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_trajectory"))
+        .args([
+            "--bench",
+            bench.to_str().unwrap(),
+            "--out",
+            traj.to_str().unwrap(),
+        ])
+        .output()
+        .expect("trajectory runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("record #0 is missing a string \"commit\" field"),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trajectory_appends_records_and_gates_on_the_replay_speedup() {
     let dir = std::env::temp_dir().join(format!("diode-traj-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -183,8 +183,13 @@ impl DiodeConfig {
     #[must_use]
     pub fn solve_query(&self, cond: &SymBool) -> SolveResult {
         match &self.query_cache {
+            // The cache records its own solve span, with per-query
+            // hit/miss attribution.
             Some(cache) => cache.solve(cond, &self.solver),
-            None => solve_with(cond, &self.solver, None).0,
+            None => {
+                let _span = diode_obs::span(diode_obs::Phase::Solve);
+                solve_with(cond, &self.solver, None).0
+            }
         }
     }
 }
@@ -368,16 +373,21 @@ pub fn analyze_site_with_snapshots(
     // Warmed campaigns resume the stage-2 symbolic seed run from the
     // site's prefix snapshot; everyone else re-executes from `main`.
     let mut extract_was_resumed = false;
-    let extraction = match slot.as_ref().and_then(|s| s.extract_snapshot()) {
-        Some(snapshot) => match extract_resumed(program, seed, site, &config.machine, &snapshot) {
-            Some(e) => {
-                extract_was_resumed = true;
-                slot.as_ref().unwrap().count_extract_resume();
-                Some(e)
+    let extraction = {
+        let _span = diode_obs::span(diode_obs::Phase::Extract);
+        match slot.as_ref().and_then(|s| s.extract_snapshot()) {
+            Some(snapshot) => {
+                match extract_resumed(program, seed, site, &config.machine, &snapshot) {
+                    Some(e) => {
+                        extract_was_resumed = true;
+                        slot.as_ref().unwrap().count_extract_resume();
+                        Some(e)
+                    }
+                    None => extract(program, seed, site, &config.machine),
+                }
             }
             None => extract(program, seed, site, &config.machine),
-        },
-        None => extract(program, seed, site, &config.machine),
+        }
     };
     let Some(extraction) = extraction else {
         return SiteReport {
@@ -400,7 +410,10 @@ pub fn analyze_site_with_snapshots(
         divergent_bytes(&extraction, format),
         slot,
     );
-    let outcome = enforce_with(seed, format, &extraction, config, &mut tester);
+    let outcome = {
+        let _span = diode_obs::span(diode_obs::Phase::Enforce);
+        enforce_with(seed, format, &extraction, config, &mut tester)
+    };
     let snapshot = tester.slot.is_some().then(|| {
         let mut info = tester.info();
         info.extract_resumed = extract_was_resumed;
@@ -436,6 +449,7 @@ pub fn enforce(
         divergent_bytes(extraction, format),
         effective_slot(config, None),
     );
+    let _span = diode_obs::span(diode_obs::Phase::Enforce);
     enforce_with(seed, format, extraction, config, &mut tester)
 }
 

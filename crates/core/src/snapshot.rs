@@ -346,6 +346,7 @@ pub fn warm_unit_slots(
     slots: &[Arc<SiteSlot>],
 ) {
     assert_eq!(targets.len(), slots.len(), "slots parallel to targets");
+    let _span = diode_obs::span(diode_obs::Phase::Warm);
     let mut stops: Vec<(u64, usize)> = Vec::new();
     for (i, target) in targets.iter().enumerate() {
         let step = warm_watch_bytes(target, format)

@@ -22,6 +22,7 @@ use diode_core::{test_candidate, TargetSite};
 use diode_core::{SiteOutcome, SiteReport, SnapshotCache, SnapshotStats};
 use diode_format::FormatDesc;
 use diode_lang::Program;
+use diode_obs::{PhaseBreakdown, Recorder};
 use diode_solver::{CacheStats, SolveResult, SolverCache};
 
 use crate::scheduler::{self, Spawner};
@@ -123,6 +124,12 @@ pub struct CampaignSpec {
     /// constraint (a guaranteed cache hit when caching is on) and re-run
     /// the triggering input, recording the result per site.
     pub verify_exposed: bool,
+    /// Structured-tracing recorder (`diode-obs`). When set and enabled,
+    /// every job runs under a recording scope: phase spans, solver
+    /// cache attribution, and scheduler queue-wait metrics land in the
+    /// recorder, and the report gains a [`PhaseBreakdown`]. Tracing is
+    /// passive — outcomes are byte-identical with it on or off.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl CampaignSpec {
@@ -138,6 +145,7 @@ impl CampaignSpec {
             shared_snapshots: true,
             snapshot_cache: None,
             verify_exposed: true,
+            recorder: None,
         }
     }
 
@@ -163,6 +171,7 @@ impl CampaignSpec {
         let start = Instant::now();
         let (config, cache) = self.effective_config();
         let snapshots = self.effective_snapshots(&config);
+        let recorder = self.recorder.as_ref().filter(|r| r.is_enabled());
         let done = match self.mode {
             ExecutionMode::Sequential => self.run_sequential(&config, snapshots.as_deref(), sink),
             ExecutionMode::Parallel { threads } => {
@@ -181,6 +190,7 @@ impl CampaignSpec {
             wall_time: start.elapsed(),
             threads: self.effective_threads(),
             jobs,
+            phases: recorder.map(|r| PhaseBreakdown::from_trace(&r.trace())),
         };
         sink.on_event(CampaignEvent::Finished {
             wall_time: report.wall_time,
@@ -244,9 +254,14 @@ impl CampaignSpec {
             .enumerate()
             .flat_map(|(app, a)| (0..a.seeds.len()).map(move |seed| Job::Identify { app, seed }))
             .collect();
-        scheduler::execute(initial, threads, |job, spawner: &Spawner<'_, Job>| {
-            self.run_job(job, config, snapshots, sink, Some(spawner))
-        })
+        scheduler::execute_observed(
+            initial,
+            threads,
+            self.recorder.as_ref(),
+            |job, spawner: &Spawner<'_, Job>| {
+                self.run_job(job, config, snapshots, sink, Some(spawner))
+            },
+        )
     }
 
     fn run_sequential(
@@ -294,6 +309,12 @@ impl CampaignSpec {
         match job {
             Job::Identify { app, seed } => {
                 let a = &self.apps[app];
+                // Install the per-job recording scope (no-op when tracing
+                // is off): spans recorded anywhere below — including deep
+                // inside interp/solver — attribute to this unit.
+                let _scope =
+                    diode_obs::job_scope(self.recorder.as_ref(), &a.name, seed as u32, None);
+                let _span = diode_obs::span(diode_obs::Phase::Identify);
                 sink.on_event(CampaignEvent::UnitStarted { app: &a.name, seed });
                 let start = Instant::now();
                 let targets = if let Some(cache) = snapshots {
@@ -341,6 +362,12 @@ impl CampaignSpec {
             }
             Job::Site { app, seed, target } => {
                 let a = &self.apps[app];
+                let _scope = diode_obs::job_scope(
+                    self.recorder.as_ref(),
+                    &a.name,
+                    seed as u32,
+                    Some(&target.site),
+                );
                 let slot =
                     snapshots.map(|c| c.slot(CampaignSpec::unit_key(app, seed), target.label));
                 let report = analyze_site_with_snapshots(
@@ -361,6 +388,8 @@ impl CampaignSpec {
                     site: &report.site,
                     outcome: &report.outcome,
                     discovery_time: report.discovery_time,
+                    cache: config.query_cache.as_ref().map(|c| c.stats()),
+                    snapshots: snapshots.map(diode_core::SnapshotCache::stats),
                 });
                 Done::Site {
                     app,
@@ -380,6 +409,7 @@ impl CampaignSpec {
             SiteOutcome::Exposed(bug) => bug,
             _ => return None,
         };
+        let _span = diode_obs::span(diode_obs::Phase::Validate);
         let constraint_sat = matches!(config.solve_query(&bug.constraint), SolveResult::Sat(_));
         let still_triggers =
             test_candidate(program, &bug.input, report.label, &config.machine).triggered;
@@ -510,6 +540,9 @@ pub struct CampaignReport {
     pub threads: usize,
     /// Jobs executed (identification + per-site).
     pub jobs: usize,
+    /// Per-phase timing summary, when the spec carried an enabled
+    /// recorder. Purely additive: outcomes are unaffected by tracing.
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl CampaignReport {
@@ -584,6 +617,12 @@ pub enum CampaignEvent<'a> {
         outcome: &'a SiteOutcome,
         /// Discovery wall-clock for this site.
         discovery_time: Duration,
+        /// Live shared solver-cache counters at event time, for on-line
+        /// hit-rate display. `None` when no cache is installed.
+        cache: Option<CacheStats>,
+        /// Live prefix-snapshot counters at event time. `None` when no
+        /// snapshot cache is in play.
+        snapshots: Option<SnapshotStats>,
     },
     /// The whole campaign finished.
     Finished {

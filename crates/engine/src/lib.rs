@@ -64,4 +64,5 @@ pub use campaign::{
     CorpusSuite, ExecutionMode, NoProgress, ProgressSink, SiteRecord, UnitReport,
 };
 pub use diode_core::{SnapshotCache, SnapshotStats};
+pub use diode_obs::{PhaseBreakdown, Recorder};
 pub use diode_solver::{CacheStats, SolverCache};

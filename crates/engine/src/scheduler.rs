@@ -28,7 +28,10 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use diode_obs::Recorder;
 
 /// Handle workers use to spawn follow-up jobs onto their own deque.
 pub struct Spawner<'a, J> {
@@ -54,21 +57,33 @@ struct Queues<J> {
     pending: AtomicUsize,
 }
 
+/// Where [`Queues::next_job`] found a job — feeds the scheduler's steal
+/// counter when a recorder is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobSource {
+    /// The worker's own deque.
+    Local,
+    /// The global injector.
+    Injector,
+    /// Stolen from a sibling's deque.
+    Steal,
+}
+
 impl<J> Queues<J> {
     /// Next job for worker `me`: own deque (front), injector, then steal
     /// from siblings (back).
-    fn next_job(&self, me: usize) -> Option<J> {
+    fn next_job(&self, me: usize) -> Option<(J, JobSource)> {
         if let Some(job) = self.deques[me].lock().unwrap().pop_front() {
-            return Some(job);
+            return Some((job, JobSource::Local));
         }
         if let Some(job) = self.injector.lock().unwrap().pop_front() {
-            return Some(job);
+            return Some((job, JobSource::Injector));
         }
         let n = self.deques.len();
         for k in 1..n {
             let victim = (me + k) % n;
             if let Some(job) = self.deques[victim].lock().unwrap().pop_back() {
-                return Some(job);
+                return Some((job, JobSource::Steal));
             }
         }
         None
@@ -95,6 +110,23 @@ where
     R: Send,
     F: Fn(J, &Spawner<'_, J>) -> R + Sync,
 {
+    execute_observed(initial, threads, None, worker)
+}
+
+/// [`execute`] with an optional [`Recorder`]: when attached, workers
+/// report queue-wait time (volatile spans + a histogram) and steal/job
+/// counters into it.
+pub fn execute_observed<J, R, F>(
+    initial: Vec<J>,
+    threads: usize,
+    recorder: Option<&Arc<Recorder>>,
+    worker: F,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J, &Spawner<'_, J>) -> R + Sync,
+{
     let threads = threads.max(1);
     let total_hint = initial.len();
     let queues = Queues {
@@ -102,17 +134,18 @@ where
         injector: Mutex::new(initial.into()),
         deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
     };
+    let recorder = recorder.filter(|r| r.is_enabled()).map(Arc::as_ref);
     let results: Mutex<Vec<R>> = Mutex::new(Vec::with_capacity(total_hint));
     if threads == 1 {
         // Degenerate single-worker pool: run inline, no thread spawn.
-        run_worker(0, &queues, &results, &worker);
+        run_worker(0, &queues, &results, recorder, &worker);
     } else {
         std::thread::scope(|scope| {
             for me in 0..threads {
                 let queues = &queues;
                 let results = &results;
                 let worker = &worker;
-                scope.spawn(move || run_worker(me, queues, results, worker));
+                scope.spawn(move || run_worker(me, queues, results, recorder, worker));
             }
         });
     }
@@ -120,8 +153,13 @@ where
     results.into_inner().unwrap()
 }
 
-fn run_worker<J, R, F>(me: usize, queues: &Queues<J>, results: &Mutex<Vec<R>>, worker: &F)
-where
+fn run_worker<J, R, F>(
+    me: usize,
+    queues: &Queues<J>,
+    results: &Mutex<Vec<R>>,
+    recorder: Option<&Recorder>,
+    worker: &F,
+) where
     F: Fn(J, &Spawner<'_, J>) -> R,
 {
     let spawner = Spawner {
@@ -140,9 +178,23 @@ where
         }
     }
     let mut idle_spins: u32 = 0;
+    // Set while the worker is between jobs; cleared (and reported as
+    // queue-wait) when the next job arrives.
+    let mut idle_since: Option<(Instant, u64)> = None;
     loop {
-        if let Some(job) = queues.next_job(me) {
+        if let Some((job, source)) = queues.next_job(me) {
             idle_spins = 0;
+            if let Some(rec) = recorder {
+                if let Some((idle_start, start_ns)) = idle_since.take() {
+                    let waited = idle_start.elapsed().as_nanos() as u64;
+                    rec.record_volatile(diode_obs::Phase::QueueWait, start_ns, waited);
+                    rec.observe_direct("scheduler.queue_wait_ns", waited);
+                }
+                rec.count_direct("scheduler.jobs", 1);
+                if source == JobSource::Steal {
+                    rec.count_direct("scheduler.steals", 1);
+                }
+            }
             // Decrement only after the result (and any spawned jobs) are
             // published — i.e. when the guard drops — so `pending == 0`
             // really means "all done".
@@ -153,6 +205,12 @@ where
         }
         if queues.pending.load(Ordering::SeqCst) == 0 {
             return;
+        }
+        if recorder.is_some() && idle_since.is_none() {
+            idle_since = Some((
+                Instant::now(),
+                recorder.map(Recorder::now_ns).unwrap_or_default(),
+            ));
         }
         // Another worker still owns in-flight jobs that may spawn more:
         // back off politely instead of hammering the queue locks.

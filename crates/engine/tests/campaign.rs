@@ -211,6 +211,55 @@ fn progress_events_cover_every_unit_and_site() {
 }
 
 #[test]
+fn site_finished_events_carry_live_cache_and_snapshot_counters() {
+    // Satellite of the observability PR: progress events surface the
+    // shared solver-cache and snapshot-cache counters as they evolve, so
+    // live consoles can show hit rates mid-campaign.
+    #[derive(Default)]
+    struct Watcher {
+        cache_rates: Mutex<Vec<(u64, u64)>>,
+        snapshot_seen: Mutex<bool>,
+    }
+    impl ProgressSink for Watcher {
+        fn on_event(&self, event: CampaignEvent<'_>) {
+            if let CampaignEvent::SiteFinished {
+                cache, snapshots, ..
+            } = event
+            {
+                let cache = cache.expect("shared cache is on: every event carries its stats");
+                self.cache_rates
+                    .lock()
+                    .unwrap()
+                    .push((cache.hits, cache.misses));
+                if snapshots.is_some() {
+                    *self.snapshot_seen.lock().unwrap() = true;
+                }
+            }
+        }
+    }
+    let watcher = Watcher::default();
+    let report = CampaignSpec::new(benchmark_campaign()).run_with_progress(&watcher);
+    let rates = watcher.cache_rates.into_inner().unwrap();
+    assert_eq!(rates.len(), report.counts().0);
+    let live_peak = rates.iter().map(|(h, m)| h + m).max().unwrap();
+    assert!(
+        live_peak > 0,
+        "the campaign issued solver queries, so the live counters must move"
+    );
+    let cache = report.cache.expect("shared cache stats in the report");
+    assert!(
+        cache.hits + cache.misses >= live_peak,
+        "final report counters ({} + {}) dominate every live snapshot ({live_peak})",
+        cache.hits,
+        cache.misses
+    );
+    assert!(
+        watcher.snapshot_seen.into_inner().unwrap(),
+        "prefix snapshots are on by default: events carry snapshot stats"
+    );
+}
+
+#[test]
 fn multi_seed_units_are_independent() {
     // Same app twice under different seeds: units must aggregate per seed
     // and stay in spec order.

@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use diode_lang::{Aexp, Bexp, Block, Bv, CastKind, Label, ProcId, Program, Stmt, Symbol, UnOp};
+use diode_obs::Phase;
 use diode_symbolic::eval_bin;
 
 use crate::heap::{Cell, Fault, Heap, MemError};
@@ -155,6 +156,7 @@ pub fn run<S: Shadow>(
     shadow: S,
     config: &MachineConfig,
 ) -> Run<S::Tag, S::CondTag> {
+    let _span = diode_obs::span(Phase::InterpRun);
     let mut m = Machine::boot(program, input, shadow, config);
     let outcome = m.drive_to_end();
     m.finish(outcome)
@@ -176,6 +178,7 @@ pub fn run_traced<S: Shadow>(
     shadow: S,
     config: &MachineConfig,
 ) -> (Run<S::Tag, S::CondTag>, HashMap<u64, u64>) {
+    let _span = diode_obs::span(Phase::InterpRun);
     let mut m = Machine::boot(program, input, shadow, config);
     m.trace_reads = Some(HashMap::new());
     let outcome = m.drive_to_end();
@@ -218,6 +221,7 @@ pub fn run_and_capture<S: Shadow + Clone>(
     config: &MachineConfig,
     stop_before_step: u64,
 ) -> (Run<S::Tag, S::CondTag>, Option<Snapshot<S>>) {
+    let _span = diode_obs::span(Phase::InterpCapture);
     let mut m = Machine::boot(program, input, shadow, config);
     m.log = Some(ReadLog::default());
     m.capture_before = Some(stop_before_step);
@@ -247,6 +251,7 @@ pub fn run_capture_multi<S: Shadow + Clone>(
     stops: &[u64],
 ) -> Vec<Option<Snapshot<S>>> {
     debug_assert!(stops.windows(2).all(|w| w[0] <= w[1]));
+    let _span = diode_obs::span(Phase::InterpCapture);
     let mut m = Machine::boot(program, input, shadow, config);
     m.log = Some(ReadLog::default());
     let mut out: Vec<Option<Snapshot<S>>> = Vec::with_capacity(stops.len());
@@ -297,6 +302,7 @@ pub fn run_from_with<S: Shadow + Clone>(
     shadow: S,
     config: &MachineConfig,
 ) -> Option<Run<S::Tag, S::CondTag>> {
+    let _span = diode_obs::span(Phase::InterpResume);
     if !snapshot.validates(input) {
         return None;
     }

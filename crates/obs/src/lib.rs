@@ -1,0 +1,55 @@
+//! # diode-obs — structured tracing and metrics for the DIODE pipeline
+//!
+//! A zero-dependency observability layer attributing campaign time to
+//! the paper's pipeline phases (identify → extract → solve → enforce →
+//! validate, plus snapshot warm/resume and scheduler queue wait).
+//!
+//! The model: the campaign driver creates one [`Recorder`] per run and
+//! installs a [`job_scope`] on the worker thread for each job. Inside a
+//! scope, [`span`] guards time individual phases and [`count`] /
+//! [`observe_ns`] accumulate metrics — all into a thread-local buffer,
+//! so recording takes no locks while a job runs. Buffers flush into the
+//! recorder when the scope drops, and [`Recorder::trace`] merges them
+//! deterministically: span identity is `(app, seed, site, phase, seq,
+//! parent)` with a dense per-job sequence number, so the merged span set
+//! is identical across thread counts (timestamps aside).
+//!
+//! Traces serialise to a versioned JSONL format ([`Trace::to_jsonl`],
+//! round-trip tested) through [`TraceSink`] implementations, and fold
+//! into per-phase/per-site breakdowns ([`PhaseBreakdown`],
+//! [`ProfileReport`]) or collapsed stacks ([`collapsed_stacks`]) for
+//! flamegraph tooling.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use diode_obs::{job_scope, span, Phase, PhaseBreakdown, Recorder};
+//!
+//! let recorder = Arc::new(Recorder::new());
+//! {
+//!     let _scope = job_scope(Some(&recorder), "demo", 0, Some("buf@4"));
+//!     let _enforce = span(Phase::Enforce);
+//!     let _solve = span(Phase::Solve); // nested under enforce
+//! }
+//! let trace = recorder.trace();
+//! assert_eq!(trace.spans.len(), 2);
+//! let breakdown = PhaseBreakdown::from_trace(&trace);
+//! assert!(breakdown.phase(Phase::Enforce).is_some());
+//! ```
+//!
+//! When instrumentation is off (`Recorder::disabled()` or no recorder at
+//! all), `job_scope` installs nothing and every `span`/`count` call is a
+//! thread-local read and a branch — cheap enough to leave in hot paths.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod profile;
+mod sink;
+mod span;
+
+pub use metrics::{Hist, HistSummary};
+pub use profile::{collapsed_stacks, PhaseBreakdown, PhaseRow, ProfileReport, SiteRow};
+pub use sink::{JsonlFileSink, NullSink, RingSink, TraceError, TraceSink, TRACE_SCHEMA_VERSION};
+pub use span::{
+    count, job_scope, observe_ns, span, JobScope, Phase, Recorder, Span, SpanGuard, Trace,
+};

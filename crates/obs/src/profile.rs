@@ -1,0 +1,504 @@
+//! Folding a trace into per-phase / per-site breakdowns, a human table,
+//! JSON output, and collapsed stacks for flamegraph tooling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::{Phase, Span, Trace};
+
+/// Aggregated timing for one phase across the whole trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Which phase.
+    pub phase: Phase,
+    /// Number of spans recorded for the phase.
+    pub count: u64,
+    /// Sum of span durations (includes nested child spans).
+    pub total_ns: u64,
+    /// Sum of span durations minus time spent in child spans.
+    pub self_ns: u64,
+    /// Median span duration.
+    pub p50_ns: u64,
+    /// 99th-percentile span duration.
+    pub p99_ns: u64,
+}
+
+/// Per-phase summary of a campaign trace — the `phases` field of a
+/// campaign report, and the core of the `profile` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    /// One row per phase that appeared, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseRow>,
+    /// Sum of top-level (parentless, non-volatile) span durations: the
+    /// instrumented compute time. Compare against `wall * threads`.
+    pub top_level_ns: u64,
+    /// Total scheduler queue-wait time across workers.
+    pub queue_wait_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Fold a trace into per-phase rows.
+    pub fn from_trace(trace: &Trace) -> PhaseBreakdown {
+        // children_ns[job_key][seq] = total child duration of that span.
+        let mut children: BTreeMap<(&str, u32, Option<&str>), BTreeMap<u32, u64>> = BTreeMap::new();
+        for span in &trace.spans {
+            if let Some(parent) = span.parent {
+                *children
+                    .entry((span.app.as_str(), span.seed, span.site.as_deref()))
+                    .or_default()
+                    .entry(parent)
+                    .or_insert(0) += span.dur_ns;
+            }
+        }
+        let mut durs: BTreeMap<Phase, Vec<u64>> = BTreeMap::new();
+        let mut selfs: BTreeMap<Phase, u64> = BTreeMap::new();
+        let mut queue_wait_ns = 0u64;
+        for span in &trace.spans {
+            if span.phase == Phase::QueueWait {
+                queue_wait_ns += span.dur_ns;
+            }
+            durs.entry(span.phase).or_default().push(span.dur_ns);
+            let nested = children
+                .get(&(span.app.as_str(), span.seed, span.site.as_deref()))
+                .and_then(|m| m.get(&span.seq))
+                .copied()
+                .unwrap_or(0);
+            *selfs.entry(span.phase).or_insert(0) += span.dur_ns.saturating_sub(nested);
+        }
+        let phases = Phase::ALL
+            .into_iter()
+            .filter_map(|phase| {
+                let mut d = durs.remove(&phase)?;
+                d.sort_unstable();
+                let count = d.len() as u64;
+                Some(PhaseRow {
+                    phase,
+                    count,
+                    total_ns: d.iter().sum(),
+                    self_ns: selfs.get(&phase).copied().unwrap_or(0),
+                    p50_ns: quantile_sorted(&d, 0.50),
+                    p99_ns: quantile_sorted(&d, 0.99),
+                })
+            })
+            .collect();
+        PhaseBreakdown {
+            phases,
+            top_level_ns: trace.top_level_ns(),
+            queue_wait_ns,
+        }
+    }
+
+    /// Row for one phase, if it appeared in the trace.
+    pub fn phase(&self, phase: Phase) -> Option<&PhaseRow> {
+        self.phases.iter().find(|r| r.phase == phase)
+    }
+
+    /// Queue wait as a fraction of all attributed worker time
+    /// (`wait / (wait + compute)`); 0 when nothing was recorded.
+    pub fn queue_wait_ratio(&self) -> f64 {
+        let denom = self.queue_wait_ns + self.top_level_ns;
+        if denom == 0 {
+            0.0
+        } else {
+            self.queue_wait_ns as f64 / denom as f64
+        }
+    }
+}
+
+fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Total top-level time attributed to one site job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteRow {
+    /// Application name.
+    pub app: String,
+    /// Unit seed index.
+    pub seed: u32,
+    /// Target site label.
+    pub site: String,
+    /// Sum of the job's top-level span durations.
+    pub total_ns: u64,
+    /// Number of spans the job recorded (all levels).
+    pub spans: u64,
+}
+
+/// Full profile of a campaign trace: phase breakdown, slowest sites,
+/// wall-time coverage, and merged metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Per-phase rows plus top-level/queue-wait totals.
+    pub breakdown: PhaseBreakdown,
+    /// Slowest site jobs, descending by attributed time.
+    pub top_sites: Vec<SiteRow>,
+    /// Campaign wall time, if the trace was stamped with one.
+    pub wall_ns: Option<u64>,
+    /// Worker thread count, if stamped.
+    pub threads: Option<u32>,
+    /// Merged counters from the trace.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl ProfileReport {
+    /// Fold a trace, keeping the `top_n` slowest sites.
+    pub fn from_trace(trace: &Trace, top_n: usize) -> ProfileReport {
+        let mut sites: BTreeMap<(&str, u32, &str), (u64, u64)> = BTreeMap::new();
+        for span in &trace.spans {
+            let Some(site) = span.site.as_deref() else {
+                continue;
+            };
+            let entry = sites
+                .entry((span.app.as_str(), span.seed, site))
+                .or_insert((0, 0));
+            if span.is_top_level() {
+                entry.0 += span.dur_ns;
+            }
+            entry.1 += 1;
+        }
+        let mut top_sites: Vec<SiteRow> = sites
+            .into_iter()
+            .map(|((app, seed, site), (total_ns, spans))| SiteRow {
+                app: app.to_string(),
+                seed,
+                site: site.to_string(),
+                total_ns,
+                spans,
+            })
+            .collect();
+        top_sites.sort_by(|a, b| {
+            b.total_ns
+                .cmp(&a.total_ns)
+                .then_with(|| (&a.app, a.seed, &a.site).cmp(&(&b.app, b.seed, &b.site)))
+        });
+        top_sites.truncate(top_n);
+        ProfileReport {
+            breakdown: PhaseBreakdown::from_trace(trace),
+            top_sites,
+            wall_ns: trace.wall_ns,
+            threads: trace.threads,
+            counters: trace.counters.clone(),
+        }
+    }
+
+    /// Fraction of total worker capacity (`wall * threads`) covered by
+    /// top-level spans. `None` when the trace has no wall-time stamp.
+    pub fn coverage(&self) -> Option<f64> {
+        let wall = self.wall_ns? as f64;
+        let threads = self.threads.unwrap_or(1).max(1) as f64;
+        if wall <= 0.0 {
+            return None;
+        }
+        Some(self.breakdown.top_level_ns as f64 / (wall * threads))
+    }
+
+    /// Fraction of campaign wall time covered by top-level spans,
+    /// assuming perfectly serialised work (`top_level / wall`). For a
+    /// single-threaded campaign this is the acceptance-criterion number.
+    pub fn serial_coverage(&self) -> Option<f64> {
+        let wall = self.wall_ns? as f64;
+        if wall <= 0.0 {
+            return None;
+        }
+        Some(self.breakdown.top_level_ns as f64 / wall)
+    }
+
+    /// JSON object (single line) with the whole report. Parseable by
+    /// any JSON reader, including `diode_corpus::Json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"table\":\"obs_profile\",\"v\":1");
+        if let Some(wall) = self.wall_ns {
+            let _ = write!(out, ",\"wall_ms\":{}", ms(wall));
+        }
+        if let Some(threads) = self.threads {
+            let _ = write!(out, ",\"threads\":{threads}");
+        }
+        let _ = write!(
+            out,
+            ",\"top_level_ms\":{},\"queue_wait_ms\":{},\"queue_wait_ratio\":{}",
+            ms(self.breakdown.top_level_ns),
+            ms(self.breakdown.queue_wait_ns),
+            fmt_f64(self.breakdown.queue_wait_ratio()),
+        );
+        if let Some(cov) = self.coverage() {
+            let _ = write!(out, ",\"coverage\":{}", fmt_f64(cov));
+        }
+        out.push_str(",\"phases\":[");
+        for (i, row) in self.breakdown.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"phase\":\"{}\",\"count\":{},\"total_ms\":{},\"self_ms\":{},\"p50_ms\":{},\"p99_ms\":{}}}",
+                row.phase,
+                row.count,
+                ms(row.total_ns),
+                ms(row.self_ns),
+                ms(row.p50_ns),
+                ms(row.p99_ns),
+            );
+        }
+        out.push_str("],\"top_sites\":[");
+        for (i, s) in self.top_sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"app\":\"{}\",\"seed\":{},\"site\":\"{}\",\"total_ms\":{},\"spans\":{}}}",
+                escape(&s.app),
+                s.seed,
+                escape(&s.site),
+                ms(s.total_ns),
+                s.spans,
+            );
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", escape(name));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Campaign profile ==\n");
+        if let (Some(wall), Some(threads)) = (self.wall_ns, self.threads) {
+            let _ = writeln!(
+                out,
+                "wall {:.1} ms on {threads} thread(s); instrumented compute {:.1} ms ({:.0}% of capacity), queue wait {:.1} ms ({:.1}% of worker time)",
+                ms(wall),
+                ms(self.breakdown.top_level_ns),
+                self.coverage().unwrap_or(0.0) * 100.0,
+                ms(self.breakdown.queue_wait_ns),
+                self.breakdown.queue_wait_ratio() * 100.0,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<15} {:>7} {:>12} {:>12} {:>10} {:>10}",
+            "phase", "count", "total ms", "self ms", "p50 ms", "p99 ms"
+        );
+        for row in &self.breakdown.phases {
+            let _ = writeln!(
+                out,
+                "{:<15} {:>7} {:>12.3} {:>12.3} {:>10.3} {:>10.3}",
+                row.phase.as_str(),
+                row.count,
+                ms(row.total_ns),
+                ms(row.self_ns),
+                ms(row.p50_ns),
+                ms(row.p99_ns),
+            );
+        }
+        if !self.top_sites.is_empty() {
+            let _ = writeln!(out, "top {} slowest sites:", self.top_sites.len());
+            for s in &self.top_sites {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>10.3} ms  ({} spans)",
+                    format!("{}/{}", s.app, s.site),
+                    ms(s.total_ns),
+                    s.spans,
+                );
+            }
+        }
+        out
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Fold a trace into collapsed-stack lines (`frame;frame;... weight`)
+/// suitable for `flamegraph.pl` / `inferno-flamegraph`. Weights are the
+/// span self-times in nanoseconds; frames are `app;site;phase...`.
+pub fn collapsed_stacks(trace: &Trace) -> String {
+    // Index spans per job so parent chains resolve.
+    let mut jobs: BTreeMap<(&str, u32, Option<&str>), BTreeMap<u32, &Span>> = BTreeMap::new();
+    for span in &trace.spans {
+        if span.phase.is_volatile() {
+            continue;
+        }
+        jobs.entry((span.app.as_str(), span.seed, span.site.as_deref()))
+            .or_default()
+            .insert(span.seq, span);
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for ((app, _seed, site), by_seq) in &jobs {
+        let mut children_ns: BTreeMap<u32, u64> = BTreeMap::new();
+        for span in by_seq.values() {
+            if let Some(parent) = span.parent {
+                *children_ns.entry(parent).or_insert(0) += span.dur_ns;
+            }
+        }
+        for span in by_seq.values() {
+            let mut frames = vec![span.phase.as_str()];
+            let mut cursor = span.parent;
+            while let Some(seq) = cursor {
+                match by_seq.get(&seq) {
+                    Some(parent) => {
+                        frames.push(parent.phase.as_str());
+                        cursor = parent.parent;
+                    }
+                    None => break,
+                }
+            }
+            frames.push(site.unwrap_or("unit"));
+            frames.push(app);
+            frames.reverse();
+            let self_ns = span
+                .dur_ns
+                .saturating_sub(children_ns.get(&span.seq).copied().unwrap_or(0));
+            if self_ns > 0 {
+                *folded.entry(frames.join(";")).or_insert(0) += self_ns;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (stack, weight) in folded {
+        let _ = writeln!(out, "{stack} {weight}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        phase: Phase,
+        app: &str,
+        site: Option<&str>,
+        seq: u32,
+        parent: Option<u32>,
+        start: u64,
+        dur: u64,
+    ) -> Span {
+        Span {
+            phase,
+            app: app.into(),
+            seed: 0,
+            site: site.map(Into::into),
+            seq,
+            parent,
+            start_ns: start,
+            dur_ns: dur,
+            cache_hit: None,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                // Unit job: identify(100) with a nested interp run(60).
+                span(Phase::Identify, "a", None, 0, None, 0, 100),
+                span(Phase::InterpRun, "a", None, 1, Some(0), 10, 60),
+                // Site job: extract(40) then enforce(200) with two solves.
+                span(Phase::Extract, "a", Some("s1"), 0, None, 100, 40),
+                span(Phase::Enforce, "a", Some("s1"), 1, None, 140, 200),
+                span(Phase::Solve, "a", Some("s1"), 2, Some(1), 150, 30),
+                span(Phase::Solve, "a", Some("s1"), 3, Some(1), 190, 50),
+                // A slower second site.
+                span(Phase::Enforce, "a", Some("s2"), 0, None, 400, 500),
+                // Scheduler wait.
+                span(Phase::QueueWait, "", None, 0, None, 0, 25),
+            ],
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            wall_ns: Some(1000),
+            threads: Some(1),
+        }
+    }
+
+    #[test]
+    fn breakdown_totals_and_self_times() {
+        let b = PhaseBreakdown::from_trace(&sample());
+        let enforce = b.phase(Phase::Enforce).unwrap();
+        assert_eq!(enforce.count, 2);
+        assert_eq!(enforce.total_ns, 700);
+        assert_eq!(enforce.self_ns, 700 - 80); // minus the two solves
+        let solve = b.phase(Phase::Solve).unwrap();
+        assert_eq!(solve.total_ns, 80);
+        assert_eq!(solve.self_ns, 80);
+        let identify = b.phase(Phase::Identify).unwrap();
+        assert_eq!(identify.self_ns, 40);
+        // Top level: identify 100 + extract 40 + enforce 200 + enforce 500.
+        assert_eq!(b.top_level_ns, 840);
+        assert_eq!(b.queue_wait_ns, 25);
+        assert!(b.queue_wait_ratio() > 0.0 && b.queue_wait_ratio() < 0.05);
+        // Rows come out in canonical phase order.
+        let order: Vec<Phase> = b.phases.iter().map(|r| r.phase).collect();
+        let mut sorted = order.clone();
+        sorted.sort_by_key(|p| Phase::ALL.iter().position(|q| q == p).unwrap());
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn report_ranks_sites_and_computes_coverage() {
+        let report = ProfileReport::from_trace(&sample(), 1);
+        assert_eq!(report.top_sites.len(), 1);
+        assert_eq!(report.top_sites[0].site, "s2");
+        assert_eq!(report.top_sites[0].total_ns, 500);
+        let cov = report.coverage().unwrap();
+        assert!((cov - 0.84).abs() < 1e-9, "coverage {cov}");
+        assert_eq!(report.serial_coverage(), report.coverage());
+    }
+
+    #[test]
+    fn json_is_valid_flat_json() {
+        let report = ProfileReport::from_trace(&sample(), 3);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"table\":\"obs_profile\",\"v\":1"));
+        assert!(json.contains("\"phases\":["));
+        assert!(json.contains("\"phase\":\"enforce\""));
+        assert!(json.contains("\"top_sites\":["));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn render_lists_every_phase_present() {
+        let report = ProfileReport::from_trace(&sample(), 3);
+        let text = report.render();
+        for phase in ["identify", "extract", "solve", "enforce", "interp_run"] {
+            assert!(text.contains(phase), "missing {phase} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn collapsed_stacks_fold_parent_chains() {
+        let folded = collapsed_stacks(&sample());
+        assert!(folded.contains("a;s1;enforce;solve 80"), "{folded}");
+        assert!(folded.contains("a;s1;enforce 120"), "{folded}");
+        assert!(folded.contains("a;unit;identify 40"), "{folded}");
+        assert!(folded.contains("a;unit;identify;interp_run 60"), "{folded}");
+        // Queue wait spans are excluded.
+        assert!(!folded.contains("queue_wait"), "{folded}");
+    }
+}

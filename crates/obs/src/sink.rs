@@ -1,0 +1,572 @@
+//! Trace sinks and the versioned JSONL wire format.
+//!
+//! A trace serialises as one JSON object per line:
+//!
+//! ```text
+//! {"type":"trace","v":1,"wall_ns":81234567,"threads":4}
+//! {"type":"span","phase":"solve","app":"forged-003","seed":0,"site":"b0@7","seq":4,"parent":2,"start_ns":151,"dur_ns":90,"cache_hit":false}
+//! {"type":"counter","name":"solver.queries","value":412}
+//! {"type":"hist","name":"scheduler.queue_wait_ns","count":31,"sum":90000,"max":20000,"p50":4095,"p99":16383}
+//! ```
+//!
+//! The header line carries the schema version ([`TRACE_SCHEMA_VERSION`]);
+//! loading rejects other versions with a clear error. The codec is
+//! hand-rolled (this crate has zero dependencies) and only needs flat
+//! objects of string / unsigned-integer / bool / null values.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::metrics::HistSummary;
+use crate::span::{Phase, Span, Trace};
+
+/// Version stamped into (and required from) the JSONL header line.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Error from parsing a JSONL trace or writing one to disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// Human-readable description, including the offending line number.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(message: impl Into<String>) -> TraceError {
+    TraceError {
+        message: message.into(),
+    }
+}
+
+/// Destination for a finished campaign trace.
+pub trait TraceSink {
+    /// Deliver the merged trace. Called once, at campaign end.
+    fn emit(&mut self, trace: &Trace) -> Result<(), TraceError>;
+}
+
+/// Discards the trace.
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _trace: &Trace) -> Result<(), TraceError> {
+        Ok(())
+    }
+}
+
+/// Keeps the last `capacity` spans (and all metrics) in memory — for
+/// tests and embedded consumers that only need the tail.
+pub struct RingSink {
+    capacity: usize,
+    /// Trace retained by the last [`TraceSink::emit`] call, spans
+    /// truncated to the newest `capacity`.
+    pub last: Option<Trace>,
+}
+
+impl RingSink {
+    /// A ring sink retaining at most `capacity` spans.
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity,
+            last: None,
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, trace: &Trace) -> Result<(), TraceError> {
+        let mut kept = trace.clone();
+        let n = kept.spans.len();
+        if n > self.capacity {
+            kept.spans.drain(..n - self.capacity);
+        }
+        self.last = Some(kept);
+        Ok(())
+    }
+}
+
+/// Writes the trace to a JSONL file (overwriting).
+pub struct JsonlFileSink {
+    path: PathBuf,
+}
+
+impl JsonlFileSink {
+    /// A sink writing to `path` on emit.
+    pub fn new(path: impl Into<PathBuf>) -> JsonlFileSink {
+        JsonlFileSink { path: path.into() }
+    }
+
+    /// Destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TraceSink for JsonlFileSink {
+    fn emit(&mut self, trace: &Trace) -> Result<(), TraceError> {
+        std::fs::write(&self.path, trace.to_jsonl())
+            .map_err(|e| err(format!("trace: cannot write {}: {e}", self.path.display())))
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Trace {
+    /// Serialise to the versioned JSONL wire format.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"type\":\"trace\",\"v\":{TRACE_SCHEMA_VERSION}");
+        if let Some(wall) = self.wall_ns {
+            let _ = write!(out, ",\"wall_ns\":{wall}");
+        }
+        if let Some(threads) = self.threads {
+            let _ = write!(out, ",\"threads\":{threads}");
+        }
+        out.push_str("}\n");
+        for span in &self.spans {
+            out.push_str("{\"type\":\"span\",\"phase\":");
+            push_json_str(&mut out, span.phase.as_str());
+            out.push_str(",\"app\":");
+            push_json_str(&mut out, &span.app);
+            let _ = write!(out, ",\"seed\":{},\"seq\":{}", span.seed, span.seq);
+            if let Some(site) = &span.site {
+                out.push_str(",\"site\":");
+                push_json_str(&mut out, site);
+            }
+            if let Some(parent) = span.parent {
+                let _ = write!(out, ",\"parent\":{parent}");
+            }
+            let _ = write!(
+                out,
+                ",\"start_ns\":{},\"dur_ns\":{}",
+                span.start_ns, span.dur_ns
+            );
+            if let Some(hit) = span.cache_hit {
+                let _ = write!(out, ",\"cache_hit\":{hit}");
+            }
+            out.push_str("}\n");
+        }
+        for (name, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            push_json_str(&mut out, name);
+            let _ = writeln!(out, ",\"value\":{value}}}");
+        }
+        for (name, h) in &self.hists {
+            out.push_str("{\"type\":\"hist\",\"name\":");
+            push_json_str(&mut out, name);
+            let _ = writeln!(
+                out,
+                ",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                h.count, h.sum, h.max, h.p50, h.p99
+            );
+        }
+        out
+    }
+
+    /// Parse the JSONL wire format back into a trace. Strict on the
+    /// header (type + version) and on per-line record shape.
+    pub fn from_jsonl(text: &str) -> Result<Trace, TraceError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let Some((_, header)) = lines.next() else {
+            return Err(err("trace: empty input (missing header line)"));
+        };
+        let head = parse_flat_object(header).map_err(|e| err(format!("trace line 1: {e}")))?;
+        if head.get("type").and_then(FlatValue::as_str) != Some("trace") {
+            return Err(err(
+                "trace: first line must be the header {\"type\":\"trace\",...}",
+            ));
+        }
+        match head.get("v").and_then(FlatValue::as_u64) {
+            Some(TRACE_SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(err(format!(
+                    "trace: unsupported schema version {v} (expected {TRACE_SCHEMA_VERSION})"
+                )))
+            }
+            None => return Err(err("trace: header missing integer field \"v\"")),
+        }
+        let mut trace = Trace {
+            wall_ns: head.get("wall_ns").and_then(FlatValue::as_u64),
+            threads: head
+                .get("threads")
+                .and_then(FlatValue::as_u64)
+                .map(|t| t as u32),
+            ..Trace::default()
+        };
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let obj =
+                parse_flat_object(line).map_err(|e| err(format!("trace line {lineno}: {e}")))?;
+            let kind = obj
+                .get("type")
+                .and_then(FlatValue::as_str)
+                .ok_or_else(|| err(format!("trace line {lineno}: missing \"type\"")))?;
+            match kind {
+                "span" => trace.spans.push(span_from(&obj, lineno)?),
+                "counter" => {
+                    let name = req_str(&obj, "name", lineno)?;
+                    trace.counters.insert(name, req_u64(&obj, "value", lineno)?);
+                }
+                "hist" => {
+                    let name = req_str(&obj, "name", lineno)?;
+                    trace.hists.insert(
+                        name,
+                        HistSummary {
+                            count: req_u64(&obj, "count", lineno)?,
+                            sum: req_u64(&obj, "sum", lineno)?,
+                            max: req_u64(&obj, "max", lineno)?,
+                            p50: req_u64(&obj, "p50", lineno)?,
+                            p99: req_u64(&obj, "p99", lineno)?,
+                        },
+                    );
+                }
+                other => {
+                    return Err(err(format!(
+                        "trace line {lineno}: unknown record type {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(trace)
+    }
+}
+
+fn span_from(obj: &BTreeMap<String, FlatValue>, lineno: usize) -> Result<Span, TraceError> {
+    let phase_name = req_str(obj, "phase", lineno)?;
+    let phase = Phase::parse(&phase_name)
+        .ok_or_else(|| err(format!("trace line {lineno}: unknown phase {phase_name:?}")))?;
+    Ok(Span {
+        phase,
+        app: req_str(obj, "app", lineno)?,
+        seed: req_u64(obj, "seed", lineno)? as u32,
+        site: obj
+            .get("site")
+            .and_then(FlatValue::as_str)
+            .map(str::to_string),
+        seq: req_u64(obj, "seq", lineno)? as u32,
+        parent: obj
+            .get("parent")
+            .and_then(FlatValue::as_u64)
+            .map(|p| p as u32),
+        start_ns: req_u64(obj, "start_ns", lineno)?,
+        dur_ns: req_u64(obj, "dur_ns", lineno)?,
+        cache_hit: obj.get("cache_hit").and_then(FlatValue::as_bool),
+    })
+}
+
+fn req_str(
+    obj: &BTreeMap<String, FlatValue>,
+    key: &str,
+    lineno: usize,
+) -> Result<String, TraceError> {
+    obj.get(key)
+        .and_then(FlatValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| err(format!("trace line {lineno}: missing string field {key:?}")))
+}
+
+fn req_u64(obj: &BTreeMap<String, FlatValue>, key: &str, lineno: usize) -> Result<u64, TraceError> {
+    obj.get(key).and_then(FlatValue::as_u64).ok_or_else(|| {
+        err(format!(
+            "trace line {lineno}: missing integer field {key:?}"
+        ))
+    })
+}
+
+/// A value inside a flat (non-nested) JSON object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FlatValue {
+    Str(String),
+    UInt(u64),
+    Bool(bool),
+    Null,
+}
+
+impl FlatValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            FlatValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            FlatValue::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            FlatValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal parser for one flat JSON object: string keys, values limited
+/// to strings, unsigned integers, booleans, and null.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, FlatValue>, String> {
+    let bytes = line.trim().as_bytes();
+    let mut pos = 0usize;
+    let mut obj = BTreeMap::new();
+    expect(bytes, &mut pos, b'{')?;
+    skip_ws(bytes, &mut pos);
+    if peek(bytes, pos) == Some(b'}') {
+        return Ok(obj);
+    }
+    loop {
+        skip_ws(bytes, &mut pos);
+        let key = parse_string(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        expect(bytes, &mut pos, b':')?;
+        skip_ws(bytes, &mut pos);
+        let value = parse_value(bytes, &mut pos)?;
+        obj.insert(key, value);
+        skip_ws(bytes, &mut pos);
+        match peek(bytes, pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {
+                pos += 1;
+                break;
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(obj)
+}
+
+fn peek(bytes: &[u8], pos: usize) -> Option<u8> {
+    bytes.get(pos).copied()
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(peek(bytes, *pos), Some(b' ' | b'\t')) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if peek(bytes, *pos) == Some(want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {pos}", want as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<FlatValue, String> {
+    match peek(bytes, *pos) {
+        Some(b'"') => Ok(FlatValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(FlatValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(FlatValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(FlatValue::Null)
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while matches!(peek(bytes, *pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(FlatValue::UInt)
+                .ok_or_else(|| format!("invalid integer at byte {start}"))
+        }
+        _ => Err(format!("unsupported value at byte {pos}")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match peek(bytes, *pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match peek(bytes, *pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?} at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (bytes are valid UTF-8: the
+                // input came in as &str).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid utf-8")?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut trace = Trace {
+            wall_ns: Some(123_456),
+            threads: Some(4),
+            ..Trace::default()
+        };
+        trace.spans.push(Span {
+            phase: Phase::Identify,
+            app: "app \"quoted\"\n".into(),
+            seed: 7,
+            site: None,
+            seq: 0,
+            parent: None,
+            start_ns: 10,
+            dur_ns: 90,
+            cache_hit: None,
+        });
+        trace.spans.push(Span {
+            phase: Phase::Solve,
+            app: "forged-001".into(),
+            seed: 0,
+            site: Some("b0@3".into()),
+            seq: 4,
+            parent: Some(2),
+            start_ns: 500,
+            dur_ns: 20,
+            cache_hit: Some(true),
+        });
+        trace.counters.insert("solver.queries".into(), 42);
+        trace.hists.insert(
+            "queue_wait_ns".into(),
+            HistSummary {
+                count: 3,
+                sum: 600,
+                max: 400,
+                p50: 255,
+                p99: 511,
+            },
+        );
+        trace
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let trace = sample_trace();
+        let text = trace.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        // And the serialised form is stable.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_garbage() {
+        let bad_version = "{\"type\":\"trace\",\"v\":99}\n";
+        let e = Trace::from_jsonl(bad_version).unwrap_err();
+        assert!(e.message.contains("unsupported schema version 99"), "{e}");
+
+        let no_header = "{\"type\":\"span\"}\n";
+        assert!(Trace::from_jsonl(no_header)
+            .unwrap_err()
+            .message
+            .contains("header"));
+
+        assert!(Trace::from_jsonl("").unwrap_err().message.contains("empty"));
+
+        let bad_line = "{\"type\":\"trace\",\"v\":1}\nnot json\n";
+        assert!(Trace::from_jsonl(bad_line)
+            .unwrap_err()
+            .message
+            .contains("line 2"));
+
+        let bad_span = "{\"type\":\"trace\",\"v\":1}\n{\"type\":\"span\",\"phase\":\"warp\",\"app\":\"a\",\"seed\":0,\"seq\":0,\"start_ns\":0,\"dur_ns\":0}\n";
+        assert!(Trace::from_jsonl(bad_span)
+            .unwrap_err()
+            .message
+            .contains("unknown phase"));
+    }
+
+    #[test]
+    fn ring_sink_keeps_newest_spans() {
+        let trace = sample_trace();
+        let mut ring = RingSink::new(1);
+        ring.emit(&trace).unwrap();
+        let kept = ring.last.as_ref().unwrap();
+        assert_eq!(kept.spans.len(), 1);
+        assert_eq!(kept.spans[0].phase, Phase::Solve);
+        assert_eq!(kept.counters, trace.counters);
+    }
+
+    #[test]
+    fn null_sink_accepts_anything() {
+        NullSink.emit(&sample_trace()).unwrap();
+    }
+
+    #[test]
+    fn file_sink_round_trips_via_disk() {
+        let dir = std::env::temp_dir().join(format!("diode-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let trace = sample_trace();
+        JsonlFileSink::new(&path).emit(&trace).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(Trace::from_jsonl(&text).unwrap(), trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

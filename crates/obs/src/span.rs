@@ -1,0 +1,617 @@
+//! Span recording: the [`Recorder`], the thread-local job scope, and the
+//! RAII [`SpanGuard`] that times a single pipeline phase.
+//!
+//! Design: instrumented code never threads a recorder handle through its
+//! API. Instead the campaign driver installs a [`JobScope`] on the worker
+//! thread at the start of each job (one identify pass or one site
+//! analysis), and every [`span`]/[`count`]/[`observe_ns`] call inside the
+//! job body writes into a thread-local buffer owned by that scope. The
+//! buffer is flushed into the shared [`Recorder`] exactly once, when the
+//! scope drops — so recording is lock-free while the job runs.
+//!
+//! Span identity is deterministic: each job assigns its spans a dense
+//! per-job sequence number, so the tuple `(app, seed, site, phase, seq,
+//! parent)` is independent of which worker ran the job or how many
+//! threads the campaign used. Only [`Phase::is_volatile`] phases
+//! (scheduler queue waits) fall outside this guarantee, and they carry no
+//! job context.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Hist, HistSummary};
+
+/// A pipeline phase a span can be attributed to.
+///
+/// The first six phases mirror the paper's enforcement pipeline
+/// (identify -> extract -> solve -> enforce -> validate, plus the
+/// snapshot warm pass); the `Interp*` phases attribute interpreter time
+/// inside them; `QueueWait` is scheduler idle time between jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Stage-1 taint run identifying target sites for one unit.
+    Identify,
+    /// One-pass prefix-snapshot capture for a unit's sites.
+    Warm,
+    /// Stage-2 symbolic extraction of the target expression for a site.
+    Extract,
+    /// A single solver query (`phi' && beta` or a branch flip).
+    Solve,
+    /// The goal-directed branch enforcement loop for a site.
+    Enforce,
+    /// Re-validation of an exposed bug's generated input.
+    Validate,
+    /// A full concrete/taint/symbolic interpreter run from byte 0.
+    InterpRun,
+    /// An interpreter run resumed from a prefix snapshot.
+    InterpResume,
+    /// An interpreter run that captures prefix snapshots.
+    InterpCapture,
+    /// Scheduler time between finishing one job and starting the next.
+    QueueWait,
+}
+
+impl Phase {
+    /// Every phase, in canonical display order.
+    pub const ALL: [Phase; 10] = [
+        Phase::Identify,
+        Phase::Warm,
+        Phase::Extract,
+        Phase::Solve,
+        Phase::Enforce,
+        Phase::Validate,
+        Phase::InterpRun,
+        Phase::InterpResume,
+        Phase::InterpCapture,
+        Phase::QueueWait,
+    ];
+
+    /// Stable wire name used in the JSONL schema and profile output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Identify => "identify",
+            Phase::Warm => "warm",
+            Phase::Extract => "extract",
+            Phase::Solve => "solve",
+            Phase::Enforce => "enforce",
+            Phase::Validate => "validate",
+            Phase::InterpRun => "interp_run",
+            Phase::InterpResume => "interp_resume",
+            Phase::InterpCapture => "interp_capture",
+            Phase::QueueWait => "queue_wait",
+        }
+    }
+
+    /// Inverse of [`Phase::as_str`].
+    pub fn parse(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.as_str() == name)
+    }
+
+    /// Volatile phases depend on scheduling (worker count, steal order)
+    /// and are excluded from deterministic span-identity comparisons.
+    pub fn is_volatile(self) -> bool {
+        matches!(self, Phase::QueueWait)
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One timed interval attributed to a phase within a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Pipeline phase this interval belongs to.
+    pub phase: Phase,
+    /// Application name, empty for volatile (context-free) spans.
+    pub app: String,
+    /// Seed index of the unit within its app.
+    pub seed: u32,
+    /// Target site label, `None` for unit-level jobs (identify/warm).
+    pub site: Option<String>,
+    /// Dense per-job sequence number (deterministic span identity).
+    pub seq: u32,
+    /// `seq` of the enclosing span within the same job, if nested.
+    pub parent: Option<u32>,
+    /// Monotonic start, nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// For solve spans under a shared query cache: whether the query hit.
+    pub cache_hit: Option<bool>,
+}
+
+impl Span {
+    /// Timestamp-free identity: equal across runs and thread counts for
+    /// non-volatile spans.
+    pub fn identity(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.app,
+            self.seed,
+            self.site.as_deref().unwrap_or("-"),
+            self.phase,
+            self.seq,
+            self.parent.map_or(-1i64, i64::from),
+        )
+    }
+
+    /// True when the span has no parent within its job — top-level spans
+    /// partition a job's compute time and are what profile coverage sums.
+    pub fn is_top_level(&self) -> bool {
+        self.parent.is_none() && !self.phase.is_volatile()
+    }
+}
+
+/// Everything a [`Recorder`] collected, merged into deterministic order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Spans sorted by `(app, seed, site, seq)`; volatile spans last.
+    pub spans: Vec<Span>,
+    /// Monotonic counters, merged by summation.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries, merged before summarisation.
+    pub hists: BTreeMap<String, HistSummary>,
+    /// Campaign wall time, stamped by the driver before sinking.
+    pub wall_ns: Option<u64>,
+    /// Worker thread count, stamped by the driver before sinking.
+    pub threads: Option<u32>,
+}
+
+impl Trace {
+    /// Sorted timestamp-free identities of all non-volatile spans. Two
+    /// campaigns over the same spec produce the same identity set
+    /// regardless of thread count.
+    pub fn identity_set(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .spans
+            .iter()
+            .filter(|s| !s.phase.is_volatile())
+            .map(Span::identity)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Sum of top-level span durations (the instrumented compute time).
+    pub fn top_level_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.is_top_level())
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+}
+
+/// Per-job recording buffer flushed into the recorder when the job ends.
+struct JobBuf {
+    recorder: Arc<Recorder>,
+    app: String,
+    seed: u32,
+    site: Option<String>,
+    next_seq: u32,
+    open: Vec<u32>,
+    spans: Vec<Span>,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<JobBuf>> = const { RefCell::new(None) };
+}
+
+/// Collects spans and metrics from worker threads and merges them
+/// deterministically. Create one per campaign with [`Recorder::new`], or
+/// use [`Recorder::disabled`] to make every instrumentation point a
+/// no-op (one thread-local read and a branch).
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    epoch: Instant,
+    shards: Mutex<Vec<Vec<Span>>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    hists: Mutex<BTreeMap<String, Hist>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with a fresh monotonic epoch.
+    pub fn new() -> Recorder {
+        Recorder {
+            enabled: true,
+            epoch: Instant::now(),
+            shards: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A recorder that records nothing: [`job_scope`] installs no
+    /// thread-local state, so every span/metric call short-circuits.
+    pub fn disabled() -> Recorder {
+        Recorder {
+            enabled: false,
+            ..Recorder::new()
+        }
+    }
+
+    /// Whether this recorder collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since this recorder's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a context-free volatile span (e.g. scheduler queue wait)
+    /// directly, bypassing the thread-local job buffer.
+    pub fn record_volatile(&self, phase: Phase, start_ns: u64, dur_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.shards.lock().unwrap().push(vec![Span {
+            phase,
+            app: String::new(),
+            seed: 0,
+            site: None,
+            seq: 0,
+            parent: None,
+            start_ns,
+            dur_ns,
+            cache_hit: None,
+        }]);
+    }
+
+    /// Bump a named monotonic counter directly (for code that runs
+    /// outside any job scope, like the scheduler).
+    pub fn count_direct(&self, name: &str, delta: u64) {
+        if !self.enabled || delta == 0 {
+            return;
+        }
+        *self
+            .counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert(0) += delta;
+    }
+
+    /// Record a nanosecond observation into a named histogram directly.
+    pub fn observe_direct(&self, name: &str, ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hists
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .record(ns);
+    }
+
+    fn flush(
+        &self,
+        spans: Vec<Span>,
+        counters: BTreeMap<&'static str, u64>,
+        hists: BTreeMap<&'static str, Hist>,
+    ) {
+        if !spans.is_empty() {
+            self.shards.lock().unwrap().push(spans);
+        }
+        if !counters.is_empty() {
+            let mut merged = self.counters.lock().unwrap();
+            for (name, delta) in counters {
+                *merged.entry(name.to_string()).or_insert(0) += delta;
+            }
+        }
+        if !hists.is_empty() {
+            let mut merged = self.hists.lock().unwrap();
+            for (name, h) in hists {
+                merged.entry(name.to_string()).or_default().merge(&h);
+            }
+        }
+    }
+
+    /// Non-destructive deterministic merge of everything recorded so
+    /// far. Contextful spans sort by `(app, seed, site, seq)`; volatile
+    /// spans sort by start time and go last.
+    pub fn trace(&self) -> Trace {
+        let shards = self.shards.lock().unwrap();
+        let mut spans: Vec<Span> = shards.iter().flatten().cloned().collect();
+        drop(shards);
+        spans.sort_by(|a, b| {
+            (
+                a.phase.is_volatile(),
+                &a.app,
+                a.seed,
+                &a.site,
+                a.seq,
+                a.start_ns,
+            )
+                .cmp(&(
+                    b.phase.is_volatile(),
+                    &b.app,
+                    b.seed,
+                    &b.site,
+                    b.seq,
+                    b.start_ns,
+                ))
+        });
+        Trace {
+            spans,
+            counters: self.counters.lock().unwrap().clone(),
+            hists: self
+                .hists
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+            wall_ns: None,
+            threads: None,
+        }
+    }
+}
+
+/// RAII guard installing per-job recording state on the current thread.
+/// Created by [`job_scope`]; flushes the job's buffer into the recorder
+/// on drop. Nested scopes stack (the previous scope is restored).
+pub struct JobScope {
+    installed: bool,
+    prev: Option<JobBuf>,
+}
+
+/// Install a recording scope for one job on the current thread. Returns
+/// an inert guard when `recorder` is `None` or disabled — in that state
+/// every [`span`]/[`count`]/[`observe_ns`] call in the job body is a
+/// no-op.
+pub fn job_scope(
+    recorder: Option<&Arc<Recorder>>,
+    app: &str,
+    seed: u32,
+    site: Option<&str>,
+) -> JobScope {
+    let Some(recorder) = recorder.filter(|r| r.is_enabled()) else {
+        return JobScope {
+            installed: false,
+            prev: None,
+        };
+    };
+    let buf = JobBuf {
+        recorder: Arc::clone(recorder),
+        app: app.to_string(),
+        seed,
+        site: site.map(str::to_string),
+        next_seq: 0,
+        open: Vec::new(),
+        spans: Vec::new(),
+        counters: BTreeMap::new(),
+        hists: BTreeMap::new(),
+    };
+    let prev = ACTIVE.with(|a| a.borrow_mut().replace(buf));
+    JobScope {
+        installed: true,
+        prev,
+    }
+}
+
+impl Drop for JobScope {
+    fn drop(&mut self) {
+        if !self.installed {
+            return;
+        }
+        let buf = ACTIVE.with(|a| std::mem::replace(&mut *a.borrow_mut(), self.prev.take()));
+        if let Some(buf) = buf {
+            buf.recorder.flush(buf.spans, buf.counters, buf.hists);
+        }
+    }
+}
+
+/// RAII guard timing one phase span; finalises on drop. Inert outside a
+/// [`job_scope`].
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    phase: Phase,
+    seq: u32,
+    parent: Option<u32>,
+    start_ns: u64,
+    cache_hit: Option<bool>,
+}
+
+/// Start timing a phase span on the current thread. No-op (and near
+/// free) when no job scope is installed.
+pub fn span(phase: Phase) -> SpanGuard {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(buf) = slot.as_mut() else {
+            return SpanGuard { open: None };
+        };
+        let seq = buf.next_seq;
+        buf.next_seq += 1;
+        let parent = buf.open.last().copied();
+        buf.open.push(seq);
+        let start_ns = buf.recorder.now_ns();
+        SpanGuard {
+            open: Some(OpenSpan {
+                phase,
+                seq,
+                parent,
+                start_ns,
+                cache_hit: None,
+            }),
+        }
+    })
+}
+
+impl SpanGuard {
+    /// Annotate a solve span with cache-hit attribution. The annotation
+    /// is advisory (racy under shared caches) and excluded from span
+    /// identity.
+    pub fn cache_hit(&mut self, hit: bool) {
+        if let Some(open) = &mut self.open {
+            open.cache_hit = Some(hit);
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.open.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let Some(buf) = slot.as_mut() else {
+                return;
+            };
+            if buf.open.last() == Some(&open.seq) {
+                buf.open.pop();
+            } else {
+                buf.open.retain(|&s| s != open.seq);
+            }
+            let end = buf.recorder.now_ns();
+            buf.spans.push(Span {
+                phase: open.phase,
+                app: buf.app.clone(),
+                seed: buf.seed,
+                site: buf.site.clone(),
+                seq: open.seq,
+                parent: open.parent,
+                start_ns: open.start_ns,
+                dur_ns: end.saturating_sub(open.start_ns),
+                cache_hit: open.cache_hit,
+            });
+        });
+    }
+}
+
+/// Bump a named monotonic counter within the current job scope (no-op
+/// outside one).
+pub fn count(name: &'static str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(buf) = a.borrow_mut().as_mut() {
+            *buf.counters.entry(name).or_insert(0) += delta;
+        }
+    });
+}
+
+/// Record a nanosecond observation into a named histogram within the
+/// current job scope (no-op outside one).
+pub fn observe_ns(name: &'static str, ns: u64) {
+    ACTIVE.with(|a| {
+        if let Some(buf) = a.borrow_mut().as_mut() {
+            buf.hists.entry(name).or_default().record(ns);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_outside_scope_is_noop() {
+        let guard = span(Phase::Solve);
+        assert!(!guard.is_active());
+        drop(guard);
+        count("x", 1);
+        observe_ns("y", 10);
+    }
+
+    #[test]
+    fn scope_records_nested_spans_with_deterministic_seq() {
+        let rec = Arc::new(Recorder::new());
+        {
+            let _scope = job_scope(Some(&rec), "app-a", 3, Some("s@1"));
+            let _outer = span(Phase::Enforce);
+            {
+                let mut inner = span(Phase::Solve);
+                inner.cache_hit(true);
+            }
+            count("solver.queries", 1);
+            observe_ns("lat", 5);
+        }
+        let trace = rec.trace();
+        assert_eq!(trace.spans.len(), 2);
+        // Merged order is by seq: outer (seq 0) first even though the
+        // inner span finished first.
+        assert_eq!(trace.spans[0].phase, Phase::Enforce);
+        assert_eq!(trace.spans[0].seq, 0);
+        assert_eq!(trace.spans[0].parent, None);
+        assert_eq!(trace.spans[1].phase, Phase::Solve);
+        assert_eq!(trace.spans[1].seq, 1);
+        assert_eq!(trace.spans[1].parent, Some(0));
+        assert_eq!(trace.spans[1].cache_hit, Some(true));
+        assert_eq!(trace.spans[1].app, "app-a");
+        assert_eq!(trace.spans[1].site.as_deref(), Some("s@1"));
+        assert_eq!(trace.counters.get("solver.queries"), Some(&1));
+        assert_eq!(trace.hists.get("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Arc::new(Recorder::disabled());
+        {
+            let _scope = job_scope(Some(&rec), "a", 0, None);
+            let guard = span(Phase::Identify);
+            assert!(!guard.is_active());
+        }
+        rec.record_volatile(Phase::QueueWait, 0, 10);
+        rec.count_direct("c", 1);
+        let trace = rec.trace();
+        assert!(trace.spans.is_empty());
+        assert!(trace.counters.is_empty());
+    }
+
+    #[test]
+    fn volatile_spans_sort_last_and_leave_identity_set() {
+        let rec = Arc::new(Recorder::new());
+        rec.record_volatile(Phase::QueueWait, 5, 7);
+        {
+            let _scope = job_scope(Some(&rec), "z", 0, None);
+            let _s = span(Phase::Identify);
+        }
+        let trace = rec.trace();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].phase, Phase::Identify);
+        assert_eq!(trace.spans[1].phase, Phase::QueueWait);
+        assert_eq!(trace.identity_set().len(), 1);
+        assert_eq!(trace.identity_set()[0], "z|0|-|identify|0|-1");
+    }
+
+    #[test]
+    fn identity_is_independent_of_timestamps() {
+        let make = || {
+            let rec = Arc::new(Recorder::new());
+            {
+                let _scope = job_scope(Some(&rec), "a", 1, Some("x"));
+                let _s = span(Phase::Extract);
+                std::hint::black_box(0u64);
+            }
+            rec.trace().identity_set()
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -107,17 +107,31 @@ impl SolverCache {
     /// per call and must not be memoized.
     #[must_use]
     pub fn solve(&self, cond: &SymBool, config: &SolverConfig) -> SolveResult {
+        self.solve_with_info(cond, config).0
+    }
+
+    /// Like [`SolverCache::solve`], additionally reporting whether the
+    /// query was answered from the cache — for per-query hit/miss
+    /// attribution in traces. The flag is advisory under concurrency
+    /// (two threads racing on a fresh query both report a miss).
+    #[must_use]
+    pub fn solve_with_info(&self, cond: &SymBool, config: &SolverConfig) -> (SolveResult, bool) {
+        let mut span = diode_obs::span(diode_obs::Phase::Solve);
+        diode_obs::count("solver.queries", 1);
         let key = query_key(cond, config);
         if let Some(found) = self.shard(key).lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return found.clone();
+            span.cache_hit(true);
+            diode_obs::count("solver.cache_hits", 1);
+            return (found.clone(), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        span.cache_hit(false);
         let result = solve_with(cond, config, None).0;
         if !matches!(result, SolveResult::Unknown) {
             self.shard(key).lock().unwrap().insert(key, result.clone());
         }
-        result
+        (result, false)
     }
 
     /// Current counters.

@@ -29,6 +29,7 @@ impl ProgressSink for Console {
                 site,
                 outcome,
                 discovery_time,
+                cache,
                 ..
             } => {
                 let class = match outcome {
@@ -37,7 +38,11 @@ impl ProgressSink for Console {
                     SiteOutcome::Prevented(_) => "prevented".into(),
                     SiteOutcome::Unknown => "unknown".into(),
                 };
-                println!("[{n:>3}] site       {app}/{site}: {class} in {discovery_time:?}");
+                // Live shared-cache counters ride along on every event.
+                let live = cache
+                    .map(|c| format!(" [cache {:.0}% hit]", c.hit_rate() * 100.0))
+                    .unwrap_or_default();
+                println!("[{n:>3}] site       {app}/{site}: {class} in {discovery_time:?}{live}");
             }
             CampaignEvent::Finished { wall_time } => {
                 println!("[{n:>3}] campaign finished in {wall_time:?}");

@@ -18,6 +18,7 @@
 //! | [`engine`] | campaign-scale orchestration: work-stealing parallel scheduler + shared solver-query cache |
 //! | [`synth`] | ground-truth scenario forge: synthesized benchmark suites + recall/precision oracle |
 //! | [`corpus`] | persistent on-disk corpus store: save, replay, diff, and incremental growth |
+//! | [`obs`] | structured tracing + metrics: per-phase spans, JSONL traces, campaign profiling |
 //!
 //! Start with the `quickstart` example (or `campaign` for batch
 //! analysis), or regenerate the paper's tables — analyses fan out over
@@ -70,6 +71,7 @@ pub use diode_format as format;
 pub use diode_fuzz as fuzz;
 pub use diode_interp as interp;
 pub use diode_lang as lang;
+pub use diode_obs as obs;
 pub use diode_solver as solver;
 pub use diode_symbolic as symbolic;
 pub use diode_synth as synth;
