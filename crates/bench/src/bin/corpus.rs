@@ -12,21 +12,28 @@
 //!   label `replay`), and compare byte-for-byte against a recorded run
 //!   (default `baseline`). **Exits non-zero on any drift.**
 //! * `diff   <id|latest> <old-label> <new-label>` — structural diff of
-//!   two recorded runs (new / lost / changed sites). Exits non-zero when
-//!   the diff is not clean.
+//!   two recorded runs (new / lost / changed sites). When both runs
+//!   also recorded decision provenance (`--audit`), additionally flags
+//!   *derivation drift*: sites whose verdict is unchanged but whose
+//!   derivation (extraction, solver queries, enforcement steps) changed.
+//!   Exits non-zero when either diff is not clean.
 //! * `grow   <id|latest> N [--label L]` — extend a stored suite by `N`
 //!   freshly forged apps (existing apps are reused, never re-forged),
 //!   save under the new content ID, replay, and record witnesses.
 //! * `ls` — list stored suites and their recorded runs.
 //!
-//! Every command accepts `--json` (machine-readable output on stdout),
-//! `--sequential`, and `--threads N`. The store root defaults to
-//! `./corpus`.
+//! `forge`, `replay`, and `grow` accept `--audit`: record per-site
+//! decision provenance under `audit/<label>/` next to `witnesses/`
+//! (inspect with the `audit` bin). Every command accepts `--json`
+//! (machine-readable output on stdout), `--sequential`, and
+//! `--threads N`. The store root defaults to `./corpus`.
 
 use std::process::ExitCode;
 
 use diode_bench::{flag_num, flag_str, AnalysisBackend};
-use diode_corpus::{CorpusDiff, CorpusError, CorpusStore, Json, ReplayableSuite, WitnessSet};
+use diode_corpus::{
+    CorpusDiff, CorpusError, CorpusStore, DerivationDrift, Json, ReplayableSuite, WitnessSet,
+};
 use diode_engine::CampaignReport;
 use diode_synth::{ScoreCard, SynthConfig};
 
@@ -109,21 +116,23 @@ fn scorecard_json(card: &ScoreCard) -> Json {
 /// Replays a suite — priming the snapshot cache from recorded
 /// `snapshots.json` metadata when present, so candidate testing skips
 /// straight to the recorded divergent suffixes — then records the run's
-/// witnesses and refreshed snapshot metadata.
+/// witnesses and refreshed snapshot metadata. With `audit`, decision
+/// provenance is recorded alongside, under `audit/<label>/`.
 fn replay_and_record(
     store: &CorpusStore,
     suite: &ReplayableSuite,
     label: &str,
     backend: AnalysisBackend,
+    audit: bool,
 ) -> Result<(CampaignReport, ScoreCard, WitnessSet), CorpusError> {
     let recorded = store.load_snapshots(suite.id())?;
-    let (report, card) = match &recorded {
-        Some(meta) => suite.replay_primed(backend.execution_mode(), meta),
-        None => suite.replay(backend.execution_mode()),
-    };
+    let (report, card) = suite.replay_with(backend.execution_mode(), recorded.as_ref(), audit);
     let witnesses = suite.witnesses(label, &report);
     store.record_witnesses(&witnesses)?;
     store.record_snapshots(&suite.snapshot_meta(&report))?;
+    if let Some(set) = suite.audit(label, &report) {
+        store.record_audit(&set)?;
+    }
     Ok((report, card, witnesses))
 }
 
@@ -152,8 +161,9 @@ fn forge(
         cfg.seeds_per_app = (k as usize).max(1);
     }
     let label = flag_str(args, "--label").unwrap_or_else(|| "baseline".to_string());
+    let audit = args.iter().any(|a| a == "--audit");
     let suite = store.forge_and_save(&cfg)?;
-    let (report, card, _) = replay_and_record(store, &suite, &label, backend)?;
+    let (report, card, _) = replay_and_record(store, &suite, &label, backend, audit)?;
     if json {
         let out = Json::obj()
             .field("command", "forge")
@@ -197,11 +207,12 @@ fn replay(
         );
         return Ok(ExitCode::from(2));
     }
+    let audit = args.iter().any(|a| a == "--audit");
     let suite = store.load(id)?;
     // Load the comparison run before recording anything, so a recording
     // mishap can never make a run compare against itself.
     let baseline = store.load_witnesses(suite.id(), &against)?;
-    let (report, card, witnesses) = replay_and_record(store, &suite, &label, backend)?;
+    let (report, card, witnesses) = replay_and_record(store, &suite, &label, backend, audit)?;
     let snapstats = report.snapshots;
     let scorecard_identical = baseline.scorecard == witnesses.scorecard;
     let findings_identical = baseline.fingerprint() == witnesses.fingerprint();
@@ -244,6 +255,17 @@ fn diff(store: &CorpusStore, positional: &[String], json: bool) -> Result<ExitCo
     let old = store.load_witnesses(&id, old_label)?;
     let new = store.load_witnesses(&id, new_label)?;
     let diff = CorpusDiff::between(&old, &new);
+    // Derivation drift is only comparable when both runs were audited.
+    let drift = match (
+        store.load_audit(&id, old_label)?,
+        store.load_audit(&id, new_label)?,
+    ) {
+        (Some(old_audit), Some(new_audit)) => {
+            Some(DerivationDrift::between(&old_audit, &new_audit))
+        }
+        _ => None,
+    };
+    let drift_clean = drift.as_ref().is_none_or(DerivationDrift::is_clean);
     if json {
         let keys = |ks: &[diode_corpus::SiteKey]| {
             Json::Arr(ks.iter().map(|k| Json::Str(k.to_string())).collect())
@@ -258,7 +280,7 @@ fn diff(store: &CorpusStore, positional: &[String], json: bool) -> Result<ExitCo
                     .field("new", c.new.clone())
             })
             .collect();
-        let out = Json::obj()
+        let mut out = Json::obj()
             .field("command", "diff")
             .field("suite_id", id)
             .field("old", old_label.clone())
@@ -266,14 +288,27 @@ fn diff(store: &CorpusStore, positional: &[String], json: bool) -> Result<ExitCo
             .field("unchanged", diff.unchanged)
             .field("changed", Json::Arr(changed))
             .field("new_sites", keys(&diff.new_sites))
-            .field("lost_sites", keys(&diff.lost_sites))
-            .field("clean", diff.is_clean());
+            .field("lost_sites", keys(&diff.lost_sites));
+        if let Some(drift) = &drift {
+            out = out.field(
+                "derivation",
+                Json::obj()
+                    .field("compared", drift.compared)
+                    .field("drifted", keys(&drift.drifted))
+                    .field("verdict_changed", drift.verdict_changed)
+                    .field("clean", drift.is_clean()),
+            );
+        }
+        out = out.field("clean", diff.is_clean() && drift_clean);
         println!("{out}");
     } else {
         println!("diff {id} {old_label:?} -> {new_label:?}");
         print!("{diff}");
+        if let Some(drift) = &drift {
+            print!("{drift}");
+        }
     }
-    Ok(if diff.is_clean() {
+    Ok(if diff.is_clean() && drift_clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -296,9 +331,10 @@ fn grow(
         return Ok(ExitCode::from(2));
     };
     let label = flag_str(args, "--label").unwrap_or_else(|| "baseline".to_string());
+    let audit = args.iter().any(|a| a == "--audit");
     let old_id = store.resolve(id)?;
     let grown = store.grow(&old_id, n)?;
-    let (_, card, _) = replay_and_record(store, &grown, &label, backend)?;
+    let (_, card, _) = replay_and_record(store, &grown, &label, backend, audit)?;
     if json {
         let out = Json::obj()
             .field("command", "grow")

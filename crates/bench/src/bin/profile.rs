@@ -15,18 +15,23 @@
 //!   appears in the trace with nonzero total duration (the CI
 //!   `obs-profile` gate)
 //!
+//! Diff mode: `profile --diff OLD NEW [--json] [--top N] [--threshold F]`
+//! compares two profiled runs — each argument may be a JSONL trace, a
+//! `profile --json` document, or a `BENCH_engine.json` artifact — and
+//! attributes any wall-clock regression to phases, sites, and
+//! solver-cache hit-rate shifts. Exits 1 when a regression is attributed
+//! (growth above `--threshold`, default 0.15, as a fraction of
+//! instrumented compute), so diffing a run against itself exits 0.
+//!
 //! Exits 2 on unreadable/invalid traces, 1 on a failed phase gate.
 
 use diode_bench::flag_str;
-use diode_obs::{collapsed_stacks, Phase, ProfileReport, Trace};
+use diode_bench::profload::load_profile;
+use diode_obs::{collapsed_stacks, Phase, ProfileDiff, ProfileReport, Trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let Some(path) = flag_str(&args, "--trace") else {
-        eprintln!("profile: --trace PATH is required");
-        std::process::exit(2);
-    };
     let top = flag_str(&args, "--top")
         .map(|v| match v.parse::<usize>() {
             Ok(n) => n,
@@ -36,6 +41,18 @@ fn main() {
             }
         })
         .unwrap_or(10);
+    if let Some(pos) = args.iter().position(|a| a == "--diff") {
+        let (Some(old_path), Some(new_path)) = (args.get(pos + 1), args.get(pos + 2)) else {
+            eprintln!("profile: --diff needs two paths: --diff OLD NEW");
+            std::process::exit(2);
+        };
+        run_diff(&args, old_path, new_path, json, top);
+        return;
+    }
+    let Some(path) = flag_str(&args, "--trace") else {
+        eprintln!("profile: --trace PATH is required (or use --diff OLD NEW)");
+        std::process::exit(2);
+    };
 
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
@@ -91,5 +108,37 @@ fn main() {
         if !json {
             println!("Phase gate passed: {required}");
         }
+    }
+}
+
+/// `--diff OLD NEW`: load both runs (trace, profile JSON, or artifact),
+/// attribute the regression, exit 1 when one is attributed.
+fn run_diff(args: &[String], old_path: &str, new_path: &str, json: bool, top: usize) {
+    let threshold = flag_str(args, "--threshold")
+        .map(|v| match v.parse::<f64>() {
+            Ok(f) if f.is_finite() && f > 0.0 => f,
+            _ => {
+                eprintln!("profile: --threshold expects a positive number, got {v:?}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(0.15);
+    let load = |path: &str| match load_profile(path, top) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("profile: {e}");
+            std::process::exit(2);
+        }
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let diff = ProfileDiff::between(&old, &new, top, threshold);
+    if json {
+        println!("{}", diff.to_json());
+    } else {
+        println!("{}", diff.render());
+    }
+    if diff.is_regression() {
+        std::process::exit(1);
     }
 }

@@ -29,6 +29,12 @@
 //! * `--profile`         run with tracing and print the per-phase /
 //!   per-site breakdown after the campaign (adds a `profile` field in
 //!   `--json` mode)
+//! * `--audit PATH`      record decision provenance — the extraction,
+//!   solver queries, enforcement steps, and verdict behind every site —
+//!   and write the `diode_audit` document to PATH (plain mode only;
+//!   inspect it with the `audit` bin)
+//! * `--no-cache`        disable the shared solver cache for the plain
+//!   run (isolates solve-phase cost for `profile --diff` attribution)
 //! * `--progress`        stream per-site progress lines to stderr with
 //!   live solver-cache and snapshot hit rates
 //! * `--json`            machine-readable output (throughput, cache
@@ -45,6 +51,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use diode_bench::jsonout::{cache_json, counts_json, ms, score_json, snapshot_json, Json};
+use diode_bench::profload::audit_document;
 use diode_bench::{flag_f64, flag_num, flag_str, render_synth, synth_rows, AnalysisBackend};
 use diode_engine::{
     CampaignEvent, CampaignReport, CampaignSpec, ExecutionMode, ProgressSink, Recorder,
@@ -109,20 +116,32 @@ fn main() {
     }
 
     let snapshots = !args.iter().any(|a| a == "--no-snapshots");
+    let shared_cache = !args.iter().any(|a| a == "--no-cache");
     let trace_path = flag_str(&args, "--trace");
+    let audit_path = flag_str(&args, "--audit");
     let profile = args.iter().any(|a| a == "--profile");
     let progress = args.iter().any(|a| a == "--progress");
-    let recorder = (trace_path.is_some() || profile).then(|| Arc::new(Recorder::new()));
+    let recorder = (trace_path.is_some() || profile || audit_path.is_some()).then(|| {
+        let mut r = Recorder::new();
+        if audit_path.is_some() {
+            r = r.with_audit();
+        }
+        Arc::new(r)
+    });
     let (report, card) = run_campaign_observed(
         &suite,
         backend.execution_mode(),
         snapshots,
+        shared_cache,
         recorder.clone(),
         progress,
     );
     let trace = recorder.as_ref().map(|r| stamped_trace(r, &report));
     if let (Some(path), Some(trace)) = (&trace_path, &trace) {
         write_trace(path, trace);
+    }
+    if let Some(path) = &audit_path {
+        write_audit(path, &report, json);
     }
     let rows = synth_rows(&report, &suite.oracle);
 
@@ -246,7 +265,7 @@ fn run_campaign(
     mode: ExecutionMode,
     snapshots: bool,
 ) -> (CampaignReport, ScoreCard) {
-    run_campaign_observed(suite, mode, snapshots, None, false)
+    run_campaign_observed(suite, mode, snapshots, true, None, false)
 }
 
 /// [`run_campaign`] with an optional `diode-obs` recorder attached and
@@ -255,6 +274,7 @@ fn run_campaign_observed(
     suite: &ForgedSuite,
     mode: ExecutionMode,
     snapshots: bool,
+    shared_cache: bool,
     recorder: Option<Arc<Recorder>>,
     progress: bool,
 ) -> (CampaignReport, ScoreCard) {
@@ -263,6 +283,7 @@ fn run_campaign_observed(
         ..CampaignSpec::from_corpus(suite)
     };
     spec.config.prefix_snapshots = snapshots;
+    spec.shared_cache = shared_cache;
     spec.recorder = recorder;
     let report = if progress {
         spec.run_with_progress(&LiveProgress)
@@ -322,6 +343,23 @@ fn write_trace(path: &str, trace: &Trace) {
     if let Err(e) = JsonlFileSink::new(path).emit(trace) {
         eprintln!("synth_campaign: {e}");
         std::process::exit(2);
+    }
+}
+
+/// `--audit PATH`: writes the report's provenance records as a
+/// `diode_audit` document for the `audit` bin.
+fn write_audit(path: &str, report: &CampaignReport, json: bool) {
+    let records = report.provenance.as_deref().unwrap_or(&[]);
+    let doc = audit_document(records, report.threads);
+    if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+        eprintln!("synth_campaign: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    if !json {
+        println!(
+            "Wrote audit document ({} provenance record(s)) to {path}",
+            records.len()
+        );
     }
 }
 
@@ -480,6 +518,7 @@ fn run_artifact(
         let (report, card) = run_campaign_observed(
             suite,
             ExecutionMode::Parallel { threads: None },
+            true,
             true,
             Some(Arc::clone(&recorder)),
             false,

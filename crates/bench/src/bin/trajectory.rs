@@ -24,6 +24,15 @@
 //! uploads the updated trajectory as an artifact on pull requests and
 //! commits it back to the repository on `main`, so the curve across
 //! commits is a versioned fact.
+//!
+//! `trajectory check [--out PATH] [--max-age N] [--json]` validates the
+//! *committed* trajectory instead of appending to it: the newest record
+//! must have no null axes (a trajectory holding only the hand-written
+//! seed record means the append pipeline never ran) and must be no
+//! older than `--max-age` commits (default 50) behind `HEAD`, measured
+//! with `git rev-list --count` — when the commit is unknown to git
+//! (shallow clone, seed record) the age gate degrades to a warning.
+//! Exits 1 when the trajectory is stale or still null-axed.
 
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -33,6 +42,10 @@ use diode_bench::{flag_f64, flag_str};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    if args.first().map(String::as_str) == Some("check") {
+        run_check(&args, json);
+        return;
+    }
     let bench_path = flag_str(&args, "--bench").unwrap_or_else(|| "BENCH_engine.json".to_string());
     let out_path = flag_str(&args, "--out").unwrap_or_else(|| "BENCH_trajectory.json".to_string());
     let min_speedup = flag_f64(&args, "--min-speedup").unwrap_or(1.0);
@@ -165,6 +178,121 @@ fn main() {
 /// Axis keys every record carries; absent or omitted ones (e.g. in the
 /// hand-written seed record) are backfilled with an explicit `null`.
 const AXES: [&str; 5] = ["config", "threads", "sizes", "replay", "phases"];
+
+/// `trajectory check`: the committed trajectory must be alive — its
+/// newest record fully populated and recent. This is what catches a
+/// benchmark pipeline that silently stopped appending.
+fn run_check(args: &[String], json: bool) {
+    let out_path = flag_str(args, "--out").unwrap_or_else(|| "BENCH_trajectory.json".to_string());
+    let max_age = flag_f64(args, "--max-age").unwrap_or(50.0) as u64;
+    if !std::path::Path::new(&out_path).exists() {
+        eprintln!("trajectory check: {out_path} does not exist — the trajectory was never seeded");
+        std::process::exit(1);
+    }
+    let records = load_records(&out_path);
+    let Some(newest) = records.last() else {
+        eprintln!("trajectory check: {out_path} holds no records");
+        std::process::exit(1);
+    };
+    let commit = newest
+        .get("commit")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let date = newest
+        .get("date")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+
+    let mut failures: Vec<String> = Vec::new();
+    let null_axes: Vec<&str> = AXES
+        .iter()
+        .copied()
+        .filter(|axis| newest.get(axis).is_none_or(Json::is_null))
+        .collect();
+    if !null_axes.is_empty() {
+        failures.push(format!(
+            "newest record ({commit}, {date}) has null axes [{}] — the per-commit append \
+             pipeline (synth_campaign --sweep --bench-replay + trajectory) never ran",
+            null_axes.join(", ")
+        ));
+    }
+
+    // Age: commits on HEAD since the record's commit. A commit git
+    // cannot resolve (shallow clone, the seed record's placeholder)
+    // degrades to a warning — CI checkouts are not always deep.
+    let age = commit_age(&commit);
+    match age {
+        Some(age) if age > max_age => failures.push(format!(
+            "newest record ({commit}, {date}) is {age} commits behind HEAD \
+             (limit {max_age}) — the trajectory stopped being appended to"
+        )),
+        Some(_) => {}
+        None => eprintln!(
+            "trajectory check: warning: cannot measure the age of {commit:?} with git \
+             (shallow clone or unknown commit); skipping the age gate"
+        ),
+    }
+
+    if json {
+        let out = Json::obj()
+            .field("table", "trajectory_check")
+            .field("records", records.len())
+            .field("commit", commit)
+            .field("date", date)
+            .field("age_commits", age)
+            .field("max_age", max_age)
+            .field(
+                "null_axes",
+                null_axes
+                    .iter()
+                    .map(|a| Json::Str((*a).to_string()))
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "failures",
+                failures
+                    .iter()
+                    .map(|f| Json::Str(f.clone()))
+                    .collect::<Vec<_>>(),
+            )
+            .field("passed", failures.is_empty());
+        println!("{out}");
+    } else {
+        println!(
+            "trajectory check: {} record(s) in {out_path}, newest {commit} ({date}){}",
+            records.len(),
+            age.map_or_else(String::new, |a| format!(", {a} commit(s) behind HEAD")),
+        );
+        for f in &failures {
+            println!("  CHECK FAIL: {f}");
+        }
+        if failures.is_empty() {
+            println!("  trajectory is alive: axes populated, within the {max_age}-commit window");
+        }
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// How many commits `HEAD` is ahead of `commit`, via `git rev-list
+/// --count commit..HEAD`. `None` when git is unavailable or the commit
+/// cannot be resolved.
+fn commit_age(commit: &str) -> Option<u64> {
+    if commit.is_empty() || commit == "unknown" {
+        return None;
+    }
+    let out = std::process::Command::new("git")
+        .args(["rev-list", "--count", &format!("{commit}..HEAD")])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    String::from_utf8(out.stdout).ok()?.trim().parse().ok()
+}
 
 /// Load and validate the existing trajectory. An absent file is an empty
 /// trajectory; a present file must be an object with a `records` array

@@ -43,6 +43,7 @@ use diode_solver::SolverCache;
 use diode_synth::SynthOracle;
 
 pub mod jsonout;
+pub mod profload;
 
 /// How the harness runs whole-program analyses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

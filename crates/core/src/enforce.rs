@@ -69,6 +69,25 @@ impl SiteOutcome {
             _ => None,
         }
     }
+
+    /// Stable outcome token used by corpus witnesses and provenance
+    /// verdict events (`exposed`, `target-unsat`, `prevented:*`,
+    /// `unknown`).
+    #[must_use]
+    pub fn token(&self) -> String {
+        match self {
+            SiteOutcome::Exposed(_) => "exposed".to_string(),
+            SiteOutcome::TargetUnsat => "target-unsat".to_string(),
+            SiteOutcome::Prevented(PreventedReason::ConstraintUnsat { enforced }) => {
+                format!("prevented:constraint-unsat:{enforced}")
+            }
+            SiteOutcome::Prevented(PreventedReason::SatisfiesPhi { enforced }) => {
+                format!("prevented:satisfies-phi:{enforced}")
+            }
+            SiteOutcome::Prevented(PreventedReason::Budget) => "prevented:budget".to_string(),
+            SiteOutcome::Unknown => "unknown".to_string(),
+        }
+    }
 }
 
 /// A generated overflow-triggering input and its metadata (one Table 2
@@ -182,15 +201,45 @@ impl DiodeConfig {
     /// when one is installed.
     #[must_use]
     pub fn solve_query(&self, cond: &SymBool) -> SolveResult {
-        match &self.query_cache {
+        self.solve_query_for(cond, diode_obs::QueryOrigin::Other)
+    }
+
+    /// [`DiodeConfig::solve_query`] with provenance attribution: when the
+    /// current job scope is auditing, records a query event carrying the
+    /// structural constraint fingerprint, the originating decision, the
+    /// solver's answer, and (cached queries only) advisory cache-hit
+    /// attribution. Costs nothing extra when auditing is off.
+    #[must_use]
+    pub fn solve_query_for(&self, cond: &SymBool, origin: diode_obs::QueryOrigin) -> SolveResult {
+        // Fingerprint only under an auditing scope: hashing the whole
+        // constraint is not free, and neither is the hex string.
+        let fingerprint = diode_obs::audit_active().then(|| diode_solver::fingerprint_hex(cond));
+        let (result, cache_hit) = match &self.query_cache {
             // The cache records its own solve span, with per-query
             // hit/miss attribution.
-            Some(cache) => cache.solve(cond, &self.solver),
+            Some(cache) => {
+                let (result, hit) = cache.solve_with_info(cond, &self.solver);
+                (result, Some(hit))
+            }
             None => {
                 let _span = diode_obs::span(diode_obs::Phase::Solve);
-                solve_with(cond, &self.solver, None).0
+                (solve_with(cond, &self.solver, None).0, None)
             }
+        };
+        if let Some(fingerprint) = fingerprint {
+            let verdict = match &result {
+                SolveResult::Sat(_) => diode_obs::QueryVerdict::Sat,
+                SolveResult::Unsat => diode_obs::QueryVerdict::Unsat,
+                SolveResult::Unknown => diode_obs::QueryVerdict::Unknown,
+            };
+            diode_obs::audit_event(diode_obs::ProvenanceEvent::Query {
+                origin,
+                fingerprint,
+                verdict,
+                cache_hit,
+            });
         }
+        result
     }
 }
 
@@ -390,6 +439,11 @@ pub fn analyze_site_with_snapshots(
         }
     };
     let Some(extraction) = extraction else {
+        diode_obs::audit_event(diode_obs::ProvenanceEvent::Verdict {
+            outcome: SiteOutcome::Unknown.token(),
+            enforced: 0,
+            witness: None,
+        });
         return SiteReport {
             site: site.site.to_string(),
             label: site.label,
@@ -414,6 +468,24 @@ pub fn analyze_site_with_snapshots(
         let _span = diode_obs::span(diode_obs::Phase::Enforce);
         enforce_with(seed, format, &extraction, config, &mut tester)
     };
+    if diode_obs::audit_active() {
+        // The enforced count mirrors what the verdict itself reports
+        // (Budget terminates with exactly `max_enforcements` enforced).
+        let (enforced, witness) = match &outcome {
+            SiteOutcome::Exposed(bug) => (bug.enforced, Some(diode_obs::fnv64_hex(&bug.input))),
+            SiteOutcome::Prevented(PreventedReason::ConstraintUnsat { enforced })
+            | SiteOutcome::Prevented(PreventedReason::SatisfiesPhi { enforced }) => {
+                (*enforced, None)
+            }
+            SiteOutcome::Prevented(PreventedReason::Budget) => (config.max_enforcements, None),
+            SiteOutcome::TargetUnsat | SiteOutcome::Unknown => (0, None),
+        };
+        diode_obs::audit_event(diode_obs::ProvenanceEvent::Verdict {
+            outcome: outcome.token(),
+            enforced: enforced as u32,
+            witness,
+        });
+    }
     let snapshot = tester.slot.is_some().then(|| {
         let mut info = tester.info();
         info.extract_resumed = extract_was_resumed;
@@ -464,7 +536,7 @@ fn enforce_with(
     tester: &mut CandidateTester<'_>,
 ) -> SiteOutcome {
     // Line 2–3: solve β alone.
-    let first = config.solve_query(&extraction.beta);
+    let first = config.solve_query_for(&extraction.beta, diode_obs::QueryOrigin::Beta);
     let model = match first {
         SolveResult::Unsat => return SiteOutcome::TargetUnsat,
         SolveResult::Unknown => return SiteOutcome::Unknown,
@@ -498,8 +570,11 @@ fn enforce_with(
     let mut phi_prime = SymBool::Const(true);
     let mut enforced_labels: Vec<Label> = Vec::new();
     let mut skipped: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut iteration: u32 = 0;
     loop {
+        iteration += 1;
         if enforced_labels.len() >= config.max_enforcements {
+            diode_obs::audit_event(diode_obs::ProvenanceEvent::Budget { iteration });
             return SiteOutcome::Prevented(PreventedReason::Budget);
         }
         // Line 11–12: the first conditions in φ the previous input
@@ -529,13 +604,31 @@ fn enforce_with(
         let mut advanced = false;
         for idx in violated {
             let cond = &extraction.phi[idx];
+            diode_obs::audit_event(diode_obs::ProvenanceEvent::Enforce {
+                iteration,
+                condition: idx as u32,
+                label: cond.label.0,
+                action: diode_obs::EnforceAction::Considered,
+            });
             let query = phi_prime.and(&cond.constraint).and(&extraction.beta);
-            match config.solve_query(&query) {
+            match config.solve_query_for(&query, diode_obs::QueryOrigin::Enforce) {
                 SolveResult::Unsat => {
+                    diode_obs::audit_event(diode_obs::ProvenanceEvent::Enforce {
+                        iteration,
+                        condition: idx as u32,
+                        label: cond.label.0,
+                        action: diode_obs::EnforceAction::SkippedUnsat,
+                    });
                     skipped.insert(idx);
                 }
                 SolveResult::Unknown => return SiteOutcome::Unknown,
                 SolveResult::Sat(model) => {
+                    diode_obs::audit_event(diode_obs::ProvenanceEvent::Enforce {
+                        iteration,
+                        condition: idx as u32,
+                        label: cond.label.0,
+                        action: diode_obs::EnforceAction::Enforced,
+                    });
                     phi_prime = phi_prime.and(&cond.constraint);
                     enforced_labels.push(cond.label);
                     current_input = generate_input(format, seed, &model);

@@ -117,7 +117,7 @@ pub fn extract(
     let start = Instant::now();
     let shadow = Symbolic::relevant_bytes(site.relevant_bytes.iter().copied());
     let r = run(program, seed, shadow, machine);
-    extraction_from_run(&r, site, start)
+    extraction_from_run(&r, site, start, false)
 }
 
 /// [`extract`] resuming the site's symbolic seed run from a prefix
@@ -141,7 +141,7 @@ pub(crate) fn extract_resumed(
     let start = Instant::now();
     let shadow = Symbolic::relevant_bytes(site.relevant_bytes.iter().copied());
     let r = diode_interp::run_from_with(program, seed, snapshot, shadow, machine)?;
-    extraction_from_run(&r, site, start)
+    extraction_from_run(&r, site, start, true)
 }
 
 /// Shared stage-2/3 post-processing: target expression, β, compressed
@@ -150,6 +150,7 @@ fn extraction_from_run(
     r: &diode_interp::Run<Option<SymExpr>, Option<SymBool>>,
     site: &TargetSite,
     start: Instant,
+    resumed: bool,
 ) -> Option<Extraction> {
     let rec = r.allocs.iter().find(|a| a.label == site.label)?;
     let target_expr = rec.size_tag.clone()?;
@@ -158,6 +159,15 @@ fn extraction_from_run(
     let path: &[BranchObs<Option<SymBool>>] = &r.branches[..rec.branches_before];
     let total_relevant = count_relevant_occurrences(path, &beta_bytes);
     let phi = relevant(compress(path), &beta_bytes);
+    if diode_obs::audit_active() {
+        diode_obs::audit_event(diode_obs::ProvenanceEvent::Extraction {
+            relevant_bytes: beta_bytes.clone(),
+            total_relevant: total_relevant as u32,
+            phi_len: phi.len() as u32,
+            boundary: rec.branches_before as u32,
+            resumed,
+        });
+    }
     Some(Extraction {
         target_expr,
         beta,

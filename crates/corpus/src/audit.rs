@@ -1,0 +1,419 @@
+//! Persisted decision provenance: `audit/<label>/` next to `witnesses/`.
+//!
+//! An [`AuditSet`] freezes one audited campaign run's per-site
+//! [`ProvenanceRecord`]s — the full derivation of every verdict — so a
+//! later `corpus diff` can flag a site whose verdict is *unchanged* but
+//! whose derivation drifted (different enforcement path, different
+//! solver answers along the way). That distinction is invisible to the
+//! witness diff, which only compares what was found, never how.
+//!
+//! On disk each record is its own document, `audit/<label>/<site>.json`
+//! (site keys are sanitised into file stems), carrying the full event
+//! list including advisory cache-hit annotations. Drift comparison uses
+//! [`ProvenanceRecord::canonical`], which strips exactly those advisory
+//! fields, so two runs of the same spec compare byte-identical
+//! regardless of thread count or cache warmth.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use diode_engine::CampaignReport;
+use diode_obs::{
+    canonical_record_set, EnforceAction, ProvenanceEvent, ProvenanceRecord, QueryOrigin,
+    QueryVerdict, AUDIT_SCHEMA_VERSION,
+};
+
+use crate::json::Json;
+use crate::witness::SiteKey;
+use crate::CorpusError;
+
+/// The decision-provenance records of one audited campaign run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditSet {
+    /// The suite the audited run replayed.
+    pub suite_id: String,
+    /// The run's label (shared with its witness set).
+    pub label: String,
+    /// Per-site derivations, sorted by `(app, seed, site)`.
+    pub records: Vec<ProvenanceRecord>,
+}
+
+impl AuditSet {
+    /// Freezes a report's provenance, if the campaign recorded any
+    /// (`None` when the run was not audited).
+    #[must_use]
+    pub fn from_report(
+        suite_id: impl Into<String>,
+        label: impl Into<String>,
+        report: &CampaignReport,
+    ) -> Option<AuditSet> {
+        report.provenance.as_ref().map(|records| {
+            let mut records = records.clone();
+            sort_records(&mut records);
+            AuditSet {
+                suite_id: suite_id.into(),
+                label: label.into(),
+                records,
+            }
+        })
+    }
+
+    /// Canonical serialisation of the whole set (one canonical JSON
+    /// document per line, sorted) — the byte-identity form.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        canonical_record_set(&self.records)
+    }
+
+    /// Records keyed by site identity.
+    #[must_use]
+    pub fn by_key(&self) -> BTreeMap<SiteKey, &ProvenanceRecord> {
+        self.records.iter().map(|r| (record_key(r), r)).collect()
+    }
+
+    /// The record for one site, if present.
+    #[must_use]
+    pub fn record_for(&self, key: &SiteKey) -> Option<&ProvenanceRecord> {
+        self.records.iter().find(|r| &record_key(r) == key)
+    }
+}
+
+/// Site identity of a provenance record, in witness-diff key space.
+#[must_use]
+pub fn record_key(r: &ProvenanceRecord) -> SiteKey {
+    SiteKey {
+        app: r.app.clone(),
+        seed_index: r.seed as usize,
+        site: r.site.clone(),
+    }
+}
+
+fn sort_records(records: &mut [ProvenanceRecord]) {
+    records.sort_by(|a, b| (&a.app, a.seed, &a.site).cmp(&(&b.app, b.seed, &b.site)));
+}
+
+/// File stem for one record inside `audit/<label>/`: the site key with
+/// every non-`[A-Za-z0-9._-]` character mapped to `_` (site names carry
+/// `@`, which is not a safe file stem everywhere).
+#[must_use]
+pub fn record_file(r: &ProvenanceRecord) -> String {
+    let raw = format!("{}.s{}.{}", r.app, r.seed, r.site);
+    let mut stem = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+            stem.push(c);
+        } else {
+            stem.push('_');
+        }
+    }
+    format!("{stem}.json")
+}
+
+/// Derivation drift between two audited runs of the same suite: sites
+/// whose *verdict token is unchanged* but whose canonical derivation
+/// differs — the regression class the witness diff cannot see.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DerivationDrift {
+    /// Same verdict, different derivation.
+    pub drifted: Vec<SiteKey>,
+    /// Different verdict (already visible to the witness diff; counted,
+    /// not re-reported).
+    pub verdict_changed: usize,
+    /// Sites with a record in both runs.
+    pub compared: usize,
+}
+
+impl DerivationDrift {
+    /// Compares two audit sets by site key.
+    #[must_use]
+    pub fn between(old: &AuditSet, new: &AuditSet) -> DerivationDrift {
+        let old_map = old.by_key();
+        let new_map = new.by_key();
+        let mut drift = DerivationDrift::default();
+        for (key, o) in &old_map {
+            let Some(n) = new_map.get(key) else { continue };
+            drift.compared += 1;
+            if o.canonical() == n.canonical() {
+                continue;
+            }
+            let same_verdict = match (o.verdict(), n.verdict()) {
+                (Some((ot, _, _)), Some((nt, _, _))) => ot == nt,
+                (None, None) => true,
+                _ => false,
+            };
+            if same_verdict {
+                drift.drifted.push(key.clone());
+            } else {
+                drift.verdict_changed += 1;
+            }
+        }
+        drift
+    }
+
+    /// True when no unchanged-verdict site changed its derivation.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.drifted.is_empty()
+    }
+}
+
+impl fmt::Display for DerivationDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} derivation(s) compared, {} drifted, {} with changed verdicts",
+            self.compared,
+            self.drifted.len(),
+            self.verdict_changed
+        )?;
+        for k in &self.drifted {
+            writeln!(f, "  DERIV   {k}: verdict unchanged, derivation changed")?;
+        }
+        Ok(())
+    }
+}
+
+/// Serialises a record as a corpus [`Json`] document (full form, with
+/// advisory cache annotations).
+#[must_use]
+pub fn record_json(r: &ProvenanceRecord) -> Json {
+    Json::parse(&r.to_json()).expect("provenance records serialise as valid JSON")
+}
+
+/// Serialises a record in canonical form — the byte-identical-across-
+/// thread-counts shape every persisted audit artifact uses. Cache-hit
+/// annotations are omitted: whether a query hit the *shared* cache
+/// depends on scheduling, not on the decision being derived.
+#[must_use]
+pub fn record_json_canonical(r: &ProvenanceRecord) -> Json {
+    Json::parse(&r.canonical()).expect("provenance records serialise as valid JSON")
+}
+
+fn corrupt(doc: &str, reason: impl Into<String>) -> CorpusError {
+    CorpusError::Corrupt {
+        doc: doc.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn u32_field(doc: &Json, key: &str) -> Result<u32, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| format!("missing or non-u32 field {key:?}"))
+}
+
+fn str_field<'j>(doc: &'j Json, key: &str) -> Result<&'j str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn event_from_json(doc: &Json) -> Result<ProvenanceEvent, String> {
+    match str_field(doc, "type")? {
+        "extraction" => {
+            let items = doc
+                .get("relevant_bytes")
+                .and_then(Json::as_arr)
+                .ok_or("extraction event missing relevant_bytes array")?;
+            let mut relevant_bytes = Vec::with_capacity(items.len());
+            for item in items {
+                relevant_bytes.push(
+                    item.as_u64()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or("non-u32 entry in relevant_bytes")?,
+                );
+            }
+            Ok(ProvenanceEvent::Extraction {
+                relevant_bytes,
+                total_relevant: u32_field(doc, "total_relevant")?,
+                phi_len: u32_field(doc, "phi")?,
+                boundary: u32_field(doc, "boundary")?,
+                resumed: doc
+                    .get("resumed")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing or non-bool field \"resumed\"")?,
+            })
+        }
+        "query" => Ok(ProvenanceEvent::Query {
+            origin: QueryOrigin::parse(str_field(doc, "origin")?).ok_or("unknown query origin")?,
+            fingerprint: str_field(doc, "fingerprint")?.to_string(),
+            verdict: QueryVerdict::parse(str_field(doc, "verdict")?)
+                .ok_or("unknown query verdict")?,
+            cache_hit: doc.get("cache_hit").and_then(Json::as_bool),
+        }),
+        "enforce" => Ok(ProvenanceEvent::Enforce {
+            iteration: u32_field(doc, "iteration")?,
+            condition: u32_field(doc, "condition")?,
+            label: u32_field(doc, "label")?,
+            action: EnforceAction::parse(str_field(doc, "action")?)
+                .ok_or("unknown enforce action")?,
+        }),
+        "budget" => Ok(ProvenanceEvent::Budget {
+            iteration: u32_field(doc, "iteration")?,
+        }),
+        "verdict" => Ok(ProvenanceEvent::Verdict {
+            outcome: str_field(doc, "outcome")?.to_string(),
+            enforced: u32_field(doc, "enforced")?,
+            witness: doc
+                .get("witness")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        }),
+        other => Err(format!("unknown event type {other:?}")),
+    }
+}
+
+/// Parses a provenance record back from a corpus [`Json`] document,
+/// rejecting unknown schema versions.
+///
+/// # Errors
+///
+/// [`CorpusError::Corrupt`] naming `doc_name` on any structural problem.
+pub fn record_from_json(doc_name: &str, doc: &Json) -> Result<ProvenanceRecord, CorpusError> {
+    let v = doc
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(doc_name, "missing schema version"))?;
+    if v != u64::from(AUDIT_SCHEMA_VERSION) {
+        return Err(corrupt(
+            doc_name,
+            format!("unsupported audit schema version {v}"),
+        ));
+    }
+    let events_json = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| corrupt(doc_name, "missing events array"))?;
+    let mut events = Vec::with_capacity(events_json.len());
+    for (i, e) in events_json.iter().enumerate() {
+        events.push(
+            event_from_json(e)
+                .map_err(|reason| corrupt(doc_name, format!("event {i}: {reason}")))?,
+        );
+    }
+    Ok(ProvenanceRecord {
+        app: str_field(doc, "app")
+            .map_err(|r| corrupt(doc_name, r))?
+            .to_string(),
+        seed: u32_field(doc, "seed").map_err(|r| corrupt(doc_name, r))?,
+        site: str_field(doc, "site")
+            .map_err(|r| corrupt(doc_name, r))?
+            .to_string(),
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diode_obs::fnv64_hex;
+
+    fn record(site: &str, outcome: &str) -> ProvenanceRecord {
+        ProvenanceRecord {
+            app: "app-0".to_string(),
+            seed: 1,
+            site: site.to_string(),
+            events: vec![
+                ProvenanceEvent::Extraction {
+                    relevant_bytes: vec![0, 3],
+                    total_relevant: 2,
+                    phi_len: 1,
+                    boundary: 4,
+                    resumed: true,
+                },
+                ProvenanceEvent::Query {
+                    origin: QueryOrigin::Beta,
+                    fingerprint: "ff00".to_string(),
+                    verdict: QueryVerdict::Sat,
+                    cache_hit: Some(true),
+                },
+                ProvenanceEvent::Verdict {
+                    outcome: outcome.to_string(),
+                    enforced: 0,
+                    witness: Some(fnv64_hex(b"xy")),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_corpus_json() {
+        let r = record("b0@7", "exposed");
+        let doc = record_json(&r);
+        let back = record_from_json("t", &doc).unwrap();
+        assert_eq!(back, r, "cache_hit and all payloads survive");
+    }
+
+    #[test]
+    fn parse_rejects_future_schema_and_garbage_events() {
+        let mut doc = record_json(&record("s", "exposed"));
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::UInt(99);
+        }
+        assert!(matches!(
+            record_from_json("t", &doc),
+            Err(CorpusError::Corrupt { .. })
+        ));
+        let bad = Json::parse(
+            "{\"v\":1,\"app\":\"a\",\"seed\":0,\"site\":\"s\",\
+             \"events\":[{\"type\":\"warp\"}]}",
+        )
+        .unwrap();
+        let err = record_from_json("t", &bad).unwrap_err();
+        assert!(err.to_string().contains("warp"));
+    }
+
+    #[test]
+    fn record_file_sanitises_site_names() {
+        let name = record_file(&record("b0@7", "exposed"));
+        assert_eq!(name, "app-0.s1.b0_7.json");
+    }
+
+    #[test]
+    fn drift_flags_same_verdict_different_chain() {
+        let old = AuditSet {
+            suite_id: "s".into(),
+            label: "a".into(),
+            records: vec![record("x", "exposed"), record("y", "exposed")],
+        };
+        let mut changed = record("x", "exposed");
+        changed.events.insert(
+            2,
+            ProvenanceEvent::Enforce {
+                iteration: 1,
+                condition: 0,
+                label: 7,
+                action: EnforceAction::SkippedUnsat,
+            },
+        );
+        let new = AuditSet {
+            suite_id: "s".into(),
+            label: "b".into(),
+            records: vec![changed, record("y", "target-unsat")],
+        };
+        let drift = DerivationDrift::between(&old, &new);
+        assert_eq!(drift.compared, 2);
+        assert_eq!(drift.drifted.len(), 1, "x drifted with verdict intact");
+        assert_eq!(drift.drifted[0].site, "x");
+        assert_eq!(drift.verdict_changed, 1, "y is the witness diff's job");
+        assert!(!drift.is_clean());
+        assert!(DerivationDrift::between(&old, &old).is_clean());
+    }
+
+    #[test]
+    fn canonical_set_is_thread_order_independent() {
+        let a = AuditSet {
+            suite_id: "s".into(),
+            label: "l".into(),
+            records: vec![record("b", "exposed"), record("a", "exposed")],
+        };
+        let b = AuditSet {
+            suite_id: "s".into(),
+            label: "l".into(),
+            records: vec![record("a", "exposed"), record("b", "exposed")],
+        };
+        assert_eq!(a.canonical(), b.canonical());
+        assert!(!a.canonical().contains("cache_hit"));
+    }
+}

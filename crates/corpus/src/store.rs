@@ -25,6 +25,7 @@ use diode_synth::{
     forge_range, score, ForgedSuite, ScoreCard, SuiteManifest, SynthConfig, SynthOracle,
 };
 
+use crate::audit::{self, AuditSet};
 use crate::codec;
 use crate::json::Json;
 use crate::snapmeta::SnapshotMetaSet;
@@ -84,6 +85,47 @@ impl ReplayableSuite {
         SnapshotMetaSet::from_report(self.id(), report)
     }
 
+    /// Freezes a replay's decision provenance, when the run was audited.
+    #[must_use]
+    pub fn audit(&self, label: &str, report: &CampaignReport) -> Option<AuditSet> {
+        AuditSet::from_report(self.id(), label, report)
+    }
+
+    /// [`replay`](ReplayableSuite::replay) with decision-provenance
+    /// auditing on: the report carries a [`ProvenanceRecord`] per site
+    /// (pass it to [`ReplayableSuite::audit`] /
+    /// [`CorpusStore::record_audit`]). Outcomes are identical to an
+    /// unaudited replay — auditing only observes.
+    ///
+    /// [`ProvenanceRecord`]: diode_obs::ProvenanceRecord
+    #[must_use]
+    pub fn replay_audited(&self, mode: ExecutionMode) -> (CampaignReport, ScoreCard) {
+        self.replay_with(mode, None, true)
+    }
+
+    /// The general replay: optional snapshot-cache priming and optional
+    /// decision-provenance auditing, composed. Neither observation
+    /// changes outcomes — reports stay byte-identical to a bare
+    /// [`replay`](ReplayableSuite::replay).
+    #[must_use]
+    pub fn replay_with(
+        &self,
+        mode: ExecutionMode,
+        meta: Option<&SnapshotMetaSet>,
+        audit: bool,
+    ) -> (CampaignReport, ScoreCard) {
+        let spec = CampaignSpec {
+            mode,
+            snapshot_cache: meta.map(|m| std::sync::Arc::new(m.primed_cache(self))),
+            recorder: audit
+                .then(|| std::sync::Arc::new(diode_engine::Recorder::new().with_audit())),
+            ..CampaignSpec::from_corpus(self)
+        };
+        let report = spec.run();
+        let card = score(&report, &self.suite.oracle);
+        (report, card)
+    }
+
     /// [`replay`](ReplayableSuite::replay) with the campaign's snapshot
     /// cache primed from recorded metadata: every site's divergence
     /// boundary is installed up front, so the warm-up captures at the
@@ -96,14 +138,7 @@ impl ReplayableSuite {
         mode: ExecutionMode,
         meta: &SnapshotMetaSet,
     ) -> (CampaignReport, ScoreCard) {
-        let spec = CampaignSpec {
-            mode,
-            snapshot_cache: Some(std::sync::Arc::new(meta.primed_cache(self))),
-            ..CampaignSpec::from_corpus(self)
-        };
-        let report = spec.run();
-        let card = score(&report, &self.suite.oracle);
-        (report, card)
+        self.replay_with(mode, Some(meta), false)
     }
 }
 
@@ -424,6 +459,89 @@ impl CorpusStore {
         }
         let doc = read_doc(&path)?;
         codec::snapmeta_from_json("snapshots.json", &doc).map(Some)
+    }
+
+    /// Records an audit set as one document per site under
+    /// `audit/<label>/` in its suite's directory (next to `witnesses/`).
+    /// Re-recording a label replaces the whole directory, so stale
+    /// per-site files from a previous run can never survive.
+    ///
+    /// # Errors
+    ///
+    /// Unknown suite IDs, unsafe labels, and I/O failures.
+    pub fn record_audit(&self, set: &AuditSet) -> Result<PathBuf, CorpusError> {
+        check_label(&set.label)?;
+        let id = self.resolve(&set.suite_id)?;
+        let dir = self.suite_dir(&id).join("audit").join(&set.label);
+        if dir.exists() {
+            fs::remove_dir_all(&dir).map_err(|e| read_err(&dir, e))?;
+        }
+        fs::create_dir_all(&dir).map_err(|e| read_err(&dir, e))?;
+        // Canonical form on disk: audit artifacts are byte-identical
+        // across thread counts (cache annotations are in-memory only).
+        for record in &set.records {
+            write_file(
+                &dir.join(audit::record_file(record)),
+                record.canonical().as_bytes(),
+            )?;
+        }
+        Ok(dir)
+    }
+
+    /// Loads a recorded audit set by suite and label, or `None` when the
+    /// run was not audited (audit recording is opt-in, unlike witnesses).
+    ///
+    /// # Errors
+    ///
+    /// Unknown suite IDs, unsafe labels, corrupt records, and I/O
+    /// failures.
+    pub fn load_audit(&self, id: &str, label: &str) -> Result<Option<AuditSet>, CorpusError> {
+        check_label(label)?;
+        let id = self.resolve(id)?;
+        let dir = self.suite_dir(&id).join("audit").join(label);
+        if !dir.exists() {
+            return Ok(None);
+        }
+        let mut records = Vec::new();
+        for entry in fs::read_dir(&dir).map_err(|e| read_err(&dir, e))? {
+            let entry = entry.map_err(|e| read_err(&dir, e))?;
+            let name = entry.file_name().to_string_lossy().to_string();
+            if !name.ends_with(".json") {
+                continue;
+            }
+            let doc = read_doc(&entry.path())?;
+            records.push(audit::record_from_json(
+                &format!("audit/{label}/{name}"),
+                &doc,
+            )?);
+        }
+        records.sort_by(|a, b| (&a.app, a.seed, &a.site).cmp(&(&b.app, b.seed, &b.site)));
+        Ok(Some(AuditSet {
+            suite_id: id,
+            label: label.to_string(),
+            records,
+        }))
+    }
+
+    /// Recorded audit labels of a suite, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Unknown suite IDs and I/O failures.
+    pub fn audit_labels(&self, id: &str) -> Result<Vec<String>, CorpusError> {
+        let id = self.resolve(id)?;
+        let dir = self.suite_dir(&id).join("audit");
+        let mut labels = Vec::new();
+        if dir.exists() {
+            for entry in fs::read_dir(&dir).map_err(|e| read_err(&dir, e))? {
+                let entry = entry.map_err(|e| read_err(&dir, e))?;
+                if entry.path().is_dir() {
+                    labels.push(entry.file_name().to_string_lossy().to_string());
+                }
+            }
+        }
+        labels.sort();
+        Ok(labels)
     }
 
     /// Loads a recorded witness set by suite and label, re-verifying its

@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use diode_core::{PreventedReason, SiteOutcome};
+use diode_core::SiteOutcome;
 use diode_engine::CampaignReport;
 use diode_synth::{score, Fnv64, Mismatch, ScoreCard, SynthOracle};
 
@@ -131,21 +131,12 @@ impl SiteWitness {
     }
 }
 
-/// Canonical token for a site outcome.
+/// Canonical token for a site outcome (delegates to
+/// [`SiteOutcome::token`], the single source of the token grammar —
+/// provenance verdict events use the same strings).
 #[must_use]
 pub fn outcome_token(outcome: &SiteOutcome) -> String {
-    match outcome {
-        SiteOutcome::Exposed(_) => "exposed".to_string(),
-        SiteOutcome::TargetUnsat => "target-unsat".to_string(),
-        SiteOutcome::Prevented(PreventedReason::ConstraintUnsat { enforced }) => {
-            format!("prevented:constraint-unsat:{enforced}")
-        }
-        SiteOutcome::Prevented(PreventedReason::SatisfiesPhi { enforced }) => {
-            format!("prevented:satisfies-phi:{enforced}")
-        }
-        SiteOutcome::Prevented(PreventedReason::Budget) => "prevented:budget".to_string(),
-        SiteOutcome::Unknown => "unknown".to_string(),
-    }
+    outcome.token()
 }
 
 /// One recorded campaign run over a stored suite.

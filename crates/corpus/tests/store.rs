@@ -274,3 +274,49 @@ fn snapshot_metadata_roundtrips_and_primes_replays() {
     assert_eq!(saved.snapshot_meta(&primed_report), meta);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn audit_records_persist_and_roundtrip_byte_for_byte() {
+    let dir = scratch("audit");
+    let store = CorpusStore::open(&dir).unwrap();
+    let saved = store.forge_and_save(&small_cfg(0xD10DE)).unwrap();
+
+    // Nothing recorded yet; an unaudited replay leaves no provenance.
+    assert!(store.load_audit(saved.id(), "baseline").unwrap().is_none());
+    assert!(store.audit_labels(saved.id()).unwrap().is_empty());
+    let (plain, _) = saved.replay(ExecutionMode::default());
+    assert!(plain.provenance.is_none());
+    assert!(saved.audit("baseline", &plain).is_none());
+
+    // An audited replay yields one record per site, outcomes unchanged.
+    let (report, card) = saved.replay_audited(ExecutionMode::default());
+    assert!(card.is_perfect(), "{:?}", card.mismatches);
+    assert_eq!(
+        plain.outcome_fingerprint(),
+        report.outcome_fingerprint(),
+        "auditing must be passive"
+    );
+    let set = saved.audit("baseline", &report).expect("audited run");
+    assert_eq!(set.records.len(), saved.suite.total_sites());
+    store.record_audit(&set).unwrap();
+
+    // "Another process": a fresh handle reads the same canonical bytes.
+    let store2 = CorpusStore::open(&dir).unwrap();
+    assert_eq!(store2.audit_labels(saved.id()).unwrap(), vec!["baseline"]);
+    let loaded = store2
+        .load_audit(saved.id(), "baseline")
+        .unwrap()
+        .expect("recorded");
+    // Disk holds the canonical form (advisory cache annotations are
+    // in-memory only), so canonical bytes are the identity contract.
+    assert_eq!(loaded.records.len(), set.records.len());
+    assert_eq!(loaded.canonical(), set.canonical());
+
+    // Re-auditing drifts nowhere: same suite, same derivations.
+    let (rerun, _) = saved.replay_audited(ExecutionMode::Sequential);
+    let rerun_set = saved.audit("rerun", &rerun).expect("audited run");
+    let drift = diode_corpus::DerivationDrift::between(&loaded, &rerun_set);
+    assert!(drift.is_clean(), "{drift}");
+    assert_eq!(drift.compared, set.records.len());
+    std::fs::remove_dir_all(&dir).ok();
+}

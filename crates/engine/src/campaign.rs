@@ -22,7 +22,7 @@ use diode_core::{test_candidate, TargetSite};
 use diode_core::{SiteOutcome, SiteReport, SnapshotCache, SnapshotStats};
 use diode_format::FormatDesc;
 use diode_lang::Program;
-use diode_obs::{PhaseBreakdown, Recorder};
+use diode_obs::{PhaseBreakdown, ProvenanceRecord, Recorder};
 use diode_solver::{CacheStats, SolveResult, SolverCache};
 
 use crate::scheduler::{self, Spawner};
@@ -191,6 +191,9 @@ impl CampaignSpec {
             threads: self.effective_threads(),
             jobs,
             phases: recorder.map(|r| PhaseBreakdown::from_trace(&r.trace())),
+            provenance: recorder
+                .filter(|r| r.audit_enabled())
+                .map(|r| r.provenance()),
         };
         sink.on_event(CampaignEvent::Finished {
             wall_time: report.wall_time,
@@ -410,7 +413,10 @@ impl CampaignSpec {
             _ => return None,
         };
         let _span = diode_obs::span(diode_obs::Phase::Validate);
-        let constraint_sat = matches!(config.solve_query(&bug.constraint), SolveResult::Sat(_));
+        let constraint_sat = matches!(
+            config.solve_query_for(&bug.constraint, diode_obs::QueryOrigin::Validate),
+            SolveResult::Sat(_)
+        );
         let still_triggers =
             test_candidate(program, &bug.input, report.label, &config.machine).triggered;
         Some(constraint_sat && still_triggers)
@@ -543,6 +549,10 @@ pub struct CampaignReport {
     /// Per-phase timing summary, when the spec carried an enabled
     /// recorder. Purely additive: outcomes are unaffected by tracing.
     pub phases: Option<PhaseBreakdown>,
+    /// Per-site decision provenance, when the spec's recorder was built
+    /// with auditing on ([`Recorder::with_audit`]); sorted by
+    /// `(app, seed, site)`. Like tracing, purely additive.
+    pub provenance: Option<Vec<ProvenanceRecord>>,
 }
 
 impl CampaignReport {

@@ -42,14 +42,23 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod metrics;
 mod profile;
 mod sink;
 mod span;
 
+pub use audit::{
+    canonical_record_set, fnv64_hex, EnforceAction, ProvenanceEvent, ProvenanceRecord, QueryOrigin,
+    QueryVerdict, AUDIT_SCHEMA_VERSION,
+};
 pub use metrics::{Hist, HistSummary};
-pub use profile::{collapsed_stacks, PhaseBreakdown, PhaseRow, ProfileReport, SiteRow};
+pub use profile::{
+    collapsed_stacks, PhaseBreakdown, PhaseDelta, PhaseRow, ProfileDiff, ProfileReport, SiteDelta,
+    SiteRow,
+};
 pub use sink::{JsonlFileSink, NullSink, RingSink, TraceError, TraceSink, TRACE_SCHEMA_VERSION};
 pub use span::{
-    count, job_scope, observe_ns, span, JobScope, Phase, Recorder, Span, SpanGuard, Trace,
+    audit_active, audit_event, count, job_scope, observe_ns, span, JobScope, Phase, Recorder, Span,
+    SpanGuard, Trace,
 };

@@ -317,6 +317,366 @@ impl ProfileReport {
     }
 }
 
+/// One phase's timing across two profiled runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Which phase.
+    pub phase: Phase,
+    /// Phase total in the old run, milliseconds.
+    pub old_ms: f64,
+    /// Phase total in the new run, milliseconds.
+    pub new_ms: f64,
+}
+
+impl PhaseDelta {
+    /// Signed change, milliseconds (positive = regression).
+    pub fn delta_ms(&self) -> f64 {
+        self.new_ms - self.old_ms
+    }
+}
+
+/// One site's attributed time across two profiled runs. Sites appear
+/// when either run ranked them among its slowest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteDelta {
+    /// Application name.
+    pub app: String,
+    /// Unit seed index.
+    pub seed: u32,
+    /// Target site label.
+    pub site: String,
+    /// Attributed time in the old run, milliseconds.
+    pub old_ms: f64,
+    /// Attributed time in the new run, milliseconds.
+    pub new_ms: f64,
+}
+
+impl SiteDelta {
+    /// Signed change, milliseconds (positive = regression).
+    pub fn delta_ms(&self) -> f64 {
+        self.new_ms - self.old_ms
+    }
+}
+
+/// Comparison of two [`ProfileReport`]s that attributes a wall-clock
+/// regression to specific phases, sites, and solver-cache hit-rate
+/// shifts — so a trajectory gate failure can say *where* the time went.
+///
+/// A phase is *attributed* when its total grew by more than
+/// `threshold` relative to its own old time AND by more than a quarter
+/// of `threshold` relative to the whole run's instrumented compute —
+/// real growth, material to the run, not just its own noise. Diffing a
+/// report against itself attributes nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDiff {
+    /// Old run's wall time, ms, when stamped.
+    pub old_wall_ms: Option<f64>,
+    /// New run's wall time, ms, when stamped.
+    pub new_wall_ms: Option<f64>,
+    /// Old run's instrumented compute (top-level span total), ms.
+    pub old_compute_ms: f64,
+    /// New run's instrumented compute, ms.
+    pub new_compute_ms: f64,
+    /// Union of both runs' phases, canonical phase order.
+    pub phases: Vec<PhaseDelta>,
+    /// Largest per-site shifts, descending by absolute change.
+    pub sites: Vec<SiteDelta>,
+    /// Old run's solver-cache hit rate, when its counters were recorded.
+    pub old_hit_rate: Option<f64>,
+    /// New run's solver-cache hit rate.
+    pub new_hit_rate: Option<f64>,
+    /// Relative attribution threshold used by [`ProfileDiff::attributed`].
+    pub threshold: f64,
+}
+
+impl ProfileDiff {
+    /// Compare two reports, keeping the `top_n` largest site shifts and
+    /// attributing phases whose growth exceeds `threshold` (a fraction
+    /// of the old run's instrumented compute; 0.15 mirrors the
+    /// trajectory gate).
+    pub fn between(
+        old: &ProfileReport,
+        new: &ProfileReport,
+        top_n: usize,
+        threshold: f64,
+    ) -> ProfileDiff {
+        let mut old_phases: BTreeMap<Phase, u64> = BTreeMap::new();
+        for row in &old.breakdown.phases {
+            old_phases.insert(row.phase, row.total_ns);
+        }
+        let mut new_phases: BTreeMap<Phase, u64> = BTreeMap::new();
+        for row in &new.breakdown.phases {
+            new_phases.insert(row.phase, row.total_ns);
+        }
+        let phases = Phase::ALL
+            .into_iter()
+            .filter_map(|phase| {
+                let old_ns = old_phases.get(&phase).copied();
+                let new_ns = new_phases.get(&phase).copied();
+                if old_ns.is_none() && new_ns.is_none() {
+                    return None;
+                }
+                Some(PhaseDelta {
+                    phase,
+                    old_ms: ms(old_ns.unwrap_or(0)),
+                    new_ms: ms(new_ns.unwrap_or(0)),
+                })
+            })
+            .collect();
+        let mut site_times: BTreeMap<(String, u32, String), (f64, f64)> = BTreeMap::new();
+        for s in &old.top_sites {
+            site_times
+                .entry((s.app.clone(), s.seed, s.site.clone()))
+                .or_insert((0.0, 0.0))
+                .0 = ms(s.total_ns);
+        }
+        for s in &new.top_sites {
+            site_times
+                .entry((s.app.clone(), s.seed, s.site.clone()))
+                .or_insert((0.0, 0.0))
+                .1 = ms(s.total_ns);
+        }
+        let mut sites: Vec<SiteDelta> = site_times
+            .into_iter()
+            .map(|((app, seed, site), (old_ms, new_ms))| SiteDelta {
+                app,
+                seed,
+                site,
+                old_ms,
+                new_ms,
+            })
+            .collect();
+        sites.sort_by(|a, b| {
+            b.delta_ms()
+                .abs()
+                .partial_cmp(&a.delta_ms().abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&a.app, a.seed, &a.site).cmp(&(&b.app, b.seed, &b.site)))
+        });
+        sites.truncate(top_n);
+        ProfileDiff {
+            old_wall_ms: old.wall_ns.map(ms),
+            new_wall_ms: new.wall_ns.map(ms),
+            old_compute_ms: ms(old.breakdown.top_level_ns),
+            new_compute_ms: ms(new.breakdown.top_level_ns),
+            phases,
+            sites,
+            old_hit_rate: hit_rate(&old.counters),
+            new_hit_rate: hit_rate(&new.counters),
+            threshold,
+        }
+    }
+
+    /// Relative wall-time change (`(new - old) / old`), when both runs
+    /// were stamped. Positive = regression.
+    pub fn wall_regression(&self) -> Option<f64> {
+        let (old, new) = (self.old_wall_ms?, self.new_wall_ms?);
+        if old <= 0.0 {
+            return None;
+        }
+        Some((new - old) / old)
+    }
+
+    /// Phases whose growth exceeds the attribution threshold, largest
+    /// regression first. Empty means no attributed regression.
+    pub fn attributed(&self) -> Vec<&PhaseDelta> {
+        // Two conditions, both scaled by the threshold: the phase must
+        // have grown materially relative to itself (more than
+        // `threshold` of its own old time — a 15% default) AND relative
+        // to the whole run (more than a quarter of `threshold` of the
+        // larger run's instrumented compute), so noise in a tiny phase
+        // never attributes while a genuinely inflated phase — even one
+        // that is a modest slice of the run, like solve with the cache
+        // disabled — always does. The compute basis takes the larger
+        // run so a huge regression can't shrink its own yardstick.
+        let compute = self.old_compute_ms.max(self.new_compute_ms).max(1e-3);
+        let floor = self.threshold * 0.25 * compute;
+        let mut hits: Vec<&PhaseDelta> = self
+            .phases
+            .iter()
+            .filter(|d| {
+                !d.phase.is_volatile()
+                    && d.delta_ms() > floor
+                    && d.delta_ms() > self.threshold * d.old_ms.max(1e-3)
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.delta_ms()
+                .partial_cmp(&a.delta_ms())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        hits
+    }
+
+    /// Change in solver-cache hit rate (`new - old`), when both runs
+    /// recorded solver counters. Negative = the cache got colder.
+    pub fn hit_rate_delta(&self) -> Option<f64> {
+        Some(self.new_hit_rate? - self.old_hit_rate?)
+    }
+
+    /// Whether the diff attributes any regression.
+    pub fn is_regression(&self) -> bool {
+        !self.attributed().is_empty()
+    }
+
+    /// JSON object (single line) with the whole diff.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"table\":\"obs_profile_diff\",\"v\":1");
+        if let Some(wall) = self.old_wall_ms {
+            let _ = write!(out, ",\"old_wall_ms\":{}", fmt_f64(wall));
+        }
+        if let Some(wall) = self.new_wall_ms {
+            let _ = write!(out, ",\"new_wall_ms\":{}", fmt_f64(wall));
+        }
+        if let Some(reg) = self.wall_regression() {
+            let _ = write!(out, ",\"wall_regression\":{}", fmt_f64(reg));
+        }
+        let _ = write!(
+            out,
+            ",\"old_compute_ms\":{},\"new_compute_ms\":{},\"threshold\":{}",
+            fmt_f64(self.old_compute_ms),
+            fmt_f64(self.new_compute_ms),
+            fmt_f64(self.threshold),
+        );
+        out.push_str(",\"phases\":[");
+        for (i, d) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"phase\":\"{}\",\"old_ms\":{},\"new_ms\":{},\"delta_ms\":{}}}",
+                d.phase,
+                fmt_f64(d.old_ms),
+                fmt_f64(d.new_ms),
+                fmt_f64(d.delta_ms()),
+            );
+        }
+        out.push_str("],\"attributed\":[");
+        for (i, d) in self.attributed().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", d.phase);
+        }
+        out.push_str("],\"sites\":[");
+        for (i, s) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"app\":\"{}\",\"seed\":{},\"site\":\"{}\",\"old_ms\":{},\"new_ms\":{},\"delta_ms\":{}}}",
+                escape(&s.app),
+                s.seed,
+                escape(&s.site),
+                fmt_f64(s.old_ms),
+                fmt_f64(s.new_ms),
+                fmt_f64(s.delta_ms()),
+            );
+        }
+        out.push(']');
+        if let Some(rate) = self.old_hit_rate {
+            let _ = write!(out, ",\"old_cache_hit_rate\":{}", fmt_f64(rate));
+        }
+        if let Some(rate) = self.new_hit_rate {
+            let _ = write!(out, ",\"new_cache_hit_rate\":{}", fmt_f64(rate));
+        }
+        if let Some(delta) = self.hit_rate_delta() {
+            let _ = write!(out, ",\"cache_hit_rate_delta\":{}", fmt_f64(delta));
+        }
+        let _ = write!(out, ",\"regressed\":{}}}", self.is_regression());
+        out
+    }
+
+    /// Human-readable attribution report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Profile diff (old -> new) ==\n");
+        if let Some(reg) = self.wall_regression() {
+            let _ = writeln!(
+                out,
+                "wall {:.1} ms -> {:.1} ms ({:+.1}%)",
+                self.old_wall_ms.unwrap_or(0.0),
+                self.new_wall_ms.unwrap_or(0.0),
+                reg * 100.0,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "instrumented compute {:.1} ms -> {:.1} ms",
+            self.old_compute_ms, self.new_compute_ms
+        );
+        let _ = writeln!(
+            out,
+            "{:<15} {:>12} {:>12} {:>12}",
+            "phase", "old ms", "new ms", "delta ms"
+        );
+        for d in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<15} {:>12.3} {:>12.3} {:>+12.3}",
+                d.phase.as_str(),
+                d.old_ms,
+                d.new_ms,
+                d.delta_ms(),
+            );
+        }
+        if let Some(delta) = self.hit_rate_delta() {
+            let _ = writeln!(
+                out,
+                "solver cache hit rate {:.1}% -> {:.1}% ({:+.1} pt)",
+                self.old_hit_rate.unwrap_or(0.0) * 100.0,
+                self.new_hit_rate.unwrap_or(0.0) * 100.0,
+                delta * 100.0,
+            );
+        }
+        let attributed = self.attributed();
+        if attributed.is_empty() {
+            let _ = writeln!(
+                out,
+                "no attributed regression (threshold {:.0}% phase growth)",
+                self.threshold * 100.0
+            );
+        } else {
+            let names: Vec<&str> = attributed.iter().map(|d| d.phase.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "REGRESSION attributed to: {} (threshold {:.0}% phase growth)",
+                names.join(", "),
+                self.threshold * 100.0
+            );
+        }
+        for s in self
+            .sites
+            .iter()
+            .filter(|s| s.delta_ms().abs() > 0.0)
+            .take(5)
+        {
+            let _ = writeln!(
+                out,
+                "  site {}/{}/{}: {:.3} ms -> {:.3} ms ({:+.3})",
+                s.app,
+                s.seed,
+                s.site,
+                s.old_ms,
+                s.new_ms,
+                s.delta_ms(),
+            );
+        }
+        out
+    }
+}
+
+fn hit_rate(counters: &BTreeMap<String, u64>) -> Option<f64> {
+    let queries = counters.get("solver.queries").copied()?;
+    if queries == 0 {
+        return None;
+    }
+    let hits = counters.get("solver.cache_hits").copied().unwrap_or(0);
+    Some(hits as f64 / queries as f64)
+}
+
 fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
 }
@@ -489,6 +849,54 @@ mod tests {
         for phase in ["identify", "extract", "solve", "enforce", "interp_run"] {
             assert!(text.contains(phase), "missing {phase} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn diff_against_self_attributes_nothing() {
+        let report = ProfileReport::from_trace(&sample(), 3);
+        let diff = ProfileDiff::between(&report, &report, 5, 0.15);
+        assert!(diff.attributed().is_empty());
+        assert!(!diff.is_regression());
+        assert_eq!(diff.wall_regression(), Some(0.0));
+        assert!(diff.to_json().contains("\"regressed\":false"));
+        assert!(diff.render().contains("no attributed regression"));
+    }
+
+    #[test]
+    fn diff_attributes_inflated_solve_phase() {
+        let old = ProfileReport::from_trace(&sample(), 3);
+        // Perturbed run: solve time inflated 20x (e.g. cache disabled).
+        let mut hot = sample();
+        for s in &mut hot.spans {
+            if s.phase == Phase::Solve {
+                s.dur_ns *= 20;
+            }
+        }
+        hot.wall_ns = Some(3000);
+        let new = ProfileReport::from_trace(&hot, 3);
+        let diff = ProfileDiff::between(&old, &new, 5, 0.15);
+        let attributed = diff.attributed();
+        assert_eq!(attributed.len(), 1, "{:?}", diff.phases);
+        assert_eq!(attributed[0].phase, Phase::Solve);
+        assert!(diff.is_regression());
+        assert!(diff.to_json().contains("\"attributed\":[\"solve\"]"));
+        assert!(diff.render().contains("REGRESSION attributed to: solve"));
+    }
+
+    #[test]
+    fn diff_reports_cache_hit_rate_shift() {
+        let mut warm = sample();
+        warm.counters.insert("solver.queries".into(), 100);
+        warm.counters.insert("solver.cache_hits".into(), 80);
+        let mut cold = sample();
+        cold.counters.insert("solver.queries".into(), 100);
+        cold.counters.insert("solver.cache_hits".into(), 10);
+        let old = ProfileReport::from_trace(&warm, 3);
+        let new = ProfileReport::from_trace(&cold, 3);
+        let diff = ProfileDiff::between(&old, &new, 5, 0.15);
+        assert_eq!(diff.old_hit_rate, Some(0.8));
+        assert_eq!(diff.new_hit_rate, Some(0.1));
+        assert!((diff.hit_rate_delta().unwrap() + 0.7).abs() < 1e-9);
     }
 
     #[test]

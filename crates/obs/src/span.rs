@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::audit::{ProvenanceEvent, ProvenanceRecord};
 use crate::metrics::{Hist, HistSummary};
 
 /// A pipeline phase a span can be attributed to.
@@ -193,11 +194,21 @@ struct JobBuf {
     app: String,
     seed: u32,
     site: Option<String>,
+    audit: bool,
     next_seq: u32,
     open: Vec<u32>,
     spans: Vec<Span>,
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Hist>,
+    events: Vec<ProvenanceEvent>,
+}
+
+/// One job's worth of provenance events, flushed with the job buffer.
+struct ProvenanceJob {
+    app: String,
+    seed: u32,
+    site: Option<String>,
+    events: Vec<ProvenanceEvent>,
 }
 
 thread_local! {
@@ -208,13 +219,23 @@ thread_local! {
 /// deterministically. Create one per campaign with [`Recorder::new`], or
 /// use [`Recorder::disabled`] to make every instrumentation point a
 /// no-op (one thread-local read and a branch).
-#[derive(Debug)]
 pub struct Recorder {
     enabled: bool,
+    audit: bool,
     epoch: Instant,
     shards: Mutex<Vec<Vec<Span>>>,
     counters: Mutex<BTreeMap<String, u64>>,
     hists: Mutex<BTreeMap<String, Hist>>,
+    events: Mutex<Vec<ProvenanceJob>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .field("audit", &self.audit)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Recorder {
@@ -228,11 +249,27 @@ impl Recorder {
     pub fn new() -> Recorder {
         Recorder {
             enabled: true,
+            audit: false,
             epoch: Instant::now(),
             shards: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
             hists: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Turn on decision-provenance auditing: [`audit_event`] calls inside
+    /// job scopes are collected and merged into [`Recorder::provenance`]
+    /// records. Off by default — auditing costs one event allocation per
+    /// pipeline decision.
+    pub fn with_audit(mut self) -> Recorder {
+        self.audit = self.enabled;
+        self
+    }
+
+    /// Whether this recorder collects provenance events.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit
     }
 
     /// A recorder that records nothing: [`job_scope`] installs no
@@ -305,9 +342,13 @@ impl Recorder {
         spans: Vec<Span>,
         counters: BTreeMap<&'static str, u64>,
         hists: BTreeMap<&'static str, Hist>,
+        job: Option<ProvenanceJob>,
     ) {
         if !spans.is_empty() {
             self.shards.lock().unwrap().push(spans);
+        }
+        if let Some(job) = job {
+            self.events.lock().unwrap().push(job);
         }
         if !counters.is_empty() {
             let mut merged = self.counters.lock().unwrap();
@@ -362,6 +403,33 @@ impl Recorder {
             threads: None,
         }
     }
+
+    /// Deterministic merge of all provenance events collected so far:
+    /// one [`ProvenanceRecord`] per audited site job, sorted by
+    /// `(app, seed, site)`. Empty unless the recorder was built
+    /// [`Recorder::with_audit`]. Events within a record keep the order
+    /// the pipeline emitted them in (site jobs run sequentially, so that
+    /// order is thread-count independent).
+    pub fn provenance(&self) -> Vec<ProvenanceRecord> {
+        let jobs = self.events.lock().unwrap();
+        let mut records: Vec<ProvenanceRecord> = jobs
+            .iter()
+            .filter_map(|j| {
+                // Provenance is per-site; unit-level jobs (identify/warm)
+                // make no audited decisions.
+                let site = j.site.clone()?;
+                Some(ProvenanceRecord {
+                    app: j.app.clone(),
+                    seed: j.seed,
+                    site,
+                    events: j.events.clone(),
+                })
+            })
+            .collect();
+        drop(jobs);
+        records.sort_by(|a, b| (&a.app, a.seed, &a.site).cmp(&(&b.app, b.seed, &b.site)));
+        records
+    }
 }
 
 /// RAII guard installing per-job recording state on the current thread.
@@ -393,11 +461,13 @@ pub fn job_scope(
         app: app.to_string(),
         seed,
         site: site.map(str::to_string),
+        audit: recorder.audit_enabled(),
         next_seq: 0,
         open: Vec::new(),
         spans: Vec::new(),
         counters: BTreeMap::new(),
         hists: BTreeMap::new(),
+        events: Vec::new(),
     };
     let prev = ACTIVE.with(|a| a.borrow_mut().replace(buf));
     JobScope {
@@ -413,7 +483,13 @@ impl Drop for JobScope {
         }
         let buf = ACTIVE.with(|a| std::mem::replace(&mut *a.borrow_mut(), self.prev.take()));
         if let Some(buf) = buf {
-            buf.recorder.flush(buf.spans, buf.counters, buf.hists);
+            let job = (!buf.events.is_empty()).then(|| ProvenanceJob {
+                app: buf.app.clone(),
+                seed: buf.seed,
+                site: buf.site.clone(),
+                events: buf.events,
+            });
+            buf.recorder.flush(buf.spans, buf.counters, buf.hists, job);
         }
     }
 }
@@ -527,6 +603,25 @@ pub fn observe_ns(name: &'static str, ns: u64) {
     });
 }
 
+/// Whether the current job scope collects provenance events. Emitters
+/// with non-trivial payloads (byte sets, fingerprints) should check this
+/// first so a disabled recorder costs no allocations in the hot loop.
+pub fn audit_active() -> bool {
+    ACTIVE.with(|a| a.borrow().as_ref().is_some_and(|buf| buf.audit))
+}
+
+/// Append a provenance event to the current audited job scope. No-op
+/// (one thread-local read and a branch) outside an auditing scope.
+pub fn audit_event(event: ProvenanceEvent) {
+    ACTIVE.with(|a| {
+        if let Some(buf) = a.borrow_mut().as_mut() {
+            if buf.audit {
+                buf.events.push(event);
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +694,45 @@ mod tests {
         assert_eq!(trace.spans[1].phase, Phase::QueueWait);
         assert_eq!(trace.identity_set().len(), 1);
         assert_eq!(trace.identity_set()[0], "z|0|-|identify|0|-1");
+    }
+
+    #[test]
+    fn audit_events_collect_only_under_auditing_scope() {
+        use crate::audit::{ProvenanceEvent, QueryOrigin, QueryVerdict};
+        let event = || ProvenanceEvent::Query {
+            origin: QueryOrigin::Beta,
+            fingerprint: "00".to_string(),
+            verdict: QueryVerdict::Sat,
+            cache_hit: None,
+        };
+        // No scope at all.
+        assert!(!audit_active());
+        audit_event(event());
+        // Enabled recorder without audit.
+        let plain = Arc::new(Recorder::new());
+        {
+            let _scope = job_scope(Some(&plain), "a", 0, Some("s@1"));
+            assert!(!audit_active());
+            audit_event(event());
+        }
+        assert!(plain.provenance().is_empty());
+        // Auditing recorder: events from the site job become a record;
+        // events from a unit job (site None) are dropped.
+        let auditing = Arc::new(Recorder::new().with_audit());
+        {
+            let _scope = job_scope(Some(&auditing), "a", 0, Some("s@1"));
+            assert!(audit_active());
+            audit_event(event());
+            audit_event(event());
+        }
+        {
+            let _scope = job_scope(Some(&auditing), "a", 0, None);
+            audit_event(event());
+        }
+        let records = auditing.provenance();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].site, "s@1");
+        assert_eq!(records[0].events.len(), 2);
     }
 
     #[test]

@@ -173,6 +173,14 @@ pub fn constraint_fingerprint(cond: &SymBool) -> u128 {
     fingerprint_cond(cond, &mut memo)
 }
 
+/// [`constraint_fingerprint`] rendered as 32 lowercase hex digits — the
+/// wire form provenance query events carry, so an audit record's queries
+/// can be correlated with the shared cache's keys across runs.
+#[must_use]
+pub fn fingerprint_hex(cond: &SymBool) -> String {
+    format!("{:032x}", constraint_fingerprint(cond))
+}
+
 fn seeded_hasher(seed: u64) -> DefaultHasher {
     let mut h = DefaultHasher::new();
     seed.hash(&mut h);

@@ -50,7 +50,7 @@ pub mod interval;
 pub mod sat;
 mod solve;
 
-pub use cache::{constraint_fingerprint, CacheStats, SolverCache};
+pub use cache::{constraint_fingerprint, fingerprint_hex, CacheStats, SolverCache};
 pub use solve::{
     enumerate, sample, solve, solve_with, Enumeration, Model, SolveResult, SolveStats, SolverConfig,
 };

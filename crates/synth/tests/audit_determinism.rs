@@ -1,0 +1,137 @@
+//! Audit-determinism acceptance tests for the decision-provenance
+//! layer: the canonical provenance record set of a forged-suite
+//! campaign must be byte-identical across thread counts, auditing must
+//! not perturb the campaign report, a disabled recorder must produce no
+//! provenance at all, and every record's verdict must chain to its
+//! evidence.
+
+use std::sync::Arc;
+
+use diode_engine::{CampaignReport, CampaignSpec, ExecutionMode, Recorder};
+use diode_obs::canonical_record_set;
+use diode_synth::{forge, SynthConfig};
+
+fn forged_spec() -> CampaignSpec {
+    let cfg = SynthConfig {
+        apps: 8,
+        branch_depth: 2,
+        rng_seed: 0x0B5,
+        ..SynthConfig::default()
+    };
+    let suite = forge(&cfg);
+    CampaignSpec::new(suite.campaign_apps())
+}
+
+fn audited_run(threads: usize) -> CampaignReport {
+    let mut spec = forged_spec();
+    spec.mode = ExecutionMode::Parallel {
+        threads: Some(threads),
+    };
+    spec.recorder = Some(Arc::new(Recorder::new().with_audit()));
+    spec.run()
+}
+
+/// The canonical byte form of a report's provenance.
+fn canonical(report: &CampaignReport) -> String {
+    canonical_record_set(report.provenance.as_ref().expect("audited report"))
+}
+
+#[test]
+fn provenance_is_byte_identical_across_thread_counts() {
+    let baseline = audited_run(1);
+    let reference = canonical(&baseline);
+    assert!(
+        !reference.is_empty(),
+        "audited campaign produced no provenance records"
+    );
+    for threads in [2, 4, 8] {
+        let report = audited_run(threads);
+        assert_eq!(
+            baseline.outcome_fingerprint(),
+            report.outcome_fingerprint(),
+            "outcomes must not depend on the worker count"
+        );
+        assert_eq!(
+            reference,
+            canonical(&report),
+            "canonical provenance must be byte-identical at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn auditing_leaves_the_campaign_report_identical() {
+    let mut plain = forged_spec();
+    plain.mode = ExecutionMode::Parallel { threads: Some(2) };
+    let plain = plain.run();
+
+    let audited = audited_run(2);
+
+    assert_eq!(
+        plain.outcome_fingerprint(),
+        audited.outcome_fingerprint(),
+        "auditing must be passive: outcomes byte-identical with it on or off"
+    );
+    assert_eq!(plain.counts(), audited.counts());
+    assert!(
+        plain.provenance.is_none(),
+        "unaudited report must carry no provenance"
+    );
+}
+
+#[test]
+fn disabled_recorder_collects_no_provenance() {
+    // A plain recorder traces spans but must not pay for provenance:
+    // the report carries none, and the recorder holds no records.
+    let mut spec = forged_spec();
+    spec.mode = ExecutionMode::Parallel { threads: Some(2) };
+    let recorder = Arc::new(Recorder::new());
+    assert!(!recorder.audit_enabled());
+    spec.recorder = Some(Arc::clone(&recorder));
+    let report = spec.run();
+    assert!(
+        report.provenance.is_none(),
+        "audit-off run must not attach provenance to the report"
+    );
+    assert!(
+        recorder.provenance().is_empty(),
+        "audit-off recorder must hold no provenance records"
+    );
+    assert!(
+        !recorder.trace().spans.is_empty(),
+        "tracing still works with auditing off"
+    );
+}
+
+#[test]
+fn every_verdict_chains_to_its_evidence() {
+    let report = audited_run(4);
+    let records = report.provenance.as_ref().expect("audited report");
+    let sites: usize = report.units.iter().map(|u| u.sites.len()).sum();
+    assert_eq!(
+        records.len(),
+        sites,
+        "every analyzed site must leave exactly one provenance record"
+    );
+    for r in records {
+        assert_eq!(
+            r.chain_error(),
+            None,
+            "broken derivation chain for {}#{}/{}:\n{}",
+            r.app,
+            r.seed,
+            r.site,
+            r.explain()
+        );
+        let (outcome, _, witness) = r.verdict().expect("record has a verdict");
+        if outcome == "exposed" {
+            assert!(
+                witness.is_some(),
+                "exposed site {}#{}/{} has no witness hash",
+                r.app,
+                r.seed,
+                r.site
+            );
+        }
+    }
+}
