@@ -37,6 +37,16 @@
 //!   run (isolates solve-phase cost for `profile --diff` attribution)
 //! * `--progress`        stream per-site progress lines to stderr with
 //!   live solver-cache and snapshot hit rates
+//! * `--telemetry PATH`  attach the diode-pulse bus and write the full
+//!   event stream (progress events + heartbeats) to PATH as versioned
+//!   telemetry JSONL — replay it with the `watch` bin. Works in plain
+//!   and artifact modes.
+//! * `--watchdog`        run the stall/anomaly watchdog over the pulse
+//!   stream and exit non-zero if any anomaly fires (implies attaching
+//!   the bus; CI's zero-anomaly gate)
+//! * `--anomalies PATH`  write the watchdog's anomaly digest JSONL to
+//!   PATH (implies `--watchdog`'s detectors, but not its exit gate)
+//! * `--heartbeat-ms N`  heartbeat sampling interval (default 50)
 //! * `--json`            machine-readable output (throughput, cache
 //!   hit/miss counters, recall/precision) in the BENCH json schema
 //! * `--sequential`      single-threaded reference path (also
@@ -48,15 +58,18 @@
 //! report diverging from the snapshot-off report.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use diode_bench::jsonout::{cache_json, counts_json, ms, score_json, snapshot_json, Json};
 use diode_bench::profload::audit_document;
 use diode_bench::{flag_f64, flag_num, flag_str, render_synth, synth_rows, AnalysisBackend};
 use diode_engine::{
-    CampaignEvent, CampaignReport, CampaignSpec, ExecutionMode, ProgressSink, Recorder,
+    CampaignEvent, CampaignReport, CampaignSpec, ExecutionMode, ProgressSink, PulseConfig, Recorder,
 };
-use diode_obs::{JsonlFileSink, ProfileReport, Trace, TraceSink};
+use diode_obs::{
+    anomalies_to_jsonl, AnomalyReport, JsonlFileSink, ProfileReport, PulseBus, PulseEvent,
+    TelemetryLog, Trace, TraceSink, Watchdog, WatchdogConfig,
+};
 use diode_synth::{forge, score, ForgedSuite, ScoreCard, SynthConfig};
 
 /// Worker counts of the `--sweep` scaling curve.
@@ -128,6 +141,8 @@ fn main() {
         }
         Arc::new(r)
     });
+    let pulse_opts = PulseOpts::from_args(&args);
+    let capture = pulse_opts.attach();
     let (report, card) = run_campaign_observed(
         &suite,
         backend.execution_mode(),
@@ -135,7 +150,9 @@ fn main() {
         shared_cache,
         recorder.clone(),
         progress,
+        capture.as_ref().map(|c| c.config.clone()),
     );
+    let pulse_outcome = capture.map(|c| c.finish(report.threads));
     let trace = recorder.as_ref().map(|r| stamped_trace(r, &report));
     if let (Some(path), Some(trace)) = (&trace_path, &trace) {
         write_trace(path, trace);
@@ -167,6 +184,7 @@ fn main() {
             )
             .field("cache", cache_json(report.cache))
             .field("snapshots", snapshot_json(report.snapshots))
+            .field("peak_heap_bytes", report.peak_heap_bytes)
             .field("counts", counts_json(report.counts()))
             .field("oracle", counts_json(suite.oracle.expected_counts()))
             .field("score", score_json(&card))
@@ -181,6 +199,9 @@ fn main() {
             if profile {
                 out = out.field("profile", profile_json(trace));
             }
+        }
+        if let Some(outcome) = &pulse_outcome {
+            out = out.field("telemetry", outcome.json());
         }
         println!("{out}");
     } else {
@@ -244,7 +265,10 @@ fn main() {
             }
         }
     }
-    if !passed {
+    let watchdog_ok = pulse_outcome
+        .as_ref()
+        .is_none_or(|o| o.emit(&pulse_opts, json));
+    if !passed || !watchdog_ok {
         std::process::exit(1);
     }
 }
@@ -265,11 +289,13 @@ fn run_campaign(
     mode: ExecutionMode,
     snapshots: bool,
 ) -> (CampaignReport, ScoreCard) {
-    run_campaign_observed(suite, mode, snapshots, true, None, false)
+    run_campaign_observed(suite, mode, snapshots, true, None, false, None)
 }
 
-/// [`run_campaign`] with an optional `diode-obs` recorder attached and
-/// optional live per-site progress streaming to stderr.
+/// [`run_campaign`] with an optional `diode-obs` recorder attached,
+/// optional live per-site progress streaming to stderr, and an optional
+/// diode-pulse telemetry bus.
+#[allow(clippy::too_many_arguments)]
 fn run_campaign_observed(
     suite: &ForgedSuite,
     mode: ExecutionMode,
@@ -277,6 +303,7 @@ fn run_campaign_observed(
     shared_cache: bool,
     recorder: Option<Arc<Recorder>>,
     progress: bool,
+    pulse: Option<PulseConfig>,
 ) -> (CampaignReport, ScoreCard) {
     let mut spec = CampaignSpec {
         mode,
@@ -285,6 +312,7 @@ fn run_campaign_observed(
     spec.config.prefix_snapshots = snapshots;
     spec.shared_cache = shared_cache;
     spec.recorder = recorder;
+    spec.pulse = pulse;
     let report = if progress {
         spec.run_with_progress(&LiveProgress)
     } else {
@@ -292,6 +320,194 @@ fn run_campaign_observed(
     };
     let card = score(&report, &suite.oracle);
     (report, card)
+}
+
+/// The telemetry CLI surface shared by the plain and artifact modes.
+struct PulseOpts {
+    telemetry_path: Option<String>,
+    watchdog: bool,
+    anomalies_path: Option<String>,
+    heartbeat: Duration,
+}
+
+impl PulseOpts {
+    fn from_args(args: &[String]) -> PulseOpts {
+        PulseOpts {
+            telemetry_path: flag_str(args, "--telemetry"),
+            watchdog: args.iter().any(|a| a == "--watchdog"),
+            anomalies_path: flag_str(args, "--anomalies"),
+            heartbeat: Duration::from_millis(flag_num(args, "--heartbeat-ms").unwrap_or(50).max(1)),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.telemetry_path.is_some() || self.watchdog || self.anomalies_path.is_some()
+    }
+
+    /// Attaches a fresh bus plus subscriber pump when any telemetry flag
+    /// is set.
+    fn attach(&self) -> Option<PulseCapture> {
+        self.enabled().then(|| PulseCapture::start(self.heartbeat))
+    }
+}
+
+/// A pulse subscriber pump: drains the bus on a side thread until the
+/// campaign's `finished` event arrives, so even very long runs never
+/// fill the bounded ring.
+struct PulseCapture {
+    config: PulseConfig,
+    pump: std::thread::JoinHandle<(Vec<PulseEvent>, u64)>,
+}
+
+impl PulseCapture {
+    fn start(heartbeat: Duration) -> PulseCapture {
+        let bus = Arc::new(PulseBus::new());
+        let sub = bus.subscribe(1 << 14);
+        let pump = std::thread::spawn(move || {
+            let mut events = Vec::new();
+            loop {
+                let mut drained = false;
+                while let Some(ev) = sub.try_recv() {
+                    drained = true;
+                    let done = matches!(ev, PulseEvent::Finished { .. });
+                    events.push(ev);
+                    if done {
+                        return (events, sub.dropped());
+                    }
+                }
+                if !drained {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        });
+        let mut config = PulseConfig::new(bus);
+        config.heartbeat = heartbeat;
+        PulseCapture { config, pump }
+    }
+
+    /// Joins the pump (the campaign must have finished, so the
+    /// `finished` event is guaranteed to arrive) and runs the watchdog
+    /// plus peak-byte bookkeeping over the captured stream.
+    fn finish(self, threads: usize) -> PulseOutcome {
+        let (events, dropped) = self.pump.join().expect("telemetry pump panicked");
+        let mut watchdog = Watchdog::new(WatchdogConfig::default());
+        let mut heartbeats = 0u64;
+        let mut peak_cache_bytes = 0u64;
+        let mut peak_snapshot_bytes = 0u64;
+        let mut peak_heap_bytes = 0u64;
+        for ev in &events {
+            watchdog.feed(ev);
+            match ev {
+                PulseEvent::Heartbeat(hb) => {
+                    heartbeats += 1;
+                    peak_cache_bytes = peak_cache_bytes.max(hb.cache_bytes);
+                    peak_snapshot_bytes = peak_snapshot_bytes.max(hb.snapshot_bytes);
+                    peak_heap_bytes = peak_heap_bytes.max(hb.interp_peak_heap_bytes);
+                }
+                PulseEvent::SiteFinished {
+                    cache_bytes,
+                    snapshot_bytes,
+                    peak_heap_bytes: site_peak,
+                    ..
+                } => {
+                    peak_cache_bytes = peak_cache_bytes.max(*cache_bytes);
+                    peak_snapshot_bytes = peak_snapshot_bytes.max(*snapshot_bytes);
+                    peak_heap_bytes = peak_heap_bytes.max(*site_peak);
+                }
+                _ => {}
+            }
+        }
+        PulseOutcome {
+            log: TelemetryLog {
+                threads: threads as u32,
+                events,
+            },
+            dropped,
+            heartbeats,
+            peak_cache_bytes,
+            peak_snapshot_bytes,
+            peak_heap_bytes,
+            anomalies: watchdog.finish(),
+        }
+    }
+}
+
+/// Everything the campaign's pulse stream yielded, post-processed.
+struct PulseOutcome {
+    log: TelemetryLog,
+    dropped: u64,
+    heartbeats: u64,
+    peak_cache_bytes: u64,
+    peak_snapshot_bytes: u64,
+    peak_heap_bytes: u64,
+    anomalies: Vec<AnomalyReport>,
+}
+
+impl PulseOutcome {
+    /// Writes the requested telemetry/anomaly files, prints the human
+    /// digest unless `json`, and returns `false` when `--watchdog`
+    /// gates and an anomaly fired.
+    fn emit(&self, opts: &PulseOpts, json: bool) -> bool {
+        if let Some(path) = &opts.telemetry_path {
+            if let Err(e) = std::fs::write(path, self.log.to_jsonl()) {
+                eprintln!("synth_campaign: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            if !json {
+                println!(
+                    "Wrote telemetry JSONL ({} event(s), {} heartbeat(s), {} drop(s)) to {path}",
+                    self.log.events.len(),
+                    self.heartbeats,
+                    self.dropped
+                );
+            }
+        }
+        if let Some(path) = &opts.anomalies_path {
+            if let Err(e) = std::fs::write(path, anomalies_to_jsonl(&self.anomalies)) {
+                eprintln!("synth_campaign: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            if !json {
+                println!(
+                    "Wrote anomaly digest ({} record(s)) to {path}",
+                    self.anomalies.len()
+                );
+            }
+        }
+        if !json && (opts.watchdog || opts.anomalies_path.is_some()) {
+            if self.anomalies.is_empty() {
+                println!("Watchdog: no anomalies");
+            } else {
+                println!("Watchdog: {} anomaly(ies)", self.anomalies.len());
+                for a in &self.anomalies {
+                    println!("  [{}] {}: {}", a.kind.as_str(), a.subject, a.detail);
+                }
+            }
+        }
+        !opts.watchdog || self.anomalies.is_empty()
+    }
+
+    /// The artifact/`--json` summary of the stream.
+    fn json(&self) -> Json {
+        Json::obj()
+            .field("events", self.log.events.len())
+            .field("heartbeats", self.heartbeats)
+            .field("dropped", self.dropped)
+            .field("peak_cache_bytes", self.peak_cache_bytes)
+            .field("peak_snapshot_bytes", self.peak_snapshot_bytes)
+            .field("peak_heap_bytes", self.peak_heap_bytes)
+            .field("anomalies", self.anomalies.len())
+            .field("host_parallelism", host_parallelism())
+    }
+}
+
+/// Cores the host actually offers — the context for any thread-scaling
+/// number in the artifact (a 1-core container cannot speed up at 2
+/// threads no matter what the scheduler does).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// `--progress`: streams one line per finished site to stderr, with the
@@ -509,11 +725,16 @@ fn run_artifact(
         artifact = artifact.field("replay", section);
     }
 
-    // Phase attribution: one traced run at the full worker complement
-    // contributes per-phase totals to the artifact, so speed PRs can be
-    // gated on the phase they claim to improve. `--trace PATH`
-    // additionally writes the raw JSONL trace for the `profile` bin.
+    // Phase attribution + telemetry: one traced run at the full worker
+    // complement contributes per-phase totals and the pulse-stream
+    // summary (peak cache/heap bytes, anomaly count) to the artifact,
+    // so speed PRs can be gated on the phase they claim to improve and
+    // resource regressions show up as byte deltas. `--trace PATH`
+    // additionally writes the raw JSONL trace for the `profile` bin;
+    // `--telemetry PATH` the pulse stream for the `watch` bin.
     {
+        let pulse_opts = PulseOpts::from_args(args);
+        let capture = PulseCapture::start(pulse_opts.heartbeat);
         let recorder = Arc::new(Recorder::new());
         let (report, card) = run_campaign_observed(
             suite,
@@ -522,6 +743,7 @@ fn run_artifact(
             true,
             Some(Arc::clone(&recorder)),
             false,
+            Some(capture.config.clone()),
         );
         all_passed &= gate_passes(&card, min_recall);
         let trace = stamped_trace(&recorder, &report);
@@ -538,6 +760,9 @@ fn run_artifact(
             );
         }
         artifact = artifact.field("phases", profile_json(&trace));
+        let outcome = capture.finish(report.threads);
+        all_passed &= outcome.emit(&pulse_opts, json);
+        artifact = artifact.field("telemetry", outcome.json());
     }
 
     let text = artifact.to_string();

@@ -8,8 +8,8 @@
 //! `BENCH_trajectory.json` (creating it if absent). The existing
 //! trajectory is schema-validated on load (clear per-record errors,
 //! exit 2); records that predate an axis (`threads`/`sizes`/`replay`/
-//! `phases`) are tolerated and backfilled with `null`. The gate
-//! **fails** when
+//! `phases`/`telemetry`) are tolerated and backfilled with `null`. The
+//! gate **fails** when
 //!
 //! * the snapshot-on configuration is slower than snapshot-off
 //!   (`replay.speedup < --min-speedup`, default 1.0), or
@@ -177,7 +177,14 @@ fn main() {
 
 /// Axis keys every record carries; absent or omitted ones (e.g. in the
 /// hand-written seed record) are backfilled with an explicit `null`.
-const AXES: [&str; 5] = ["config", "threads", "sizes", "replay", "phases"];
+const AXES: [&str; 6] = [
+    "config",
+    "threads",
+    "sizes",
+    "replay",
+    "phases",
+    "telemetry",
+];
 
 /// `trajectory check`: the committed trajectory must be alive — its
 /// newest record fully populated and recent. This is what catches a
@@ -299,7 +306,8 @@ fn commit_age(commit: &str) -> Option<u64> {
 /// whose entries each carry string `commit` and `date` fields — anything
 /// else is a clear, line-item error (exit 2), not a silent drop. Records
 /// that predate an axis (the seed record has no `threads`/`sizes`/
-/// `replay`, pre-observability records have no `phases`) are tolerated:
+/// `replay`, pre-observability records have no `phases`, pre-pulse
+/// records have no `telemetry`) are tolerated:
 /// the missing keys are backfilled with `null` so consumers can index
 /// every record identically.
 fn load_records(out_path: &str) -> Vec<Json> {
@@ -373,6 +381,10 @@ fn build_record(commit: &str, date: &str, bench: &Json) -> Json {
         .field("sizes", axis("size_runs", &["apps", "sites", "wall_ms"]))
         .field("replay", bench.get("replay").cloned().unwrap_or(Json::Null))
         .field("phases", bench.get("phases").cloned().unwrap_or(Json::Null))
+        .field(
+            "telemetry",
+            bench.get("telemetry").cloned().unwrap_or(Json::Null),
+        )
 }
 
 /// Today's UTC date as `YYYY-MM-DD`, via the standard civil-from-days

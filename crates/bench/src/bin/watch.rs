@@ -1,0 +1,466 @@
+//! watch — render a diode-pulse telemetry stream as a campaign summary.
+//!
+//! Two modes over the same renderer:
+//!
+//! * `watch --replay PATH` parses a recorded telemetry JSONL (written by
+//!   `synth_campaign --telemetry PATH`) and prints the per-worker /
+//!   per-outcome / cache-pressure summary plus the anomaly digest the
+//!   watchdog raises over the replayed stream.
+//! * `watch --follow PATH` attaches to a live run: it tails the growing
+//!   JSONL, printing site completions as they land, until the `finished`
+//!   record appears — a truncated tail (the writer mid-line) just means
+//!   "not yet" and is retried. `--poll-ms` sets the tail interval
+//!   (default 200); `--timeout-ms` bounds the wait (default unbounded),
+//!   rendering whatever arrived and exiting 1 on expiry.
+//!
+//! Watchdog thresholds mirror the library defaults and can be tuned with
+//! `--slow-factor F`, `--slow-floor-ms N`, `--min-sites N`,
+//! `--idle-heartbeats N`, `--cache-ceiling BYTES`. `--anomalies PATH`
+//! writes the schema-versioned digest JSONL; `--fail-on-anomaly` turns
+//! any raised anomaly into exit code 1 (the CI gate). `--json` emits the
+//! whole summary as one JSON object instead of text.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use diode_bench::jsonout::Json;
+use diode_bench::{flag_f64, flag_num, flag_str};
+use diode_obs::{
+    anomalies_to_jsonl, AnomalyReport, PulseEvent, TelemetryLog, Watchdog, WatchdogConfig,
+    WorkerState,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let replay = flag_str(&args, "--replay");
+    let follow = flag_str(&args, "--follow");
+    let config = watchdog_config(&args);
+    let anomalies_path = flag_str(&args, "--anomalies");
+    let fail_on_anomaly = args.iter().any(|a| a == "--fail-on-anomaly");
+
+    let log = match (replay, follow) {
+        (Some(path), None) => replay_log(&path),
+        (None, Some(path)) => follow_log(&path, &args, json),
+        _ => {
+            eprintln!("watch: pass exactly one of --replay PATH or --follow PATH");
+            std::process::exit(2);
+        }
+    };
+
+    let anomalies = run_watchdog(&log, config);
+    if let Some(path) = anomalies_path {
+        if let Err(e) = std::fs::write(&path, anomalies_to_jsonl(&anomalies)) {
+            eprintln!("watch: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let summary = Summary::from_log(&log);
+    if json {
+        println!("{}", summary.to_json(&anomalies));
+    } else {
+        summary.render(&anomalies);
+    }
+    if fail_on_anomaly && !anomalies.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn replay_log(path: &str) -> TelemetryLog {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("watch: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match TelemetryLog::from_jsonl(&text) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("watch: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Tails `path` until the stream carries a `finished` record. Every
+/// successful parse is a consistent prefix of the stream; a parse error
+/// only means the writer is mid-line, so it is retried until the
+/// deadline (if any) expires.
+fn follow_log(path: &str, args: &[String], json: bool) -> TelemetryLog {
+    let poll = Duration::from_millis(flag_num(args, "--poll-ms").unwrap_or(200));
+    let timeout = flag_num(args, "--timeout-ms").unwrap_or(0);
+    let deadline = (timeout > 0).then(|| Instant::now() + Duration::from_millis(timeout));
+    let mut shown = 0usize;
+    let mut last: Option<TelemetryLog> = None;
+    let mut last_err = String::new();
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            match TelemetryLog::from_jsonl(&text) {
+                Ok(log) => {
+                    if !json {
+                        for event in &log.events[shown.min(log.events.len())..] {
+                            if let Some(line) = live_line(event) {
+                                println!("{line}");
+                            }
+                        }
+                    }
+                    shown = log.events.len();
+                    let finished = log
+                        .events
+                        .last()
+                        .is_some_and(|e| matches!(e, PulseEvent::Finished { .. }));
+                    if finished {
+                        return log;
+                    }
+                    last = Some(log);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // Render what we have; an unfinished stream is still exit 1.
+            if let Some(log) = last {
+                eprintln!("watch: timed out after {timeout}ms without a finished record");
+                let summary = Summary::from_log(&log);
+                if json {
+                    println!("{}", summary.to_json(&[]));
+                } else {
+                    summary.render(&[]);
+                }
+            } else {
+                eprintln!(
+                    "watch: timed out after {timeout}ms without a parseable stream: {last_err}"
+                );
+            }
+            std::process::exit(1);
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// One-line live narration for follow mode; heartbeats and worker noise
+/// stay silent — the summary covers them.
+fn live_line(event: &PulseEvent) -> Option<String> {
+    match event {
+        PulseEvent::SitesIdentified { app, seed, sites } => {
+            Some(format!("identified {app}/{seed}: {sites} site(s)"))
+        }
+        PulseEvent::SiteFinished {
+            app,
+            seed,
+            site,
+            outcome,
+            wall_ns,
+            ..
+        } => Some(format!(
+            "site {app}/{seed}/{site}: {outcome} in {}",
+            fmt_ms(*wall_ns)
+        )),
+        PulseEvent::Finished {
+            wall_ns,
+            sites,
+            exposed,
+        } => Some(format!(
+            "finished: {sites} site(s), {exposed} exposed, wall {}",
+            fmt_ms(*wall_ns)
+        )),
+        PulseEvent::UnitStarted { .. } | PulseEvent::Heartbeat(_) => None,
+    }
+}
+
+fn watchdog_config(args: &[String]) -> WatchdogConfig {
+    let mut config = WatchdogConfig::default();
+    if let Some(f) = flag_f64(args, "--slow-factor") {
+        config.slow_site_factor = f;
+    }
+    if let Some(ms) = flag_num(args, "--slow-floor-ms") {
+        config.slow_site_floor_ns = ms * 1_000_000;
+    }
+    if let Some(n) = flag_num(args, "--min-sites") {
+        config.min_sites_for_median = n as usize;
+    }
+    if let Some(n) = flag_num(args, "--idle-heartbeats") {
+        config.idle_heartbeats = n as u32;
+    }
+    if let Some(b) = flag_num(args, "--cache-ceiling") {
+        config.cache_ceiling_bytes = Some(b);
+    }
+    config
+}
+
+fn run_watchdog(log: &TelemetryLog, config: WatchdogConfig) -> Vec<AnomalyReport> {
+    let mut watchdog = Watchdog::new(config);
+    for event in &log.events {
+        watchdog.feed(event);
+    }
+    watchdog.finish()
+}
+
+/// Per-outcome aggregate over finished sites.
+#[derive(Default)]
+struct OutcomeAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+/// Per-worker busy tally over heartbeats.
+#[derive(Default, Clone)]
+struct WorkerAgg {
+    unit: u64,
+    site: u64,
+    sampled: u64,
+}
+
+/// Everything the renderer needs, folded out of one telemetry stream.
+struct Summary {
+    threads: u32,
+    events: usize,
+    heartbeats: u64,
+    units: u64,
+    sites_identified: u64,
+    workers: Vec<WorkerAgg>,
+    outcomes: BTreeMap<String, OutcomeAgg>,
+    slowest: Vec<(String, String, u64)>,
+    max_queued: u64,
+    steals: u64,
+    jobs_done: u64,
+    peak_cache_bytes: u64,
+    peak_snapshot_bytes: u64,
+    peak_heap_bytes: u64,
+    finished: Option<(u64, u64, u64)>,
+}
+
+impl Summary {
+    fn from_log(log: &TelemetryLog) -> Summary {
+        let mut s = Summary {
+            threads: log.threads,
+            events: log.events.len(),
+            heartbeats: 0,
+            units: 0,
+            sites_identified: 0,
+            workers: vec![WorkerAgg::default(); log.threads as usize],
+            outcomes: BTreeMap::new(),
+            slowest: Vec::new(),
+            max_queued: 0,
+            steals: 0,
+            jobs_done: 0,
+            peak_cache_bytes: 0,
+            peak_snapshot_bytes: 0,
+            peak_heap_bytes: 0,
+            finished: None,
+        };
+        for event in &log.events {
+            match event {
+                PulseEvent::UnitStarted { .. } => s.units += 1,
+                PulseEvent::SitesIdentified { sites, .. } => s.sites_identified += sites,
+                PulseEvent::SiteFinished {
+                    app,
+                    seed,
+                    site,
+                    outcome,
+                    wall_ns,
+                    cache_bytes,
+                    snapshot_bytes,
+                    peak_heap_bytes,
+                } => {
+                    let agg = s.outcomes.entry(outcome.clone()).or_default();
+                    agg.count += 1;
+                    agg.total_ns += wall_ns;
+                    agg.max_ns = agg.max_ns.max(*wall_ns);
+                    s.slowest
+                        .push((format!("{app}/{seed}/{site}"), outcome.clone(), *wall_ns));
+                    s.peak_cache_bytes = s.peak_cache_bytes.max(*cache_bytes);
+                    s.peak_snapshot_bytes = s.peak_snapshot_bytes.max(*snapshot_bytes);
+                    s.peak_heap_bytes = s.peak_heap_bytes.max(*peak_heap_bytes);
+                }
+                PulseEvent::Heartbeat(hb) => {
+                    s.heartbeats += 1;
+                    if s.workers.len() < hb.workers.len() {
+                        s.workers.resize(hb.workers.len(), WorkerAgg::default());
+                    }
+                    for (i, state) in hb.workers.iter().enumerate() {
+                        let agg = &mut s.workers[i];
+                        agg.sampled += 1;
+                        match state {
+                            WorkerState::Idle => {}
+                            WorkerState::Unit { .. } => agg.unit += 1,
+                            WorkerState::Site { .. } => agg.site += 1,
+                        }
+                    }
+                    s.max_queued = s.max_queued.max(hb.queued);
+                    s.steals = s.steals.max(hb.steals);
+                    s.jobs_done = s.jobs_done.max(hb.jobs_done);
+                    s.peak_cache_bytes = s.peak_cache_bytes.max(hb.cache_bytes);
+                    s.peak_snapshot_bytes = s.peak_snapshot_bytes.max(hb.snapshot_bytes);
+                    s.peak_heap_bytes = s.peak_heap_bytes.max(hb.interp_peak_heap_bytes);
+                }
+                PulseEvent::Finished {
+                    wall_ns,
+                    sites,
+                    exposed,
+                } => s.finished = Some((*wall_ns, *sites, *exposed)),
+            }
+        }
+        s.slowest.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        s.slowest.truncate(5);
+        s
+    }
+
+    fn render(&self, anomalies: &[AnomalyReport]) {
+        match self.finished {
+            Some((wall, sites, exposed)) => println!(
+                "watch: {sites} site(s), {exposed} exposed, wall {}, {} worker(s), \
+                 {} heartbeat(s), {} event(s)",
+                fmt_ms(wall),
+                self.threads,
+                self.heartbeats,
+                self.events
+            ),
+            None => println!(
+                "watch: stream still running — {} worker(s), {} heartbeat(s), {} event(s)",
+                self.threads, self.heartbeats, self.events
+            ),
+        }
+        println!(
+            "  progress: {} unit(s) started, {} site(s) identified; \
+             scheduler max queue {}, {} steal(s), {} job(s) done",
+            self.units, self.sites_identified, self.max_queued, self.steals, self.jobs_done
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            let pct = |n: u64| {
+                if w.sampled == 0 {
+                    0.0
+                } else {
+                    n as f64 * 100.0 / w.sampled as f64
+                }
+            };
+            println!(
+                "  worker {i}: busy {:.0}% of {} sample(s) (site {:.0}%, unit {:.0}%)",
+                pct(w.unit + w.site),
+                w.sampled,
+                pct(w.site),
+                pct(w.unit)
+            );
+        }
+        println!("  outcomes:");
+        for (outcome, agg) in &self.outcomes {
+            let mean = agg.total_ns / agg.count.max(1);
+            println!(
+                "    {outcome}: {} site(s), mean {}, max {}",
+                agg.count,
+                fmt_ms(mean),
+                fmt_ms(agg.max_ns)
+            );
+        }
+        if !self.slowest.is_empty() {
+            println!("  slowest sites:");
+            for (subject, outcome, wall) in &self.slowest {
+                println!("    {subject}: {} ({outcome})", fmt_ms(*wall));
+            }
+        }
+        println!(
+            "  cache pressure: solver {} peak, snapshots {} peak, interp heap {} peak",
+            fmt_bytes(self.peak_cache_bytes),
+            fmt_bytes(self.peak_snapshot_bytes),
+            fmt_bytes(self.peak_heap_bytes)
+        );
+        if anomalies.is_empty() {
+            println!("  watchdog: no anomalies");
+        } else {
+            println!("  watchdog: {} anomaly(ies)", anomalies.len());
+            for a in anomalies {
+                println!("    [{}] {}: {}", a.kind.as_str(), a.subject, a.detail);
+            }
+        }
+    }
+
+    fn to_json(&self, anomalies: &[AnomalyReport]) -> Json {
+        let workers: Vec<Json> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                Json::obj()
+                    .field("worker", i)
+                    .field("sampled", w.sampled)
+                    .field("unit", w.unit)
+                    .field("site", w.site)
+            })
+            .collect();
+        let outcomes: Vec<Json> = self
+            .outcomes
+            .iter()
+            .map(|(outcome, agg)| {
+                Json::obj()
+                    .field("outcome", outcome.as_str())
+                    .field("count", agg.count)
+                    .field(
+                        "mean_ms",
+                        agg.total_ns as f64 / agg.count.max(1) as f64 / 1e6,
+                    )
+                    .field("max_ms", agg.max_ns as f64 / 1e6)
+            })
+            .collect();
+        let slowest: Vec<Json> = self
+            .slowest
+            .iter()
+            .map(|(subject, outcome, wall)| {
+                Json::obj()
+                    .field("site", subject.as_str())
+                    .field("outcome", outcome.as_str())
+                    .field("wall_ms", *wall as f64 / 1e6)
+            })
+            .collect();
+        let anomaly_rows: Vec<Json> = anomalies
+            .iter()
+            .map(|a| {
+                Json::obj()
+                    .field("kind", a.kind.as_str())
+                    .field("subject", a.subject.as_str())
+                    .field("detail", a.detail.as_str())
+                    .field("value", a.value)
+                    .field("threshold", a.threshold)
+            })
+            .collect();
+        let finished = self.finished.map(|(wall, sites, exposed)| {
+            Json::obj()
+                .field("wall_ms", wall as f64 / 1e6)
+                .field("sites", sites)
+                .field("exposed", exposed)
+        });
+        Json::obj()
+            .field("table", "pulse_watch")
+            .field("threads", self.threads)
+            .field("events", self.events)
+            .field("heartbeats", self.heartbeats)
+            .field("units", self.units)
+            .field("sites_identified", self.sites_identified)
+            .field("finished", finished)
+            .field("workers", workers)
+            .field("outcomes", outcomes)
+            .field("slowest", slowest)
+            .field("max_queued", self.max_queued)
+            .field("steals", self.steals)
+            .field("jobs_done", self.jobs_done)
+            .field("peak_cache_bytes", self.peak_cache_bytes)
+            .field("peak_snapshot_bytes", self.peak_snapshot_bytes)
+            .field("peak_heap_bytes", self.peak_heap_bytes)
+            .field("anomalies", anomaly_rows)
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}

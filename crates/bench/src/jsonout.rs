@@ -26,6 +26,8 @@ pub fn cache_json(stats: Option<diode_solver::CacheStats>) -> Json {
             .field("hits", s.hits)
             .field("misses", s.misses)
             .field("entries", s.entries)
+            .field("bytes", s.bytes)
+            .field("peak_bytes", s.peak_bytes)
             .field("hit_rate", s.hit_rate()),
     }
 }
@@ -42,6 +44,8 @@ pub fn snapshot_json(stats: Option<diode_core::SnapshotStats>) -> Json {
             .field("captures", s.captures)
             .field("extract_resumes", s.extract_resumes)
             .field("entries", s.entries)
+            .field("bytes", s.bytes)
+            .field("peak_bytes", s.peak_bytes)
             .field("resume_rate", s.resume_rate()),
     }
 }
@@ -119,10 +123,12 @@ mod tests {
             hits: 3,
             misses: 1,
             entries: 1,
+            bytes: 96,
+            peak_bytes: 120,
         };
         assert_eq!(
             cache_json(Some(s)).to_string(),
-            r#"{"hits":3,"misses":1,"entries":1,"hit_rate":0.75}"#
+            r#"{"hits":3,"misses":1,"entries":1,"bytes":96,"peak_bytes":120,"hit_rate":0.75}"#
         );
     }
 }

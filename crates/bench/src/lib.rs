@@ -262,6 +262,7 @@ pub fn table1_rows(apps: &[App], config: &DiodeConfig, backend: AnalysisBackend)
         // campaign API's bug-report consumers.
         verify_exposed: false,
         recorder: None,
+        pulse: None,
     };
     let report = spec.run();
     report

@@ -149,6 +149,11 @@ pub struct SiteReport {
     /// Prefix-snapshot telemetry (`None` when snapshots are disabled or
     /// the site was never enforced).
     pub snapshot: Option<SiteSnapshotInfo>,
+    /// Largest interpreter-heap high-water mark among this site's runs
+    /// (extraction, candidates, validation) on this thread — the site's
+    /// peak simulated-memory footprint. Deterministic: a function of
+    /// the executed programs, not the host.
+    pub peak_heap_bytes: u64,
 }
 
 /// Tunables for the site analysis.
@@ -419,6 +424,9 @@ pub fn analyze_site_with_snapshots(
     slot: Option<Arc<SiteSlot>>,
 ) -> SiteReport {
     let slot = effective_slot(config, slot);
+    // Start a fresh per-site window on the thread-local peak-heap
+    // gauge; every interpreter run below notes its heap peak there.
+    let _ = diode_interp::take_peak_heap_bytes();
     // Warmed campaigns resume the stage-2 symbolic seed run from the
     // site's prefix snapshot; everyone else re-executes from `main`.
     let mut extract_was_resumed = false;
@@ -454,6 +462,7 @@ pub fn analyze_site_with_snapshots(
             discovery_time: Duration::ZERO,
             extraction: None,
             snapshot: None,
+            peak_heap_bytes: diode_interp::take_peak_heap_bytes(),
         };
     };
     let start = Instant::now();
@@ -501,6 +510,7 @@ pub fn analyze_site_with_snapshots(
         discovery_time: start.elapsed(),
         extraction: Some(extraction),
         snapshot,
+        peak_heap_bytes: diode_interp::take_peak_heap_bytes(),
     }
 }
 

@@ -50,6 +50,11 @@ pub struct SnapshotStats {
     pub extract_resumes: u64,
     /// Ready snapshots currently held.
     pub entries: u64,
+    /// Approximate bytes pinned by ready snapshots (COW heap payloads,
+    /// frames, validation logs).
+    pub bytes: u64,
+    /// High-water mark of `bytes` over the cache's lifetime.
+    pub peak_bytes: u64,
 }
 
 impl SnapshotStats {
@@ -72,6 +77,10 @@ struct Counters {
     resumes: AtomicU64,
     captures: AtomicU64,
     extract_resumes: AtomicU64,
+    /// Bytes pinned by ready snapshots. Slots only ever *gain* a
+    /// snapshot (Ready is terminal), so the gauge grows monotonically
+    /// and current == peak until a future eviction policy subtracts.
+    bytes: diode_obs::ByteGauge,
 }
 
 /// One site's snapshot state.
@@ -192,6 +201,7 @@ impl SiteSlot {
         self.counters.captures.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock().unwrap();
         if matches!(*state, SlotState::Probed { .. } | SlotState::Empty) {
+            self.counters.bytes.add(snapshot.approx_bytes());
             *state = SlotState::Ready {
                 step,
                 snapshot: Arc::new(snapshot),
@@ -249,6 +259,8 @@ impl SiteSlot {
             captures: self.counters.captures.load(Ordering::Relaxed),
             extract_resumes: self.counters.extract_resumes.load(Ordering::Relaxed),
             entries: u64::from(self.is_ready()),
+            bytes: self.counters.bytes.current(),
+            peak_bytes: self.counters.bytes.peak(),
         }
     }
 }
@@ -307,6 +319,8 @@ impl SnapshotCache {
             captures: self.counters.captures.load(Ordering::Relaxed),
             extract_resumes: self.counters.extract_resumes.load(Ordering::Relaxed),
             entries,
+            bytes: self.counters.bytes.current(),
+            peak_bytes: self.counters.bytes.peak(),
         }
     }
 }

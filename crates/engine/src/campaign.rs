@@ -13,6 +13,7 @@
 //! verification, and overlapping experiments are answered without
 //! re-blasting; the report surfaces the hit/miss counters.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,6 +23,9 @@ use diode_core::{test_candidate, TargetSite};
 use diode_core::{SiteOutcome, SiteReport, SnapshotCache, SnapshotStats};
 use diode_format::FormatDesc;
 use diode_lang::Program;
+use diode_obs::{
+    HeartbeatSample, PulseBus, PulseEvent, SchedGauges, WorkerState, WorkerStateTable,
+};
 use diode_obs::{PhaseBreakdown, ProvenanceRecord, Recorder};
 use diode_solver::{CacheStats, SolveResult, SolverCache};
 
@@ -130,6 +134,36 @@ pub struct CampaignSpec {
     /// recorder, and the report gains a [`PhaseBreakdown`]. Tracing is
     /// passive — outcomes are byte-identical with it on or off.
     pub recorder: Option<Arc<Recorder>>,
+    /// Live telemetry (`diode-pulse`). When set, workers mirror progress
+    /// into the bounded [`PulseBus`] and a sampler thread publishes
+    /// periodic [`HeartbeatSample`]s (per-worker state, queue depth,
+    /// cache bytes). Like tracing, publication is passive and
+    /// non-blocking: a full subscriber ring counts a drop instead of
+    /// stalling a worker, and outcomes are byte-identical with pulse on
+    /// or off. `None` leaves the hot path telemetry-free.
+    pub pulse: Option<PulseConfig>,
+}
+
+/// Live-telemetry attachment for a campaign: the event bus to publish
+/// into plus the heartbeat sampling interval.
+#[derive(Debug, Clone)]
+pub struct PulseConfig {
+    /// The bus progress events and heartbeats are published into.
+    /// Subscribe (with a bounded ring) before the campaign starts.
+    pub bus: Arc<PulseBus>,
+    /// Interval between [`HeartbeatSample`]s. Default 50 ms.
+    pub heartbeat: Duration,
+}
+
+impl PulseConfig {
+    /// Telemetry into `bus` with the default 50 ms heartbeat.
+    #[must_use]
+    pub fn new(bus: Arc<PulseBus>) -> Self {
+        PulseConfig {
+            bus,
+            heartbeat: Duration::from_millis(50),
+        }
+    }
 }
 
 impl CampaignSpec {
@@ -146,6 +180,7 @@ impl CampaignSpec {
             snapshot_cache: None,
             verify_exposed: true,
             recorder: None,
+            pulse: None,
         }
     }
 
@@ -172,17 +207,35 @@ impl CampaignSpec {
         let (config, cache) = self.effective_config();
         let snapshots = self.effective_snapshots(&config);
         let recorder = self.recorder.as_ref().filter(|r| r.is_enabled());
+        let pulse = self
+            .pulse
+            .as_ref()
+            .map(|p| PulseRun::new(p, self.effective_threads()));
+        let sampler = pulse
+            .as_ref()
+            .map(|p| p.spawn_sampler(cache.clone(), snapshots.clone()));
         let done = match self.mode {
-            ExecutionMode::Sequential => self.run_sequential(&config, snapshots.as_deref(), sink),
+            ExecutionMode::Sequential => {
+                self.run_sequential(&config, snapshots.as_deref(), sink, pulse.as_ref())
+            }
             ExecutionMode::Parallel { threads } => {
                 if cfg!(feature = "parallel") {
-                    self.run_parallel(&config, snapshots.as_deref(), sink, threads)
+                    self.run_parallel(&config, snapshots.as_deref(), sink, threads, pulse.as_ref())
                 } else {
-                    self.run_sequential(&config, snapshots.as_deref(), sink)
+                    self.run_sequential(&config, snapshots.as_deref(), sink, pulse.as_ref())
                 }
             }
         };
+        if let Some(s) = sampler {
+            s.stop();
+        }
         let (units, jobs) = self.aggregate(done);
+        let peak_heap_bytes = units
+            .iter()
+            .flat_map(|u| &u.sites)
+            .map(|s| s.report.peak_heap_bytes)
+            .max()
+            .unwrap_or(0);
         let report = CampaignReport {
             units,
             cache: cache.as_ref().map(|c| c.stats()),
@@ -190,11 +243,22 @@ impl CampaignSpec {
             wall_time: start.elapsed(),
             threads: self.effective_threads(),
             jobs,
+            peak_heap_bytes,
             phases: recorder.map(|r| PhaseBreakdown::from_trace(&r.trace())),
             provenance: recorder
                 .filter(|r| r.audit_enabled())
                 .map(|r| r.provenance()),
         };
+        if let Some(p) = &pulse {
+            // Published after the sampler has been joined, so `finished`
+            // is the last event every subscriber sees.
+            let (sites, exposed, ..) = report.counts();
+            p.bus.publish(&PulseEvent::Finished {
+                wall_ns: report.wall_time.as_nanos() as u64,
+                sites: sites as u64,
+                exposed: exposed as u64,
+            });
+        }
         sink.on_event(CampaignEvent::Finished {
             wall_time: report.wall_time,
         });
@@ -249,6 +313,7 @@ impl CampaignSpec {
         snapshots: Option<&SnapshotCache>,
         sink: &dyn ProgressSink,
         threads: Option<usize>,
+        pulse: Option<&PulseRun>,
     ) -> Vec<Done> {
         let threads = threads.unwrap_or_else(scheduler::default_threads).max(1);
         let initial: Vec<Job> = self
@@ -257,12 +322,13 @@ impl CampaignSpec {
             .enumerate()
             .flat_map(|(app, a)| (0..a.seeds.len()).map(move |seed| Job::Identify { app, seed }))
             .collect();
-        scheduler::execute_observed(
+        scheduler::execute_pulsed(
             initial,
             threads,
             self.recorder.as_ref(),
+            pulse.map(|p| p.gauges.as_ref()),
             |job, spawner: &Spawner<'_, Job>| {
-                self.run_job(job, config, snapshots, sink, Some(spawner))
+                self.run_job(job, config, snapshots, sink, Some(spawner), pulse)
             },
         )
     }
@@ -272,12 +338,19 @@ impl CampaignSpec {
         config: &DiodeConfig,
         snapshots: Option<&SnapshotCache>,
         sink: &dyn ProgressSink,
+        pulse: Option<&PulseRun>,
     ) -> Vec<Done> {
         let mut done = Vec::new();
         for (app, a) in self.apps.iter().enumerate() {
             for seed in 0..a.seeds.len() {
-                let identified =
-                    self.run_job(Job::Identify { app, seed }, config, snapshots, sink, None);
+                let identified = self.run_job(
+                    Job::Identify { app, seed },
+                    config,
+                    snapshots,
+                    sink,
+                    None,
+                    pulse,
+                );
                 let Done::Identified { ref targets, .. } = identified else {
                     unreachable!("identify job returns Identified");
                 };
@@ -291,7 +364,7 @@ impl CampaignSpec {
                     .collect();
                 done.push(identified);
                 for job in site_jobs {
-                    done.push(self.run_job(job, config, snapshots, sink, None));
+                    done.push(self.run_job(job, config, snapshots, sink, None, pulse));
                 }
             }
         }
@@ -308,7 +381,10 @@ impl CampaignSpec {
         snapshots: Option<&SnapshotCache>,
         sink: &dyn ProgressSink,
         spawner: Option<&Spawner<'_, Job>>,
+        pulse: Option<&PulseRun>,
     ) -> Done {
+        // Worker 0 covers the sequential and inline single-thread paths.
+        let worker = spawner.map_or(0, Spawner::index);
         match job {
             Job::Identify { app, seed } => {
                 let a = &self.apps[app];
@@ -319,6 +395,19 @@ impl CampaignSpec {
                     diode_obs::job_scope(self.recorder.as_ref(), &a.name, seed as u32, None);
                 let _span = diode_obs::span(diode_obs::Phase::Identify);
                 sink.on_event(CampaignEvent::UnitStarted { app: &a.name, seed });
+                if let Some(p) = pulse {
+                    p.workers.set(
+                        worker,
+                        WorkerState::Unit {
+                            app: a.name.clone(),
+                            seed: seed as u32,
+                        },
+                    );
+                    p.bus.publish(&PulseEvent::UnitStarted {
+                        app: a.name.clone(),
+                        seed: seed as u32,
+                    });
+                }
                 let start = Instant::now();
                 let targets = if let Some(cache) = snapshots {
                     // One capture pass warms every site's prefix snapshot
@@ -356,6 +445,14 @@ impl CampaignSpec {
                         });
                     }
                 }
+                if let Some(p) = pulse {
+                    p.bus.publish(&PulseEvent::SitesIdentified {
+                        app: a.name.clone(),
+                        seed: seed as u32,
+                        sites: targets.len() as u64,
+                    });
+                    p.workers.set(worker, WorkerState::Idle);
+                }
                 Done::Identified {
                     app,
                     seed,
@@ -371,6 +468,16 @@ impl CampaignSpec {
                     seed as u32,
                     Some(&target.site),
                 );
+                if let Some(p) = pulse {
+                    p.workers.set(
+                        worker,
+                        WorkerState::Site {
+                            app: a.name.clone(),
+                            seed: seed as u32,
+                            site: target.site.to_string(),
+                        },
+                    );
+                }
                 let slot =
                     snapshots.map(|c| c.slot(CampaignSpec::unit_key(app, seed), target.label));
                 let report = analyze_site_with_snapshots(
@@ -394,6 +501,21 @@ impl CampaignSpec {
                     cache: config.query_cache.as_ref().map(|c| c.stats()),
                     snapshots: snapshots.map(diode_core::SnapshotCache::stats),
                 });
+                if let Some(p) = pulse {
+                    p.peak_heap
+                        .fetch_max(report.peak_heap_bytes, Ordering::Relaxed);
+                    p.bus.publish(&PulseEvent::SiteFinished {
+                        app: a.name.clone(),
+                        seed: seed as u32,
+                        site: report.site.clone(),
+                        outcome: report.outcome.token(),
+                        wall_ns: report.discovery_time.as_nanos() as u64,
+                        cache_bytes: config.query_cache.as_ref().map_or(0, |c| c.stats().bytes),
+                        snapshot_bytes: snapshots.map_or(0, |c| c.stats().bytes),
+                        peak_heap_bytes: report.peak_heap_bytes,
+                    });
+                    p.workers.set(worker, WorkerState::Idle);
+                }
                 Done::Site {
                     app,
                     seed,
@@ -459,6 +581,99 @@ impl CampaignSpec {
             }
         }
         (flat, jobs)
+    }
+}
+
+/// Per-run pulse state: the bus plus the shared tables the sampler
+/// thread reads. Created only when the spec carries a [`PulseConfig`];
+/// with no pulse attached the engine never touches any of this.
+struct PulseRun {
+    bus: Arc<PulseBus>,
+    heartbeat: Duration,
+    workers: Arc<WorkerStateTable>,
+    gauges: Arc<SchedGauges>,
+    /// Campaign-wide max of per-site interpreter heap high-water marks,
+    /// folded in as site jobs retire; the sampler reads it live.
+    peak_heap: Arc<AtomicU64>,
+}
+
+impl PulseRun {
+    fn new(config: &PulseConfig, threads: usize) -> PulseRun {
+        PulseRun {
+            bus: Arc::clone(&config.bus),
+            heartbeat: config.heartbeat,
+            workers: Arc::new(WorkerStateTable::new(threads)),
+            gauges: Arc::new(SchedGauges::new()),
+            peak_heap: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Starts the heartbeat sampler thread: every `heartbeat` interval it
+    /// snapshots worker states, scheduler gauges, and cache byte gauges
+    /// into a [`HeartbeatSample`] published on the bus.
+    fn spawn_sampler(
+        &self,
+        cache: Option<Arc<SolverCache>>,
+        snapshots: Option<Arc<SnapshotCache>>,
+    ) -> SamplerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let bus = Arc::clone(&self.bus);
+        let workers = Arc::clone(&self.workers);
+        let gauges = Arc::clone(&self.gauges);
+        let peak_heap = Arc::clone(&self.peak_heap);
+        let interval = self.heartbeat;
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let start = Instant::now();
+            let mut seq = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                let worker_states = workers.snapshot();
+                let busy = worker_states
+                    .iter()
+                    .filter(|w| !matches!(w, WorkerState::Idle))
+                    .count() as u64;
+                let (cache_bytes, cache_entries) = cache.as_ref().map_or((0, 0), |c| {
+                    let s = c.stats();
+                    (s.bytes, s.entries as u64)
+                });
+                let (snapshot_bytes, snapshot_entries) = snapshots.as_ref().map_or((0, 0), |c| {
+                    let s = c.stats();
+                    (s.bytes, s.entries)
+                });
+                let queued = gauges.queued();
+                bus.publish(&PulseEvent::Heartbeat(HeartbeatSample {
+                    seq,
+                    t_ns: start.elapsed().as_nanos() as u64,
+                    workers: worker_states,
+                    queued,
+                    pending: queued + busy,
+                    steals: gauges.steals(),
+                    jobs_done: gauges.jobs_done(),
+                    cache_bytes,
+                    cache_entries,
+                    snapshot_bytes,
+                    snapshot_entries,
+                    interp_peak_heap_bytes: peak_heap.load(Ordering::Relaxed),
+                }));
+                seq += 1;
+                std::thread::sleep(interval);
+            }
+        });
+        SamplerHandle { stop, handle }
+    }
+}
+
+/// Join handle for the heartbeat sampler thread.
+struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl SamplerHandle {
+    /// Signals the sampler to stop and waits for its final beat.
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
     }
 }
 
@@ -546,6 +761,11 @@ pub struct CampaignReport {
     pub threads: usize,
     /// Jobs executed (identification + per-site).
     pub jobs: usize,
+    /// Largest interpreter heap high-water mark any single site analysis
+    /// reached, in (approximate) bytes. Always collected — the gauge is
+    /// a deterministic function of the executed programs, not of timing
+    /// or telemetry settings.
+    pub peak_heap_bytes: u64,
     /// Per-phase timing summary, when the spec carried an enabled
     /// recorder. Purely additive: outcomes are unaffected by tracing.
     pub phases: Option<PhaseBreakdown>,

@@ -61,8 +61,10 @@ pub mod scheduler;
 
 pub use campaign::{
     analyze_program_parallel, CampaignApp, CampaignEvent, CampaignReport, CampaignSpec,
-    CorpusSuite, ExecutionMode, NoProgress, ProgressSink, SiteRecord, UnitReport,
+    CorpusSuite, ExecutionMode, NoProgress, ProgressSink, PulseConfig, SiteRecord, UnitReport,
 };
 pub use diode_core::{SnapshotCache, SnapshotStats};
-pub use diode_obs::{PhaseBreakdown, Recorder};
+pub use diode_obs::{
+    HeartbeatSample, PhaseBreakdown, PulseBus, PulseEvent, Recorder, Subscriber, WorkerState,
+};
 pub use diode_solver::{CacheStats, SolverCache};

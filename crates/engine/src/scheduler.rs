@@ -31,12 +31,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use diode_obs::Recorder;
+use diode_obs::{Recorder, SchedGauges};
 
 /// Handle workers use to spawn follow-up jobs onto their own deque.
 pub struct Spawner<'a, J> {
+    me: usize,
     local: &'a Mutex<VecDeque<J>>,
     pending: &'a AtomicUsize,
+    gauges: Option<&'a SchedGauges>,
 }
 
 impl<J> Spawner<'_, J> {
@@ -46,7 +48,18 @@ impl<J> Spawner<'_, J> {
         // Count before publishing so no worker can observe an empty system
         // while this job is in flight.
         self.pending.fetch_add(1, Ordering::SeqCst);
+        if let Some(g) = self.gauges {
+            g.job_queued();
+        }
         self.local.lock().unwrap().push_front(job);
+    }
+
+    /// The calling worker's index (`0..threads`). Lets jobs attribute
+    /// telemetry (e.g. a worker-state table slot) to the worker actually
+    /// running them.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.me
     }
 }
 
@@ -127,8 +140,32 @@ where
     R: Send,
     F: Fn(J, &Spawner<'_, J>) -> R + Sync,
 {
+    execute_pulsed(initial, threads, recorder, None, worker)
+}
+
+/// [`execute_observed`] with optional live [`SchedGauges`]: when attached,
+/// workers additionally maintain the queue-depth/steal/retire counters the
+/// pulse heartbeat sampler reads. `None` keeps the hot path free of any
+/// telemetry stores.
+pub fn execute_pulsed<J, R, F>(
+    initial: Vec<J>,
+    threads: usize,
+    recorder: Option<&Arc<Recorder>>,
+    gauges: Option<&SchedGauges>,
+    worker: F,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J, &Spawner<'_, J>) -> R + Sync,
+{
     let threads = threads.max(1);
     let total_hint = initial.len();
+    if let Some(g) = gauges {
+        for _ in 0..total_hint {
+            g.job_queued();
+        }
+    }
     let queues = Queues {
         pending: AtomicUsize::new(initial.len()),
         injector: Mutex::new(initial.into()),
@@ -138,14 +175,14 @@ where
     let results: Mutex<Vec<R>> = Mutex::new(Vec::with_capacity(total_hint));
     if threads == 1 {
         // Degenerate single-worker pool: run inline, no thread spawn.
-        run_worker(0, &queues, &results, recorder, &worker);
+        run_worker(0, &queues, &results, recorder, gauges, &worker);
     } else {
         std::thread::scope(|scope| {
             for me in 0..threads {
                 let queues = &queues;
                 let results = &results;
                 let worker = &worker;
-                scope.spawn(move || run_worker(me, queues, results, recorder, worker));
+                scope.spawn(move || run_worker(me, queues, results, recorder, gauges, worker));
             }
         });
     }
@@ -158,13 +195,16 @@ fn run_worker<J, R, F>(
     queues: &Queues<J>,
     results: &Mutex<Vec<R>>,
     recorder: Option<&Recorder>,
+    gauges: Option<&SchedGauges>,
     worker: &F,
 ) where
     F: Fn(J, &Spawner<'_, J>) -> R,
 {
     let spawner = Spawner {
+        me,
         local: &queues.deques[me],
         pending: &queues.pending,
+        gauges,
     };
     // Balances `pending` even when a job panics: without it, an unwinding
     // worker would leave `pending > 0` forever and every sibling would spin
@@ -184,6 +224,12 @@ fn run_worker<J, R, F>(
     loop {
         if let Some((job, source)) = queues.next_job(me) {
             idle_spins = 0;
+            if let Some(g) = gauges {
+                g.job_dequeued();
+                if source == JobSource::Steal {
+                    g.steal();
+                }
+            }
             if let Some(rec) = recorder {
                 if let Some((idle_start, start_ns)) = idle_since.take() {
                     let waited = idle_start.elapsed().as_nanos() as u64;
@@ -201,6 +247,9 @@ fn run_worker<J, R, F>(
             let _finished = PendingGuard(&queues.pending);
             let result = worker(job, &spawner);
             results.lock().unwrap().push(result);
+            if let Some(g) = gauges {
+                g.job_done();
+            }
             continue;
         }
         if queues.pending.load(Ordering::SeqCst) == 0 {
@@ -288,6 +337,34 @@ mod tests {
     fn empty_batch_is_fine() {
         let out: Vec<u32> = execute(Vec::<u32>::new(), 4, |j, _| j);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gauges_balance_and_count_retires() {
+        let g = SchedGauges::new();
+        let out = execute_pulsed(
+            (0..100u32).collect(),
+            4,
+            None,
+            Some(&g),
+            |j, s: &Spawner<'_, u32>| {
+                if j < 10 {
+                    s.spawn(j + 1000);
+                }
+                j
+            },
+        );
+        assert_eq!(out.len(), 110);
+        assert_eq!(g.jobs_done(), 110, "every job retires exactly once");
+        assert_eq!(g.queued(), 0, "queue gauge balances back to zero");
+    }
+
+    #[test]
+    fn spawner_reports_worker_index() {
+        let out = execute(vec![(), (), ()], 1, |(), s: &Spawner<'_, ()>| s.index());
+        assert_eq!(out, vec![0, 0, 0], "inline single worker is index 0");
+        let out = execute((0..64).collect::<Vec<u32>>(), 4, |_, s| s.index());
+        assert!(out.iter().all(|&i| i < 4));
     }
 
     #[test]

@@ -25,6 +25,28 @@ use diode_lang::{Bv, Label};
 
 use crate::value::BlockId;
 
+thread_local! {
+    /// Largest heap high-water mark of any run finished on this thread
+    /// since the last [`take_peak_heap_bytes`] call. The machine notes
+    /// every run's peak here so campaign drivers can attribute peak
+    /// interpreter memory to a site without threading a gauge through
+    /// every entry point.
+    static PEAK_HEAP: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Folds one finished run's heap peak into the thread-local gauge.
+pub(crate) fn note_peak_heap_bytes(bytes: u64) {
+    PEAK_HEAP.with(|p| p.set(p.get().max(bytes)));
+}
+
+/// Reads and resets this thread's peak-heap gauge: the largest heap
+/// high-water mark among runs finished on this thread since the last
+/// call. Zero when no run finished in the window.
+#[must_use]
+pub fn take_peak_heap_bytes() -> u64 {
+    PEAK_HEAP.with(|p| p.replace(0))
+}
+
 /// Kinds of memory errors detected by the heap monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemErrorKind {
@@ -118,6 +140,9 @@ struct Block<T> {
     size: u32,
     freed: bool,
     payload: Payload<T>,
+    /// Approximate bytes charged to the heap gauge for this block's
+    /// payload (dense: size × cell; sparse: grows per touched cell).
+    accounted: u64,
 }
 
 impl<T: Clone> Clone for Block<T> {
@@ -127,9 +152,17 @@ impl<T: Clone> Clone for Block<T> {
             size: self.size,
             freed: self.freed,
             payload: self.payload.clone(),
+            accounted: self.accounted,
         }
     }
 }
+
+/// Fixed per-block bookkeeping charge (site arc, size, flags, vec slot).
+const BLOCK_OVERHEAD_BYTES: u64 = 48;
+
+/// Extra charge per sparse cell beyond the cell itself (hash-map key +
+/// bucket overhead).
+const SPARSE_CELL_OVERHEAD_BYTES: u64 = 16;
 
 /// Outcome of a heap access: either a value (reads) / unit (writes), plus
 /// any recorded error; or a fault that must halt the program.
@@ -145,6 +178,12 @@ pub struct Heap<T> {
     redzone: u64,
     /// Block payloads at most this large are stored densely.
     dense_limit: u32,
+    /// Approximate bytes resident in live block payloads right now.
+    cur_bytes: u64,
+    /// High-water mark of `cur_bytes` over the heap's lifetime. Plain
+    /// (non-atomic) state updated on the interpreter's single thread,
+    /// so accounting is deterministic and costs one add per event.
+    peak_bytes: u64,
 }
 
 impl<T: Clone> Clone for Heap<T> {
@@ -155,6 +194,8 @@ impl<T: Clone> Clone for Heap<T> {
             alloc_limit: self.alloc_limit,
             redzone: self.redzone,
             dense_limit: self.dense_limit,
+            cur_bytes: self.cur_bytes,
+            peak_bytes: self.peak_bytes,
         }
     }
 }
@@ -174,6 +215,16 @@ impl<T: Default + Clone> Heap<T> {
             alloc_limit,
             redzone,
             dense_limit: 1 << 20,
+            cur_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Charges `bytes` to the resident gauge and ratchets the peak.
+    fn account(&mut self, bytes: u64) {
+        self.cur_bytes += bytes;
+        if self.cur_bytes > self.peak_bytes {
+            self.peak_bytes = self.cur_bytes;
         }
     }
 
@@ -183,16 +234,25 @@ impl<T: Default + Clone> Heap<T> {
         if u64::from(size) >= self.alloc_limit {
             return None;
         }
-        let payload = if size <= self.dense_limit {
-            Payload::Dense(Arc::new(vec![Cell::default(); size as usize]))
+        let cell_cost = std::mem::size_of::<Cell<T>>() as u64;
+        let (payload, accounted) = if size <= self.dense_limit {
+            (
+                Payload::Dense(Arc::new(vec![Cell::default(); size as usize])),
+                BLOCK_OVERHEAD_BYTES + u64::from(size) * cell_cost,
+            )
         } else {
-            Payload::Sparse(Arc::new(HashMap::new()))
+            (
+                Payload::Sparse(Arc::new(HashMap::new())),
+                BLOCK_OVERHEAD_BYTES,
+            )
         };
+        self.account(accounted);
         self.blocks.push(Block {
             site,
             size,
             freed: false,
             payload,
+            accounted,
         });
         Some(BlockId(
             u32::try_from(self.blocks.len()).expect("too many blocks"),
@@ -224,6 +284,8 @@ impl<T: Default + Clone> Heap<T> {
             // long-lived heap clones — prefix snapshots — from pinning
             // (and later re-dropping) megabytes of dead payload.
             block.payload = Payload::Dense(Arc::new(Vec::new()));
+            let released = std::mem::take(&mut block.accounted);
+            self.cur_bytes = self.cur_bytes.saturating_sub(released);
         }
     }
 
@@ -310,7 +372,12 @@ impl<T: Default + Clone> Heap<T> {
         match &mut block.payload {
             Payload::Dense(cells) => Arc::make_mut(cells)[offset as usize] = cell,
             Payload::Sparse(cells) => {
-                Arc::make_mut(cells).insert(offset, cell);
+                if Arc::make_mut(cells).insert(offset, cell).is_none() {
+                    // A never-touched sparse cell materialised.
+                    let cost = std::mem::size_of::<Cell<T>>() as u64 + SPARSE_CELL_OVERHEAD_BYTES;
+                    block.accounted += cost;
+                    self.account(cost);
+                }
             }
         }
         Ok(())
@@ -333,6 +400,23 @@ impl<T: Default + Clone> Heap<T> {
     #[must_use]
     pub fn live_blocks(&self) -> usize {
         self.blocks.iter().filter(|b| !b.freed).count()
+    }
+
+    /// Approximate bytes resident in live block payloads right now.
+    /// Logical accounting: payloads shared with snapshot clones via
+    /// copy-on-write `Arc`s are charged to every heap that can reach
+    /// them.
+    #[must_use]
+    pub fn current_bytes(&self) -> u64 {
+        self.cur_bytes
+    }
+
+    /// High-water mark of [`current_bytes`](Self::current_bytes) over
+    /// the heap's lifetime (resumed heaps inherit their snapshot's
+    /// peak).
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
     }
 }
 
@@ -437,5 +521,59 @@ mod tests {
         let mut h = heap();
         h.free(BlockId::NULL, Label(0));
         assert!(h.errors().is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_alloc_store_free() {
+        let cell = std::mem::size_of::<Cell<()>>() as u64;
+        let mut h = heap();
+        assert_eq!((h.current_bytes(), h.peak_bytes()), (0, 0));
+
+        // Dense block: charged up front.
+        let dense = h.alloc("t@1".into(), 8).unwrap();
+        let dense_cost = BLOCK_OVERHEAD_BYTES + 8 * cell;
+        assert_eq!(h.current_bytes(), dense_cost);
+
+        // Sparse block: only overhead until cells are touched.
+        let sparse = h.alloc("t@2".into(), (1 << 30) - 1).unwrap();
+        assert_eq!(h.current_bytes(), dense_cost + BLOCK_OVERHEAD_BYTES);
+        h.store(sparse, 17, cell_of(1), Label(0)).unwrap();
+        h.store(sparse, 17, cell_of(2), Label(0)).unwrap(); // rewrite: no growth
+        h.store(sparse, 99, cell_of(3), Label(0)).unwrap();
+        let sparse_cost = BLOCK_OVERHEAD_BYTES + 2 * (cell + SPARSE_CELL_OVERHEAD_BYTES);
+        assert_eq!(h.current_bytes(), dense_cost + sparse_cost);
+        let peak = h.peak_bytes();
+        assert_eq!(peak, h.current_bytes());
+
+        // Free releases a block's charge; the peak stays.
+        h.free(dense, Label(0));
+        assert_eq!(h.current_bytes(), sparse_cost);
+        assert_eq!(h.peak_bytes(), peak);
+        h.free(dense, Label(0)); // double free: no double release
+        assert_eq!(h.current_bytes(), sparse_cost);
+
+        // Clones carry the gauges.
+        let clone = h.clone();
+        assert_eq!(clone.current_bytes(), sparse_cost);
+        assert_eq!(clone.peak_bytes(), peak);
+    }
+
+    fn cell_of(v: u8) -> Cell<()> {
+        cell(v)
+    }
+
+    #[test]
+    fn thread_local_peak_gauge_reads_and_resets() {
+        // Run on a dedicated thread so parallel tests can't interleave
+        // their own note_peak calls into this gauge.
+        std::thread::spawn(|| {
+            assert_eq!(take_peak_heap_bytes(), 0);
+            note_peak_heap_bytes(100);
+            note_peak_heap_bytes(40); // smaller: ignored
+            assert_eq!(take_peak_heap_bytes(), 100);
+            assert_eq!(take_peak_heap_bytes(), 0);
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -37,7 +37,7 @@ mod shadow;
 mod snapshot;
 mod value;
 
-pub use heap::{Cell, Fault, Heap, MemError, MemErrorKind};
+pub use heap::{take_peak_heap_bytes, Cell, Fault, Heap, MemError, MemErrorKind};
 pub use machine::{
     run, run_and_capture, run_capture_multi, run_from, run_from_with, run_probed, run_traced,
     AllocRecord, BranchObs, MachineConfig, Outcome, Run,

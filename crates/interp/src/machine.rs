@@ -613,6 +613,7 @@ impl<'a, S: Shadow> Machine<'a, S> {
 
     /// Consumes the machine's observations into a [`Run`].
     fn finish(self, outcome: Outcome) -> Run<S::Tag, S::CondTag> {
+        crate::heap::note_peak_heap_bytes(self.heap.peak_bytes());
         Run {
             outcome,
             mem_errors: self.heap.into_errors(),

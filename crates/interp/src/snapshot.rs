@@ -157,6 +157,31 @@ impl<S: Shadow> Snapshot<S> {
         self.reads.len()
     }
 
+    /// Approximate bytes this snapshot keeps resident: the frozen
+    /// heap's accounted payload bytes plus the validation log, frames,
+    /// and recorded prefixes. A pinning estimate for cache gauges, not
+    /// an allocator measurement — COW payloads shared with other
+    /// snapshots are charged to each holder.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let frames: u64 = self
+            .frames
+            .iter()
+            .map(|f| 64 + 48 * (f.env.len() as u64) + 16 * (f.control.len() as u64))
+            .sum();
+        self.heap.current_bytes()
+            + frames
+            + 10 * self.reads.len() as u64
+            + 33 * self.crcs.len() as u64
+            + 24 * self.branches.len() as u64
+            + 48 * self.allocs.len() as u64
+            + self
+                .warnings
+                .iter()
+                .map(|w| 24 + w.len() as u64)
+                .sum::<u64>()
+    }
+
     /// True when resuming on `input` is guaranteed byte-identical to a
     /// from-scratch run: every prefix input observation — byte reads,
     /// `inlen`, and `crc32_ok` outcomes — agrees with `input`.

@@ -1,0 +1,141 @@
+//! Byte-accounting gauges: a current value plus a monotone high-water
+//! mark, both lock-free.
+//!
+//! The caches ([`SolverCache`](../../diode_solver/struct.SolverCache.html),
+//! `SnapshotCache`) keep one [`ByteGauge`] next to their hit/miss
+//! counters: every insert adds the entry's approximate resident size,
+//! every eviction subtracts it, and the peak ratchets up under a CAS
+//! loop. Reads are relaxed — the gauge is advisory telemetry, never a
+//! correctness input, so a momentarily stale read is fine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free byte gauge: current total plus high-water mark.
+#[derive(Debug, Default)]
+pub struct ByteGauge {
+    cur: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ByteGauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> ByteGauge {
+        ByteGauge::default()
+    }
+
+    /// Adds `bytes` to the current total and ratchets the peak.
+    pub fn add(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let now = self.cur.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while now > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => peak = seen,
+            }
+        }
+    }
+
+    /// Subtracts `bytes` from the current total (saturating at zero —
+    /// a mismatched release must not wrap the gauge).
+    pub fn sub(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let mut cur = self.cur.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .cur
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current resident bytes.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.cur.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation (or the last [`reset`](Self::reset)).
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes both the current total and the peak.
+    pub fn reset(&self) {
+        self.cur.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_sub_and_peak() {
+        let g = ByteGauge::new();
+        g.add(100);
+        g.add(50);
+        assert_eq!(g.current(), 150);
+        assert_eq!(g.peak(), 150);
+        g.sub(120);
+        assert_eq!(g.current(), 30);
+        assert_eq!(g.peak(), 150);
+        g.add(10);
+        assert_eq!(g.current(), 40);
+        assert_eq!(g.peak(), 150);
+    }
+
+    #[test]
+    fn sub_saturates_instead_of_wrapping() {
+        let g = ByteGauge::new();
+        g.add(10);
+        g.sub(100);
+        assert_eq!(g.current(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let g = ByteGauge::new();
+        g.add(42);
+        g.reset();
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_balance_subs() {
+        let g = Arc::new(ByteGauge::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(7);
+                        g.sub(7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.current(), 0);
+        assert!(g.peak() >= 7);
+        assert!(g.peak() <= 28);
+    }
+}

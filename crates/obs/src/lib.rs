@@ -43,22 +43,36 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod gauge;
 mod metrics;
 mod profile;
+mod pulse;
 mod sink;
 mod span;
+mod telemetry;
+mod watchdog;
 
 pub use audit::{
     canonical_record_set, fnv64_hex, EnforceAction, ProvenanceEvent, ProvenanceRecord, QueryOrigin,
     QueryVerdict, AUDIT_SCHEMA_VERSION,
 };
+pub use gauge::ByteGauge;
 pub use metrics::{Hist, HistSummary};
 pub use profile::{
     collapsed_stacks, PhaseBreakdown, PhaseDelta, PhaseRow, ProfileDiff, ProfileReport, SiteDelta,
     SiteRow,
 };
+pub use pulse::{
+    HeartbeatSample, PulseBus, PulseEvent, PulseRing, SchedGauges, Subscriber, WorkerState,
+    WorkerStateTable,
+};
 pub use sink::{JsonlFileSink, NullSink, RingSink, TraceError, TraceSink, TRACE_SCHEMA_VERSION};
 pub use span::{
     audit_active, audit_event, count, job_scope, observe_ns, span, JobScope, Phase, Recorder, Span,
     SpanGuard, Trace,
+};
+pub use telemetry::{pulse_event_lines, telemetry_header, TelemetryLog, TELEMETRY_SCHEMA_VERSION};
+pub use watchdog::{
+    anomalies_from_jsonl, anomalies_to_jsonl, AnomalyKind, AnomalyReport, Watchdog, WatchdogConfig,
+    ANOMALY_SCHEMA_VERSION,
 };

@@ -115,7 +115,7 @@ impl TraceSink for JsonlFileSink {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -300,29 +300,30 @@ fn req_u64(obj: &BTreeMap<String, FlatValue>, key: &str, lineno: usize) -> Resul
 
 /// A value inside a flat (non-nested) JSON object.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum FlatValue {
+pub(crate) enum FlatValue {
     Str(String),
     UInt(u64),
     Bool(bool),
+    #[allow(dead_code)]
     Null,
 }
 
 impl FlatValue {
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             FlatValue::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             FlatValue::UInt(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_bool(&self) -> Option<bool> {
+    pub(crate) fn as_bool(&self) -> Option<bool> {
         match self {
             FlatValue::Bool(b) => Some(*b),
             _ => None,
@@ -332,7 +333,7 @@ impl FlatValue {
 
 /// Minimal parser for one flat JSON object: string keys, values limited
 /// to strings, unsigned integers, booleans, and null.
-fn parse_flat_object(line: &str) -> Result<BTreeMap<String, FlatValue>, String> {
+pub(crate) fn parse_flat_object(line: &str) -> Result<BTreeMap<String, FlatValue>, String> {
     let bytes = line.trim().as_bytes();
     let mut pos = 0usize;
     let mut obj = BTreeMap::new();

@@ -1,0 +1,428 @@
+//! Versioned flat-JSONL wire format for pulse telemetry.
+//!
+//! A telemetry stream is one flat JSON object per line, in the same
+//! zero-dependency codec the trace format uses:
+//!
+//! ```text
+//! {"type":"pulse","v":1,"threads":4}
+//! {"type":"unit_started","app":"forged-003","seed":0}
+//! {"type":"heartbeat","seq":0,"t_ns":51000000,"workers":2,"queued":3,...}
+//! {"type":"worker","hb":0,"worker":0,"state":"site","app":"forged-003","seed":0,"site":"b0@7"}
+//! {"type":"worker","hb":0,"worker":1,"state":"idle"}
+//! {"type":"site_finished","app":"forged-003","seed":0,"site":"b0@7","outcome":"exposed",...}
+//! {"type":"finished","wall_ns":812345678,"sites":40,"exposed":14}
+//! ```
+//!
+//! Because the codec only supports flat objects, a heartbeat's
+//! per-worker states serialise as separate `worker` lines referencing
+//! the heartbeat's `seq`; [`TelemetryLog::from_jsonl`] reassembles
+//! them. Events stream incrementally — a live writer appends
+//! [`pulse_event_lines`] as the subscriber drains — and the reader
+//! tolerates a truncated tail only insofar as every present line must
+//! still parse.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::pulse::{HeartbeatSample, PulseEvent, WorkerState};
+use crate::sink::{parse_flat_object, push_json_str, FlatValue};
+
+/// Version stamped into (and required from) the telemetry header line.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+
+/// The header line opening every telemetry stream.
+#[must_use]
+pub fn telemetry_header(threads: u32) -> String {
+    format!("{{\"type\":\"pulse\",\"v\":{TELEMETRY_SCHEMA_VERSION},\"threads\":{threads}}}\n")
+}
+
+fn push_unit_fields(out: &mut String, app: &str, seed: u32) {
+    out.push_str(",\"app\":");
+    push_json_str(out, app);
+    let _ = write!(out, ",\"seed\":{seed}");
+}
+
+/// Serialises one event to its line (or lines, for heartbeats), each
+/// newline-terminated.
+#[must_use]
+pub fn pulse_event_lines(event: &PulseEvent) -> String {
+    let mut out = String::new();
+    match event {
+        PulseEvent::UnitStarted { app, seed } => {
+            out.push_str("{\"type\":\"unit_started\"");
+            push_unit_fields(&mut out, app, *seed);
+            out.push_str("}\n");
+        }
+        PulseEvent::SitesIdentified { app, seed, sites } => {
+            out.push_str("{\"type\":\"sites_identified\"");
+            push_unit_fields(&mut out, app, *seed);
+            let _ = write!(out, ",\"sites\":{sites}}}");
+            out.push('\n');
+        }
+        PulseEvent::SiteFinished {
+            app,
+            seed,
+            site,
+            outcome,
+            wall_ns,
+            cache_bytes,
+            snapshot_bytes,
+            peak_heap_bytes,
+        } => {
+            out.push_str("{\"type\":\"site_finished\"");
+            push_unit_fields(&mut out, app, *seed);
+            out.push_str(",\"site\":");
+            push_json_str(&mut out, site);
+            out.push_str(",\"outcome\":");
+            push_json_str(&mut out, outcome);
+            let _ = write!(
+                out,
+                ",\"wall_ns\":{wall_ns},\"cache_bytes\":{cache_bytes},\
+                 \"snapshot_bytes\":{snapshot_bytes},\"peak_heap_bytes\":{peak_heap_bytes}}}"
+            );
+            out.push('\n');
+        }
+        PulseEvent::Heartbeat(hb) => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"heartbeat\",\"seq\":{},\"t_ns\":{},\"workers\":{},\
+                 \"queued\":{},\"pending\":{},\"steals\":{},\"jobs_done\":{},\
+                 \"cache_bytes\":{},\"cache_entries\":{},\"snapshot_bytes\":{},\
+                 \"snapshot_entries\":{},\"interp_peak_heap_bytes\":{}}}",
+                hb.seq,
+                hb.t_ns,
+                hb.workers.len(),
+                hb.queued,
+                hb.pending,
+                hb.steals,
+                hb.jobs_done,
+                hb.cache_bytes,
+                hb.cache_entries,
+                hb.snapshot_bytes,
+                hb.snapshot_entries,
+                hb.interp_peak_heap_bytes,
+            );
+            out.push('\n');
+            for (i, state) in hb.workers.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"worker\",\"hb\":{},\"worker\":{i}",
+                    hb.seq
+                );
+                out.push_str(",\"state\":");
+                push_json_str(&mut out, state.token());
+                match state {
+                    WorkerState::Idle => {}
+                    WorkerState::Unit { app, seed } => push_unit_fields(&mut out, app, *seed),
+                    WorkerState::Site { app, seed, site } => {
+                        push_unit_fields(&mut out, app, *seed);
+                        out.push_str(",\"site\":");
+                        push_json_str(&mut out, site);
+                    }
+                }
+                out.push_str("}\n");
+            }
+        }
+        PulseEvent::Finished {
+            wall_ns,
+            sites,
+            exposed,
+        } => {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"finished\",\"wall_ns\":{wall_ns},\"sites\":{sites},\
+                 \"exposed\":{exposed}}}"
+            );
+        }
+    }
+    out
+}
+
+/// A fully parsed telemetry stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetryLog {
+    /// Worker-thread count the campaign ran with.
+    pub threads: u32,
+    /// Every event, in stream order (heartbeats reassembled).
+    pub events: Vec<PulseEvent>,
+}
+
+impl TelemetryLog {
+    /// Serialises header + every event back to the wire format.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = telemetry_header(self.threads);
+        for event in &self.events {
+            out.push_str(&pulse_event_lines(event));
+        }
+        out
+    }
+
+    /// Parses a telemetry stream, reassembling heartbeat worker lines.
+    pub fn from_jsonl(text: &str) -> Result<TelemetryLog, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let Some((_, header)) = lines.next() else {
+            return Err("telemetry: empty input (missing header line)".into());
+        };
+        let head = parse_flat_object(header).map_err(|e| format!("telemetry line 1: {e}"))?;
+        if head.get("type").and_then(FlatValue::as_str) != Some("pulse") {
+            return Err("telemetry: first line must be the header {\"type\":\"pulse\",...}".into());
+        }
+        match head.get("v").and_then(FlatValue::as_u64) {
+            Some(TELEMETRY_SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "telemetry: unsupported schema version {v} \
+                     (expected {TELEMETRY_SCHEMA_VERSION})"
+                ))
+            }
+            None => return Err("telemetry: header missing integer field \"v\"".into()),
+        }
+        let threads = head.get("threads").and_then(FlatValue::as_u64).unwrap_or(0) as u32;
+        let mut log = TelemetryLog {
+            threads,
+            events: Vec::new(),
+        };
+        // A heartbeat under assembly: its declared worker count and the
+        // sample collecting `worker` lines.
+        let mut pending: Option<(u64, HeartbeatSample)> = None;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let obj =
+                parse_flat_object(line).map_err(|e| format!("telemetry line {lineno}: {e}"))?;
+            let kind = obj
+                .get("type")
+                .and_then(FlatValue::as_str)
+                .ok_or_else(|| format!("telemetry line {lineno}: missing \"type\""))?;
+            if kind != "worker" {
+                if let Some((_, hb)) = pending.take() {
+                    log.events.push(PulseEvent::Heartbeat(hb));
+                }
+            }
+            match kind {
+                "unit_started" => log.events.push(PulseEvent::UnitStarted {
+                    app: req_str(&obj, "app", lineno)?,
+                    seed: req_u64(&obj, "seed", lineno)? as u32,
+                }),
+                "sites_identified" => log.events.push(PulseEvent::SitesIdentified {
+                    app: req_str(&obj, "app", lineno)?,
+                    seed: req_u64(&obj, "seed", lineno)? as u32,
+                    sites: req_u64(&obj, "sites", lineno)?,
+                }),
+                "site_finished" => log.events.push(PulseEvent::SiteFinished {
+                    app: req_str(&obj, "app", lineno)?,
+                    seed: req_u64(&obj, "seed", lineno)? as u32,
+                    site: req_str(&obj, "site", lineno)?,
+                    outcome: req_str(&obj, "outcome", lineno)?,
+                    wall_ns: req_u64(&obj, "wall_ns", lineno)?,
+                    cache_bytes: req_u64(&obj, "cache_bytes", lineno)?,
+                    snapshot_bytes: req_u64(&obj, "snapshot_bytes", lineno)?,
+                    peak_heap_bytes: req_u64(&obj, "peak_heap_bytes", lineno)?,
+                }),
+                "heartbeat" => {
+                    let workers = req_u64(&obj, "workers", lineno)?;
+                    let sample = HeartbeatSample {
+                        seq: req_u64(&obj, "seq", lineno)?,
+                        t_ns: req_u64(&obj, "t_ns", lineno)?,
+                        workers: vec![WorkerState::Idle; workers as usize],
+                        queued: req_u64(&obj, "queued", lineno)?,
+                        pending: req_u64(&obj, "pending", lineno)?,
+                        steals: req_u64(&obj, "steals", lineno)?,
+                        jobs_done: req_u64(&obj, "jobs_done", lineno)?,
+                        cache_bytes: req_u64(&obj, "cache_bytes", lineno)?,
+                        cache_entries: req_u64(&obj, "cache_entries", lineno)?,
+                        snapshot_bytes: req_u64(&obj, "snapshot_bytes", lineno)?,
+                        snapshot_entries: req_u64(&obj, "snapshot_entries", lineno)?,
+                        interp_peak_heap_bytes: req_u64(&obj, "interp_peak_heap_bytes", lineno)?,
+                    };
+                    pending = Some((workers, sample));
+                }
+                "worker" => {
+                    let Some((_, hb)) = pending.as_mut() else {
+                        return Err(format!(
+                            "telemetry line {lineno}: worker record outside a heartbeat"
+                        ));
+                    };
+                    let hb_seq = req_u64(&obj, "hb", lineno)?;
+                    if hb_seq != hb.seq {
+                        return Err(format!(
+                            "telemetry line {lineno}: worker references heartbeat {hb_seq} \
+                             but heartbeat {} is open",
+                            hb.seq
+                        ));
+                    }
+                    let index = req_u64(&obj, "worker", lineno)? as usize;
+                    if index >= hb.workers.len() {
+                        return Err(format!(
+                            "telemetry line {lineno}: worker index {index} out of range \
+                             (heartbeat declares {})",
+                            hb.workers.len()
+                        ));
+                    }
+                    let state = match req_str(&obj, "state", lineno)?.as_str() {
+                        "idle" => WorkerState::Idle,
+                        "unit" => WorkerState::Unit {
+                            app: req_str(&obj, "app", lineno)?,
+                            seed: req_u64(&obj, "seed", lineno)? as u32,
+                        },
+                        "site" => WorkerState::Site {
+                            app: req_str(&obj, "app", lineno)?,
+                            seed: req_u64(&obj, "seed", lineno)? as u32,
+                            site: req_str(&obj, "site", lineno)?,
+                        },
+                        other => {
+                            return Err(format!(
+                                "telemetry line {lineno}: unknown worker state {other:?}"
+                            ))
+                        }
+                    };
+                    hb.workers[index] = state;
+                }
+                "finished" => log.events.push(PulseEvent::Finished {
+                    wall_ns: req_u64(&obj, "wall_ns", lineno)?,
+                    sites: req_u64(&obj, "sites", lineno)?,
+                    exposed: req_u64(&obj, "exposed", lineno)?,
+                }),
+                other => {
+                    return Err(format!(
+                        "telemetry line {lineno}: unknown record type {other:?}"
+                    ))
+                }
+            }
+        }
+        if let Some((_, hb)) = pending.take() {
+            log.events.push(PulseEvent::Heartbeat(hb));
+        }
+        Ok(log)
+    }
+}
+
+fn req_str(obj: &BTreeMap<String, FlatValue>, key: &str, lineno: usize) -> Result<String, String> {
+    obj.get(key)
+        .and_then(FlatValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("telemetry line {lineno}: missing string field {key:?}"))
+}
+
+fn req_u64(obj: &BTreeMap<String, FlatValue>, key: &str, lineno: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(FlatValue::as_u64)
+        .ok_or_else(|| format!("telemetry line {lineno}: missing integer field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> TelemetryLog {
+        TelemetryLog {
+            threads: 2,
+            events: vec![
+                PulseEvent::UnitStarted {
+                    app: "forged-001".into(),
+                    seed: 0,
+                },
+                PulseEvent::SitesIdentified {
+                    app: "forged-001".into(),
+                    seed: 0,
+                    sites: 3,
+                },
+                PulseEvent::Heartbeat(HeartbeatSample {
+                    seq: 0,
+                    t_ns: 50_000_000,
+                    workers: vec![
+                        WorkerState::Site {
+                            app: "forged-001".into(),
+                            seed: 0,
+                            site: "b0@7".into(),
+                        },
+                        WorkerState::Idle,
+                    ],
+                    queued: 2,
+                    pending: 3,
+                    steals: 1,
+                    jobs_done: 4,
+                    cache_bytes: 512,
+                    cache_entries: 8,
+                    snapshot_bytes: 4096,
+                    snapshot_entries: 3,
+                    interp_peak_heap_bytes: 1024,
+                }),
+                PulseEvent::SiteFinished {
+                    app: "forged-001".into(),
+                    seed: 0,
+                    site: "b0@7".into(),
+                    outcome: "exposed".into(),
+                    wall_ns: 9_000_000,
+                    cache_bytes: 512,
+                    snapshot_bytes: 4096,
+                    peak_heap_bytes: 1024,
+                },
+                PulseEvent::Heartbeat(HeartbeatSample {
+                    seq: 1,
+                    t_ns: 100_000_000,
+                    workers: vec![
+                        WorkerState::Unit {
+                            app: "forged-002 \"q\"".into(),
+                            seed: 1,
+                        },
+                        WorkerState::Idle,
+                    ],
+                    ..HeartbeatSample::default()
+                }),
+                PulseEvent::Finished {
+                    wall_ns: 200_000_000,
+                    sites: 3,
+                    exposed: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        let back = TelemetryLog::from_jsonl(&text).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn heartbeat_at_end_of_stream_is_flushed() {
+        let log = TelemetryLog {
+            threads: 1,
+            events: vec![PulseEvent::Heartbeat(HeartbeatSample {
+                seq: 0,
+                workers: vec![WorkerState::Idle],
+                ..HeartbeatSample::default()
+            })],
+        };
+        let back = TelemetryLog::from_jsonl(&log.to_jsonl()).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(TelemetryLog::from_jsonl("").unwrap_err().contains("empty"));
+        assert!(TelemetryLog::from_jsonl("{\"type\":\"pulse\",\"v\":9}\n")
+            .unwrap_err()
+            .contains("unsupported schema version"));
+        let orphan_worker = "{\"type\":\"pulse\",\"v\":1,\"threads\":1}\n\
+             {\"type\":\"worker\",\"hb\":0,\"worker\":0,\"state\":\"idle\"}\n";
+        assert!(TelemetryLog::from_jsonl(orphan_worker)
+            .unwrap_err()
+            .contains("outside a heartbeat"));
+        let bad_index = "{\"type\":\"pulse\",\"v\":1,\"threads\":1}\n\
+             {\"type\":\"heartbeat\",\"seq\":0,\"t_ns\":0,\"workers\":1,\"queued\":0,\
+              \"pending\":0,\"steals\":0,\"jobs_done\":0,\"cache_bytes\":0,\"cache_entries\":0,\
+              \"snapshot_bytes\":0,\"snapshot_entries\":0,\"interp_peak_heap_bytes\":0}\n\
+             {\"type\":\"worker\",\"hb\":0,\"worker\":5,\"state\":\"idle\"}\n";
+        assert!(TelemetryLog::from_jsonl(bad_index)
+            .unwrap_err()
+            .contains("out of range"));
+    }
+}

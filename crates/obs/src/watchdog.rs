@@ -1,0 +1,553 @@
+//! Stall and anomaly detection over the pulse stream.
+//!
+//! A [`Watchdog`] consumes [`PulseEvent`]s (live from a
+//! [`Subscriber`](crate::Subscriber), or replayed from a telemetry
+//! JSONL) and raises typed [`AnomalyReport`]s:
+//!
+//! - [`SlowSite`](AnomalyKind::SlowSite): a site's wall time exceeded
+//!   `slow_site_factor` × the median site wall time (with an absolute
+//!   floor so fast suites don't flag noise). Evaluated at
+//!   [`finish`](Watchdog::finish), once the median is known.
+//! - [`BudgetNoProgress`](AnomalyKind::BudgetNoProgress): a site burned
+//!   its entire enforcement budget without reaching a classification
+//!   (outcome `prevented:budget` — the Figure-7 loop ran
+//!   `max_enforcements` candidates and learned nothing decisive).
+//! - [`IdleWorker`](AnomalyKind::IdleWorker): a worker sat idle for
+//!   `idle_heartbeats` consecutive samples while the queues held work —
+//!   the scheduler failed to route runnable jobs to a free worker.
+//! - [`CachePressure`](AnomalyKind::CachePressure): combined cache
+//!   resident bytes crossed the configured ceiling.
+//!
+//! Reports are deduplicated (one per kind × subject), serialised to a
+//! schema-versioned JSONL digest ([`anomalies_to_jsonl`]), and parsed
+//! back for CI gating ([`anomalies_from_jsonl`]).
+//!
+//! Default thresholds are deliberately conservative — the CI deep suite
+//! gates on *zero* anomalies, so only order-of-magnitude outliers may
+//! fire.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::pulse::{PulseEvent, WorkerState};
+use crate::sink::{parse_flat_object, push_json_str, FlatValue};
+
+/// Version stamped into (and required from) the anomaly digest header.
+pub const ANOMALY_SCHEMA_VERSION: u64 = 1;
+
+/// The typed anomaly taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnomalyKind {
+    /// Site wall time far above the campaign median.
+    SlowSite,
+    /// Enforcement budget exhausted with no decisive classification.
+    BudgetNoProgress,
+    /// Worker idle across consecutive heartbeats while work was queued.
+    IdleWorker,
+    /// Cache resident bytes above the configured ceiling.
+    CachePressure,
+}
+
+impl AnomalyKind {
+    /// Stable wire token.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AnomalyKind::SlowSite => "slow_site",
+            AnomalyKind::BudgetNoProgress => "budget_no_progress",
+            AnomalyKind::IdleWorker => "idle_worker",
+            AnomalyKind::CachePressure => "cache_pressure",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    #[must_use]
+    pub fn parse(token: &str) -> Option<AnomalyKind> {
+        match token {
+            "slow_site" => Some(AnomalyKind::SlowSite),
+            "budget_no_progress" => Some(AnomalyKind::BudgetNoProgress),
+            "idle_worker" => Some(AnomalyKind::IdleWorker),
+            "cache_pressure" => Some(AnomalyKind::CachePressure),
+            _ => None,
+        }
+    }
+}
+
+/// One raised anomaly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnomalyReport {
+    /// Which detector fired.
+    pub kind: AnomalyKind,
+    /// Subject: `app/seed/site` for site anomalies, `worker:<i>` for
+    /// idle workers, `cache` for cache pressure.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub detail: String,
+    /// Observed value (ns for time anomalies, bytes for cache,
+    /// heartbeat count for idle workers).
+    pub value: u64,
+    /// Threshold the value crossed.
+    pub threshold: u64,
+}
+
+/// Detector thresholds. Defaults are conservative enough that a
+/// healthy deep-suite CI run raises nothing.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// SlowSite fires above `slow_site_factor` × median site wall time.
+    pub slow_site_factor: f64,
+    /// ... but never below this absolute wall time (ns).
+    pub slow_site_floor_ns: u64,
+    /// Median is only trusted with at least this many finished sites.
+    pub min_sites_for_median: usize,
+    /// IdleWorker fires after this many consecutive idle-with-backlog
+    /// heartbeats.
+    pub idle_heartbeats: u32,
+    /// CachePressure ceiling over combined solver + snapshot resident
+    /// bytes; `None` disables the detector.
+    pub cache_ceiling_bytes: Option<u64>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            slow_site_factor: 8.0,
+            slow_site_floor_ns: 250_000_000,
+            min_sites_for_median: 8,
+            idle_heartbeats: 40,
+            cache_ceiling_bytes: None,
+        }
+    }
+}
+
+/// Accumulating anomaly detector over a pulse stream.
+pub struct Watchdog {
+    config: WatchdogConfig,
+    /// (subject, wall_ns) per finished site, in arrival order.
+    sites: Vec<(String, u64)>,
+    /// Consecutive idle-with-backlog heartbeats per worker index.
+    idle_streaks: Vec<u32>,
+    anomalies: Vec<AnomalyReport>,
+    /// Dedup set: (kind token, subject).
+    raised: BTreeMap<(&'static str, String), ()>,
+}
+
+impl Watchdog {
+    /// A watchdog with the given thresholds.
+    #[must_use]
+    pub fn new(config: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            config,
+            sites: Vec::new(),
+            idle_streaks: Vec::new(),
+            anomalies: Vec::new(),
+            raised: BTreeMap::new(),
+        }
+    }
+
+    fn raise(
+        &mut self,
+        kind: AnomalyKind,
+        subject: String,
+        detail: String,
+        value: u64,
+        threshold: u64,
+    ) {
+        if self
+            .raised
+            .insert((kind.as_str(), subject.clone()), ())
+            .is_none()
+        {
+            self.anomalies.push(AnomalyReport {
+                kind,
+                subject,
+                detail,
+                value,
+                threshold,
+            });
+        }
+    }
+
+    /// Feeds one event through every detector.
+    pub fn feed(&mut self, event: &PulseEvent) {
+        match event {
+            PulseEvent::SiteFinished {
+                app,
+                seed,
+                site,
+                outcome,
+                wall_ns,
+                ..
+            } => {
+                let subject = format!("{app}/{seed}/{site}");
+                self.sites.push((subject.clone(), *wall_ns));
+                if outcome == "prevented:budget" {
+                    self.raise(
+                        AnomalyKind::BudgetNoProgress,
+                        subject,
+                        "enforcement budget exhausted without a decisive classification".into(),
+                        *wall_ns,
+                        0,
+                    );
+                }
+            }
+            PulseEvent::Heartbeat(hb) => {
+                if self.idle_streaks.len() < hb.workers.len() {
+                    self.idle_streaks.resize(hb.workers.len(), 0);
+                }
+                let backlog = hb.queued > 0;
+                for (i, state) in hb.workers.iter().enumerate() {
+                    if backlog && matches!(state, WorkerState::Idle) {
+                        self.idle_streaks[i] += 1;
+                        if self.idle_streaks[i] >= self.config.idle_heartbeats {
+                            let streak = self.idle_streaks[i];
+                            self.raise(
+                                AnomalyKind::IdleWorker,
+                                format!("worker:{i}"),
+                                format!(
+                                    "worker {i} idle for {streak} consecutive heartbeats \
+                                     with {} queued job(s)",
+                                    hb.queued
+                                ),
+                                u64::from(streak),
+                                u64::from(self.config.idle_heartbeats),
+                            );
+                        }
+                    } else {
+                        self.idle_streaks[i] = 0;
+                    }
+                }
+                if let Some(ceiling) = self.config.cache_ceiling_bytes {
+                    let resident = hb.cache_bytes + hb.snapshot_bytes;
+                    if resident > ceiling {
+                        self.raise(
+                            AnomalyKind::CachePressure,
+                            "cache".into(),
+                            format!(
+                                "solver+snapshot caches hold {resident} bytes \
+                                 (ceiling {ceiling})"
+                            ),
+                            resident,
+                            ceiling,
+                        );
+                    }
+                }
+            }
+            PulseEvent::UnitStarted { .. }
+            | PulseEvent::SitesIdentified { .. }
+            | PulseEvent::Finished { .. } => {}
+        }
+    }
+
+    /// Runs the end-of-stream detectors (SlowSite needs the final
+    /// median) and returns every anomaly raised.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<AnomalyReport> {
+        if self.sites.len() >= self.config.min_sites_for_median {
+            let mut walls: Vec<u64> = self.sites.iter().map(|(_, w)| *w).collect();
+            walls.sort_unstable();
+            let median = walls[walls.len() / 2];
+            let scaled = (median as f64 * self.config.slow_site_factor) as u64;
+            let threshold = scaled.max(self.config.slow_site_floor_ns);
+            let slow: Vec<(String, u64)> = self
+                .sites
+                .iter()
+                .filter(|(_, w)| *w > threshold)
+                .cloned()
+                .collect();
+            for (subject, wall) in slow {
+                let ms = wall / 1_000_000;
+                let med_ms = median / 1_000_000;
+                self.raise(
+                    AnomalyKind::SlowSite,
+                    subject,
+                    format!("site took {ms}ms against a campaign median of {med_ms}ms"),
+                    wall,
+                    threshold,
+                );
+            }
+        }
+        self.anomalies
+    }
+}
+
+/// Serialises anomalies to the schema-versioned JSONL digest.
+#[must_use]
+pub fn anomalies_to_jsonl(anomalies: &[AnomalyReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"anomalies\",\"v\":{ANOMALY_SCHEMA_VERSION},\"count\":{}}}",
+        anomalies.len()
+    );
+    for a in anomalies {
+        out.push_str("{\"type\":\"anomaly\",\"kind\":");
+        push_json_str(&mut out, a.kind.as_str());
+        out.push_str(",\"subject\":");
+        push_json_str(&mut out, &a.subject);
+        out.push_str(",\"detail\":");
+        push_json_str(&mut out, &a.detail);
+        let _ = writeln!(
+            out,
+            ",\"value\":{},\"threshold\":{}}}",
+            a.value, a.threshold
+        );
+    }
+    out
+}
+
+/// Parses a digest produced by [`anomalies_to_jsonl`]. Strict on the
+/// header version and the declared count.
+pub fn anomalies_from_jsonl(text: &str) -> Result<Vec<AnomalyReport>, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, header)) = lines.next() else {
+        return Err("anomalies: empty input (missing header line)".into());
+    };
+    let head = parse_flat_object(header).map_err(|e| format!("anomalies line 1: {e}"))?;
+    if head.get("type").and_then(FlatValue::as_str) != Some("anomalies") {
+        return Err("anomalies: first line must be the header {\"type\":\"anomalies\",...}".into());
+    }
+    match head.get("v").and_then(FlatValue::as_u64) {
+        Some(ANOMALY_SCHEMA_VERSION) => {}
+        Some(v) => {
+            return Err(format!(
+                "anomalies: unsupported schema version {v} (expected {ANOMALY_SCHEMA_VERSION})"
+            ))
+        }
+        None => return Err("anomalies: header missing integer field \"v\"".into()),
+    }
+    let declared = head.get("count").and_then(FlatValue::as_u64);
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let obj = parse_flat_object(line).map_err(|e| format!("anomalies line {lineno}: {e}"))?;
+        if obj.get("type").and_then(FlatValue::as_str) != Some("anomaly") {
+            return Err(format!(
+                "anomalies line {lineno}: expected an anomaly record"
+            ));
+        }
+        let kind_token = obj
+            .get("kind")
+            .and_then(FlatValue::as_str)
+            .ok_or_else(|| format!("anomalies line {lineno}: missing \"kind\""))?;
+        let kind = AnomalyKind::parse(kind_token)
+            .ok_or_else(|| format!("anomalies line {lineno}: unknown kind {kind_token:?}"))?;
+        let field = |key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(FlatValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("anomalies line {lineno}: missing string field {key:?}"))
+        };
+        let num = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(FlatValue::as_u64)
+                .ok_or_else(|| format!("anomalies line {lineno}: missing integer field {key:?}"))
+        };
+        out.push(AnomalyReport {
+            kind,
+            subject: field("subject")?,
+            detail: field("detail")?,
+            value: num("value")?,
+            threshold: num("threshold")?,
+        });
+    }
+    if let Some(n) = declared {
+        if n as usize != out.len() {
+            return Err(format!(
+                "anomalies: header declares {n} record(s) but {} parsed",
+                out.len()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::HeartbeatSample;
+
+    fn finished(site: &str, outcome: &str, wall_ns: u64) -> PulseEvent {
+        PulseEvent::SiteFinished {
+            app: "app".into(),
+            seed: 0,
+            site: site.into(),
+            outcome: outcome.into(),
+            wall_ns,
+            cache_bytes: 0,
+            snapshot_bytes: 0,
+            peak_heap_bytes: 0,
+        }
+    }
+
+    fn heartbeat(queued: u64, workers: Vec<WorkerState>) -> PulseEvent {
+        PulseEvent::Heartbeat(HeartbeatSample {
+            queued,
+            workers,
+            ..HeartbeatSample::default()
+        })
+    }
+
+    fn tight_config() -> WatchdogConfig {
+        WatchdogConfig {
+            slow_site_factor: 4.0,
+            slow_site_floor_ns: 0,
+            min_sites_for_median: 4,
+            idle_heartbeats: 3,
+            cache_ceiling_bytes: Some(1000),
+        }
+    }
+
+    #[test]
+    fn slow_site_fires_above_factor_times_median() {
+        let mut wd = Watchdog::new(tight_config());
+        for i in 0..8 {
+            wd.feed(&finished(&format!("b0@{i}"), "exposed", 100));
+        }
+        wd.feed(&finished("b0@99", "exposed", 10_000));
+        let anomalies = wd.finish();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::SlowSite);
+        assert_eq!(anomalies[0].subject, "app/0/b0@99");
+        assert_eq!(anomalies[0].value, 10_000);
+    }
+
+    #[test]
+    fn slow_site_respects_floor_and_minimum_sample() {
+        // Floor above every wall time: nothing fires.
+        let mut cfg = tight_config();
+        cfg.slow_site_floor_ns = 1_000_000;
+        let mut wd = Watchdog::new(cfg);
+        for i in 0..8 {
+            wd.feed(&finished(&format!("b0@{i}"), "exposed", 100));
+        }
+        wd.feed(&finished("b0@99", "exposed", 10_000));
+        assert!(wd.finish().is_empty());
+
+        // Too few sites for a trustworthy median: nothing fires.
+        let mut wd = Watchdog::new(tight_config());
+        wd.feed(&finished("b0@0", "exposed", 100));
+        wd.feed(&finished("b0@1", "exposed", 10_000));
+        assert!(wd.finish().is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_raises_once_per_site() {
+        let mut wd = Watchdog::new(tight_config());
+        wd.feed(&finished("b0@0", "prevented:budget", 50));
+        wd.feed(&finished("b0@0", "prevented:budget", 60));
+        wd.feed(&finished("b0@1", "prevented:constraint-unsat:3", 50));
+        let anomalies = wd.finish();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::BudgetNoProgress);
+    }
+
+    #[test]
+    fn idle_worker_needs_consecutive_backlogged_heartbeats() {
+        let mut wd = Watchdog::new(tight_config());
+        let idle_pair = vec![WorkerState::Idle, WorkerState::Idle];
+        let busy = vec![
+            WorkerState::Unit {
+                app: "a".into(),
+                seed: 0,
+            },
+            WorkerState::Idle,
+        ];
+        wd.feed(&heartbeat(1, idle_pair.clone()));
+        wd.feed(&heartbeat(1, idle_pair.clone()));
+        wd.feed(&heartbeat(0, idle_pair.clone())); // no backlog: streak resets
+        wd.feed(&heartbeat(1, idle_pair.clone()));
+        wd.feed(&heartbeat(1, idle_pair.clone()));
+        assert!(Watchdog::new(tight_config()).finish().is_empty());
+        // Streaks were reset, so nothing fired yet.
+        let wd_anoms = wd.finish();
+        assert!(wd_anoms.is_empty(), "{wd_anoms:?}");
+
+        let mut wd = Watchdog::new(tight_config());
+        for _ in 0..3 {
+            wd.feed(&heartbeat(2, busy.clone()));
+        }
+        let anomalies = wd.finish();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::IdleWorker);
+        assert_eq!(anomalies[0].subject, "worker:1");
+    }
+
+    #[test]
+    fn cache_pressure_fires_once_above_ceiling() {
+        let mut wd = Watchdog::new(tight_config());
+        let mut hb = HeartbeatSample {
+            cache_bytes: 600,
+            snapshot_bytes: 300,
+            ..HeartbeatSample::default()
+        };
+        wd.feed(&PulseEvent::Heartbeat(hb.clone()));
+        hb.cache_bytes = 900;
+        wd.feed(&PulseEvent::Heartbeat(hb.clone()));
+        wd.feed(&PulseEvent::Heartbeat(hb));
+        let anomalies = wd.finish();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::CachePressure);
+        assert_eq!(anomalies[0].value, 1200);
+        assert_eq!(anomalies[0].threshold, 1000);
+    }
+
+    #[test]
+    fn digest_round_trips() {
+        let reports = vec![
+            AnomalyReport {
+                kind: AnomalyKind::SlowSite,
+                subject: "app/0/b0@7".into(),
+                detail: "site took 900ms against a campaign median of 12ms".into(),
+                value: 900_000_000,
+                threshold: 250_000_000,
+            },
+            AnomalyReport {
+                kind: AnomalyKind::CachePressure,
+                subject: "cache".into(),
+                detail: "solver+snapshot caches hold 2048 bytes (ceiling 1024)".into(),
+                value: 2048,
+                threshold: 1024,
+            },
+        ];
+        let text = anomalies_to_jsonl(&reports);
+        assert_eq!(anomalies_from_jsonl(&text).unwrap(), reports);
+        assert_eq!(
+            anomalies_from_jsonl(&anomalies_to_jsonl(&[])).unwrap(),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn digest_rejects_bad_input() {
+        assert!(anomalies_from_jsonl("").unwrap_err().contains("empty"));
+        assert!(anomalies_from_jsonl("{\"type\":\"anomalies\",\"v\":99}\n")
+            .unwrap_err()
+            .contains("unsupported schema version"));
+        let wrong_count = "{\"type\":\"anomalies\",\"v\":1,\"count\":5}\n";
+        assert!(anomalies_from_jsonl(wrong_count)
+            .unwrap_err()
+            .contains("declares 5"));
+        let bad_kind = "{\"type\":\"anomalies\",\"v\":1,\"count\":1}\n\
+            {\"type\":\"anomaly\",\"kind\":\"gremlin\",\"subject\":\"x\",\"detail\":\"d\",\"value\":1,\"threshold\":2}\n";
+        assert!(anomalies_from_jsonl(bad_kind)
+            .unwrap_err()
+            .contains("unknown kind"));
+    }
+
+    #[test]
+    fn anomaly_kind_tokens_round_trip() {
+        for kind in [
+            AnomalyKind::SlowSite,
+            AnomalyKind::BudgetNoProgress,
+            AnomalyKind::IdleWorker,
+            AnomalyKind::CachePressure,
+        ] {
+            assert_eq!(AnomalyKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(AnomalyKind::parse("nope"), None);
+    }
+}

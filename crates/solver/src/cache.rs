@@ -43,6 +43,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Approximate bytes resident in stored entries (keys + results).
+    pub bytes: u64,
+    /// High-water mark of `bytes` over the cache's lifetime.
+    pub peak_bytes: u64,
 }
 
 impl CacheStats {
@@ -63,6 +67,18 @@ pub struct SolverCache {
     shards: Vec<Mutex<HashMap<u128, SolveResult>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    bytes: diode_obs::ByteGauge,
+}
+
+/// Approximate resident cost of one cache entry: the 16-byte key, the
+/// hash-map bucket, and the result's model bytes (each a `BTreeMap`
+/// node).
+fn entry_cost(result: &SolveResult) -> u64 {
+    let payload = match result {
+        SolveResult::Sat(model) => 24 * model.bytes().len() as u64,
+        SolveResult::Unsat | SolveResult::Unknown => 0,
+    };
+    48 + payload
 }
 
 impl Default for SolverCache {
@@ -92,6 +108,7 @@ impl SolverCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            bytes: diode_obs::ByteGauge::new(),
         }
     }
 
@@ -129,7 +146,18 @@ impl SolverCache {
         span.cache_hit(false);
         let result = solve_with(cond, config, None).0;
         if !matches!(result, SolveResult::Unknown) {
-            self.shard(key).lock().unwrap().insert(key, result.clone());
+            let cost = entry_cost(&result);
+            if self
+                .shard(key)
+                .lock()
+                .unwrap()
+                .insert(key, result.clone())
+                .is_none()
+            {
+                // Only a genuinely new entry grows the gauge; a racing
+                // duplicate insert replaces an identical result.
+                self.bytes.add(cost);
+            }
         }
         (result, false)
     }
@@ -141,16 +169,19 @@ impl SolverCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
+            bytes: self.bytes.current(),
+            peak_bytes: self.bytes.peak(),
         }
     }
 
-    /// Drops every entry and zeroes the counters.
+    /// Drops every entry and zeroes the counters (byte gauges included).
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.lock().unwrap().clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.bytes.reset();
     }
 }
 
@@ -357,6 +388,27 @@ mod tests {
         let _ = cache.solve(&unsat, &b);
         assert_eq!(cache.stats().misses, 2, "distinct configs must not collide");
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn byte_gauge_grows_per_entry_and_survives_as_peak() {
+        let cache = SolverCache::new();
+        let config = SolverConfig::default();
+        assert_eq!(cache.stats().bytes, 0);
+        let _ = cache.solve(&beta(), &config); // sat: key + model bytes
+        let after_sat = cache.stats().bytes;
+        assert!(
+            after_sat > 48,
+            "sat entry should charge a model: {after_sat}"
+        );
+        let _ = cache.solve(&beta(), &config); // hit: no growth
+        assert_eq!(cache.stats().bytes, after_sat);
+        let unsat = SymBool::cmp(CmpOp::Ugt, byte32(0), c32(1000));
+        let _ = cache.solve(&unsat, &config);
+        let s = cache.stats();
+        assert_eq!(s.bytes, after_sat + 48, "unsat entry is key-only");
+        assert_eq!(s.peak_bytes, s.bytes);
+        assert_eq!(s.entries, 2);
     }
 
     #[test]
