@@ -8,8 +8,8 @@
 //! `BENCH_trajectory.json` (creating it if absent). The existing
 //! trajectory is schema-validated on load (clear per-record errors,
 //! exit 2); records that predate an axis (`threads`/`sizes`/`replay`/
-//! `phases`/`telemetry`) are tolerated and backfilled with `null`. The
-//! gate **fails** when
+//! `phases`/`telemetry`/`serve`) are tolerated and backfilled with
+//! `null`. The gate **fails** when
 //!
 //! * the snapshot-on configuration is slower than snapshot-off
 //!   (`replay.speedup < --min-speedup`, default 1.0), or
@@ -177,13 +177,14 @@ fn main() {
 
 /// Axis keys every record carries; absent or omitted ones (e.g. in the
 /// hand-written seed record) are backfilled with an explicit `null`.
-const AXES: [&str; 6] = [
+const AXES: [&str; 7] = [
     "config",
     "threads",
     "sizes",
     "replay",
     "phases",
     "telemetry",
+    "serve",
 ];
 
 /// `trajectory check`: the committed trajectory must be alive — its
@@ -307,7 +308,8 @@ fn commit_age(commit: &str) -> Option<u64> {
 /// else is a clear, line-item error (exit 2), not a silent drop. Records
 /// that predate an axis (the seed record has no `threads`/`sizes`/
 /// `replay`, pre-observability records have no `phases`, pre-pulse
-/// records have no `telemetry`) are tolerated:
+/// records have no `telemetry`, pre-daemon records have no `serve`) are
+/// tolerated:
 /// the missing keys are backfilled with `null` so consumers can index
 /// every record identically.
 fn load_records(out_path: &str) -> Vec<Json> {
@@ -356,8 +358,9 @@ fn load_records(out_path: &str) -> Vec<Json> {
 }
 
 /// One trajectory record: commit + date, the benchmark config, per-config
-/// wall times from both sweep axes, the snapshot-replay comparison, and
-/// (since the observability layer) the per-phase duration breakdown.
+/// wall times from both sweep axes, the snapshot-replay comparison,
+/// (since the observability layer) the per-phase duration breakdown, and
+/// (since the daemon) the serve-bench throughput section.
 fn build_record(commit: &str, date: &str, bench: &Json) -> Json {
     let axis = |key: &str, fields: &[&str]| -> Json {
         match bench.get(key).and_then(Json::as_arr) {
@@ -385,6 +388,7 @@ fn build_record(commit: &str, date: &str, bench: &Json) -> Json {
             "telemetry",
             bench.get("telemetry").cloned().unwrap_or(Json::Null),
         )
+        .field("serve", bench.get("serve").cloned().unwrap_or(Json::Null))
 }
 
 /// Today's UTC date as `YYYY-MM-DD`, via the standard civil-from-days

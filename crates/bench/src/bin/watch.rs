@@ -9,7 +9,10 @@
 //! * `watch --follow PATH` attaches to a live run: it tails the growing
 //!   JSONL, printing site completions as they land, until the `finished`
 //!   record appears — a truncated tail (the writer mid-line) just means
-//!   "not yet" and is retried. `--poll-ms` sets the tail interval
+//!   "not yet" and is retried, and a stream that *shrinks* (the daemon
+//!   truncating the file to start its next job) is a rotation: the new
+//!   stream is followed from its first event. `--poll-ms` sets the tail
+//!   interval
 //!   (default 200); `--timeout-ms` bounds the wait (default unbounded),
 //!   rendering whatever arrived and exiting 1 on expiry.
 //!
@@ -98,6 +101,16 @@ fn follow_log(path: &str, args: &[String], json: bool) -> TelemetryLog {
         if let Ok(text) = std::fs::read_to_string(path) {
             match TelemetryLog::from_jsonl(&text) {
                 Ok(log) => {
+                    if log.events.len() < shown {
+                        // The stream shrank: the writer truncated and
+                        // recreated the file (daemon job rotation).
+                        // This is a new stream — narrate it from its
+                        // first event instead of swallowing the prefix.
+                        if !json {
+                            eprintln!("watch: stream rotated; following the new stream");
+                        }
+                        shown = 0;
+                    }
                     if !json {
                         for event in &log.events[shown.min(log.events.len())..] {
                             if let Some(line) = live_line(event) {

@@ -37,6 +37,7 @@ use diode_core::{
 };
 use diode_engine::{
     analyze_program_parallel, CampaignApp, CampaignReport, CampaignSpec, ExecutionMode,
+    SnapshotKeys,
 };
 use diode_fuzz::{FuzzOutcome, RandomFuzzer, TaintFuzzer};
 use diode_solver::SolverCache;
@@ -258,6 +259,7 @@ pub fn table1_rows(apps: &[App], config: &DiodeConfig, backend: AnalysisBackend)
         // engine-only shared cache skewing the comparison.
         shared_snapshots: false,
         snapshot_cache: None,
+        snapshot_keys: SnapshotKeys::default(),
         // Table 1 is pure classification; re-validation belongs to the
         // campaign API's bug-report consumers.
         verify_exposed: false,

@@ -1,0 +1,110 @@
+//! `watch --follow` must survive the daemon's per-job telemetry file
+//! rotation: when the file is truncated and recreated mid-follow, the
+//! tailer has to pick up the new stream from its first event instead of
+//! swallowing the prefix it has "already shown".
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use diode_obs::{pulse_event_lines, telemetry_header, HeartbeatSample, PulseEvent};
+
+fn header_and(events: &[PulseEvent]) -> String {
+    let mut out = telemetry_header(1);
+    for e in events {
+        out.push_str(&pulse_event_lines(e));
+    }
+    out
+}
+
+fn site(app: &str, site: &str, wall_ns: u64) -> PulseEvent {
+    PulseEvent::SiteFinished {
+        app: app.to_string(),
+        seed: 0,
+        site: site.to_string(),
+        outcome: "exposed".to_string(),
+        wall_ns,
+        cache_bytes: 0,
+        snapshot_bytes: 0,
+        peak_heap_bytes: 0,
+    }
+}
+
+#[test]
+fn follow_reopens_a_rotated_stream() {
+    let path = std::env::temp_dir().join(format!("watch-rotate-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Job 1: a long unfinished stream (the follower will have "shown"
+    // many events by the time the rotation lands).
+    let mut first: Vec<PulseEvent> = vec![PulseEvent::UnitStarted {
+        app: "app-old".to_string(),
+        seed: 0,
+    }];
+    for i in 0..20 {
+        first.push(site("app-old", &format!("s{i}"), 1_000_000));
+        first.push(PulseEvent::Heartbeat(HeartbeatSample::default()));
+    }
+    std::fs::write(&path, header_and(&first)).expect("write job 1 stream");
+
+    let follower = Command::new(env!("CARGO_BIN_EXE_watch"))
+        .args([
+            "--follow",
+            path.to_str().unwrap(),
+            "--poll-ms",
+            "25",
+            "--timeout-ms",
+            "30000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("watch spawns");
+
+    // Let the follower tail job 1 for a few polls, then rotate: truncate
+    // and recreate with job 2's much shorter, *finished* stream.
+    std::thread::sleep(Duration::from_millis(400));
+    let second = [
+        PulseEvent::UnitStarted {
+            app: "app-new".to_string(),
+            seed: 0,
+        },
+        PulseEvent::SitesIdentified {
+            app: "app-new".to_string(),
+            seed: 0,
+            sites: 1,
+        },
+        site("app-new", "fresh", 2_000_000),
+        PulseEvent::Finished {
+            wall_ns: 5_000_000,
+            sites: 1,
+            exposed: 1,
+        },
+    ];
+    {
+        let mut f = std::fs::File::create(&path).expect("truncate + recreate");
+        f.write_all(header_and(&second).as_bytes())
+            .expect("write job 2 stream");
+    }
+
+    let out = follower.wait_with_output().expect("watch exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "follow must exit 0 on the rotated stream's finished record\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // The new stream's earliest events sit below job 1's shown count —
+    // a tailer that doesn't reset on rotation swallows them.
+    assert!(
+        stdout.contains("identified app-new/0: 1 site(s)"),
+        "missing the rotated stream's first events:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("site app-new/0/fresh"),
+        "missing the rotated stream's site line:\n{stdout}"
+    );
+    assert!(stderr.contains("stream rotated"), "{stderr}");
+
+    let _ = std::fs::remove_file(&path);
+}

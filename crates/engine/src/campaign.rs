@@ -124,6 +124,16 @@ pub struct CampaignSpec {
     /// corpus snapshot metadata). Wins over `shared_snapshots`; still
     /// gated by `config.prefix_snapshots`.
     pub snapshot_cache: Option<Arc<SnapshotCache>>,
+    /// How `(app, seed)` units are keyed in the snapshot cache. The
+    /// default, [`SnapshotKeys::Index`], keys by position in the spec —
+    /// correct whenever the cache lives no longer than one campaign.
+    /// [`SnapshotKeys::Content`] keys by a fingerprint of the unit's
+    /// program text and seed bytes instead, which is what makes a cache
+    /// *shared across campaigns* sound: two jobs holding the same app at
+    /// different indices reuse each other's prefixes, while distinct
+    /// programs can never collide on an index. Keying is invisible in
+    /// the report — outcomes are byte-identical either way.
+    pub snapshot_keys: SnapshotKeys,
     /// Re-validate every exposed bug after discovery: re-solve its final
     /// constraint (a guaranteed cache hit when caching is on) and re-run
     /// the triggering input, recording the result per site.
@@ -142,6 +152,19 @@ pub struct CampaignSpec {
     /// stalling a worker, and outcomes are byte-identical with pulse on
     /// or off. `None` leaves the hot path telemetry-free.
     pub pulse: Option<PulseConfig>,
+}
+
+/// Policy for deriving the snapshot-cache key of an `(app, seed)` unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotKeys {
+    /// Key by `(app index, seed index)` — the historical scheme, right
+    /// for a cache scoped to one campaign.
+    #[default]
+    Index,
+    /// Key by a content fingerprint of the unit (program text + seed
+    /// bytes), so a cache outliving one campaign (e.g. a resident
+    /// daemon's) hands prefixes only to byte-identical units.
+    Content,
 }
 
 /// Live-telemetry attachment for a campaign: the event bus to publish
@@ -178,6 +201,7 @@ impl CampaignSpec {
             shared_cache: true,
             shared_snapshots: true,
             snapshot_cache: None,
+            snapshot_keys: SnapshotKeys::default(),
             verify_exposed: true,
             recorder: None,
             pulse: None,
@@ -206,6 +230,7 @@ impl CampaignSpec {
         let start = Instant::now();
         let (config, cache) = self.effective_config();
         let snapshots = self.effective_snapshots(&config);
+        let keys = UnitKeys::new(self);
         let recorder = self.recorder.as_ref().filter(|r| r.is_enabled());
         let pulse = self
             .pulse
@@ -216,13 +241,20 @@ impl CampaignSpec {
             .map(|p| p.spawn_sampler(cache.clone(), snapshots.clone()));
         let done = match self.mode {
             ExecutionMode::Sequential => {
-                self.run_sequential(&config, snapshots.as_deref(), sink, pulse.as_ref())
+                self.run_sequential(&config, snapshots.as_deref(), &keys, sink, pulse.as_ref())
             }
             ExecutionMode::Parallel { threads } => {
                 if cfg!(feature = "parallel") {
-                    self.run_parallel(&config, snapshots.as_deref(), sink, threads, pulse.as_ref())
+                    self.run_parallel(
+                        &config,
+                        snapshots.as_deref(),
+                        &keys,
+                        sink,
+                        threads,
+                        pulse.as_ref(),
+                    )
                 } else {
-                    self.run_sequential(&config, snapshots.as_deref(), sink, pulse.as_ref())
+                    self.run_sequential(&config, snapshots.as_deref(), &keys, sink, pulse.as_ref())
                 }
             }
         };
@@ -277,10 +309,33 @@ impl CampaignSpec {
         })
     }
 
-    /// The snapshot-cache unit key of one `(app, seed)` workload.
+    /// The index-based snapshot-cache unit key of one `(app, seed)`
+    /// workload (the [`SnapshotKeys::Index`] scheme).
     #[must_use]
     pub fn unit_key(app: usize, seed: usize) -> u64 {
         ((app as u64) << 32) | seed as u64
+    }
+
+    /// The content-based snapshot-cache unit key of one `(app, seed)`
+    /// workload (the [`SnapshotKeys::Content`] scheme): an FNV-1a
+    /// fingerprint of the unit's canonical program text and raw seed
+    /// bytes. Stable across processes, suite orderings, and campaign
+    /// boundaries — what a resident daemon keys its shared cache by.
+    #[must_use]
+    pub fn content_unit_key(app: &CampaignApp, seed: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(diode_lang::pretty::program(&app.program).as_bytes());
+        // Separator byte so (program "a", seed "b") never collides with
+        // (program "ab", empty seed).
+        eat(&[0xFF]);
+        eat(app.seeds.get(seed).map_or(&[][..], Vec::as_slice));
+        h
     }
 
     fn effective_threads(&self) -> usize {
@@ -311,6 +366,7 @@ impl CampaignSpec {
         &self,
         config: &DiodeConfig,
         snapshots: Option<&SnapshotCache>,
+        keys: &UnitKeys,
         sink: &dyn ProgressSink,
         threads: Option<usize>,
         pulse: Option<&PulseRun>,
@@ -328,7 +384,7 @@ impl CampaignSpec {
             self.recorder.as_ref(),
             pulse.map(|p| p.gauges.as_ref()),
             |job, spawner: &Spawner<'_, Job>| {
-                self.run_job(job, config, snapshots, sink, Some(spawner), pulse)
+                self.run_job(job, config, snapshots, keys, sink, Some(spawner), pulse)
             },
         )
     }
@@ -337,6 +393,7 @@ impl CampaignSpec {
         &self,
         config: &DiodeConfig,
         snapshots: Option<&SnapshotCache>,
+        keys: &UnitKeys,
         sink: &dyn ProgressSink,
         pulse: Option<&PulseRun>,
     ) -> Vec<Done> {
@@ -347,6 +404,7 @@ impl CampaignSpec {
                     Job::Identify { app, seed },
                     config,
                     snapshots,
+                    keys,
                     sink,
                     None,
                     pulse,
@@ -364,7 +422,7 @@ impl CampaignSpec {
                     .collect();
                 done.push(identified);
                 for job in site_jobs {
-                    done.push(self.run_job(job, config, snapshots, sink, None, pulse));
+                    done.push(self.run_job(job, config, snapshots, keys, sink, None, pulse));
                 }
             }
         }
@@ -374,11 +432,13 @@ impl CampaignSpec {
     /// Executes one job. In parallel mode `spawner` is present and
     /// identification pushes per-site jobs onto the worker's own deque; in
     /// sequential mode the caller schedules them in order.
+    #[allow(clippy::too_many_arguments)]
     fn run_job(
         &self,
         job: Job,
         config: &DiodeConfig,
         snapshots: Option<&SnapshotCache>,
+        keys: &UnitKeys,
         sink: &dyn ProgressSink,
         spawner: Option<&Spawner<'_, Job>>,
         pulse: Option<&PulseRun>,
@@ -416,7 +476,7 @@ impl CampaignSpec {
                     // of re-executing the shared prefix.
                     let (targets, first_reads) =
                         identify_target_sites_traced(&a.program, &a.seeds[seed], &config.machine);
-                    let key = CampaignSpec::unit_key(app, seed);
+                    let key = keys.key(app, seed);
                     let slots: Vec<_> = targets.iter().map(|t| cache.slot(key, t.label)).collect();
                     warm_unit_slots(
                         &a.program,
@@ -478,8 +538,7 @@ impl CampaignSpec {
                         },
                     );
                 }
-                let slot =
-                    snapshots.map(|c| c.slot(CampaignSpec::unit_key(app, seed), target.label));
+                let slot = snapshots.map(|c| c.slot(keys.key(app, seed), target.label));
                 let report = analyze_site_with_snapshots(
                     &a.program,
                     &a.seeds[seed],
@@ -674,6 +733,35 @@ impl SamplerHandle {
     fn stop(self) {
         self.stop.store(true, Ordering::Relaxed);
         let _ = self.handle.join();
+    }
+}
+
+/// Precomputed snapshot-cache keys for every `(app, seed)` unit of one
+/// campaign, resolved once per run from the spec's [`SnapshotKeys`] policy
+/// so the hot per-job path is an indexed load (content hashing walks the
+/// whole program text, which must not happen once per site job).
+struct UnitKeys(Vec<Vec<u64>>);
+
+impl UnitKeys {
+    fn new(spec: &CampaignSpec) -> Self {
+        Self(
+            spec.apps
+                .iter()
+                .enumerate()
+                .map(|(app, a)| {
+                    (0..a.seeds.len())
+                        .map(|seed| match spec.snapshot_keys {
+                            SnapshotKeys::Index => CampaignSpec::unit_key(app, seed),
+                            SnapshotKeys::Content => CampaignSpec::content_unit_key(a, seed),
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    fn key(&self, app: usize, seed: usize) -> u64 {
+        self.0[app][seed]
     }
 }
 

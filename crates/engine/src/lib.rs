@@ -61,7 +61,8 @@ pub mod scheduler;
 
 pub use campaign::{
     analyze_program_parallel, CampaignApp, CampaignEvent, CampaignReport, CampaignSpec,
-    CorpusSuite, ExecutionMode, NoProgress, ProgressSink, PulseConfig, SiteRecord, UnitReport,
+    CorpusSuite, ExecutionMode, NoProgress, ProgressSink, PulseConfig, SiteRecord, SnapshotKeys,
+    UnitReport,
 };
 pub use diode_core::{SnapshotCache, SnapshotStats};
 pub use diode_obs::{

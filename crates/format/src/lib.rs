@@ -1,7 +1,7 @@
 //! # diode-format — input formats: field maps, seed builders, reconstruction
 //!
-//! The paper uses Hachoir [3] to map byte ranges to input fields (e.g.
-//! bytes 16–19 of a PNG are `/header/width`) and Peach [4] to *reconstruct*
+//! The paper uses Hachoir \[3\] to map byte ranges to input fields (e.g.
+//! bytes 16–19 of a PNG are `/header/width`) and Peach \[4\] to *reconstruct*
 //! generated input files so that checksums and structure remain valid
 //! (§4.4). This crate is that layer:
 //!

@@ -1,7 +1,7 @@
 //! Programmatic AST construction: fresh labels, interned variables, and
 //! procedure slots without going through the text front-end.
 //!
-//! The text parser ([`crate::parse`]) is the right entry point for
+//! The text parser ([`crate::parse()`]) is the right entry point for
 //! hand-written benchmark sources, but generated programs (the
 //! `diode-synth` scenario forge) want to be **well-formed by
 //! construction**: every statement gets a unique label, every variable is

@@ -8,7 +8,7 @@
 //! *named target sites*.
 //!
 //! Programs are usually written in the textual concrete syntax and parsed
-//! with [`parse`]; see the [`parse`](mod@parse) module for the grammar. The
+//! with [`parse()`](parse()); see the [`parse`](mod@parse) module for the grammar. The
 //! [`pretty`] module renders programs back to source.
 //!
 //! The interpreter that gives this language its concrete *and symbolic*

@@ -3,7 +3,7 @@
 //! Benchmark applications (crate `diode-apps`) are written as readable
 //! sources in this concrete syntax, closely mirroring the C excerpts of the
 //! paper's Figure 2. The grammar is a direct rendering of Figure 3 plus the
-//! extensions documented in [`crate::ast`]:
+//! extensions documented in the crate-level AST docs:
 //!
 //! ```text
 //! fn png_get_uint_31(off) {

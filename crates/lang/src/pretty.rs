@@ -1,5 +1,5 @@
 //! Pretty-printer: renders programs back to the concrete syntax accepted by
-//! [`crate::parse`].
+//! [`crate::parse()`].
 //!
 //! Round-tripping (`parse(pretty(p))` produces a structurally equal program
 //! up to label renumbering) is checked by property tests in the crate's

@@ -71,7 +71,9 @@ pub use span::{
     audit_active, audit_event, count, job_scope, observe_ns, span, JobScope, Phase, Recorder, Span,
     SpanGuard, Trace,
 };
-pub use telemetry::{pulse_event_lines, telemetry_header, TelemetryLog, TELEMETRY_SCHEMA_VERSION};
+pub use telemetry::{
+    pulse_event_lines, telemetry_header, TelemetryLog, TelemetryStream, TELEMETRY_SCHEMA_VERSION,
+};
 pub use watchdog::{
     anomalies_from_jsonl, anomalies_to_jsonl, AnomalyKind, AnomalyReport, Watchdog, WatchdogConfig,
     ANOMALY_SCHEMA_VERSION,

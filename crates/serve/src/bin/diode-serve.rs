@@ -1,0 +1,53 @@
+//! The `diode-serve` daemon binary.
+//!
+//! Usage: `cargo run --release -p diode-serve [-- FLAGS]`
+//!
+//! * `--addr A`           bind address (default `127.0.0.1:7070`;
+//!   port `0` picks an ephemeral port — the chosen address is printed)
+//! * `--workers N`        concurrent campaign jobs (default 1)
+//! * `--queue-depth N`    per-worker admission bound (default 16)
+//! * `--corpus PATH`      corpus root for `{"suite": ...}` jobs
+//! * `--telemetry-file P` write each running job's telemetry JSONL to
+//!   P, truncating per job (tail it with `watch --follow`)
+//! * `--heartbeat-ms N`   pulse heartbeat interval (default 50)
+//!
+//! The daemon prints one `listening on ADDR` line to stdout once bound,
+//! then serves until a `shutdown` request drains the queue. See
+//! `docs/OPERATIONS.md` for the wire protocol and example sessions.
+
+use std::time::Duration;
+
+use diode_serve::{serve, ServeConfig};
+
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_num(args: &[String], name: &str) -> Option<u64> {
+    flag_str(args, name).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ServeConfig {
+        addr: flag_str(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        workers: flag_num(&args, "--workers").unwrap_or(1).max(1) as usize,
+        queue_depth: flag_num(&args, "--queue-depth").unwrap_or(16).max(1) as usize,
+        corpus_root: flag_str(&args, "--corpus").map(Into::into),
+        telemetry_file: flag_str(&args, "--telemetry-file").map(Into::into),
+        heartbeat: Duration::from_millis(flag_num(&args, "--heartbeat-ms").unwrap_or(50).max(1)),
+    };
+    let handle = match serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("diode-serve: cannot start: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The one line supervisors and scripts parse to find the port.
+    println!("listening on {}", handle.addr());
+    handle.join();
+    println!("diode-serve: drained and stopped");
+}

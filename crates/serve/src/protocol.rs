@@ -1,0 +1,283 @@
+//! The daemon's wire protocol: one flat-JSON request line per
+//! operation, one JSON response line back (plus a telemetry stream for
+//! `watch`). The codec is `diode-corpus`'s round-tripping [`Json`] —
+//! the same one every `BENCH_*` artifact uses — so `u64` payloads (RNG
+//! seeds, byte counters) survive exactly.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"submit","spec":{"apps":10,"depth":3,"rng_seed":123},"wait":true}
+//! {"op":"submit","suite":"suite-00a1b2c3d4e5f607"}
+//! {"op":"status"}
+//! {"op":"status","job":"job-2"}
+//! {"op":"watch","job":"job-2"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every response carries `"ok"`. Failures add an HTTP-flavoured
+//! `"code"` plus a stable `"error"` token — `400 bad_request`,
+//! `404 not_found`, `429 queue_full`, `500 job_failed`,
+//! `503 shutting_down` — so clients can branch on semantics without
+//! string-matching free-text detail.
+
+use diode_synth::SynthConfig;
+
+pub use diode_corpus::{Json, JsonError};
+
+/// Version stamped into `status` responses; bump on wire changes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Enqueue a campaign job.
+    Submit {
+        /// What to run.
+        source: JobSource,
+        /// Block until the job finishes and reply with its full report
+        /// (instead of replying immediately with the job id).
+        wait: bool,
+        /// Pin the campaign's worker-thread count (`None`: all cores).
+        threads: Option<usize>,
+    },
+    /// Daemon-wide counters, or one job's state when `job` is set.
+    Status {
+        /// Job id to inspect, or `None` for the daemon summary.
+        job: Option<String>,
+    },
+    /// Stream a job's live telemetry JSONL until its `finished` record.
+    Watch {
+        /// Job id to stream.
+        job: String,
+        /// Subscriber ring capacity; a slow reader drops events beyond
+        /// this instead of slowing the campaign.
+        ring: usize,
+    },
+    /// Drain queued jobs, then stop accepting and exit.
+    Shutdown,
+}
+
+/// What a submitted job runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSource {
+    /// Forge a fresh synthetic suite from this config, then run it.
+    Forge(SynthConfig),
+    /// Load a suite from the daemon's corpus root by id (or unique id
+    /// prefix), then run it.
+    Suite(String),
+}
+
+/// Default `watch` subscriber ring capacity.
+pub const DEFAULT_WATCH_RING: usize = 4096;
+
+/// Parses one request line. The error is a ready-to-send `400` response.
+pub fn parse_request(line: &str) -> Result<Request, Json> {
+    let obj = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => return Err(reject(400, "bad_request", &format!("malformed JSON: {e}"))),
+    };
+    let op = match obj.get("op").and_then(Json::as_str) {
+        Some(op) => op.to_string(),
+        None => return Err(reject(400, "bad_request", "missing string field \"op\"")),
+    };
+    match op.as_str() {
+        "submit" => {
+            let source = match (obj.get("spec"), obj.get("suite").and_then(Json::as_str)) {
+                (Some(_), Some(_)) => {
+                    return Err(reject(
+                        400,
+                        "bad_request",
+                        "submit takes \"spec\" or \"suite\", not both",
+                    ))
+                }
+                (Some(spec), None) => JobSource::Forge(parse_spec(spec)?),
+                (None, Some(suite)) => JobSource::Suite(suite.to_string()),
+                (None, None) => {
+                    return Err(reject(
+                        400,
+                        "bad_request",
+                        "submit needs a \"spec\" object or a \"suite\" id",
+                    ))
+                }
+            };
+            Ok(Request::Submit {
+                source,
+                wait: obj.get("wait").and_then(Json::as_bool).unwrap_or(false),
+                threads: obj
+                    .get("threads")
+                    .and_then(Json::as_u64)
+                    .map(|t| (t as usize).max(1)),
+            })
+        }
+        "status" => Ok(Request::Status {
+            job: obj.get("job").and_then(Json::as_str).map(str::to_string),
+        }),
+        "watch" => match obj.get("job").and_then(Json::as_str) {
+            Some(job) => Ok(Request::Watch {
+                job: job.to_string(),
+                ring: obj
+                    .get("ring")
+                    .and_then(Json::as_u64)
+                    .map_or(DEFAULT_WATCH_RING, |r| (r as usize).max(2)),
+            }),
+            None => Err(reject(400, "bad_request", "watch needs a \"job\" id")),
+        },
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(reject(400, "bad_request", &format!("unknown op {other:?}"))),
+    }
+}
+
+/// A forge spec as sent on the wire (every field optional, defaulting
+/// to [`SynthConfig::default`] — the same knobs `synth_campaign`
+/// exposes as flags).
+fn parse_spec(spec: &Json) -> Result<SynthConfig, Json> {
+    let num = |key: &str| -> Result<Option<u64>, Json> {
+        match spec.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                reject(
+                    400,
+                    "bad_request",
+                    &format!("spec field {key:?} must be a non-negative integer"),
+                )
+            }),
+        }
+    };
+    let mut cfg = SynthConfig::default();
+    if let Some(apps) = num("apps")? {
+        if apps == 0 {
+            return Err(reject(400, "bad_request", "spec.apps must be at least 1"));
+        }
+        cfg.apps = apps as usize;
+    }
+    if let Some(depth) = num("depth")? {
+        cfg.branch_depth = depth as usize;
+    }
+    if let Some(sites) = num("sites")? {
+        let sites = (sites as usize).max(1);
+        cfg.min_sites = sites;
+        cfg.max_sites = sites;
+    }
+    if let Some(k) = num("seeds_per_app")? {
+        cfg.seeds_per_app = (k as usize).max(1);
+    }
+    if let Some(w) = num("site_work")? {
+        cfg.site_work = w as u32;
+    }
+    if let Some(seed) = num("rng_seed")? {
+        cfg.rng_seed = seed;
+    }
+    Ok(cfg)
+}
+
+/// Serialises a forge spec for the wire (only the protocol-visible
+/// knobs; the structural fields everything else derives from).
+#[must_use]
+pub fn spec_json(cfg: &SynthConfig) -> Json {
+    Json::obj()
+        .field("apps", cfg.apps)
+        .field("depth", cfg.branch_depth)
+        .field("sites", cfg.min_sites)
+        .field("seeds_per_app", cfg.seeds_per_app)
+        .field("site_work", cfg.site_work)
+        .field("rng_seed", cfg.rng_seed)
+}
+
+/// A typed rejection line: `{"ok":false,"code":...,"error":...,...}`.
+#[must_use]
+pub fn reject(code: u64, error: &str, detail: &str) -> Json {
+    Json::obj()
+        .field("ok", false)
+        .field("code", code)
+        .field("error", error)
+        .field("detail", detail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_spec_round_trips_defaults() {
+        let req = parse_request(r#"{"op":"submit","spec":{},"wait":true}"#).unwrap();
+        let Request::Submit {
+            source: JobSource::Forge(cfg),
+            wait,
+            threads,
+        } = req
+        else {
+            panic!("expected forge submit");
+        };
+        assert_eq!(cfg, SynthConfig::default());
+        assert!(wait);
+        assert_eq!(threads, None);
+    }
+
+    #[test]
+    fn submit_spec_applies_knobs() {
+        let line = r#"{"op":"submit","spec":{"apps":12,"depth":2,"sites":3,
+            "seeds_per_app":2,"site_work":40,"rng_seed":18446744073709551615},"threads":4}"#;
+        let Request::Submit {
+            source: JobSource::Forge(cfg),
+            wait,
+            threads,
+        } = parse_request(line).unwrap()
+        else {
+            panic!("expected forge submit");
+        };
+        assert_eq!(
+            (cfg.apps, cfg.branch_depth, cfg.min_sites, cfg.max_sites),
+            (12, 2, 3, 3)
+        );
+        assert_eq!((cfg.seeds_per_app, cfg.site_work), (2, 40));
+        assert_eq!(cfg.rng_seed, u64::MAX, "u64 seeds survive exactly");
+        assert!(!wait);
+        assert_eq!(threads, Some(4));
+    }
+
+    #[test]
+    fn submit_suite_and_watch_and_status() {
+        assert_eq!(
+            parse_request(r#"{"op":"submit","suite":"suite-0011223344556677"}"#).unwrap(),
+            Request::Submit {
+                source: JobSource::Suite("suite-0011223344556677".into()),
+                wait: false,
+                threads: None,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"watch","job":"job-3","ring":16}"#).unwrap(),
+            Request::Watch {
+                job: "job-3".into(),
+                ring: 16
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"status"}"#).unwrap(),
+            Request::Status { job: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        for (line, want) in [
+            ("not json", "bad_request"),
+            (r#"{"op":"submit"}"#, "bad_request"),
+            (r#"{"op":"submit","spec":{},"suite":"s"}"#, "bad_request"),
+            (r#"{"op":"submit","spec":{"apps":0}}"#, "bad_request"),
+            (r#"{"op":"submit","spec":{"apps":-1}}"#, "bad_request"),
+            (r#"{"op":"watch"}"#, "bad_request"),
+            (r#"{"op":"frobnicate"}"#, "bad_request"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+            assert_eq!(err.get("code").and_then(Json::as_u64), Some(400));
+            assert_eq!(err.get("error").and_then(Json::as_str), Some(want));
+        }
+    }
+}

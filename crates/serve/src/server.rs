@@ -1,0 +1,773 @@
+//! The resident daemon: a bounded per-worker job queue in front of the
+//! campaign engine, with process-lifetime solver and snapshot caches
+//! shared across every job.
+//!
+//! ## Cache-sharing discipline
+//!
+//! The solver cache is content-addressed (structural constraint
+//! fingerprints), so sharing one [`SolverCache`] across jobs is always
+//! sound. The snapshot cache is keyed per `(app, seed)` unit, so daemon
+//! jobs run with [`SnapshotKeys::Content`]: units are keyed by a
+//! fingerprint of their program text and seed bytes, and two different
+//! suites can never collide the way positional keys would. Outcomes
+//! stay byte-identical to a cold one-shot run either way — warm caches
+//! change wall time, never classification.
+//!
+//! ## Backpressure
+//!
+//! Admission is bounded per worker: a submit that lands on a worker
+//! whose queue is full is rejected with a typed `429 queue_full` line
+//! instead of queueing unboundedly. Watch subscribers ride the pulse
+//! bus's bounded rings — a slow client drops events, never stalls the
+//! campaign (the `diode-obs` invariant).
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use diode_corpus::CorpusStore;
+use diode_engine::{
+    scheduler, CacheStats, CampaignApp, CampaignReport, CampaignSpec, ExecutionMode, PulseBus,
+    PulseConfig, PulseEvent, SnapshotCache, SnapshotKeys, SnapshotStats, SolverCache,
+};
+use diode_obs::{fnv64_hex, TelemetryStream};
+use diode_synth::{forge, score, Fnv64, SynthConfig, SynthOracle};
+
+use crate::protocol::{
+    parse_request, reject, spec_json, JobSource, Json, Request, PROTOCOL_VERSION,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker-pool size: campaigns running concurrently.
+    pub workers: usize,
+    /// Bounded per-worker queue depth; admission beyond it is a `429`.
+    pub queue_depth: usize,
+    /// Corpus root for `{"suite": ...}` jobs (`None`: forge-only).
+    pub corpus_root: Option<PathBuf>,
+    /// Telemetry JSONL file, truncated and rewritten per job (the
+    /// rotation `watch --follow` must survive).
+    pub telemetry_file: Option<PathBuf>,
+    /// Heartbeat sampling interval for per-job pulse telemetry.
+    pub heartbeat: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 16,
+            corpus_root: None,
+            telemetry_file: None,
+            heartbeat: Duration::from_millis(50),
+        }
+    }
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done(Json),
+    Failed(String),
+}
+
+impl JobState {
+    fn token(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
+    fn finished(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_))
+    }
+}
+
+struct JobEntry {
+    id: String,
+    suite: String,
+    source: JobSource,
+    threads: Option<usize>,
+    worker: usize,
+    bus: Arc<PulseBus>,
+    state: Mutex<JobState>,
+    cv: Condvar,
+    /// Full telemetry stream so far, for watch replay after the fact.
+    archive: Mutex<String>,
+}
+
+impl JobEntry {
+    fn set_state(&self, next: JobState) {
+        *self.state.lock().expect("job state lock poisoned") = next;
+        self.cv.notify_all();
+    }
+
+    fn wait_finished(&self) {
+        let mut state = self.state.lock().expect("job state lock poisoned");
+        while !state.finished() {
+            state = self.cv.wait(state).expect("job state lock poisoned");
+        }
+    }
+}
+
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<Arc<JobEntry>>>,
+    cv: Condvar,
+}
+
+struct Daemon {
+    cfg: ServeConfig,
+    solver_cache: Arc<SolverCache>,
+    snapshots: Arc<SnapshotCache>,
+    queues: Vec<WorkerQueue>,
+    jobs: Mutex<Vec<Arc<JobEntry>>>,
+    next_job: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    rejected: AtomicU64,
+    shutting_down: AtomicBool,
+    started: Instant,
+}
+
+impl Daemon {
+    fn lookup(&self, id: &str) -> Option<Arc<JobEntry>> {
+        self.jobs
+            .lock()
+            .expect("job registry lock poisoned")
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+}
+
+/// A running daemon: its bound address plus join handles.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a `shutdown` request drains the queue and every
+    /// worker exits.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Starts the daemon: binds the listener, spawns the worker pool and
+/// the accept loop, and returns immediately.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let daemon = Arc::new(Daemon {
+        solver_cache: Arc::new(SolverCache::new()),
+        snapshots: Arc::new(SnapshotCache::new()),
+        queues: (0..workers)
+            .map(|_| WorkerQueue {
+                jobs: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            })
+            .collect(),
+        jobs: Mutex::new(Vec::new()),
+        next_job: AtomicU64::new(1),
+        jobs_done: AtomicU64::new(0),
+        jobs_failed: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        shutting_down: AtomicBool::new(false),
+        started: Instant::now(),
+        cfg,
+    });
+    let worker_handles = (0..workers)
+        .map(|i| {
+            let daemon = Arc::clone(&daemon);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&daemon, i))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    let accept = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &daemon, addr))
+            .expect("spawn accept thread")
+    };
+    Ok(ServerHandle {
+        addr,
+        accept,
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, daemon: &Arc<Daemon>, addr: SocketAddr) {
+    for stream in listener.incoming() {
+        if daemon.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let daemon = Arc::clone(daemon);
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &daemon, addr));
+    }
+}
+
+/// Reads one request line, dispatches, writes the response line(s).
+/// I/O errors mean the client went away — nothing to do but stop.
+fn handle_connection(stream: TcpStream, daemon: &Arc<Daemon>, addr: SocketAddr) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.trim().is_empty() {
+        return;
+    }
+    let mut out = stream;
+    match parse_request(line.trim()) {
+        Err(err) => {
+            let _ = writeln!(out, "{err}");
+        }
+        Ok(Request::Submit {
+            source,
+            wait,
+            threads,
+        }) => {
+            let reply = submit(daemon, source, wait, threads);
+            let _ = writeln!(out, "{reply}");
+        }
+        Ok(Request::Status { job }) => {
+            let reply = status(daemon, job.as_deref());
+            let _ = writeln!(out, "{reply}");
+        }
+        Ok(Request::Watch { job, ring }) => watch(daemon, &job, ring, &mut out),
+        Ok(Request::Shutdown) => {
+            let queued: usize = daemon
+                .queues
+                .iter()
+                .map(|q| q.jobs.lock().expect("queue lock poisoned").len())
+                .sum();
+            let _ = writeln!(
+                out,
+                "{}",
+                Json::obj().field("ok", true).field("draining", queued)
+            );
+            daemon.shutting_down.store(true, Ordering::SeqCst);
+            for q in &daemon.queues {
+                q.cv.notify_all();
+            }
+            // Wake the blocking accept loop so it observes the flag.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Maps a suite id (or spec label) to its worker: the id's leading hex
+/// prefix, folded, modulo the pool — so resubmissions of the same suite
+/// always land on the same worker.
+fn shard(label: &str, workers: usize) -> usize {
+    let hex = label.split('-').nth(1).unwrap_or(label);
+    let prefix = &hex[..hex.len().min(8)];
+    let v = u64::from_str_radix(prefix, 16).unwrap_or_else(|_| {
+        let mut f = Fnv64::new();
+        f.str(label);
+        u64::from_str_radix(&f.hex(), 16).unwrap_or(0)
+    });
+    (v % workers as u64) as usize
+}
+
+/// A stable content label for a forge spec (same role as a suite id:
+/// sharding affinity plus report provenance).
+fn spec_label(cfg: &SynthConfig) -> String {
+    let mut f = Fnv64::new();
+    f.str(&spec_json(cfg).to_string());
+    format!("spec-{}", f.hex())
+}
+
+fn submit(daemon: &Arc<Daemon>, source: JobSource, wait: bool, threads: Option<usize>) -> Json {
+    if daemon.shutting_down.load(Ordering::SeqCst) {
+        return reject(
+            503,
+            "shutting_down",
+            "daemon is draining; resubmit elsewhere",
+        );
+    }
+    let suite = match &source {
+        JobSource::Forge(cfg) => spec_label(cfg),
+        JobSource::Suite(id) => {
+            let Some(root) = &daemon.cfg.corpus_root else {
+                return reject(
+                    400,
+                    "bad_request",
+                    "daemon has no corpus root (start with --corpus)",
+                );
+            };
+            match CorpusStore::open(root).and_then(|s| s.resolve(id)) {
+                Ok(full) => full,
+                Err(e) => return reject(404, "not_found", &format!("suite {id:?}: {e}")),
+            }
+        }
+    };
+    let worker = shard(&suite, daemon.queues.len());
+    let id = format!("job-{}", daemon.next_job.fetch_add(1, Ordering::SeqCst));
+    let entry = Arc::new(JobEntry {
+        id: id.clone(),
+        suite: suite.clone(),
+        source,
+        threads,
+        worker,
+        bus: Arc::new(PulseBus::new()),
+        state: Mutex::new(JobState::Queued),
+        cv: Condvar::new(),
+        archive: Mutex::new(String::new()),
+    });
+    let queued = {
+        let queue = &daemon.queues[worker];
+        let mut jobs = queue.jobs.lock().expect("queue lock poisoned");
+        if jobs.len() >= daemon.cfg.queue_depth {
+            daemon.rejected.fetch_add(1, Ordering::Relaxed);
+            return reject(
+                429,
+                "queue_full",
+                &format!(
+                    "worker {worker} queue is at its depth limit ({})",
+                    daemon.cfg.queue_depth
+                ),
+            );
+        }
+        daemon
+            .jobs
+            .lock()
+            .expect("job registry lock poisoned")
+            .push(Arc::clone(&entry));
+        jobs.push_back(Arc::clone(&entry));
+        queue.cv.notify_one();
+        jobs.len()
+    };
+    if wait {
+        entry.wait_finished();
+        match &*entry.state.lock().expect("job state lock poisoned") {
+            JobState::Done(report) => report.clone(),
+            JobState::Failed(e) => reject(500, "job_failed", e),
+            _ => unreachable!("wait_finished returns only on a terminal state"),
+        }
+    } else {
+        Json::obj()
+            .field("ok", true)
+            .field("job", id)
+            .field("suite", suite)
+            .field("worker", worker)
+            .field("queued", queued)
+    }
+}
+
+fn status(daemon: &Arc<Daemon>, job: Option<&str>) -> Json {
+    if let Some(id) = job {
+        let Some(entry) = daemon.lookup(id) else {
+            return reject(404, "not_found", &format!("unknown job {id:?}"));
+        };
+        let state = entry.state.lock().expect("job state lock poisoned");
+        let mut out = Json::obj()
+            .field("ok", true)
+            .field("job", entry.id.clone())
+            .field("suite", entry.suite.clone())
+            .field("worker", entry.worker)
+            .field("state", state.token());
+        match &*state {
+            JobState::Done(report) => out = out.field("report", report.clone()),
+            JobState::Failed(e) => out = out.field("detail", e.clone()),
+            _ => {}
+        }
+        return out;
+    }
+    let queued: usize = daemon
+        .queues
+        .iter()
+        .map(|q| q.jobs.lock().expect("queue lock poisoned").len())
+        .sum();
+    let running = daemon
+        .jobs
+        .lock()
+        .expect("job registry lock poisoned")
+        .iter()
+        .filter(|j| {
+            matches!(
+                &*j.state.lock().expect("job state lock poisoned"),
+                JobState::Running
+            )
+        })
+        .count();
+    Json::obj()
+        .field("ok", true)
+        .field("protocol", PROTOCOL_VERSION)
+        .field("uptime_ms", daemon.started.elapsed().as_secs_f64() * 1e3)
+        .field("workers", daemon.queues.len())
+        .field("queue_depth", daemon.cfg.queue_depth)
+        .field("queued", queued)
+        .field("running", running)
+        .field("done", daemon.jobs_done.load(Ordering::Relaxed))
+        .field("failed", daemon.jobs_failed.load(Ordering::Relaxed))
+        .field("rejected", daemon.rejected.load(Ordering::Relaxed))
+        .field("shutting_down", daemon.shutting_down.load(Ordering::SeqCst))
+        .field("cache", cache_stats_json(&daemon.solver_cache.stats()))
+        .field("snapshots", snapshot_stats_json(&daemon.snapshots.stats()))
+}
+
+/// Streams a job's telemetry to `out`: live via a fresh bus subscriber
+/// (bounded ring — a slow reader self-limits through drops), or the
+/// archived stream when the job already finished. Subscribe-then-check
+/// ordering makes the handoff race-free: a job finishing between the
+/// two steps is served from the archive.
+fn watch(daemon: &Arc<Daemon>, job: &str, ring: usize, out: &mut TcpStream) {
+    let Some(entry) = daemon.lookup(job) else {
+        let _ = writeln!(
+            out,
+            "{}",
+            reject(404, "not_found", &format!("unknown job {job:?}"))
+        );
+        return;
+    };
+    let threads = entry
+        .threads
+        .unwrap_or_else(scheduler::default_threads)
+        .max(1) as u32;
+    let mut stream = TelemetryStream::new(entry.bus.subscribe(ring), threads);
+    if entry
+        .state
+        .lock()
+        .expect("job state lock poisoned")
+        .finished()
+    {
+        let archive = entry.archive.lock().expect("archive lock poisoned");
+        let _ = out.write_all(archive.as_bytes());
+        return;
+    }
+    let header = diode_obs::telemetry_header(threads);
+    let mut saw_events = false;
+    let mut first_chunk = true;
+    loop {
+        let chunk = stream.drain();
+        if !chunk.is_empty() {
+            let events = if first_chunk {
+                chunk.strip_prefix(header.as_str()).unwrap_or(&chunk)
+            } else {
+                &chunk
+            };
+            saw_events |= !events.is_empty();
+            first_chunk = false;
+            if out.write_all(chunk.as_bytes()).is_err() {
+                return; // client went away
+            }
+        }
+        if stream.finished() {
+            return;
+        }
+        if entry
+            .state
+            .lock()
+            .expect("job state lock poisoned")
+            .finished()
+        {
+            // The job terminated without a finished event reaching this
+            // subscriber. If we subscribed too late to see anything
+            // (the campaign ended between submit and watch), replay the
+            // archive's event lines behind the header already sent;
+            // otherwise flush the partial tail and stop.
+            let chunk = stream.drain();
+            saw_events |= !chunk.is_empty();
+            if !chunk.is_empty() && out.write_all(chunk.as_bytes()).is_err() {
+                return;
+            }
+            if !saw_events {
+                let archive = entry.archive.lock().expect("archive lock poisoned");
+                if let Some((_, events)) = archive.split_once('\n') {
+                    let _ = out.write_all(events.as_bytes());
+                }
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn worker_loop(daemon: &Arc<Daemon>, index: usize) {
+    let queue = &daemon.queues[index];
+    loop {
+        let entry = {
+            let mut jobs = queue.jobs.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(e) = jobs.pop_front() {
+                    break e;
+                }
+                if daemon.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                jobs = queue.cv.wait(jobs).expect("queue lock poisoned");
+            }
+        };
+        run_job(daemon, &entry);
+    }
+}
+
+/// Builds the job's workloads (forging or loading from the corpus
+/// root), or explains why it can't.
+fn build_apps(
+    daemon: &Daemon,
+    source: &JobSource,
+) -> Result<(Vec<CampaignApp>, Option<SynthOracle>), String> {
+    match source {
+        JobSource::Forge(cfg) => {
+            let suite = forge(cfg);
+            Ok((suite.campaign_apps(), Some(suite.oracle.clone())))
+        }
+        JobSource::Suite(id) => {
+            let root = daemon
+                .cfg
+                .corpus_root
+                .as_ref()
+                .ok_or_else(|| "no corpus root configured".to_string())?;
+            let store = CorpusStore::open(root).map_err(|e| e.to_string())?;
+            let suite = store.load(id).map_err(|e| e.to_string())?;
+            Ok((
+                suite.suite.campaign_apps(),
+                Some(suite.suite.oracle.clone()),
+            ))
+        }
+    }
+}
+
+fn run_job(daemon: &Arc<Daemon>, entry: &Arc<JobEntry>) {
+    entry.set_state(JobState::Running);
+    let (apps, oracle) = match build_apps(daemon, &entry.source) {
+        Ok(built) => built,
+        Err(e) => {
+            daemon.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            entry.set_state(JobState::Failed(e));
+            return;
+        }
+    };
+    let threads = entry
+        .threads
+        .unwrap_or_else(scheduler::default_threads)
+        .max(1) as u32;
+
+    // The archive pump: one subscriber draining the job's bus into the
+    // in-memory archive (for watch replay) and the rotating telemetry
+    // file, until the campaign's terminal event.
+    let mut stream = TelemetryStream::new(entry.bus.subscribe(1 << 14), threads);
+    let mut tfile = daemon.cfg.telemetry_file.as_ref().and_then(|p| {
+        std::fs::File::create(p)
+            .map_err(|e| eprintln!("diode-serve: cannot rotate {}: {e}", p.display()))
+            .ok()
+    });
+    let pump_entry = Arc::clone(entry);
+    let pump = std::thread::Builder::new()
+        .name("serve-pump".to_string())
+        .spawn(move || loop {
+            let chunk = stream.drain();
+            if !chunk.is_empty() {
+                pump_entry
+                    .archive
+                    .lock()
+                    .expect("archive lock poisoned")
+                    .push_str(&chunk);
+                if let Some(f) = &mut tfile {
+                    let _ = f.write_all(chunk.as_bytes());
+                    let _ = f.flush();
+                }
+            }
+            if stream.finished() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        })
+        .expect("spawn pump thread");
+
+    let cache_before = daemon.solver_cache.stats();
+    let snap_before = daemon.snapshots.stats();
+    let mut spec = CampaignSpec::new(apps);
+    spec.mode = ExecutionMode::Parallel {
+        threads: entry.threads,
+    };
+    spec.config.query_cache = Some(Arc::clone(&daemon.solver_cache));
+    spec.snapshot_cache = Some(Arc::clone(&daemon.snapshots));
+    spec.snapshot_keys = SnapshotKeys::Content;
+    spec.pulse = Some(PulseConfig {
+        bus: Arc::clone(&entry.bus),
+        heartbeat: daemon.cfg.heartbeat,
+    });
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run()));
+    let report = match outcome {
+        Ok(report) => report,
+        Err(_) => {
+            // Unblock the pump and any watchers with a terminal event,
+            // then record the failure.
+            entry.bus.publish(&PulseEvent::Finished {
+                wall_ns: 0,
+                sites: 0,
+                exposed: 0,
+            });
+            let _ = pump.join();
+            daemon.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            entry.set_state(JobState::Failed("campaign panicked".to_string()));
+            return;
+        }
+    };
+    let _ = pump.join();
+    let report_json = job_report(
+        entry,
+        &report,
+        oracle.as_ref(),
+        &cache_before,
+        &daemon.solver_cache.stats(),
+        &snap_before,
+        &daemon.snapshots.stats(),
+    );
+    daemon.jobs_done.fetch_add(1, Ordering::Relaxed);
+    entry.set_state(JobState::Done(report_json));
+}
+
+/// The per-job report line: outcome counts, the determinism
+/// fingerprint, and this job's *marginal* cache traffic (stats deltas
+/// against the process-lifetime caches — exact while jobs serialise on
+/// one worker, approximate when campaigns overlap).
+fn job_report(
+    entry: &JobEntry,
+    report: &CampaignReport,
+    oracle: Option<&SynthOracle>,
+    cache_before: &CacheStats,
+    cache_after: &CacheStats,
+    snap_before: &SnapshotStats,
+    snap_after: &SnapshotStats,
+) -> Json {
+    let counts = report.counts();
+    let recall = oracle.map(|o| score(report, o).recall());
+    let hits = cache_after.hits.saturating_sub(cache_before.hits);
+    let misses = cache_after.misses.saturating_sub(cache_before.misses);
+    let resumes = snap_after.resumes.saturating_sub(snap_before.resumes);
+    let snap_hits = snap_after.hits.saturating_sub(snap_before.hits);
+    let snap_misses = snap_after.misses.saturating_sub(snap_before.misses);
+    Json::obj()
+        .field("ok", true)
+        .field("table", "serve_job")
+        .field("job", entry.id.clone())
+        .field("suite", entry.suite.clone())
+        .field("wall_ms", report.wall_time.as_secs_f64() * 1e3)
+        .field("threads", report.threads)
+        .field("jobs", report.jobs)
+        .field(
+            "counts",
+            Json::obj()
+                .field("total", counts.0)
+                .field("exposed", counts.1)
+                .field("unsat", counts.2)
+                .field("prevented", counts.3),
+        )
+        .field("recall", recall.map_or(Json::Null, Json::from))
+        .field(
+            "fingerprint",
+            fnv64_hex(report.outcome_fingerprint().as_bytes()),
+        )
+        .field(
+            "cache",
+            Json::obj()
+                .field("hits", hits)
+                .field("misses", misses)
+                .field("hit_rate", rate(hits, misses)),
+        )
+        .field(
+            "snapshots",
+            Json::obj()
+                .field("hits", snap_hits)
+                .field("misses", snap_misses)
+                .field("resumes", resumes)
+                .field("resume_rate", rate(snap_hits, snap_misses)),
+        )
+        .field("cache_total", cache_stats_json(cache_after))
+        .field("snapshots_total", snapshot_stats_json(snap_after))
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+fn cache_stats_json(s: &CacheStats) -> Json {
+    Json::obj()
+        .field("hits", s.hits)
+        .field("misses", s.misses)
+        .field("entries", s.entries)
+        .field("bytes", s.bytes)
+        .field("peak_bytes", s.peak_bytes)
+        .field("hit_rate", s.hit_rate())
+}
+
+fn snapshot_stats_json(s: &SnapshotStats) -> Json {
+    Json::obj()
+        .field("hits", s.hits)
+        .field("misses", s.misses)
+        .field("resumes", s.resumes)
+        .field("captures", s.captures)
+        .field("extract_resumes", s.extract_resumes)
+        .field("entries", s.entries)
+        .field("bytes", s.bytes)
+        .field("peak_bytes", s.peak_bytes)
+        .field("resume_rate", s.resume_rate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_is_stable_and_prefix_driven() {
+        let a = shard("suite-00000000aaaaaaaa", 4);
+        assert_eq!(a, shard("suite-00000000bbbbbbbb", 4), "prefix decides");
+        assert_eq!(shard("suite-00000003deadbeef", 4), 3);
+        assert_eq!(shard("spec-0000000200000000", 2), 0);
+        // Degenerate labels still land somewhere in range.
+        assert!(shard("nonsense", 3) < 3);
+        assert!(shard("", 1) < 1);
+    }
+
+    #[test]
+    fn spec_labels_follow_content() {
+        let a = SynthConfig::default();
+        let b = SynthConfig::default().with_apps(a.apps + 1);
+        assert_eq!(spec_label(&a), spec_label(&a));
+        assert_ne!(spec_label(&a), spec_label(&b));
+        assert!(spec_label(&a).starts_with("spec-"));
+    }
+
+    #[test]
+    fn rates_handle_zero() {
+        assert_eq!(rate(0, 0), 0.0);
+        assert_eq!(rate(3, 1), 0.75);
+    }
+}

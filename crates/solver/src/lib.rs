@@ -1,7 +1,7 @@
 //! # diode-solver — a bitvector constraint solver
 //!
 //! The decision procedure behind the DIODE reproduction's target- and
-//! branch-constraint queries. The paper uses the Z3 SMT solver [13]; this
+//! branch-constraint queries. The paper uses the Z3 SMT solver \[13\]; this
 //! crate substitutes a from-scratch solver for the exact fragment DIODE
 //! needs — quantifier-free fixed-width bitvector constraints over input
 //! bytes — built as:
@@ -9,7 +9,7 @@
 //! 1. an unsigned-interval pre-analysis ([`interval`]) that discharges
 //!    trivially (un)satisfiable constraints,
 //! 2. a Tseitin bit-blaster ([`blast`]) turning
-//!    [`diode_symbolic::SymExpr`]/[`SymBool`] DAGs into CNF with exact
+//!    [`diode_symbolic::SymExpr`]/[`diode_symbolic::SymBool`] DAGs into CNF with exact
 //!    circuits for every operation and overflow atom,
 //! 3. a CDCL SAT core ([`sat`]) with watched literals, VSIDS, Luby
 //!    restarts, phase saving and clause-database reduction,

@@ -1,7 +1,7 @@
 //! A CDCL SAT solver.
 //!
 //! This is the decision-procedure core of the `diode-solver` crate — the
-//! offline stand-in for Z3 [13] in the paper's pipeline (see DESIGN.md §3).
+//! offline stand-in for Z3 \[13\] in the paper's pipeline (see DESIGN.md §3).
 //! It is a conventional conflict-driven clause-learning solver in the
 //! MiniSat lineage:
 //!

@@ -197,7 +197,7 @@ impl SymBool {
 
     /// True if the condition references at least one of the given sorted
     /// byte offsets. This is the paper's *relevance* test: "a condition is
-    /// relevant to a target constraint β if [they] share the same input
+    /// relevant to a target constraint β if they share the same input
     /// variable" (§3.3).
     #[must_use]
     pub fn intersects_bytes(&self, sorted: &[u32]) -> bool {

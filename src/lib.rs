@@ -11,7 +11,7 @@
 //! | [`symbolic`] | symbolic expressions over input bytes + `overflow(B)` |
 //! | [`interp`] | concrete/taint/symbolic interpreter (Figures 4–6) + memcheck |
 //! | [`solver`] | bit-blasting CDCL bitvector solver (the Z3 substitute) |
-//! | [`format`] | Hachoir-style field maps + Peach-style input reconstruction |
+//! | [`format`](mod@crate::format) | Hachoir-style field maps + Peach-style input reconstruction |
 //! | [`apps`] | the five benchmark applications of §5 |
 //! | [`core`] | the DIODE engine: goal-directed branch enforcement (Figure 7) |
 //! | [`fuzz`] | random and taint-directed fuzzing baselines |
@@ -19,6 +19,7 @@
 //! | [`synth`] | ground-truth scenario forge: synthesized benchmark suites + recall/precision oracle |
 //! | [`corpus`] | persistent on-disk corpus store: save, replay, diff, and incremental growth |
 //! | [`obs`] | structured tracing + metrics: per-phase spans, JSONL traces, campaign profiling |
+//! | [`serve`] | resident campaign daemon: warm-cache job queue over line-delimited JSON TCP |
 //!
 //! Start with the `quickstart` example (or `campaign` for batch
 //! analysis), or regenerate the paper's tables — analyses fan out over
@@ -72,6 +73,7 @@ pub use diode_fuzz as fuzz;
 pub use diode_interp as interp;
 pub use diode_lang as lang;
 pub use diode_obs as obs;
+pub use diode_serve as serve;
 pub use diode_solver as solver;
 pub use diode_symbolic as symbolic;
 pub use diode_synth as synth;
