@@ -8,12 +8,25 @@
 //!   [--site-work N] [--rng-seed N] [--suite ID] [--threads N] [--wait]`
 //!   — enqueue a campaign job (forge spec by default, or a corpus suite
 //!   id/prefix with `--suite`). Prints the daemon's JSON response line;
-//!   with `--wait` that line is the full job report.
+//!   with `--wait` that line is the full job report. Watchdog knobs
+//!   ride along (`synth_campaign` parity): `--watchdog` runs the job
+//!   under default thresholds and, with `--wait`, exits 1 if any
+//!   anomaly fires; `--slow-factor F`, `--slow-floor-ms N`,
+//!   `--min-sites N`, `--idle-heartbeats N` (0 disables), and
+//!   `--cache-ceiling BYTES` tune it (each implies `--watchdog`'s
+//!   detectors); `--anomalies PATH` saves the reply's anomaly digest
+//!   JSONL (render with `watch --anomalies`). `--stall-work N` plants
+//!   one deliberately slow site (the flight-recorder drill).
 //! * `serve status [--job ID]` — daemon summary, or one job's state.
 //! * `serve watch --job ID` — stream the job's telemetry JSONL to
 //!   stdout until its `finished` record (pipe to a file and render it
 //!   with `watch --replay`, or point `watch --follow` at the daemon's
 //!   `--telemetry-file`).
+//! * `serve metrics [--prometheus]` — scrape the daemon's service
+//!   metrics: one JSON object by default, Prometheus text format with
+//!   `--prometheus`.
+//! * `serve health` — the typed readiness/liveness probe; exits 0 iff
+//!   the daemon reports itself healthy.
 //! * `serve shutdown` — drain the queue and stop the daemon.
 //! * `serve assert-warmer COLD.json WARM.json` — exit 0 iff the WARM
 //!   report's per-job solver-cache hit rate strictly exceeds COLD's
@@ -28,22 +41,27 @@
 //!   against the warm caches. Reports jobs/sec and p50/p99 latency,
 //!   asserts the warm hit rate strictly exceeds the cold one (exit 1
 //!   otherwise), and merges a `"serve"` section into `--bench-out`
-//!   (default none) without disturbing the artifact's other axes. With
-//!   no `--addr` it hosts an in-process daemon on an ephemeral port, so
-//!   the bench is self-contained.
+//!   (default none) without disturbing the artifact's other axes —
+//!   including the daemon's own scraped metrics as the section's
+//!   `"daemon"` field. With no `--addr` it hosts an in-process daemon
+//!   on an ephemeral port, so the bench is self-contained.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
 use diode_bench::jsonout::Json;
-use diode_bench::{flag_num, flag_str};
+use diode_bench::{flag_f64, flag_num, flag_str};
+use diode_obs::{anomalies_to_jsonl, AnomalyKind, AnomalyReport};
 use diode_serve::{serve, ServeConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
-        eprintln!("serve: usage: serve submit|status|watch|shutdown|assert-warmer|bench [FLAGS]");
+        eprintln!(
+            "serve: usage: serve submit|status|watch|metrics|health|shutdown|\
+             assert-warmer|bench [FLAGS]"
+        );
         std::process::exit(2);
     };
     let addr = flag_str(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
@@ -51,6 +69,7 @@ fn main() {
         "submit" => {
             let reply = request(&addr, &submit_line(&args));
             println!("{reply}");
+            handle_anomalies(&args, &reply);
             exit_by_ok(&reply);
         }
         "status" => {
@@ -68,6 +87,31 @@ fn main() {
                 std::process::exit(2);
             };
             stream_watch(&addr, &job);
+        }
+        "metrics" => {
+            if args.iter().any(|a| a == "--prometheus") {
+                let text = request_text(&addr, r#"{"op":"metrics","format":"prometheus"}"#);
+                // A disabled registry answers with a one-line rejection.
+                if let Ok(j) = Json::parse(text.trim()) {
+                    if j.get("ok").and_then(Json::as_bool) == Some(false) {
+                        eprintln!("serve: {j}");
+                        std::process::exit(1);
+                    }
+                }
+                print!("{text}");
+            } else {
+                let reply = request(&addr, r#"{"op":"metrics"}"#);
+                println!("{reply}");
+                exit_by_ok(&reply);
+            }
+        }
+        "health" => {
+            let reply = request(&addr, r#"{"op":"health"}"#);
+            println!("{reply}");
+            exit_by_ok(&reply);
+            if reply.get("healthy").and_then(Json::as_bool) != Some(true) {
+                std::process::exit(1);
+            }
         }
         "shutdown" => {
             let reply = request(&addr, r#"{"op":"shutdown"}"#);
@@ -97,6 +141,7 @@ fn submit_line(args: &[String]) -> String {
             ("--seeds-per-app", "seeds_per_app"),
             ("--site-work", "site_work"),
             ("--rng-seed", "rng_seed"),
+            ("--stall-work", "stall_work"),
         ] {
             if let Some(v) = flag_num(args, flag) {
                 spec = spec.field(key, v);
@@ -110,7 +155,94 @@ fn submit_line(args: &[String]) -> String {
     if let Some(t) = flag_num(args, "--threads") {
         obj = obj.field("threads", t);
     }
+    if let Some(w) = watchdog_json(args) {
+        obj = obj.field("watchdog", w);
+    }
     obj.to_string()
+}
+
+/// The submit request's `watchdog` field from the CLI knobs: `true`
+/// for `--watchdog` alone, an override object when thresholds are
+/// tuned, absent when neither is given.
+fn watchdog_json(args: &[String]) -> Option<Json> {
+    let mut overrides = Json::obj();
+    let mut tuned = false;
+    if let Some(f) = flag_f64(args, "--slow-factor") {
+        overrides = overrides.field("slow_factor", f);
+        tuned = true;
+    }
+    if let Some(ms) = flag_num(args, "--slow-floor-ms") {
+        overrides = overrides.field("slow_floor_ms", ms);
+        tuned = true;
+    }
+    if let Some(n) = flag_num(args, "--min-sites") {
+        overrides = overrides.field("min_sites", n);
+        tuned = true;
+    }
+    if let Some(n) = flag_num(args, "--idle-heartbeats") {
+        overrides = overrides.field("idle_heartbeats", n);
+        tuned = true;
+    }
+    if let Some(b) = flag_num(args, "--cache-ceiling") {
+        overrides = overrides.field("cache_ceiling", b);
+        tuned = true;
+    }
+    if tuned {
+        Some(overrides)
+    } else if args.iter().any(|a| a == "--watchdog") {
+        Some(Json::from(true))
+    } else {
+        None
+    }
+}
+
+/// Whether any watchdog knob was passed (the exit-gate opt-in).
+fn watchdog_requested(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--watchdog") || watchdog_json(args).is_some()
+}
+
+/// Post-processes a `submit --wait` reply's `anomalies` array:
+/// optionally saves the digest JSONL, and applies the `synth_campaign`
+/// exit gate (any anomaly under `--watchdog` exits 1).
+fn handle_anomalies(args: &[String], reply: &Json) {
+    let anomalies: Vec<AnomalyReport> = reply
+        .get("anomalies")
+        .and_then(Json::as_arr)
+        .map(|rows| rows.iter().filter_map(anomaly_from_json).collect())
+        .unwrap_or_default();
+    if let Some(path) = flag_str(args, "--anomalies") {
+        if reply.get("anomalies").is_none() {
+            eprintln!(
+                "serve submit: --anomalies needs a watchdog report (pass --watchdog and --wait)"
+            );
+            std::process::exit(2);
+        }
+        if let Err(e) = std::fs::write(&path, anomalies_to_jsonl(&anomalies)) {
+            eprintln!("serve submit: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if watchdog_requested(args) && !anomalies.is_empty() {
+        eprintln!(
+            "serve submit: WATCHDOG FAIL: {} anomaly(ies) fired",
+            anomalies.len()
+        );
+        for a in &anomalies {
+            eprintln!("  [{}] {}: {}", a.kind.as_str(), a.subject, a.detail);
+        }
+        std::process::exit(1);
+    }
+}
+
+/// One `anomalies` array row from a job report, back as a typed report.
+fn anomaly_from_json(row: &Json) -> Option<AnomalyReport> {
+    Some(AnomalyReport {
+        kind: AnomalyKind::parse(row.get("kind")?.as_str()?)?,
+        subject: row.get("subject")?.as_str()?.to_string(),
+        detail: row.get("detail")?.as_str()?.to_string(),
+        value: row.get("value")?.as_u64()?,
+        threshold: row.get("threshold")?.as_u64()?,
+    })
 }
 
 /// One request line, one response line.
@@ -132,6 +264,22 @@ fn request(addr: &str, line: &str) -> Json {
             std::process::exit(2);
         }
     }
+}
+
+/// One request line, a free-form text response (the Prometheus
+/// exposition is many lines, not one JSON line).
+fn request_text(addr: &str, line: &str) -> String {
+    let mut conn = connect(addr);
+    if let Err(e) = writeln!(conn, "{line}") {
+        eprintln!("serve: cannot send to {addr}: {e}");
+        std::process::exit(2);
+    }
+    let mut text = String::new();
+    if let Err(e) = BufReader::new(conn).read_to_string(&mut text) {
+        eprintln!("serve: cannot read from {addr}: {e}");
+        std::process::exit(2);
+    }
+    text
 }
 
 fn connect(addr: &str) -> TcpStream {
@@ -293,6 +441,16 @@ fn run_bench(args: &[String]) {
     });
     let wall = started.elapsed().as_secs_f64();
 
+    // Scrape the daemon's own service metrics before it goes away; a
+    // `--no-metrics` daemon answers with a rejection, which degrades to
+    // an absent `daemon` field rather than a failed bench.
+    let daemon_metrics = {
+        let reply = request(&addr, r#"{"op":"metrics"}"#);
+        (reply.get("ok").and_then(Json::as_bool) == Some(true))
+            .then(|| reply.get("metrics").cloned())
+            .flatten()
+    };
+
     if let Some(handle) = hosted {
         let _ = request(&addr, r#"{"op":"shutdown"}"#);
         handle.join();
@@ -308,7 +466,7 @@ fn run_bench(args: &[String]) {
         .fold(f64::NEG_INFINITY, f64::max);
     let jobs_per_sec = total_jobs as f64 / wall.max(1e-9);
 
-    let section = Json::obj()
+    let mut section = Json::obj()
         .field("clients", clients)
         .field("jobs", total_jobs)
         .field("workers", workers)
@@ -326,6 +484,9 @@ fn run_bench(args: &[String]) {
         .field("cold_hit_rate", cold_rate)
         .field("warm_hit_rate", warm_rate)
         .field("warmer", warm_rate > cold_rate);
+    if let Some(metrics) = daemon_metrics {
+        section = section.field("daemon", metrics);
+    }
 
     if let Some(path) = &bench_out {
         merge_serve_section(path, &section);

@@ -1,11 +1,16 @@
 //! watch — render a diode-pulse telemetry stream as a campaign summary.
 //!
-//! Two modes over the same renderer:
+//! Three modes over the same renderer:
 //!
 //! * `watch --replay PATH` parses a recorded telemetry JSONL (written by
 //!   `synth_campaign --telemetry PATH`) and prints the per-worker /
 //!   per-outcome / cache-pressure summary plus the anomaly digest the
 //!   watchdog raises over the replayed stream.
+//! * `watch --flight PATH` renders a flight recording (written by
+//!   `diode-serve` when a watchdog anomaly fires or a job fails):
+//!   the dump's own header and recorded anomalies first — those are
+//!   the incident, the watchdog is not re-run — then the retained
+//!   event window through the standard summary.
 //! * `watch --follow PATH` attaches to a live run: it tails the growing
 //!   JSONL, printing site completions as they land, until the `finished`
 //!   record appears — a truncated tail (the writer mid-line) just means
@@ -29,8 +34,8 @@ use std::time::{Duration, Instant};
 use diode_bench::jsonout::Json;
 use diode_bench::{flag_f64, flag_num, flag_str};
 use diode_obs::{
-    anomalies_to_jsonl, AnomalyReport, PulseEvent, TelemetryLog, Watchdog, WatchdogConfig,
-    WorkerState,
+    anomalies_to_jsonl, AnomalyReport, FlightDump, PulseEvent, TelemetryLog, Watchdog,
+    WatchdogConfig, WorkerState,
 };
 
 fn main() {
@@ -38,20 +43,33 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let replay = flag_str(&args, "--replay");
     let follow = flag_str(&args, "--follow");
+    let flight = flag_str(&args, "--flight");
     let config = watchdog_config(&args);
     let anomalies_path = flag_str(&args, "--anomalies");
     let fail_on_anomaly = args.iter().any(|a| a == "--fail-on-anomaly");
 
-    let log = match (replay, follow) {
-        (Some(path), None) => replay_log(&path),
-        (None, Some(path)) => follow_log(&path, &args, json),
+    let (log, recorded) = match (replay, follow, flight) {
+        (Some(path), None, None) => (replay_log(&path), None),
+        (None, Some(path), None) => (follow_log(&path, &args, json), None),
+        (None, None, Some(path)) => {
+            let dump = flight_dump(&path, json);
+            (
+                TelemetryLog {
+                    threads: dump.threads,
+                    events: dump.events,
+                },
+                Some(dump.anomalies),
+            )
+        }
         _ => {
-            eprintln!("watch: pass exactly one of --replay PATH or --follow PATH");
+            eprintln!("watch: pass exactly one of --replay PATH, --follow PATH, or --flight PATH");
             std::process::exit(2);
         }
     };
 
-    let anomalies = run_watchdog(&log, config);
+    // A flight dump carries the incident's own anomalies; re-running
+    // the watchdog over a truncated window would mis-judge medians.
+    let anomalies = recorded.unwrap_or_else(|| run_watchdog(&log, config));
     if let Some(path) = anomalies_path {
         if let Err(e) = std::fs::write(&path, anomalies_to_jsonl(&anomalies)) {
             eprintln!("watch: cannot write {path}: {e}");
@@ -84,6 +102,35 @@ fn replay_log(path: &str) -> TelemetryLog {
             std::process::exit(2);
         }
     }
+}
+
+/// Parses a flight recording and narrates its header: which job, why
+/// the dump was cut, and how much of the stream the ring retained.
+fn flight_dump(path: &str, json: bool) -> FlightDump {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("watch: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let dump = match FlightDump::from_jsonl(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("watch: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !json {
+        println!(
+            "flight: job {} dumped ({}); ring retained {} of {} event(s)",
+            dump.job,
+            dump.reason,
+            dump.events.len(),
+            dump.seen
+        );
+    }
+    dump
 }
 
 /// Tails `path` until the stream carries a `finished` record. Every

@@ -1,0 +1,274 @@
+//! The flight recorder: a bounded ring of recent pulse events, dumped
+//! to disk only when something goes wrong.
+//!
+//! A [`FlightRecorder`] sits behind a [`PulseBus`](crate::PulseBus)
+//! subscriber and retains the last `capacity` events at near-zero cost
+//! (one clone into a ring, no I/O, no serialisation). When a watchdog
+//! anomaly fires or a job ends abnormally, [`dump`](FlightRecorder::dump)
+//! serialises the retained window — so the operator gets the minutes
+//! *before* the incident without paying for always-on archival.
+//!
+//! A dump is a self-describing JSONL file:
+//!
+//! ```text
+//! {"type":"flight","v":1,"job":"job-3","reason":"anomaly:slow_site","seen":412,"retained":256,"anomalies":1}
+//! {"type":"anomaly","kind":"slow_site","subject":"forged-100/0/b0@0",...}
+//! {"type":"pulse","v":1,"threads":2}
+//! {"type":"site_finished",...}
+//! ...
+//! ```
+//!
+//! The tail after the anomaly records is a standard telemetry stream
+//! ([`TelemetryLog`] wire format), so existing tooling can replay it;
+//! [`FlightDump::from_jsonl`] parses the whole file back.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::pulse::PulseEvent;
+use crate::sink::{parse_flat_object, push_json_str, FlatValue};
+use crate::telemetry::{pulse_event_lines, telemetry_header, TelemetryLog};
+use crate::watchdog::{anomalies_from_jsonl, anomalies_to_jsonl, AnomalyReport};
+
+/// Version stamped into (and required from) the flight header line.
+pub const FLIGHT_SCHEMA_VERSION: u64 = 1;
+
+/// A bounded last-N ring of pulse events.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: VecDeque<PulseEvent>,
+    seen: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+            seen: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest beyond capacity.
+    pub fn record(&mut self, event: &PulseEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event.clone());
+        self.seen += 1;
+    }
+
+    /// Total events ever recorded (retained or evicted).
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Serialise the retained window as a flight dump: header line,
+    /// anomaly records, then the event tail as a telemetry stream.
+    #[must_use]
+    pub fn dump(
+        &self,
+        job: &str,
+        reason: &str,
+        threads: u32,
+        anomalies: &[AnomalyReport],
+    ) -> String {
+        let mut out = String::new();
+        out.push_str("{\"type\":\"flight\",\"v\":");
+        let _ = write!(out, "{FLIGHT_SCHEMA_VERSION}");
+        out.push_str(",\"job\":");
+        push_json_str(&mut out, job);
+        out.push_str(",\"reason\":");
+        push_json_str(&mut out, reason);
+        let _ = writeln!(
+            out,
+            ",\"seen\":{},\"retained\":{},\"anomalies\":{}}}",
+            self.seen,
+            self.ring.len(),
+            anomalies.len()
+        );
+        // Anomaly records ride the digest line format, minus its header.
+        let digest = anomalies_to_jsonl(anomalies);
+        if let Some((_, records)) = digest.split_once('\n') {
+            out.push_str(records);
+        }
+        out.push_str(&telemetry_header(threads));
+        for event in &self.ring {
+            out.push_str(&pulse_event_lines(event));
+        }
+        out
+    }
+}
+
+/// A parsed flight dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Job the recorder was attached to.
+    pub job: String,
+    /// Why the dump was written (`"anomaly:<kind>"` or `"job_failed"`).
+    pub reason: String,
+    /// Total events the recorder saw over the job's lifetime.
+    pub seen: u64,
+    /// Worker-thread count from the embedded telemetry header.
+    pub threads: u32,
+    /// Anomalies that triggered (or accompanied) the dump.
+    pub anomalies: Vec<AnomalyReport>,
+    /// The retained event window, oldest first.
+    pub events: Vec<PulseEvent>,
+}
+
+impl FlightDump {
+    /// Parses a dump produced by [`FlightRecorder::dump`].
+    pub fn from_jsonl(text: &str) -> Result<FlightDump, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let Some(header) = lines.next() else {
+            return Err("flight: empty input (missing header line)".into());
+        };
+        let head = parse_flat_object(header).map_err(|e| format!("flight line 1: {e}"))?;
+        if head.get("type").and_then(FlatValue::as_str) != Some("flight") {
+            return Err("flight: first line must be the header {\"type\":\"flight\",...}".into());
+        }
+        match head.get("v").and_then(FlatValue::as_u64) {
+            Some(FLIGHT_SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "flight: unsupported schema version {v} (expected {FLIGHT_SCHEMA_VERSION})"
+                ))
+            }
+            None => return Err("flight: header missing integer field \"v\"".into()),
+        }
+        let req_str = |key: &str| -> Result<String, String> {
+            head.get(key)
+                .and_then(FlatValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("flight: header missing string field {key:?}"))
+        };
+        let req_u64 = |key: &str| -> Result<u64, String> {
+            head.get(key)
+                .and_then(FlatValue::as_u64)
+                .ok_or_else(|| format!("flight: header missing integer field {key:?}"))
+        };
+        let anomaly_count = req_u64("anomalies")? as usize;
+        // The declared number of anomaly records, re-wrapped as a
+        // digest for the existing parser.
+        let mut digest = format!(
+            "{{\"type\":\"anomalies\",\"v\":{},\"count\":{anomaly_count}}}\n",
+            crate::watchdog::ANOMALY_SCHEMA_VERSION
+        );
+        for _ in 0..anomaly_count {
+            let Some(line) = lines.next() else {
+                return Err(format!(
+                    "flight: header declares {anomaly_count} anomaly record(s) \
+                     but the stream ended early"
+                ));
+            };
+            digest.push_str(line);
+            digest.push('\n');
+        }
+        let anomalies = anomalies_from_jsonl(&digest).map_err(|e| format!("flight: {e}"))?;
+        // Everything left is a standard telemetry stream.
+        let mut telemetry = String::new();
+        for line in lines {
+            telemetry.push_str(line);
+            telemetry.push('\n');
+        }
+        let log = TelemetryLog::from_jsonl(&telemetry).map_err(|e| format!("flight: {e}"))?;
+        Ok(FlightDump {
+            job: req_str("job")?,
+            reason: req_str("reason")?,
+            seen: req_u64("seen")?,
+            threads: log.threads,
+            anomalies,
+            events: log.events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watchdog::AnomalyKind;
+
+    fn site(i: u32) -> PulseEvent {
+        PulseEvent::SiteFinished {
+            app: "forged-001".into(),
+            seed: 0,
+            site: format!("b0@{i}"),
+            outcome: "exposed".into(),
+            wall_ns: u64::from(i) * 100,
+            cache_bytes: 0,
+            snapshot_bytes: 0,
+            peak_heap_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn ring_retains_the_last_n_events() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..10 {
+            rec.record(&site(i));
+        }
+        assert_eq!(rec.seen(), 10);
+        assert_eq!(rec.retained(), 3);
+        let dump = rec.dump("job-1", "job_failed", 2, &[]);
+        let parsed = FlightDump::from_jsonl(&dump).expect("dump parses");
+        assert_eq!(parsed.events, vec![site(7), site(8), site(9)]);
+        assert_eq!(parsed.seen, 10);
+        assert_eq!(parsed.reason, "job_failed");
+        assert_eq!(parsed.threads, 2);
+    }
+
+    #[test]
+    fn dump_round_trips_with_anomalies() {
+        let mut rec = FlightRecorder::new(16);
+        rec.record(&site(0));
+        rec.record(&PulseEvent::Finished {
+            wall_ns: 5,
+            sites: 1,
+            exposed: 1,
+        });
+        let anomalies = vec![AnomalyReport {
+            kind: AnomalyKind::SlowSite,
+            subject: "forged-001/0/b0@0".into(),
+            detail: "site took 900ms against a campaign median of 1ms".into(),
+            value: 900_000_000,
+            threshold: 8_000_000,
+        }];
+        let dump = rec.dump("job-9", "anomaly:slow_site", 4, &anomalies);
+        let parsed = FlightDump::from_jsonl(&dump).expect("dump parses");
+        assert_eq!(parsed.job, "job-9");
+        assert_eq!(parsed.anomalies, anomalies);
+        assert_eq!(parsed.events.len(), 2);
+        assert_eq!(parsed.threads, 4);
+    }
+
+    #[test]
+    fn parser_rejects_bad_input() {
+        assert!(FlightDump::from_jsonl("").unwrap_err().contains("empty"));
+        assert!(FlightDump::from_jsonl("{\"type\":\"pulse\",\"v\":1}\n")
+            .unwrap_err()
+            .contains("header"));
+        let bad_version =
+            "{\"type\":\"flight\",\"v\":99,\"job\":\"j\",\"reason\":\"r\",\"seen\":0,\
+             \"retained\":0,\"anomalies\":0}\n";
+        assert!(FlightDump::from_jsonl(bad_version)
+            .unwrap_err()
+            .contains("unsupported schema version"));
+        let truncated = "{\"type\":\"flight\",\"v\":1,\"job\":\"j\",\"reason\":\"r\",\"seen\":0,\
+             \"retained\":0,\"anomalies\":2}\n";
+        assert!(FlightDump::from_jsonl(truncated)
+            .unwrap_err()
+            .contains("ended early"));
+    }
+}

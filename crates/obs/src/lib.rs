@@ -43,8 +43,10 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod flight;
 mod gauge;
 mod metrics;
+mod ops;
 mod profile;
 mod pulse;
 mod sink;
@@ -56,8 +58,13 @@ pub use audit::{
     canonical_record_set, fnv64_hex, EnforceAction, ProvenanceEvent, ProvenanceRecord, QueryOrigin,
     QueryVerdict, AUDIT_SCHEMA_VERSION,
 };
+pub use flight::{FlightDump, FlightRecorder, FLIGHT_SCHEMA_VERSION};
 pub use gauge::ByteGauge;
 pub use metrics::{Hist, HistSummary};
+pub use ops::{
+    parse_prometheus, Counter, Gauge, Histogram, MetricKey, MetricSample, MetricValue,
+    MetricsRegistry, MetricsSnapshot, PromSample, METRICS_SCHEMA_VERSION,
+};
 pub use profile::{
     collapsed_stacks, PhaseBreakdown, PhaseDelta, PhaseRow, ProfileDiff, ProfileReport, SiteDelta,
     SiteRow,

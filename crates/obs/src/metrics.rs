@@ -83,6 +83,32 @@ impl Hist {
         self.max
     }
 
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs for exposition,
+    /// trimmed after the highest non-empty bucket (empty when no
+    /// observations). Bucket `i` holds values up to `2^i - 1`, so the
+    /// bounds are `0, 1, 3, 7, ...`; a terminal `+Inf` bucket is the
+    /// renderer's job (its count is [`count`](Self::count)).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let last = match self.buckets.iter().rposition(|&n| n > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut cumulative = 0u64;
+        self.buckets[..=last]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                cumulative += n;
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
+                (upper, cumulative)
+            })
+            .collect()
+    }
+
     /// Fixed summary for serialisation.
     pub fn summary(&self) -> HistSummary {
         HistSummary {

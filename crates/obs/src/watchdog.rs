@@ -92,7 +92,7 @@ pub struct AnomalyReport {
 
 /// Detector thresholds. Defaults are conservative enough that a
 /// healthy deep-suite CI run raises nothing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WatchdogConfig {
     /// SlowSite fires above `slow_site_factor` × median site wall time.
     pub slow_site_factor: f64,

@@ -10,6 +10,19 @@
 //! * `--telemetry-file P` write each running job's telemetry JSONL to
 //!   P, truncating per job (tail it with `watch --follow`)
 //! * `--heartbeat-ms N`   pulse heartbeat interval (default 50)
+//! * `--no-metrics`       disable the service-level metrics registry
+//!   (the `metrics` op answers `400`; campaigns are unaffected)
+//! * `--flight-dir DIR`   directory for flight dumps (default
+//!   `flight`; one `<job-id>.jsonl` per anomalous or failed job)
+//! * `--no-flight`        disable the flight recorder entirely
+//! * `--flight-cap N`     events the per-job flight ring retains
+//!   (default 256)
+//! * `--watchdog`         run every job under the default watchdog
+//!   thresholds (per-job submissions can still override)
+//! * `--slow-factor F`, `--slow-floor-ms N`, `--min-sites N`,
+//!   `--idle-heartbeats N`, `--cache-ceiling BYTES` — tune the default
+//!   watchdog (each implies `--watchdog`; same knobs as the `watch`
+//!   bin)
 //!
 //! The daemon prints one `listening on ADDR` line to stdout once bound,
 //! then serves until a `shutdown` request drains the queue. See
@@ -17,6 +30,7 @@
 
 use std::time::Duration;
 
+use diode_obs::WatchdogConfig;
 use diode_serve::{serve, ServeConfig};
 
 fn flag_str(args: &[String], name: &str) -> Option<String> {
@@ -29,8 +43,49 @@ fn flag_num(args: &[String], name: &str) -> Option<u64> {
     flag_str(args, name).and_then(|v| v.parse().ok())
 }
 
+fn flag_f64(args: &[String], name: &str) -> Option<f64> {
+    flag_str(args, name).and_then(|v| v.parse().ok())
+}
+
+/// The daemon-default watchdog: `--watchdog` opts in with stock
+/// thresholds; any threshold flag opts in with that knob turned.
+fn watchdog_config(args: &[String]) -> Option<WatchdogConfig> {
+    let mut cfg = WatchdogConfig::default();
+    let mut enabled = args.iter().any(|a| a == "--watchdog");
+    if let Some(f) = flag_f64(args, "--slow-factor") {
+        cfg.slow_site_factor = f;
+        enabled = true;
+    }
+    if let Some(ms) = flag_num(args, "--slow-floor-ms") {
+        cfg.slow_site_floor_ns = ms.saturating_mul(1_000_000);
+        enabled = true;
+    }
+    if let Some(n) = flag_num(args, "--min-sites") {
+        cfg.min_sites_for_median = n as usize;
+        enabled = true;
+    }
+    if let Some(n) = flag_num(args, "--idle-heartbeats") {
+        cfg.idle_heartbeats = if n == 0 { u32::MAX } else { n as u32 };
+        enabled = true;
+    }
+    if let Some(bytes) = flag_num(args, "--cache-ceiling") {
+        cfg.cache_ceiling_bytes = Some(bytes);
+        enabled = true;
+    }
+    enabled.then_some(cfg)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let flight_dir = if args.iter().any(|a| a == "--no-flight") {
+        None
+    } else {
+        Some(
+            flag_str(&args, "--flight-dir")
+                .unwrap_or_else(|| "flight".to_string())
+                .into(),
+        )
+    };
     let cfg = ServeConfig {
         addr: flag_str(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string()),
         workers: flag_num(&args, "--workers").unwrap_or(1).max(1) as usize,
@@ -38,6 +93,10 @@ fn main() {
         corpus_root: flag_str(&args, "--corpus").map(Into::into),
         telemetry_file: flag_str(&args, "--telemetry-file").map(Into::into),
         heartbeat: Duration::from_millis(flag_num(&args, "--heartbeat-ms").unwrap_or(50).max(1)),
+        metrics: !args.iter().any(|a| a == "--no-metrics"),
+        flight_dir,
+        flight_capacity: flag_num(&args, "--flight-cap").unwrap_or(256).max(1) as usize,
+        watchdog: watchdog_config(&args),
     };
     let handle = match serve(cfg) {
         Ok(h) => h,

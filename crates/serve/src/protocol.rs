@@ -9,27 +9,44 @@
 //! ```text
 //! {"op":"submit","spec":{"apps":10,"depth":3,"rng_seed":123},"wait":true}
 //! {"op":"submit","suite":"suite-00a1b2c3d4e5f607"}
+//! {"op":"submit","spec":{"apps":5},"watchdog":{"slow_floor_ms":0},"wait":true}
 //! {"op":"status"}
 //! {"op":"status","job":"job-2"}
 //! {"op":"watch","job":"job-2"}
+//! {"op":"metrics"}
+//! {"op":"metrics","format":"prometheus"}
+//! {"op":"health"}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Every response carries `"ok"`. Failures add an HTTP-flavoured
-//! `"code"` plus a stable `"error"` token — `400 bad_request`,
-//! `404 not_found`, `429 queue_full`, `500 job_failed`,
-//! `503 shutting_down` — so clients can branch on semantics without
-//! string-matching free-text detail.
+//! Every response carries `"ok"` (except `metrics` in Prometheus
+//! format, which streams the raw text exposition and closes). Failures
+//! add an HTTP-flavoured `"code"` plus a stable `"error"` token —
+//! `400 bad_request`, `404 not_found`, `429 queue_full`,
+//! `500 job_failed`, `503 shutting_down` — so clients can branch on
+//! semantics without string-matching free-text detail.
+//!
+//! A submit may carry `"watchdog"` (`true` for library defaults, or an
+//! object tuning `slow_factor`, `slow_floor_ms`, `min_sites`,
+//! `idle_heartbeats` — `0` disables the idle detector — and
+//! `cache_ceiling` bytes): the daemon runs the job under those
+//! thresholds and the job report gains an `"anomalies"` digest, which
+//! also triggers the flight recorder. A forge spec may carry
+//! `"stall_work"` to plant one extra single-site app with that much
+//! per-site work — the operational fire drill for the slow-site
+//! detector (plants lie outside the forge oracle, so `"recall"` is
+//! null for such jobs).
 
+use diode_obs::WatchdogConfig;
 use diode_synth::SynthConfig;
 
 pub use diode_corpus::{Json, JsonError};
 
 /// Version stamped into `status` responses; bump on wire changes.
-pub const PROTOCOL_VERSION: u64 = 1;
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// One parsed client request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Enqueue a campaign job.
     Submit {
@@ -40,6 +57,9 @@ pub enum Request {
         wait: bool,
         /// Pin the campaign's worker-thread count (`None`: all cores).
         threads: Option<usize>,
+        /// Run the job under these watchdog thresholds and report the
+        /// anomaly digest (`None`: the daemon's default, if any).
+        watchdog: Option<WatchdogConfig>,
     },
     /// Daemon-wide counters, or one job's state when `job` is set.
     Status {
@@ -54,6 +74,15 @@ pub enum Request {
         /// this instead of slowing the campaign.
         ring: usize,
     },
+    /// Scrape the service metrics registry.
+    Metrics {
+        /// Stream the Prometheus text exposition instead of the
+        /// one-line JSON reply.
+        prometheus: bool,
+    },
+    /// Typed readiness/liveness probe with queue headroom and worker
+    /// states.
+    Health,
     /// Drain queued jobs, then stop accepting and exit.
     Shutdown,
 }
@@ -62,7 +91,14 @@ pub enum Request {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobSource {
     /// Forge a fresh synthetic suite from this config, then run it.
-    Forge(SynthConfig),
+    /// `stall_work > 0` plants one extra single-site app with that much
+    /// per-site busy work (the flight-recorder fire drill).
+    Forge {
+        /// The forge knobs.
+        cfg: SynthConfig,
+        /// Per-site busy work for the planted stall app (0: no plant).
+        stall_work: u32,
+    },
     /// Load a suite from the daemon's corpus root by id (or unique id
     /// prefix), then run it.
     Suite(String),
@@ -91,7 +127,10 @@ pub fn parse_request(line: &str) -> Result<Request, Json> {
                         "submit takes \"spec\" or \"suite\", not both",
                     ))
                 }
-                (Some(spec), None) => JobSource::Forge(parse_spec(spec)?),
+                (Some(spec), None) => {
+                    let (cfg, stall_work) = parse_spec(spec)?;
+                    JobSource::Forge { cfg, stall_work }
+                }
                 (None, Some(suite)) => JobSource::Suite(suite.to_string()),
                 (None, None) => {
                     return Err(reject(
@@ -108,11 +147,26 @@ pub fn parse_request(line: &str) -> Result<Request, Json> {
                     .get("threads")
                     .and_then(Json::as_u64)
                     .map(|t| (t as usize).max(1)),
+                watchdog: match obj.get("watchdog") {
+                    None => None,
+                    Some(v) => parse_watchdog(v)?,
+                },
             })
         }
         "status" => Ok(Request::Status {
             job: obj.get("job").and_then(Json::as_str).map(str::to_string),
         }),
+        "metrics" => match obj.get("format").map(|f| f.as_str()) {
+            None => Ok(Request::Metrics { prometheus: false }),
+            Some(Some("json")) => Ok(Request::Metrics { prometheus: false }),
+            Some(Some("prometheus")) => Ok(Request::Metrics { prometheus: true }),
+            Some(other) => Err(reject(
+                400,
+                "bad_request",
+                &format!("metrics format must be \"json\" or \"prometheus\", got {other:?}"),
+            )),
+        },
+        "health" => Ok(Request::Health),
         "watch" => match obj.get("job").and_then(Json::as_str) {
             Some(job) => Ok(Request::Watch {
                 job: job.to_string(),
@@ -128,10 +182,70 @@ pub fn parse_request(line: &str) -> Result<Request, Json> {
     }
 }
 
+/// The submit-level watchdog field: `true` for library defaults, or an
+/// object tuning individual thresholds (`false`/`null` mean "none").
+fn parse_watchdog(v: &Json) -> Result<Option<WatchdogConfig>, Json> {
+    let bad = |detail: &str| reject(400, "bad_request", detail);
+    match v {
+        Json::Bool(true) => Ok(Some(WatchdogConfig::default())),
+        Json::Bool(false) | Json::Null => Ok(None),
+        Json::Obj(fields) => {
+            let mut cfg = WatchdogConfig::default();
+            for (key, value) in fields {
+                match key.as_str() {
+                    "slow_factor" => {
+                        cfg.slow_site_factor = value
+                            .as_f64()
+                            .ok_or_else(|| bad("watchdog.slow_factor must be a number"))?;
+                    }
+                    "slow_floor_ms" => {
+                        let ms = value
+                            .as_u64()
+                            .ok_or_else(|| bad("watchdog.slow_floor_ms must be an integer"))?;
+                        cfg.slow_site_floor_ns = ms.saturating_mul(1_000_000);
+                    }
+                    "min_sites" => {
+                        cfg.min_sites_for_median = value
+                            .as_u64()
+                            .ok_or_else(|| bad("watchdog.min_sites must be an integer"))?
+                            as usize;
+                    }
+                    "idle_heartbeats" => {
+                        // 0 disables the detector (a streak can never
+                        // reach u32::MAX heartbeats).
+                        let n = value
+                            .as_u64()
+                            .ok_or_else(|| bad("watchdog.idle_heartbeats must be an integer"))?;
+                        cfg.idle_heartbeats = if n == 0 {
+                            u32::MAX
+                        } else {
+                            n.min(u64::from(u32::MAX)) as u32
+                        };
+                    }
+                    "cache_ceiling" => {
+                        cfg.cache_ceiling_bytes = Some(
+                            value
+                                .as_u64()
+                                .ok_or_else(|| bad("watchdog.cache_ceiling must be an integer"))?,
+                        );
+                    }
+                    other => {
+                        return Err(bad(&format!("unknown watchdog field {other:?}")));
+                    }
+                }
+            }
+            Ok(Some(cfg))
+        }
+        _ => Err(bad(
+            "\"watchdog\" must be a boolean or an object of thresholds",
+        )),
+    }
+}
+
 /// A forge spec as sent on the wire (every field optional, defaulting
 /// to [`SynthConfig::default`] — the same knobs `synth_campaign`
-/// exposes as flags).
-fn parse_spec(spec: &Json) -> Result<SynthConfig, Json> {
+/// exposes as flags, plus the `stall_work` plant).
+fn parse_spec(spec: &Json) -> Result<(SynthConfig, u32), Json> {
     let num = |key: &str| -> Result<Option<u64>, Json> {
         match spec.get(key) {
             None => Ok(None),
@@ -168,7 +282,8 @@ fn parse_spec(spec: &Json) -> Result<SynthConfig, Json> {
     if let Some(seed) = num("rng_seed")? {
         cfg.rng_seed = seed;
     }
-    Ok(cfg)
+    let stall_work = num("stall_work")?.unwrap_or(0) as u32;
+    Ok((cfg, stall_work))
 }
 
 /// Serialises a forge spec for the wire (only the protocol-visible
@@ -202,26 +317,31 @@ mod tests {
     fn submit_spec_round_trips_defaults() {
         let req = parse_request(r#"{"op":"submit","spec":{},"wait":true}"#).unwrap();
         let Request::Submit {
-            source: JobSource::Forge(cfg),
+            source: JobSource::Forge { cfg, stall_work },
             wait,
             threads,
+            watchdog,
         } = req
         else {
             panic!("expected forge submit");
         };
         assert_eq!(cfg, SynthConfig::default());
+        assert_eq!(stall_work, 0);
         assert!(wait);
         assert_eq!(threads, None);
+        assert_eq!(watchdog, None);
     }
 
     #[test]
     fn submit_spec_applies_knobs() {
         let line = r#"{"op":"submit","spec":{"apps":12,"depth":2,"sites":3,
-            "seeds_per_app":2,"site_work":40,"rng_seed":18446744073709551615},"threads":4}"#;
+            "seeds_per_app":2,"site_work":40,"rng_seed":18446744073709551615,
+            "stall_work":2000000},"threads":4}"#;
         let Request::Submit {
-            source: JobSource::Forge(cfg),
+            source: JobSource::Forge { cfg, stall_work },
             wait,
             threads,
+            watchdog,
         } = parse_request(line).unwrap()
         else {
             panic!("expected forge submit");
@@ -232,8 +352,39 @@ mod tests {
         );
         assert_eq!((cfg.seeds_per_app, cfg.site_work), (2, 40));
         assert_eq!(cfg.rng_seed, u64::MAX, "u64 seeds survive exactly");
+        assert_eq!(stall_work, 2_000_000);
         assert!(!wait);
         assert_eq!(threads, Some(4));
+        assert_eq!(watchdog, None);
+    }
+
+    #[test]
+    fn submit_watchdog_defaults_and_overrides() {
+        let Request::Submit { watchdog, .. } =
+            parse_request(r#"{"op":"submit","spec":{},"watchdog":true}"#).unwrap()
+        else {
+            panic!("expected submit");
+        };
+        assert_eq!(watchdog, Some(WatchdogConfig::default()));
+
+        let line = r#"{"op":"submit","spec":{},"watchdog":{"slow_factor":4.5,
+            "slow_floor_ms":0,"min_sites":4,"idle_heartbeats":0,"cache_ceiling":1024}}"#;
+        let Request::Submit { watchdog, .. } = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        let cfg = watchdog.expect("thresholds parsed");
+        assert_eq!(cfg.slow_site_factor, 4.5);
+        assert_eq!(cfg.slow_site_floor_ns, 0);
+        assert_eq!(cfg.min_sites_for_median, 4);
+        assert_eq!(cfg.idle_heartbeats, u32::MAX, "0 disables the detector");
+        assert_eq!(cfg.cache_ceiling_bytes, Some(1024));
+
+        let Request::Submit { watchdog, .. } =
+            parse_request(r#"{"op":"submit","spec":{},"watchdog":false}"#).unwrap()
+        else {
+            panic!("expected submit");
+        };
+        assert_eq!(watchdog, None);
     }
 
     #[test]
@@ -244,6 +395,7 @@ mod tests {
                 source: JobSource::Suite("suite-0011223344556677".into()),
                 wait: false,
                 threads: None,
+                watchdog: None,
             }
         );
         assert_eq!(
@@ -264,6 +416,26 @@ mod tests {
     }
 
     #[test]
+    fn metrics_and_health_parse() {
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"json"}"#).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"prometheus"}"#).unwrap(),
+            Request::Metrics { prometheus: true }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#).unwrap(),
+            Request::Health
+        );
+    }
+
+    #[test]
     fn rejections_are_typed() {
         for (line, want) in [
             ("not json", "bad_request"),
@@ -271,6 +443,15 @@ mod tests {
             (r#"{"op":"submit","spec":{},"suite":"s"}"#, "bad_request"),
             (r#"{"op":"submit","spec":{"apps":0}}"#, "bad_request"),
             (r#"{"op":"submit","spec":{"apps":-1}}"#, "bad_request"),
+            (
+                r#"{"op":"submit","spec":{},"watchdog":"yes"}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"op":"submit","spec":{},"watchdog":{"gremlin":1}}"#,
+                "bad_request",
+            ),
+            (r#"{"op":"metrics","format":"xml"}"#, "bad_request"),
             (r#"{"op":"watch"}"#, "bad_request"),
             (r#"{"op":"frobnicate"}"#, "bad_request"),
         ] {

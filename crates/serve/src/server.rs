@@ -34,8 +34,12 @@ use diode_engine::{
     scheduler, CacheStats, CampaignApp, CampaignReport, CampaignSpec, ExecutionMode, PulseBus,
     PulseConfig, PulseEvent, SnapshotCache, SnapshotKeys, SnapshotStats, SolverCache,
 };
-use diode_obs::{fnv64_hex, TelemetryStream};
-use diode_synth::{forge, score, Fnv64, SynthConfig, SynthOracle};
+use diode_obs::{
+    fnv64_hex, AnomalyReport, Counter, FlightRecorder, Histogram, MetricsRegistry, Phase,
+    PhaseBreakdown, Recorder, TelemetryStream, Watchdog, WatchdogConfig, ANOMALY_SCHEMA_VERSION,
+    FLIGHT_SCHEMA_VERSION, METRICS_SCHEMA_VERSION, TELEMETRY_SCHEMA_VERSION,
+};
+use diode_synth::{forge, forge_range, score, Fnv64, SynthConfig, SynthOracle};
 
 use crate::protocol::{
     parse_request, reject, spec_json, JobSource, Json, Request, PROTOCOL_VERSION,
@@ -57,6 +61,18 @@ pub struct ServeConfig {
     pub telemetry_file: Option<PathBuf>,
     /// Heartbeat sampling interval for per-job pulse telemetry.
     pub heartbeat: Duration,
+    /// Service-level metrics registry (the `metrics` op). Strictly
+    /// passive: campaign outcomes are byte-identical either way.
+    pub metrics: bool,
+    /// Directory for flight dumps (`<dir>/<job-id>.jsonl`, written when
+    /// a watchdog anomaly fires or a job ends abnormally). `None`
+    /// disables the flight recorder.
+    pub flight_dir: Option<PathBuf>,
+    /// Events the per-job flight ring retains.
+    pub flight_capacity: usize,
+    /// Default watchdog thresholds applied to every job that doesn't
+    /// carry its own (`None`: jobs run unwatched unless they ask).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +84,10 @@ impl Default for ServeConfig {
             corpus_root: None,
             telemetry_file: None,
             heartbeat: Duration::from_millis(50),
+            metrics: true,
+            flight_dir: None,
+            flight_capacity: 256,
+            watchdog: None,
         }
     }
 }
@@ -105,6 +125,11 @@ struct JobEntry {
     cv: Condvar,
     /// Full telemetry stream so far, for watch replay after the fact.
     archive: Mutex<String>,
+    /// Watchdog thresholds this job runs under (submission override or
+    /// the daemon default).
+    watchdog: Option<WatchdogConfig>,
+    /// Admission time, for the admission-wait histogram.
+    submitted: Instant,
 }
 
 impl JobEntry {
@@ -126,11 +151,126 @@ struct WorkerQueue {
     cv: Condvar,
 }
 
+/// Per-worker health state, outside the queue lock.
+struct WorkerStat {
+    /// Jobs this worker has finished (done or failed).
+    completed: AtomicU64,
+    /// False once the worker thread has exited.
+    alive: AtomicBool,
+    /// The job currently running on this worker, if any.
+    current: Mutex<Option<String>>,
+}
+
+impl WorkerStat {
+    fn new() -> WorkerStat {
+        WorkerStat {
+            completed: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+            current: Mutex::new(None),
+        }
+    }
+}
+
+/// The always-on service metrics: handles registered once at startup,
+/// hot-path updates are atomic adds or a short histogram lock. Never
+/// consulted by the campaign itself — strictly passive.
+struct Ops {
+    registry: MetricsRegistry,
+    jobs_submitted: Counter,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    flight_dumps: Counter,
+    admission_wait: Histogram,
+    job_wall: Histogram,
+}
+
+impl Ops {
+    fn new() -> Ops {
+        let registry = MetricsRegistry::new();
+        let jobs_submitted = registry.counter(
+            "diode_jobs_submitted_total",
+            "Jobs accepted into a worker queue.",
+            &[],
+        );
+        let jobs_completed = registry.counter(
+            "diode_jobs_completed_total",
+            "Jobs that ran to a report.",
+            &[],
+        );
+        let jobs_failed = registry.counter(
+            "diode_jobs_failed_total",
+            "Jobs that failed to build or panicked.",
+            &[],
+        );
+        let flight_dumps = registry.counter(
+            "diode_flight_dumps_total",
+            "Flight recordings written to disk.",
+            &[],
+        );
+        let admission_wait = registry.histogram(
+            "diode_admission_wait_ns",
+            "Queue time between submit and a worker picking the job up.",
+            &[],
+        );
+        let job_wall = registry.histogram(
+            "diode_job_wall_ns",
+            "Campaign wall time per completed job.",
+            &[],
+        );
+        Ops {
+            registry,
+            jobs_submitted,
+            jobs_completed,
+            jobs_failed,
+            flight_dumps,
+            admission_wait,
+            job_wall,
+        }
+    }
+
+    /// The per-rejection-code counter (registered on first use).
+    fn rejected(&self, code: u64) -> Counter {
+        self.registry.counter(
+            "diode_jobs_rejected_total",
+            "Typed submit rejections by wire code.",
+            &[("code", &code.to_string())],
+        )
+    }
+
+    /// The per-phase latency histogram (registered on first use).
+    fn phase_total(&self, phase: Phase) -> Histogram {
+        self.registry.histogram(
+            "diode_phase_total_ns",
+            "Per-job total time in each pipeline phase, from the recorder.",
+            &[("phase", phase.as_str())],
+        )
+    }
+
+    /// The per-worker completed-jobs counter.
+    fn worker_jobs(&self, worker: usize) -> Counter {
+        self.registry.counter(
+            "diode_worker_jobs_total",
+            "Jobs finished per worker.",
+            &[("worker", &worker.to_string())],
+        )
+    }
+
+    /// The per-kind anomaly counter.
+    fn anomalies(&self, kind: &str) -> Counter {
+        self.registry.counter(
+            "diode_anomalies_total",
+            "Watchdog anomalies raised, by kind.",
+            &[("kind", kind)],
+        )
+    }
+}
+
 struct Daemon {
     cfg: ServeConfig,
     solver_cache: Arc<SolverCache>,
     snapshots: Arc<SnapshotCache>,
     queues: Vec<WorkerQueue>,
+    worker_stats: Vec<WorkerStat>,
     jobs: Mutex<Vec<Arc<JobEntry>>>,
     next_job: AtomicU64,
     jobs_done: AtomicU64,
@@ -138,6 +278,7 @@ struct Daemon {
     rejected: AtomicU64,
     shutting_down: AtomicBool,
     started: Instant,
+    ops: Option<Ops>,
 }
 
 impl Daemon {
@@ -148,6 +289,13 @@ impl Daemon {
             .iter()
             .find(|j| j.id == id)
             .cloned()
+    }
+
+    fn queued_total(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.jobs.lock().expect("queue lock poisoned").len())
+            .sum()
     }
 }
 
@@ -190,6 +338,7 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                 cv: Condvar::new(),
             })
             .collect(),
+        worker_stats: (0..workers).map(|_| WorkerStat::new()).collect(),
         jobs: Mutex::new(Vec::new()),
         next_job: AtomicU64::new(1),
         jobs_done: AtomicU64::new(0),
@@ -197,6 +346,7 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         rejected: AtomicU64::new(0),
         shutting_down: AtomicBool::new(false),
         started: Instant::now(),
+        ops: cfg.metrics.then(Ops::new),
         cfg,
     });
     let worker_handles = (0..workers)
@@ -255,8 +405,9 @@ fn handle_connection(stream: TcpStream, daemon: &Arc<Daemon>, addr: SocketAddr) 
             source,
             wait,
             threads,
+            watchdog,
         }) => {
-            let reply = submit(daemon, source, wait, threads);
+            let reply = submit(daemon, source, wait, threads, watchdog);
             let _ = writeln!(out, "{reply}");
         }
         Ok(Request::Status { job }) => {
@@ -264,6 +415,24 @@ fn handle_connection(stream: TcpStream, daemon: &Arc<Daemon>, addr: SocketAddr) 
             let _ = writeln!(out, "{reply}");
         }
         Ok(Request::Watch { job, ring }) => watch(daemon, &job, ring, &mut out),
+        Ok(Request::Metrics { prometheus }) => match (&daemon.ops, prometheus) {
+            (None, _) => {
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    reject(400, "bad_request", "metrics are disabled (--no-metrics)")
+                );
+            }
+            (Some(ops), true) => {
+                let _ = out.write_all(scrape(daemon, ops).to_prometheus().as_bytes());
+            }
+            (Some(ops), false) => {
+                let _ = writeln!(out, "{}", metrics_json(daemon, ops));
+            }
+        },
+        Ok(Request::Health) => {
+            let _ = writeln!(out, "{}", health(daemon));
+        }
         Ok(Request::Shutdown) => {
             let queued: usize = daemon
                 .queues
@@ -300,34 +469,65 @@ fn shard(label: &str, workers: usize) -> usize {
 }
 
 /// A stable content label for a forge spec (same role as a suite id:
-/// sharding affinity plus report provenance).
-fn spec_label(cfg: &SynthConfig) -> String {
+/// sharding affinity plus report provenance). A planted stall changes
+/// the suite's content, so it changes the label.
+fn spec_label(cfg: &SynthConfig, stall_work: u32) -> String {
     let mut f = Fnv64::new();
     f.str(&spec_json(cfg).to_string());
+    if stall_work > 0 {
+        f.str(&format!("+stall:{stall_work}"));
+    }
     format!("spec-{}", f.hex())
 }
 
-fn submit(daemon: &Arc<Daemon>, source: JobSource, wait: bool, threads: Option<usize>) -> Json {
+/// Count one typed submit rejection, both in the legacy status counter
+/// and the per-code metrics series.
+fn count_rejection(daemon: &Daemon, reply: Json) -> Json {
+    daemon.rejected.fetch_add(1, Ordering::Relaxed);
+    if let (Some(ops), Some(code)) = (&daemon.ops, reply.get("code").and_then(Json::as_u64)) {
+        ops.rejected(code).inc();
+    }
+    reply
+}
+
+fn submit(
+    daemon: &Arc<Daemon>,
+    source: JobSource,
+    wait: bool,
+    threads: Option<usize>,
+    watchdog: Option<WatchdogConfig>,
+) -> Json {
     if daemon.shutting_down.load(Ordering::SeqCst) {
-        return reject(
-            503,
-            "shutting_down",
-            "daemon is draining; resubmit elsewhere",
+        return count_rejection(
+            daemon,
+            reject(
+                503,
+                "shutting_down",
+                "daemon is draining; resubmit elsewhere",
+            ),
         );
     }
     let suite = match &source {
-        JobSource::Forge(cfg) => spec_label(cfg),
+        JobSource::Forge { cfg, stall_work } => spec_label(cfg, *stall_work),
         JobSource::Suite(id) => {
             let Some(root) = &daemon.cfg.corpus_root else {
-                return reject(
-                    400,
-                    "bad_request",
-                    "daemon has no corpus root (start with --corpus)",
+                return count_rejection(
+                    daemon,
+                    reject(
+                        400,
+                        "bad_request",
+                        "daemon has no corpus root (start with --corpus)",
+                    ),
                 );
             };
             match CorpusStore::open(root).and_then(|s| s.resolve(id)) {
                 Ok(full) => full,
-                Err(e) => return reject(404, "not_found", &format!("suite {id:?}: {e}")),
+                Err(e) => {
+                    return count_rejection(
+                        daemon,
+                        reject(404, "not_found", &format!("suite {id:?}: {e}")),
+                    )
+                }
             }
         }
     };
@@ -343,18 +543,23 @@ fn submit(daemon: &Arc<Daemon>, source: JobSource, wait: bool, threads: Option<u
         state: Mutex::new(JobState::Queued),
         cv: Condvar::new(),
         archive: Mutex::new(String::new()),
+        watchdog: watchdog.or_else(|| daemon.cfg.watchdog.clone()),
+        submitted: Instant::now(),
     });
     let queued = {
         let queue = &daemon.queues[worker];
         let mut jobs = queue.jobs.lock().expect("queue lock poisoned");
         if jobs.len() >= daemon.cfg.queue_depth {
-            daemon.rejected.fetch_add(1, Ordering::Relaxed);
-            return reject(
-                429,
-                "queue_full",
-                &format!(
-                    "worker {worker} queue is at its depth limit ({})",
-                    daemon.cfg.queue_depth
+            drop(jobs);
+            return count_rejection(
+                daemon,
+                reject(
+                    429,
+                    "queue_full",
+                    &format!(
+                        "worker {worker} queue is at its depth limit ({})",
+                        daemon.cfg.queue_depth
+                    ),
                 ),
             );
         }
@@ -367,6 +572,9 @@ fn submit(daemon: &Arc<Daemon>, source: JobSource, wait: bool, threads: Option<u
         queue.cv.notify_one();
         jobs.len()
     };
+    if let Some(ops) = &daemon.ops {
+        ops.jobs_submitted.inc();
+    }
     if wait {
         entry.wait_finished();
         match &*entry.state.lock().expect("job state lock poisoned") {
@@ -423,17 +631,163 @@ fn status(daemon: &Arc<Daemon>, job: Option<&str>) -> Json {
     Json::obj()
         .field("ok", true)
         .field("protocol", PROTOCOL_VERSION)
+        .field("versions", versions_json())
         .field("uptime_ms", daemon.started.elapsed().as_secs_f64() * 1e3)
         .field("workers", daemon.queues.len())
+        .field("worker_stats", worker_stats_json(daemon))
         .field("queue_depth", daemon.cfg.queue_depth)
         .field("queued", queued)
         .field("running", running)
         .field("done", daemon.jobs_done.load(Ordering::Relaxed))
         .field("failed", daemon.jobs_failed.load(Ordering::Relaxed))
         .field("rejected", daemon.rejected.load(Ordering::Relaxed))
+        .field("metrics", daemon.ops.is_some())
         .field("shutting_down", daemon.shutting_down.load(Ordering::SeqCst))
         .field("cache", cache_stats_json(&daemon.solver_cache.stats()))
         .field("snapshots", snapshot_stats_json(&daemon.snapshots.stats()))
+}
+
+/// Every schema version a client may need to speak to this daemon:
+/// the wire protocol plus the formats its replies and artifacts embed.
+fn versions_json() -> Json {
+    Json::obj()
+        .field("protocol", PROTOCOL_VERSION)
+        .field("telemetry", TELEMETRY_SCHEMA_VERSION)
+        .field("anomalies", ANOMALY_SCHEMA_VERSION)
+        .field("metrics", METRICS_SCHEMA_VERSION)
+        .field("flight", FLIGHT_SCHEMA_VERSION)
+}
+
+/// One row per worker: liveness, what it's doing, and how much it has
+/// done.
+fn worker_stats_json(daemon: &Daemon) -> Json {
+    Json::Arr(
+        daemon
+            .worker_stats
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let alive = w.alive.load(Ordering::Relaxed);
+                let current = w.current.lock().expect("worker stat lock poisoned").clone();
+                let queued = daemon.queues[i]
+                    .jobs
+                    .lock()
+                    .expect("queue lock poisoned")
+                    .len();
+                let state = if !alive {
+                    "exited"
+                } else if current.is_some() {
+                    "busy"
+                } else {
+                    "idle"
+                };
+                let mut row = Json::obj()
+                    .field("worker", i)
+                    .field("alive", alive)
+                    .field("state", state)
+                    .field("queued", queued)
+                    .field("completed", w.completed.load(Ordering::Relaxed));
+                if let Some(job) = current {
+                    row = row.field("job", job);
+                }
+                row
+            })
+            .collect(),
+    )
+}
+
+/// The typed health probe: liveness (worker threads running) and
+/// readiness (accepting work with queue headroom), with per-worker
+/// detail for the operator.
+fn health(daemon: &Arc<Daemon>) -> Json {
+    let live = daemon
+        .worker_stats
+        .iter()
+        .all(|w| w.alive.load(Ordering::Relaxed));
+    let queued = daemon.queued_total();
+    let capacity = daemon.queues.len() * daemon.cfg.queue_depth;
+    let headroom = capacity.saturating_sub(queued);
+    let shutting_down = daemon.shutting_down.load(Ordering::SeqCst);
+    let ready = live && !shutting_down && headroom > 0;
+    Json::obj()
+        .field("ok", true)
+        .field("healthy", ready)
+        .field("live", live)
+        .field("ready", ready)
+        .field("shutting_down", shutting_down)
+        .field("queued", queued)
+        .field("queue_capacity", capacity)
+        .field("queue_headroom", headroom)
+        .field("uptime_ms", daemon.started.elapsed().as_secs_f64() * 1e3)
+        .field("workers", worker_stats_json(daemon))
+}
+
+/// Refreshes the point-in-time gauges and snapshots the registry.
+/// Counters and histograms accumulate on the hot paths; gauges are
+/// re-read from the daemon here, at scrape time.
+fn scrape(daemon: &Arc<Daemon>, ops: &Ops) -> diode_obs::MetricsSnapshot {
+    let gauge = |name: &str, help: &str, v: f64| ops.registry.gauge(name, help, &[]).set(v);
+    gauge(
+        "diode_uptime_seconds",
+        "Seconds since the daemon started.",
+        daemon.started.elapsed().as_secs_f64(),
+    );
+    let queued = daemon.queued_total();
+    let capacity = daemon.queues.len() * daemon.cfg.queue_depth;
+    gauge(
+        "diode_queue_depth",
+        "Jobs currently queued across all workers.",
+        queued as f64,
+    );
+    gauge(
+        "diode_queue_headroom",
+        "Remaining admission capacity across all worker queues.",
+        capacity.saturating_sub(queued) as f64,
+    );
+    let cache = daemon.solver_cache.stats();
+    gauge(
+        "diode_solver_cache_bytes",
+        "Resident bytes in the shared solver cache.",
+        cache.bytes as f64,
+    );
+    gauge(
+        "diode_solver_cache_entries",
+        "Entries in the shared solver cache.",
+        cache.entries as f64,
+    );
+    gauge(
+        "diode_solver_cache_hit_rate",
+        "Lifetime hit rate of the shared solver cache.",
+        cache.hit_rate(),
+    );
+    let snap = daemon.snapshots.stats();
+    gauge(
+        "diode_snapshot_cache_bytes",
+        "Resident bytes in the shared snapshot cache.",
+        snap.bytes as f64,
+    );
+    gauge(
+        "diode_snapshot_cache_entries",
+        "Entries in the shared snapshot cache.",
+        snap.entries as f64,
+    );
+    gauge(
+        "diode_snapshot_resume_rate",
+        "Lifetime resume rate of the shared snapshot cache.",
+        snap.resume_rate(),
+    );
+    ops.registry.snapshot()
+}
+
+/// The JSON metrics reply: the registry snapshot behind an `ok` line.
+fn metrics_json(daemon: &Arc<Daemon>, ops: &Ops) -> Json {
+    let snapshot = scrape(daemon, ops);
+    let metrics = Json::parse(&snapshot.to_json()).unwrap_or(Json::Null);
+    Json::obj()
+        .field("ok", true)
+        .field("schema", METRICS_SCHEMA_VERSION)
+        .field("uptime_ms", daemon.started.elapsed().as_secs_f64() * 1e3)
+        .field("metrics", metrics)
 }
 
 /// Streams a job's telemetry to `out`: live via a fresh bus subscriber
@@ -515,6 +869,7 @@ fn watch(daemon: &Arc<Daemon>, job: &str, ring: usize, out: &mut TcpStream) {
 
 fn worker_loop(daemon: &Arc<Daemon>, index: usize) {
     let queue = &daemon.queues[index];
+    let stat = &daemon.worker_stats[index];
     loop {
         let entry = {
             let mut jobs = queue.jobs.lock().expect("queue lock poisoned");
@@ -523,25 +878,51 @@ fn worker_loop(daemon: &Arc<Daemon>, index: usize) {
                     break e;
                 }
                 if daemon.shutting_down.load(Ordering::SeqCst) {
+                    stat.alive.store(false, Ordering::Relaxed);
                     return;
                 }
                 jobs = queue.cv.wait(jobs).expect("queue lock poisoned");
             }
         };
+        *stat.current.lock().expect("worker stat lock poisoned") = Some(entry.id.clone());
         run_job(daemon, &entry);
+        *stat.current.lock().expect("worker stat lock poisoned") = None;
+        stat.completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(ops) = &daemon.ops {
+            ops.worker_jobs(index).inc();
+        }
     }
 }
 
 /// Builds the job's workloads (forging or loading from the corpus
 /// root), or explains why it can't.
+///
+/// A nonzero `stall_work` plants one extra single-site app (forged at
+/// offset 100, outside the spec's own range) whose per-site busy loop
+/// dwarfs the rest of the suite — the deliberate `slow_site` trigger.
+/// The plant lies outside the forge oracle, so recall is not scored
+/// for stall jobs (`recall: null` in the report).
 fn build_apps(
     daemon: &Daemon,
     source: &JobSource,
 ) -> Result<(Vec<CampaignApp>, Option<SynthOracle>), String> {
     match source {
-        JobSource::Forge(cfg) => {
+        JobSource::Forge { cfg, stall_work } => {
             let suite = forge(cfg);
-            Ok((suite.campaign_apps(), Some(suite.oracle.clone())))
+            if *stall_work == 0 {
+                return Ok((suite.campaign_apps(), Some(suite.oracle.clone())));
+            }
+            let stall_cfg = SynthConfig {
+                apps: 1,
+                min_sites: 1,
+                max_sites: 1,
+                site_work: *stall_work,
+                rng_seed: cfg.rng_seed,
+                ..SynthConfig::default()
+            };
+            let mut apps = suite.campaign_apps();
+            apps.extend(forge_range(&stall_cfg, 100, 1).campaign_apps());
+            Ok((apps, None))
         }
         JobSource::Suite(id) => {
             let root = daemon
@@ -559,12 +940,50 @@ fn build_apps(
     }
 }
 
+/// Writes one flight dump next to the other per-job telemetry and
+/// counts it. Returns the path on success.
+fn write_flight(
+    daemon: &Daemon,
+    dir: &std::path::Path,
+    job: &str,
+    flight: &FlightRecorder,
+    reason: &str,
+    threads: u32,
+    anomalies: &[AnomalyReport],
+) -> Option<PathBuf> {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("diode-serve: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{job}.jsonl"));
+    match std::fs::write(&path, flight.dump(job, reason, threads, anomalies)) {
+        Ok(()) => {
+            if let Some(ops) = &daemon.ops {
+                ops.flight_dumps.inc();
+            }
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("diode-serve: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 fn run_job(daemon: &Arc<Daemon>, entry: &Arc<JobEntry>) {
     entry.set_state(JobState::Running);
+    if let Some(ops) = &daemon.ops {
+        let waited = entry.submitted.elapsed().as_nanos();
+        ops.admission_wait
+            .observe(u64::try_from(waited).unwrap_or(u64::MAX));
+    }
     let (apps, oracle) = match build_apps(daemon, &entry.source) {
         Ok(built) => built,
         Err(e) => {
             daemon.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(ops) = &daemon.ops {
+                ops.jobs_failed.inc();
+            }
             entry.set_state(JobState::Failed(e));
             return;
         }
@@ -576,38 +995,67 @@ fn run_job(daemon: &Arc<Daemon>, entry: &Arc<JobEntry>) {
 
     // The archive pump: one subscriber draining the job's bus into the
     // in-memory archive (for watch replay) and the rotating telemetry
-    // file, until the campaign's terminal event.
+    // file, until the campaign's terminal event. A second raw tap on
+    // the same bus feeds the watchdog and the flight ring — both pure
+    // consumers on this side thread, never in the campaign's path.
     let mut stream = TelemetryStream::new(entry.bus.subscribe(1 << 14), threads);
     let mut tfile = daemon.cfg.telemetry_file.as_ref().and_then(|p| {
         std::fs::File::create(p)
             .map_err(|e| eprintln!("diode-serve: cannot rotate {}: {e}", p.display()))
             .ok()
     });
+    let mut flight = daemon
+        .cfg
+        .flight_dir
+        .as_ref()
+        .map(|_| FlightRecorder::new(daemon.cfg.flight_capacity));
+    let mut watchdog = entry.watchdog.clone().map(Watchdog::new);
+    let tap = (flight.is_some() || watchdog.is_some()).then(|| entry.bus.subscribe(1 << 14));
     let pump_entry = Arc::clone(entry);
     let pump = std::thread::Builder::new()
         .name("serve-pump".to_string())
-        .spawn(move || loop {
-            let chunk = stream.drain();
-            if !chunk.is_empty() {
-                pump_entry
-                    .archive
-                    .lock()
-                    .expect("archive lock poisoned")
-                    .push_str(&chunk);
-                if let Some(f) = &mut tfile {
-                    let _ = f.write_all(chunk.as_bytes());
-                    let _ = f.flush();
+        .spawn(move || {
+            let drain_tap = |flight: &mut Option<FlightRecorder>,
+                             watchdog: &mut Option<Watchdog>| {
+                if let Some(tap) = &tap {
+                    for event in tap.drain() {
+                        if let Some(w) = watchdog {
+                            w.feed(&event);
+                        }
+                        if let Some(f) = flight {
+                            f.record(&event);
+                        }
+                    }
                 }
+            };
+            loop {
+                let chunk = stream.drain();
+                if !chunk.is_empty() {
+                    pump_entry
+                        .archive
+                        .lock()
+                        .expect("archive lock poisoned")
+                        .push_str(&chunk);
+                    if let Some(f) = &mut tfile {
+                        let _ = f.write_all(chunk.as_bytes());
+                        let _ = f.flush();
+                    }
+                }
+                drain_tap(&mut flight, &mut watchdog);
+                if stream.finished() {
+                    // The tap rides the same bus, so the terminal event
+                    // already reached its ring — one last drain empties it.
+                    drain_tap(&mut flight, &mut watchdog);
+                    return (flight, watchdog);
+                }
+                std::thread::sleep(Duration::from_millis(2));
             }
-            if stream.finished() {
-                return;
-            }
-            std::thread::sleep(Duration::from_millis(2));
         })
         .expect("spawn pump thread");
 
     let cache_before = daemon.solver_cache.stats();
     let snap_before = daemon.snapshots.stats();
+    let recorder = daemon.ops.as_ref().map(|_| Arc::new(Recorder::new()));
     let mut spec = CampaignSpec::new(apps);
     spec.mode = ExecutionMode::Parallel {
         threads: entry.threads,
@@ -615,28 +1063,69 @@ fn run_job(daemon: &Arc<Daemon>, entry: &Arc<JobEntry>) {
     spec.config.query_cache = Some(Arc::clone(&daemon.solver_cache));
     spec.snapshot_cache = Some(Arc::clone(&daemon.snapshots));
     spec.snapshot_keys = SnapshotKeys::Content;
+    spec.recorder = recorder.clone();
     spec.pulse = Some(PulseConfig {
         bus: Arc::clone(&entry.bus),
         heartbeat: daemon.cfg.heartbeat,
     });
+    if let JobSource::Forge { stall_work, .. } = &entry.source {
+        if *stall_work > 0 {
+            // A planted stall burns fuel by design; raise the bound so
+            // it runs to completion instead of dying mid-loop.
+            spec.config.machine.fuel = spec.config.machine.fuel.max(200_000_000);
+        }
+    }
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run()));
     let report = match outcome {
         Ok(report) => report,
         Err(_) => {
             // Unblock the pump and any watchers with a terminal event,
-            // then record the failure.
+            // then record the failure — with a flight dump of the
+            // window leading up to it, when the recorder is on.
             entry.bus.publish(&PulseEvent::Finished {
                 wall_ns: 0,
                 sites: 0,
                 exposed: 0,
             });
-            let _ = pump.join();
+            let (flight, watchdog) = pump.join().unwrap_or((None, None));
+            let anomalies = watchdog.map(Watchdog::finish).unwrap_or_default();
+            if let (Some(dir), Some(f)) = (&daemon.cfg.flight_dir, &flight) {
+                write_flight(daemon, dir, &entry.id, f, "job_failed", threads, &anomalies);
+            }
             daemon.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(ops) = &daemon.ops {
+                ops.jobs_failed.inc();
+                for a in &anomalies {
+                    ops.anomalies(a.kind.as_str()).inc();
+                }
+            }
             entry.set_state(JobState::Failed("campaign panicked".to_string()));
             return;
         }
     };
-    let _ = pump.join();
+    let (flight, watchdog) = pump.join().unwrap_or((None, None));
+    let watched = watchdog.is_some();
+    let anomalies = watchdog.map(Watchdog::finish).unwrap_or_default();
+    let mut flight_path = None;
+    if !anomalies.is_empty() {
+        if let (Some(dir), Some(f)) = (&daemon.cfg.flight_dir, &flight) {
+            let reason = format!("anomaly:{}", anomalies[0].kind.as_str());
+            flight_path = write_flight(daemon, dir, &entry.id, f, &reason, threads, &anomalies);
+        }
+    }
+    if let Some(ops) = &daemon.ops {
+        ops.jobs_completed.inc();
+        ops.job_wall
+            .observe(u64::try_from(report.wall_time.as_nanos()).unwrap_or(u64::MAX));
+        for a in &anomalies {
+            ops.anomalies(a.kind.as_str()).inc();
+        }
+        if let Some(rec) = &recorder {
+            for row in &PhaseBreakdown::from_trace(&rec.trace()).phases {
+                ops.phase_total(row.phase).observe(row.total_ns);
+            }
+        }
+    }
     let report_json = job_report(
         entry,
         &report,
@@ -645,6 +1134,8 @@ fn run_job(daemon: &Arc<Daemon>, entry: &Arc<JobEntry>) {
         &daemon.solver_cache.stats(),
         &snap_before,
         &daemon.snapshots.stats(),
+        watched.then_some(anomalies.as_slice()),
+        flight_path.as_deref(),
     );
     daemon.jobs_done.fetch_add(1, Ordering::Relaxed);
     entry.set_state(JobState::Done(report_json));
@@ -654,6 +1145,7 @@ fn run_job(daemon: &Arc<Daemon>, entry: &Arc<JobEntry>) {
 /// fingerprint, and this job's *marginal* cache traffic (stats deltas
 /// against the process-lifetime caches — exact while jobs serialise on
 /// one worker, approximate when campaigns overlap).
+#[allow(clippy::too_many_arguments)]
 fn job_report(
     entry: &JobEntry,
     report: &CampaignReport,
@@ -662,6 +1154,8 @@ fn job_report(
     cache_after: &CacheStats,
     snap_before: &SnapshotStats,
     snap_after: &SnapshotStats,
+    anomalies: Option<&[AnomalyReport]>,
+    flight: Option<&std::path::Path>,
 ) -> Json {
     let counts = report.counts();
     let recall = oracle.map(|o| score(report, o).recall());
@@ -670,7 +1164,7 @@ fn job_report(
     let resumes = snap_after.resumes.saturating_sub(snap_before.resumes);
     let snap_hits = snap_after.hits.saturating_sub(snap_before.hits);
     let snap_misses = snap_after.misses.saturating_sub(snap_before.misses);
-    Json::obj()
+    let mut out = Json::obj()
         .field("ok", true)
         .field("table", "serve_job")
         .field("job", entry.id.clone())
@@ -707,7 +1201,26 @@ fn job_report(
                 .field("resume_rate", rate(snap_hits, snap_misses)),
         )
         .field("cache_total", cache_stats_json(cache_after))
-        .field("snapshots_total", snapshot_stats_json(snap_after))
+        .field("snapshots_total", snapshot_stats_json(snap_after));
+    if let Some(anomalies) = anomalies {
+        out = out.field(
+            "anomalies",
+            Json::Arr(anomalies.iter().map(anomaly_json).collect()),
+        );
+    }
+    if let Some(path) = flight {
+        out = out.field("flight", path.display().to_string());
+    }
+    out
+}
+
+fn anomaly_json(a: &AnomalyReport) -> Json {
+    Json::obj()
+        .field("kind", a.kind.as_str())
+        .field("subject", a.subject.clone())
+        .field("detail", a.detail.clone())
+        .field("value", a.value)
+        .field("threshold", a.threshold)
 }
 
 fn rate(hits: u64, misses: u64) -> f64 {
@@ -760,9 +1273,14 @@ mod tests {
     fn spec_labels_follow_content() {
         let a = SynthConfig::default();
         let b = SynthConfig::default().with_apps(a.apps + 1);
-        assert_eq!(spec_label(&a), spec_label(&a));
-        assert_ne!(spec_label(&a), spec_label(&b));
-        assert!(spec_label(&a).starts_with("spec-"));
+        assert_eq!(spec_label(&a, 0), spec_label(&a, 0));
+        assert_ne!(spec_label(&a, 0), spec_label(&b, 0));
+        assert_ne!(
+            spec_label(&a, 0),
+            spec_label(&a, 2_000_000),
+            "a planted stall changes the suite's content"
+        );
+        assert!(spec_label(&a, 0).starts_with("spec-"));
     }
 
     #[test]
